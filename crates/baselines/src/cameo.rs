@@ -1,0 +1,436 @@
+//! CAMEO (`cam`) and CAMEO with prefetching (`camp`), §II-B and §IV-A.
+//!
+//! CAMEO manages the flat space at 64 B granularity: near memory is a
+//! direct-mapped array of line slots, and each slot forms a *congruence
+//! group* with the FM lines sharing its index. A Line Location Table (LLT)
+//! entry — stored next to the data in NM and fetched with a widened burst —
+//! records the permutation of each group. On an access to a line currently
+//! in FM, the line is swapped with the group's NM resident.
+//!
+//! The paper's CAMEO+P variant additionally fetches the next three
+//! sequential lines with every miss (the authors found 3 best).
+
+use silcfm_types::{
+    Access, AddressSpace, MemKind, MemOp, MemoryScheme, PhysAddr, SchemeOutcome, SchemeStats,
+};
+
+/// Extra bytes per NM access for the embedded LLT entry (the paper widens
+/// the burst rather than issuing a second request).
+const LLT_BYTES: u32 = 8;
+/// Line size.
+const LINE: u64 = 64;
+
+/// CAMEO configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CameoParams {
+    /// Sequential lines prefetched (and swapped in) with each FM access;
+    /// 0 = original CAMEO, 3 = the paper's CAMEO+P.
+    pub prefetch_lines: u32,
+    /// Entries in the location predictor that lets FM requests bypass the
+    /// serialized LLT fetch.
+    pub predictor_entries: usize,
+}
+
+impl Default for CameoParams {
+    fn default() -> Self {
+        Self {
+            prefetch_lines: 0,
+            predictor_entries: 4 << 10,
+        }
+    }
+}
+
+impl CameoParams {
+    /// The paper's CAMEO+P: next-3-line prefetching.
+    pub const fn with_prefetch() -> Self {
+        Self {
+            prefetch_lines: 3,
+            predictor_entries: 4 << 10,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PredEntry {
+    /// Predicted slot within the congruence group (0 = NM).
+    slot: u8,
+}
+
+/// The CAMEO controller.
+#[derive(Debug, Clone)]
+pub struct Cameo {
+    space: AddressSpace,
+    params: CameoParams,
+    nm_lines: u64,
+    group: usize,
+    /// Flattened permutations: `perm[set * group + slot]` = member residing
+    /// in physical slot `slot` of the group (slot 0 is the NM location).
+    perm: Vec<u8>,
+    predictor: Vec<PredEntry>,
+    pred_mask: usize,
+    accesses: u64,
+    serviced_from_nm: u64,
+    swaps: u64,
+    prefetch_swaps: u64,
+    pred_correct: u64,
+}
+
+impl Cameo {
+    /// Creates a CAMEO controller over `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FM size is not an exact multiple of the NM size (the
+    /// congruence-group construction requires an integral ratio).
+    pub fn new(space: AddressSpace, params: CameoParams) -> Self {
+        assert_eq!(
+            space.fm_bytes() % space.nm_bytes(),
+            0,
+            "FM must be an integral multiple of NM"
+        );
+        let nm_lines = space.nm_bytes() / LINE;
+        let group = (space.total_bytes() / space.nm_bytes()) as usize;
+        assert!(group <= u8::MAX as usize, "group size must fit a u8");
+        let mut perm = vec![0u8; nm_lines as usize * group];
+        for set in 0..nm_lines as usize {
+            for slot in 0..group {
+                perm[set * group + slot] = slot as u8; // identity: member i at slot i
+            }
+        }
+        let pred_n = params.predictor_entries.next_power_of_two();
+        Self {
+            space,
+            params,
+            nm_lines,
+            group,
+            perm,
+            predictor: vec![PredEntry::default(); pred_n],
+            pred_mask: pred_n - 1,
+            accesses: 0,
+            serviced_from_nm: 0,
+            swaps: 0,
+            prefetch_swaps: 0,
+            pred_correct: 0,
+        }
+    }
+
+    /// Number of congruence groups (= NM lines).
+    pub const fn sets(&self) -> u64 {
+        self.nm_lines
+    }
+
+    /// Lines swapped so far (demand-triggered).
+    pub const fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    fn set_and_member(&self, line: u64) -> (u64, u8) {
+        ((line % self.nm_lines), (line / self.nm_lines) as u8)
+    }
+
+    fn slot_addr(&self, set: u64, slot: u8) -> PhysAddr {
+        PhysAddr::new((u64::from(slot) * self.nm_lines + set) * LINE)
+    }
+
+    fn find_slot(&self, set: u64, member: u8) -> u8 {
+        let base = set as usize * self.group;
+        self.perm[base..base + self.group]
+            .iter()
+            .position(|&m| m == member)
+            .expect("permutation is total") as u8
+    }
+
+    /// Swaps the member at `slot` with the NM resident (slot 0) of `set`,
+    /// emitting migration traffic into `ops`. When `demand_covers_fetch`,
+    /// the FM read of the incoming line is already charged as the demand.
+    fn swap_with_nm(
+        &mut self,
+        ops: &mut Vec<MemOp>,
+        set: u64,
+        slot: u8,
+        demand_covers_fetch: bool,
+        prefetch: bool,
+    ) {
+        debug_assert_ne!(slot, 0);
+        let nm_addr = self.slot_addr(set, 0);
+        let fm_addr = self.slot_addr(set, slot);
+        let class_rd = if prefetch {
+            silcfm_types::TrafficClass::Prefetch
+        } else {
+            silcfm_types::TrafficClass::Migration
+        };
+        if !demand_covers_fetch {
+            ops.push(MemOp {
+                kind: silcfm_types::OpKind::Read,
+                mem: MemKind::Far,
+                addr: fm_addr,
+                bytes: LINE as u32,
+                class: class_rd,
+            });
+        }
+        ops.push(MemOp::migration_read(MemKind::Near, nm_addr, LINE as u32));
+        // The NM write carries the widened burst with the updated LLT entry.
+        ops.push(MemOp::migration_write(
+            MemKind::Near,
+            nm_addr,
+            LINE as u32 + LLT_BYTES,
+        ));
+        ops.push(MemOp::migration_write(MemKind::Far, fm_addr, LINE as u32));
+        let base = set as usize * self.group;
+        self.perm.swap(base, base + slot as usize);
+        if prefetch {
+            self.prefetch_swaps += 1;
+        } else {
+            self.swaps += 1;
+        }
+    }
+
+    fn pred_index(&self, pc: u64, line: u64) -> usize {
+        ((pc ^ line).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.pred_mask
+    }
+}
+
+impl MemoryScheme for Cameo {
+    fn access(&mut self, access: &Access) -> SchemeOutcome {
+        self.accesses += 1;
+        let line = access.addr.value() / LINE;
+        let (set, member) = self.set_and_member(line);
+        let slot = self.find_slot(set, member);
+        let pidx = self.pred_index(access.pc, line);
+        let predicted = self.predictor[pidx].slot;
+        self.predictor[pidx].slot = slot;
+
+        let mut critical = Vec::new();
+        let mut background = Vec::new();
+
+        let serviced_from = if slot == 0 {
+            // Resident in NM: one widened access returns data + LLT entry.
+            self.serviced_from_nm += 1;
+            let addr = self.slot_addr(set, 0);
+            critical.push(if access.is_write() {
+                MemOp::demand_write(MemKind::Near, addr, LINE as u32 + LLT_BYTES)
+            } else {
+                MemOp::demand_read(MemKind::Near, addr, LINE as u32 + LLT_BYTES)
+            });
+            MemKind::Near
+        } else {
+            // In FM: the LLT entry (in NM) tells us where; a correct
+            // location prediction issues the FM request in parallel.
+            let addr = self.slot_addr(set, slot);
+            let llt = MemOp::metadata_read(MemKind::Near, self.slot_addr(set, 0), LLT_BYTES);
+            if predicted == slot {
+                self.pred_correct += 1;
+                background.push(llt);
+            } else {
+                critical.push(llt);
+            }
+            critical.push(if access.is_write() {
+                MemOp::demand_write(MemKind::Far, addr, LINE as u32)
+            } else {
+                MemOp::demand_read(MemKind::Far, addr, LINE as u32)
+            });
+            // CAMEO always swaps the accessed line into NM.
+            self.swap_with_nm(&mut background, set, slot, true, false);
+
+            // CAMEO+P: swap the next sequential lines in, too.
+            for i in 1..=u64::from(self.params.prefetch_lines) {
+                let pline = line + i;
+                if pline * LINE >= self.space.total_bytes() {
+                    break; // ran off the end of the address space
+                }
+                let (pset, pmember) = self.set_and_member(pline);
+                let pslot = self.find_slot(pset, pmember);
+                if pslot != 0 {
+                    self.swap_with_nm(&mut background, pset, pslot, false, true);
+                }
+            }
+            MemKind::Far
+        };
+
+        SchemeOutcome {
+            critical,
+            background,
+            serviced_from,
+            global_stall_cycles: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        if self.params.prefetch_lines > 0 {
+            "camp"
+        } else {
+            "cam"
+        }
+    }
+
+    fn stats(&self) -> SchemeStats {
+        let mut stats = SchemeStats {
+            accesses: self.accesses,
+            serviced_from_nm: self.serviced_from_nm,
+            subblocks_moved: self.swaps + self.prefetch_swaps,
+            blocks_migrated: 0,
+            details: Vec::new(),
+        };
+        stats.detail("swaps", self.swaps as f64);
+        stats.detail("prefetch_swaps", self.prefetch_swaps as f64);
+        let fm_accesses = self.accesses - self.serviced_from_nm;
+        stats.detail(
+            "location_accuracy",
+            if fm_accesses == 0 {
+                0.0
+            } else {
+                self.pred_correct as f64 / fm_accesses as f64
+            },
+        );
+        stats
+    }
+
+    fn reset(&mut self) {
+        for set in 0..self.nm_lines as usize {
+            for slot in 0..self.group {
+                self.perm[set * self.group + slot] = slot as u8;
+            }
+        }
+        self.predictor.fill(PredEntry::default());
+        self.accesses = 0;
+        self.serviced_from_nm = 0;
+        self.swaps = 0;
+        self.prefetch_swaps = 0;
+        self.pred_correct = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silcfm_types::{CoreId, TrafficClass};
+
+    const NM_BYTES: u64 = 64 * 2048; // 2048 lines
+    const FM_BYTES: u64 = 4 * NM_BYTES;
+
+    fn cameo() -> Cameo {
+        Cameo::new(AddressSpace::new(NM_BYTES, FM_BYTES), CameoParams::default())
+    }
+
+    fn read(s: &mut Cameo, addr: u64) -> SchemeOutcome {
+        s.access(&Access::read(PhysAddr::new(addr), 0x400, CoreId::new(0)))
+    }
+
+    #[test]
+    fn fm_miss_swaps_line_into_nm() {
+        let mut c = cameo();
+        let fm = NM_BYTES; // member 1, set 0
+        assert_eq!(read(&mut c, fm).serviced_from, MemKind::Far);
+        assert_eq!(read(&mut c, fm).serviced_from, MemKind::Near);
+        assert_eq!(c.swaps(), 1);
+    }
+
+    #[test]
+    fn displaced_nm_line_moves_to_the_fm_slot() {
+        let mut c = cameo();
+        let nm = 0u64; // member 0, set 0
+        let fm = NM_BYTES; // member 1, set 0
+        assert_eq!(read(&mut c, nm).serviced_from, MemKind::Near);
+        let _ = read(&mut c, fm); // swap: member 1 ↔ member 0
+        let out = read(&mut c, nm);
+        assert_eq!(out.serviced_from, MemKind::Far, "line 0 now lives in FM");
+        // …and that access swaps it back.
+        assert_eq!(read(&mut c, nm).serviced_from, MemKind::Near);
+    }
+
+    #[test]
+    fn direct_mapping_causes_conflicts() {
+        let mut c = cameo();
+        let a = NM_BYTES; // member 1, set 0
+        let b = 2 * NM_BYTES; // member 2, set 0
+        let _ = read(&mut c, a);
+        let _ = read(&mut c, b); // evicts a from NM
+        assert_eq!(read(&mut c, a).serviced_from, MemKind::Far);
+    }
+
+    #[test]
+    fn nm_hit_uses_widened_burst() {
+        let mut c = cameo();
+        let out = read(&mut c, 0);
+        assert_eq!(out.serviced_from, MemKind::Near);
+        assert_eq!(out.critical.len(), 1);
+        assert_eq!(out.critical[0].bytes, 72, "64 B data + 8 B LLT entry");
+    }
+
+    #[test]
+    fn location_predictor_parallelizes_llt_fetch() {
+        let mut c = cameo();
+        let a = NM_BYTES;
+        let b = 2 * NM_BYTES;
+        // Alternate a and b with the same pc: each access finds its line in
+        // the same FM slot as last time, so the predictor locks on.
+        for _ in 0..4 {
+            let _ = read(&mut c, a);
+            let _ = read(&mut c, b);
+        }
+        let out = read(&mut c, a);
+        assert_eq!(
+            out.critical.len(),
+            1,
+            "correct slot prediction leaves only the FM demand read: {out:?}"
+        );
+    }
+
+    #[test]
+    fn prefetcher_swaps_following_lines() {
+        let mut c = Cameo::new(
+            AddressSpace::new(NM_BYTES, FM_BYTES),
+            CameoParams::with_prefetch(),
+        );
+        assert_eq!(c.name(), "camp");
+        let fm = NM_BYTES; // member 1, set 0; next lines are sets 1, 2, 3
+        let out = read(&mut c, fm);
+        let prefetch_ops = out
+            .background
+            .iter()
+            .filter(|o| o.class == TrafficClass::Prefetch)
+            .count();
+        assert_eq!(prefetch_ops, 3, "one FM read per prefetched line");
+        // The prefetched neighbours now hit in NM.
+        assert_eq!(read(&mut c, fm + 64).serviced_from, MemKind::Near);
+        assert_eq!(read(&mut c, fm + 128).serviced_from, MemKind::Near);
+        assert_eq!(read(&mut c, fm + 192).serviced_from, MemKind::Near);
+    }
+
+    #[test]
+    fn permutation_stays_total_under_stress() {
+        let mut c = cameo();
+        for i in 0..5_000u64 {
+            let member = (i * 7) % 5;
+            let set = (i * 13) % 2048;
+            let _ = read(&mut c, (member * 2048 + set) * 64);
+        }
+        // Every group must still contain each member exactly once.
+        for set in 0..2048usize {
+            let mut seen = [false; 5];
+            for slot in 0..5 {
+                let m = c.perm[set * 5 + slot] as usize;
+                assert!(!seen[m], "member {m} duplicated in set {set}");
+                seen[m] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn stats_and_reset() {
+        let mut c = cameo();
+        let _ = read(&mut c, NM_BYTES);
+        let st = c.stats();
+        assert_eq!(st.accesses, 1);
+        assert_eq!(st.subblocks_moved, 1);
+        c.reset();
+        assert_eq!(c.stats().accesses, 0);
+        assert_eq!(read(&mut c, 0).serviced_from, MemKind::Near);
+    }
+
+    #[test]
+    #[should_panic(expected = "integral multiple")]
+    fn ratio_must_be_integral() {
+        let _ = Cameo::new(AddressSpace::new(3 * 2048, 4 * 2048), CameoParams::default());
+    }
+}

@@ -1,0 +1,412 @@
+//! HMA — the epoch-based OS-managed scheme (`hma`), §II-C and §IV-A.
+//!
+//! The OS counts page accesses during an *epoch*. At each epoch boundary it
+//! sweeps the counters, selects hot pages, and bulk-migrates them into NM
+//! (swapping with the coldest NM residents), paying software costs for the
+//! sweep, PTE updates and TLB shootdowns — costs the paper identifies as the
+//! scheme's fundamental handicap: it adapts only at epoch boundaries, so
+//! short-lived hot pages are never captured.
+
+use std::collections::HashMap;
+
+use silcfm_types::{
+    Access, AddressSpace, MemKind, MemOp, MemoryScheme, PhysAddr, SchemeOutcome, SchemeStats,
+};
+
+/// Page/block size.
+const BLOCK: u64 = 2048;
+
+/// HMA configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HmaParams {
+    /// Epoch length in memory accesses (the paper's epochs are hundreds of
+    /// milliseconds — millions of accesses).
+    pub epoch_accesses: u64,
+    /// Initial per-epoch access count for a page to be a migration
+    /// candidate. The threshold adapts dynamically (the paper's HMA uses a
+    /// "dynamic threshold based counter"): it doubles when too many pages
+    /// qualify and halves when almost none do, so single spatial visits to
+    /// cold pages stop masquerading as hotness.
+    pub hot_threshold: u32,
+    /// CPU cycles of software overhead per migrated page (PTE update + TLB
+    /// shootdown).
+    pub stall_per_migration: u64,
+    /// Fixed CPU cycles per epoch for the PTE sweep and context switches.
+    pub stall_per_epoch: u64,
+}
+
+impl Default for HmaParams {
+    fn default() -> Self {
+        Self {
+            epoch_accesses: 2_000_000,
+            hot_threshold: 64,
+            stall_per_migration: 5_000,
+            stall_per_epoch: 200_000,
+        }
+    }
+}
+
+/// Smallest value the dynamic threshold may adapt down to.
+const THRESHOLD_FLOOR: u32 = 2;
+
+/// The HMA controller.
+#[derive(Debug, Clone)]
+pub struct Hma {
+    space: AddressSpace,
+    params: HmaParams,
+    nm_blocks: u64,
+    /// Logical block → physical block, identity when absent.
+    location: HashMap<u64, u64>,
+    /// Physical block → logical block, identity when absent.
+    resident: HashMap<u64, u64>,
+    /// Per-epoch access counts by logical block.
+    counts: HashMap<u64, u32>,
+    accesses: u64,
+    serviced_from_nm: u64,
+    migrations: u64,
+    epochs: u64,
+    next_epoch: u64,
+    threshold: u32,
+}
+
+impl Hma {
+    /// Creates an HMA controller over `space`.
+    pub fn new(space: AddressSpace, params: HmaParams) -> Self {
+        Self {
+            space,
+            nm_blocks: space.nm_bytes() / BLOCK,
+            location: HashMap::new(),
+            resident: HashMap::new(),
+            counts: HashMap::new(),
+            accesses: 0,
+            serviced_from_nm: 0,
+            migrations: 0,
+            epochs: 0,
+            next_epoch: params.epoch_accesses,
+            threshold: params.hot_threshold,
+            params,
+        }
+    }
+
+    /// The current (dynamically adapted) hotness threshold.
+    pub const fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// The flat address space this controller manages.
+    pub const fn space(&self) -> AddressSpace {
+        self.space
+    }
+
+    /// Pages migrated so far.
+    pub const fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Epoch boundaries crossed so far.
+    pub const fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    fn loc(&self, logical: u64) -> u64 {
+        *self.location.get(&logical).unwrap_or(&logical)
+    }
+
+    fn res(&self, physical: u64) -> u64 {
+        *self.resident.get(&physical).unwrap_or(&physical)
+    }
+
+    fn swap_pages(&mut self, hot_logical: u64, cold_logical: u64, ops: &mut Vec<MemOp>) {
+        let hot_phys = self.loc(hot_logical);
+        let cold_phys = self.loc(cold_logical);
+        debug_assert!(hot_phys >= self.nm_blocks, "hot page must be in FM");
+        debug_assert!(cold_phys < self.nm_blocks, "victim must be in NM");
+        ops.push(MemOp::migration_read(
+            MemKind::Far,
+            PhysAddr::new(hot_phys * BLOCK),
+            BLOCK as u32,
+        ));
+        ops.push(MemOp::migration_read(
+            MemKind::Near,
+            PhysAddr::new(cold_phys * BLOCK),
+            BLOCK as u32,
+        ));
+        ops.push(MemOp::migration_write(
+            MemKind::Near,
+            PhysAddr::new(cold_phys * BLOCK),
+            BLOCK as u32,
+        ));
+        ops.push(MemOp::migration_write(
+            MemKind::Far,
+            PhysAddr::new(hot_phys * BLOCK),
+            BLOCK as u32,
+        ));
+        self.location.insert(hot_logical, cold_phys);
+        self.location.insert(cold_logical, hot_phys);
+        self.resident.insert(cold_phys, hot_logical);
+        self.resident.insert(hot_phys, cold_logical);
+        self.migrations += 1;
+    }
+
+    /// Runs the epoch-boundary migration; returns (traffic, stall cycles).
+    fn epoch_boundary(&mut self) -> (Vec<MemOp>, u64) {
+        self.epochs += 1;
+        let mut ops = Vec::new();
+        let mut stall = self.params.stall_per_epoch;
+
+        // Hot candidates currently in FM, hottest first.
+        let mut hot: Vec<(u32, u64)> = self
+            .counts
+            .iter()
+            .filter(|&(_, &c)| c >= self.threshold)
+            .filter(|&(&b, _)| self.loc(b) >= self.nm_blocks)
+            .map(|(&b, &c)| (c, b))
+            .collect();
+        hot.sort_unstable_by(|a, b| b.cmp(a));
+        hot.truncate(self.nm_blocks as usize);
+
+        // Dynamic threshold adaptation: keep per-epoch migration volume a
+        // small fraction of NM, as the paper's OS policy tunes for. The
+        // threshold starts high (migrating nothing is safe) and relaxes
+        // toward the workload's hotness level.
+        let candidates = hot.len() as u64;
+        if candidates > self.nm_blocks / 16 {
+            self.threshold = self.threshold.saturating_mul(2).min(1 << 20);
+        } else if candidates < self.nm_blocks / 64 && self.threshold > THRESHOLD_FLOOR {
+            self.threshold /= 2;
+        }
+
+        if !hot.is_empty() {
+            // NM residents by coldness.
+            let mut residents: Vec<(u32, u64)> = (0..self.nm_blocks)
+                .map(|p| {
+                    let logical = self.res(p);
+                    (self.counts.get(&logical).copied().unwrap_or(0), logical)
+                })
+                .collect();
+            residents.sort_unstable();
+
+            let mut victim_iter = residents.into_iter();
+            for (hot_count, hot_logical) in hot {
+                // Hysteresis: only displace a resident clearly colder than
+                // the candidate, otherwise near-equal pages ping-pong
+                // between the memories every epoch.
+                let victim = victim_iter.next();
+                match victim {
+                    Some((cold_count, cold_logical))
+                        if u64::from(hot_count) > 2 * u64::from(cold_count) =>
+                    {
+                        self.swap_pages(hot_logical, cold_logical, &mut ops);
+                        stall += self.params.stall_per_migration;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.counts.clear();
+        (ops, stall)
+    }
+}
+
+impl MemoryScheme for Hma {
+    fn access(&mut self, access: &Access) -> SchemeOutcome {
+        self.accesses += 1;
+        let logical = access.addr.value() / BLOCK;
+        let offset = access.addr.value() % BLOCK;
+        *self.counts.entry(logical).or_insert(0) += 1;
+
+        let phys = self.loc(logical);
+        let addr = PhysAddr::new(phys * BLOCK + offset);
+        let mem = if phys < self.nm_blocks {
+            self.serviced_from_nm += 1;
+            MemKind::Near
+        } else {
+            MemKind::Far
+        };
+        let demand = if access.is_write() {
+            MemOp::demand_write(mem, addr, 64)
+        } else {
+            MemOp::demand_read(mem, addr, 64)
+        };
+
+        let (background, stall) = if self.accesses >= self.next_epoch {
+            self.next_epoch += self.params.epoch_accesses;
+            self.epoch_boundary()
+        } else {
+            (Vec::new(), 0)
+        };
+
+        SchemeOutcome {
+            critical: vec![demand],
+            background,
+            serviced_from: mem,
+            global_stall_cycles: stall,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hma"
+    }
+
+    fn stats(&self) -> SchemeStats {
+        let mut stats = SchemeStats {
+            accesses: self.accesses,
+            serviced_from_nm: self.serviced_from_nm,
+            subblocks_moved: self.migrations * (BLOCK / 64),
+            blocks_migrated: self.migrations,
+            details: Vec::new(),
+        };
+        stats.detail("epochs", self.epochs as f64);
+        stats.detail("migrations", self.migrations as f64);
+        stats
+    }
+
+    fn reset(&mut self) {
+        self.location.clear();
+        self.resident.clear();
+        self.counts.clear();
+        self.accesses = 0;
+        self.serviced_from_nm = 0;
+        self.migrations = 0;
+        self.epochs = 0;
+        self.next_epoch = self.params.epoch_accesses;
+        self.threshold = self.params.hot_threshold;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silcfm_types::CoreId;
+
+    const NM: u64 = 16 * BLOCK;
+    const FM: u64 = 64 * BLOCK;
+
+    fn hma(epoch: u64) -> Hma {
+        Hma::new(
+            AddressSpace::new(NM, FM),
+            HmaParams {
+                epoch_accesses: epoch,
+                hot_threshold: 4,
+                stall_per_migration: 1_000,
+                stall_per_epoch: 10_000,
+            },
+        )
+    }
+
+    fn read(s: &mut Hma, addr: u64) -> SchemeOutcome {
+        s.access(&Access::read(PhysAddr::new(addr), 0, CoreId::new(0)))
+    }
+
+    #[test]
+    fn no_migration_within_an_epoch() {
+        let mut h = hma(1_000);
+        let fm = NM; // block 16, in FM
+        for _ in 0..100 {
+            let out = read(&mut h, fm);
+            assert_eq!(out.serviced_from, MemKind::Far);
+            assert!(out.background.is_empty());
+            assert_eq!(out.global_stall_cycles, 0);
+        }
+        assert_eq!(h.migrations(), 0);
+    }
+
+    #[test]
+    fn hot_page_migrates_at_the_epoch_boundary() {
+        let mut h = hma(100);
+        let fm = NM;
+        let mut boundary_seen = false;
+        for i in 0..100 {
+            let out = read(&mut h, fm + (i % 32) * 64);
+            if !out.background.is_empty() {
+                boundary_seen = true;
+                assert!(out.global_stall_cycles > 0, "software cost charged");
+            }
+        }
+        assert!(boundary_seen, "the 100th access crosses the boundary");
+        assert_eq!(h.epochs(), 1);
+        assert!(h.migrations() >= 1);
+        // Next epoch: the page is serviced from NM.
+        assert_eq!(read(&mut h, fm).serviced_from, MemKind::Near);
+    }
+
+    #[test]
+    fn displaced_cold_page_moves_to_fm() {
+        let mut h = hma(100);
+        let fm = NM;
+        for i in 0..100 {
+            let _ = read(&mut h, fm + (i % 32) * 64);
+        }
+        assert!(h.migrations() >= 1);
+        // Exactly one of the 16 NM-native pages was displaced to FM.
+        let displaced = (0..16u64)
+            .filter(|&b| read(&mut h, b * BLOCK).serviced_from == MemKind::Far)
+            .count();
+        assert_eq!(displaced, 1, "one cold NM page swapped out per migration");
+    }
+
+    #[test]
+    fn cold_pages_below_threshold_stay_put() {
+        let mut h = hma(100);
+        // 100 accesses spread over 50 FM pages: 2 each, below threshold 4.
+        for i in 0..100u64 {
+            let _ = read(&mut h, NM + (i % 50) * BLOCK);
+        }
+        assert_eq!(h.migrations(), 0, "nothing was hot enough");
+        assert_eq!(h.epochs(), 1);
+    }
+
+    #[test]
+    fn hottest_pages_win_the_capacity() {
+        // 8 NM blocks; 10 hot FM pages with different heats.
+        let mut h = Hma::new(
+            AddressSpace::new(8 * BLOCK, 64 * BLOCK),
+            HmaParams {
+                epoch_accesses: 1_000,
+                hot_threshold: 2,
+                stall_per_migration: 0,
+                stall_per_epoch: 0,
+            },
+        );
+        // Page i gets (10 + i) accesses; all NM residents stay cold.
+        let mut n = 0u64;
+        for i in 0..10u64 {
+            for _ in 0..(10 + i) {
+                let _ = read(&mut h, (8 + i) * BLOCK);
+                n += 1;
+            }
+        }
+        while n < 1_000 {
+            let _ = read(&mut h, (8 + 9) * BLOCK); // keep page 9 hottest
+            n += 1;
+        }
+        // 8 NM slots for 10 candidates: the two coldest (pages 0 and 1 of
+        // the hot group) are left out.
+        assert_eq!(h.migrations(), 8);
+        assert_eq!(read(&mut h, (8 + 9) * BLOCK).serviced_from, MemKind::Near);
+        assert_eq!(read(&mut h, 8 * BLOCK).serviced_from, MemKind::Far);
+    }
+
+    #[test]
+    fn migration_traffic_is_whole_pages() {
+        let mut h = hma(50);
+        for i in 0..50u64 {
+            let _ = read(&mut h, NM + (i % 8) * 64);
+        }
+        assert!(h.migrations() >= 1);
+        assert_eq!(h.stats().subblocks_moved, h.migrations() * 32);
+    }
+
+    #[test]
+    fn stats_and_reset() {
+        let mut h = hma(10);
+        for i in 0..20u64 {
+            let _ = read(&mut h, NM + i * 64);
+        }
+        assert!(h.stats().details.iter().any(|(n, _)| n == "epochs"));
+        h.reset();
+        assert_eq!(h.stats().accesses, 0);
+        assert_eq!(h.epochs(), 0);
+        assert_eq!(h.name(), "hma");
+    }
+}

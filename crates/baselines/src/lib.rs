@@ -1,0 +1,40 @@
+//! Baseline flat-memory schemes the paper compares SILC-FM against (§IV-A):
+//!
+//! * [`RandomStatic`] (`rand`) — static placement, no migration; also serves
+//!   as the no-NM baseline when paired with a far-only page mapper;
+//! * [`Hma`] (`hma`) — the epoch-based OS-managed scheme of Meswani et al.:
+//!   bulk page migration at epoch boundaries with software overheads;
+//! * [`Cameo`] (`cam`) — 64 B direct-mapped congruence groups with a line
+//!   location table embedded next to the data (Chou et al.);
+//! * [`Cameo`] with prefetching (`camp`) — the paper's CAMEO+P, fetching the
+//!   next 3 lines along with each miss;
+//! * [`Pom`] (`pom`) — Part-of-Memory: 2 KB blocks migrated when an access
+//!   counter crosses a threshold (Sim et al.).
+//!
+//! All five implement [`silcfm_types::MemoryScheme`], so the simulator and
+//! bench harness treat them interchangeably with SILC-FM.
+//!
+//! # Example
+//!
+//! ```
+//! use silcfm_baselines::Cameo;
+//! use silcfm_types::{Access, AddressSpace, CoreId, MemKind, MemoryScheme, PhysAddr};
+//!
+//! let space = AddressSpace::new(64 * 2048, 256 * 2048);
+//! let mut cameo = Cameo::new(space, Default::default());
+//! let fm = PhysAddr::new(space.nm_bytes());
+//! let first = cameo.access(&Access::read(fm, 0x400, CoreId::new(0)));
+//! assert_eq!(first.serviced_from, MemKind::Far);   // miss + swap
+//! let second = cameo.access(&Access::read(fm, 0x400, CoreId::new(0)));
+//! assert_eq!(second.serviced_from, MemKind::Near); // now resident
+//! ```
+
+pub mod cameo;
+pub mod hma;
+pub mod pom;
+pub mod random;
+
+pub use cameo::{Cameo, CameoParams};
+pub use hma::{Hma, HmaParams};
+pub use pom::{Pom, PomParams};
+pub use random::RandomStatic;

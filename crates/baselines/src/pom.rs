@@ -1,0 +1,368 @@
+//! PoM — Part of Memory (`pom`), §II-B and §IV-A.
+//!
+//! PoM manages the flat space at 2 KB granularity. Like CAMEO it uses
+//! congruence groups (one NM frame per group), but instead of swapping on
+//! every access it counts accesses to FM-resident blocks and migrates a
+//! block only when its counter crosses a threshold — trading responsiveness
+//! for fewer, larger (and bandwidth-hungry) migrations. The remap table is
+//! cached in a finite SRAM structure; cache misses pay one NM metadata fetch.
+
+use silcfm_types::{
+    Access, AddressSpace, MemKind, MemOp, MemoryScheme, PhysAddr, SchemeOutcome, SchemeStats,
+};
+
+/// Block (page) size.
+const BLOCK: u64 = 2048;
+
+/// PoM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PomParams {
+    /// Net competing-counter value at which a 2 KB migration triggers.
+    /// PoM's counters are increment/decrement *competing* counters: an FM
+    /// block's counter rises on its own accesses and falls when the group's
+    /// NM resident is accessed, so a block must out-access the resident by
+    /// this margin. The threshold both delays reaction ("PoM requires a
+    /// counter for a page to reach a threshold… and thus it misses
+    /// potential opportunities") and lets a single dense visit to a cold
+    /// page trigger a full-2 KB move ("wastes significant bandwidth in low
+    /// spatial locality workloads").
+    pub threshold: u8,
+    /// Accesses between counter decays (right shifts).
+    pub decay_period: u64,
+    /// Entries in the on-chip remap-table cache; misses pay one NM metadata
+    /// fetch. PoM keeps its remap table in NM with a modest SRAM cache in
+    /// front (the PoM paper budgets tens of kilobytes — 2 K entries here),
+    /// so accesses outside the cached hot sets pay the table lookup.
+    pub remap_cache_entries: usize,
+}
+
+impl Default for PomParams {
+    fn default() -> Self {
+        Self {
+            threshold: 6,
+            decay_period: 1_000_000,
+            remap_cache_entries: 2 << 10,
+        }
+    }
+}
+
+/// The PoM controller.
+#[derive(Debug, Clone)]
+pub struct Pom {
+    space: AddressSpace,
+    params: PomParams,
+    nm_blocks: u64,
+    group: usize,
+    /// `perm[set * group + slot]` = member residing at physical slot `slot`
+    /// (slot 0 is the NM frame of the group).
+    perm: Vec<u8>,
+    /// Access counters per (set, member).
+    counters: Vec<u8>,
+    accesses: u64,
+    serviced_from_nm: u64,
+    migrations: u64,
+    next_decay: u64,
+    /// Direct-mapped remap-cache tags (set numbers); `u64::MAX` = empty.
+    remap_cache: Vec<u64>,
+    remap_cache_misses: u64,
+}
+
+impl Pom {
+    /// Creates a PoM controller over `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if FM is not an integral multiple of NM.
+    pub fn new(space: AddressSpace, params: PomParams) -> Self {
+        assert_eq!(
+            space.fm_bytes() % space.nm_bytes(),
+            0,
+            "FM must be an integral multiple of NM"
+        );
+        let nm_blocks = space.nm_bytes() / BLOCK;
+        let group = (space.total_bytes() / space.nm_bytes()) as usize;
+        assert!(group <= u8::MAX as usize, "group size must fit a u8");
+        let mut perm = vec![0u8; nm_blocks as usize * group];
+        for set in 0..nm_blocks as usize {
+            for slot in 0..group {
+                perm[set * group + slot] = slot as u8;
+            }
+        }
+        Self {
+            space,
+            nm_blocks,
+            group,
+            perm,
+            counters: vec![0; nm_blocks as usize * group],
+            accesses: 0,
+            serviced_from_nm: 0,
+            migrations: 0,
+            next_decay: params.decay_period,
+            remap_cache: vec![u64::MAX; params.remap_cache_entries.next_power_of_two()],
+            remap_cache_misses: 0,
+            params,
+        }
+    }
+
+    /// Looks up `set` in the remap-table cache; returns whether it hit and
+    /// installs it.
+    fn remap_cache_probe(&mut self, set: u64) -> bool {
+        let idx = (set as usize) & (self.remap_cache.len() - 1);
+        let hit = self.remap_cache[idx] == set;
+        self.remap_cache[idx] = set;
+        if !hit {
+            self.remap_cache_misses += 1;
+        }
+        hit
+    }
+
+    /// Whole-block migrations performed so far.
+    pub const fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    fn set_and_member(&self, block: u64) -> (u64, u8) {
+        (block % self.nm_blocks, (block / self.nm_blocks) as u8)
+    }
+
+    fn slot_addr(&self, set: u64, slot: u8) -> PhysAddr {
+        PhysAddr::new((u64::from(slot) * self.nm_blocks + set) * BLOCK)
+    }
+
+    fn find_slot(&self, set: u64, member: u8) -> u8 {
+        let base = set as usize * self.group;
+        self.perm[base..base + self.group]
+            .iter()
+            .position(|&m| m == member)
+            .expect("permutation is total") as u8
+    }
+
+    /// Migrates the whole 2 KB block at `slot` into the group's NM frame,
+    /// swapping with the current NM resident.
+    fn migrate(&mut self, ops: &mut Vec<MemOp>, set: u64, slot: u8) {
+        debug_assert_ne!(slot, 0);
+        let nm = self.slot_addr(set, 0);
+        let fm = self.slot_addr(set, slot);
+        ops.push(MemOp::migration_read(MemKind::Far, fm, BLOCK as u32));
+        ops.push(MemOp::migration_read(MemKind::Near, nm, BLOCK as u32));
+        ops.push(MemOp::migration_write(MemKind::Near, nm, BLOCK as u32));
+        ops.push(MemOp::migration_write(MemKind::Far, fm, BLOCK as u32));
+        let base = set as usize * self.group;
+        self.perm.swap(base, base + slot as usize);
+        self.migrations += 1;
+    }
+
+    fn maybe_decay(&mut self) {
+        if self.accesses < self.next_decay {
+            return;
+        }
+        self.next_decay += self.params.decay_period;
+        for c in &mut self.counters {
+            *c >>= 1;
+        }
+    }
+}
+
+impl MemoryScheme for Pom {
+    fn access(&mut self, access: &Access) -> SchemeOutcome {
+        self.accesses += 1;
+        self.maybe_decay();
+        let block = access.addr.value() / BLOCK;
+        let offset = access.addr.value() % BLOCK;
+        let (set, member) = self.set_and_member(block);
+        let slot = self.find_slot(set, member);
+
+        let mut critical = Vec::new();
+        if !self.remap_cache_probe(set) {
+            // Remap-table cache miss: fetch the entry from NM metadata.
+            critical.push(MemOp::metadata_read(
+                MemKind::Near,
+                PhysAddr::new((set * 8) % self.space.nm_bytes()),
+                8,
+            ));
+        }
+        let mut background = Vec::new();
+        let base = set as usize * self.group;
+        let serviced_from = if slot == 0 {
+            self.serviced_from_nm += 1;
+            // Resident access: every challenger's competing counter decays.
+            for m in 0..self.group {
+                if m != member as usize {
+                    self.counters[base + m] = self.counters[base + m].saturating_sub(1);
+                }
+            }
+            MemKind::Near
+        } else {
+            // Challenger access: its competing counter rises; at the
+            // threshold the whole 2 KB block swaps with the NM resident.
+            let cidx = base + member as usize;
+            self.counters[cidx] = self.counters[cidx].saturating_add(1);
+            if self.counters[cidx] >= self.params.threshold {
+                self.migrate(&mut background, set, slot);
+                // The swap resets the contest for the whole group.
+                for m in 0..self.group {
+                    self.counters[base + m] = 0;
+                }
+            }
+            MemKind::Far
+        };
+
+        // Data is read from where it was at the start of the access.
+        let addr = self.slot_addr(set, slot).add(offset);
+        let demand = if access.is_write() {
+            MemOp::demand_write(serviced_from, addr, 64)
+        } else {
+            MemOp::demand_read(serviced_from, addr, 64)
+        };
+
+        critical.push(demand);
+        SchemeOutcome {
+            critical,
+            background,
+            serviced_from,
+            global_stall_cycles: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "pom"
+    }
+
+    fn stats(&self) -> SchemeStats {
+        let mut stats = SchemeStats {
+            accesses: self.accesses,
+            serviced_from_nm: self.serviced_from_nm,
+            subblocks_moved: self.migrations * (BLOCK / 64),
+            blocks_migrated: self.migrations,
+            details: Vec::new(),
+        };
+        stats.detail("migrations", self.migrations as f64);
+        stats.detail("remap_cache_misses", self.remap_cache_misses as f64);
+        stats
+    }
+
+    fn reset(&mut self) {
+        for set in 0..self.nm_blocks as usize {
+            for slot in 0..self.group {
+                self.perm[set * self.group + slot] = slot as u8;
+            }
+        }
+        self.counters.fill(0);
+        self.remap_cache.fill(u64::MAX);
+        self.remap_cache_misses = 0;
+        self.accesses = 0;
+        self.serviced_from_nm = 0;
+        self.migrations = 0;
+        self.next_decay = self.params.decay_period;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silcfm_types::CoreId;
+
+    const NM: u64 = 64 * BLOCK;
+    const FM: u64 = 4 * NM;
+
+    fn pom() -> Pom {
+        Pom::new(
+            AddressSpace::new(NM, FM),
+            PomParams {
+                threshold: 4,
+                decay_period: 1_000_000,
+                ..PomParams::default()
+            },
+        )
+    }
+
+    fn read(s: &mut Pom, addr: u64) -> SchemeOutcome {
+        s.access(&Access::read(PhysAddr::new(addr), 0, CoreId::new(0)))
+    }
+
+    #[test]
+    fn fm_block_migrates_only_after_threshold() {
+        let mut p = pom();
+        let fm = NM; // member 1, set 0
+        for i in 0..3 {
+            let out = read(&mut p, fm + i * 64);
+            assert_eq!(out.serviced_from, MemKind::Far);
+            assert!(out.background.is_empty(), "below threshold: no migration");
+        }
+        let out = read(&mut p, fm); // 4th access crosses threshold 4
+        assert_eq!(out.serviced_from, MemKind::Far);
+        assert_eq!(out.background.len(), 4, "whole-block swap traffic");
+        assert_eq!(p.migrations(), 1);
+        // Now resident.
+        assert_eq!(read(&mut p, fm + 512).serviced_from, MemKind::Near);
+    }
+
+    #[test]
+    fn migration_moves_whole_2kb() {
+        let mut p = pom();
+        let fm = NM;
+        for i in 0..4 {
+            let _ = read(&mut p, fm + i * 64);
+        }
+        let st = p.stats();
+        assert_eq!(st.subblocks_moved, 32, "2 KB = 32 subblocks of bandwidth");
+    }
+
+    #[test]
+    fn displaced_nm_block_lands_in_fm() {
+        let mut p = pom();
+        let nm = 0u64;
+        let fm = NM;
+        assert_eq!(read(&mut p, nm).serviced_from, MemKind::Near);
+        // One resident access decayed nothing yet (challenger at 0); the
+        // challenger then needs `threshold` net accesses.
+        for i in 0..4 {
+            let _ = read(&mut p, fm + i * 64);
+        }
+        assert_eq!(read(&mut p, nm).serviced_from, MemKind::Far);
+    }
+
+    #[test]
+    fn counters_decay() {
+        let mut p = Pom::new(
+            AddressSpace::new(NM, FM),
+            PomParams {
+                threshold: 4,
+                decay_period: 10,
+                ..PomParams::default()
+            },
+        );
+        let fm = NM;
+        // 3 accesses, then enough unrelated traffic to trigger a decay.
+        for i in 0..3 {
+            let _ = read(&mut p, fm + i * 64);
+        }
+        for _ in 0..10 {
+            let _ = read(&mut p, 0);
+        }
+        // Counter decayed 3 → 1; two more accesses still don't migrate.
+        let _ = read(&mut p, fm);
+        let out = read(&mut p, fm);
+        assert!(out.background.is_empty());
+        assert_eq!(p.migrations(), 0);
+    }
+
+    #[test]
+    fn remap_cache_hits_skip_metadata() {
+        let mut p = pom();
+        let first = read(&mut p, NM);
+        assert_eq!(first.critical.len(), 2, "cold remap-cache miss fetches metadata");
+        let second = read(&mut p, NM + 64);
+        assert_eq!(second.critical.len(), 1, "same set hits the remap cache");
+    }
+
+    #[test]
+    fn stats_and_reset() {
+        let mut p = pom();
+        let _ = read(&mut p, 0);
+        assert_eq!(p.stats().serviced_from_nm, 1);
+        p.reset();
+        assert_eq!(p.stats().accesses, 0);
+        assert_eq!(p.name(), "pom");
+    }
+}

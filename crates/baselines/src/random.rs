@@ -1,0 +1,113 @@
+//! The Random static placement scheme (`rand` in Fig. 7).
+//!
+//! Pages are placed once (by the page mapper, uniformly at random over
+//! NM+FM) and never migrate. Every access is serviced from wherever its
+//! address statically lives; there is no metadata, no swapping, and no
+//! bandwidth overhead. Paired with a far-only mapper this same controller
+//! models the paper's no-NM baseline system.
+
+use silcfm_types::{
+    Access, AddressSpace, MemKind, MemOp, MemoryScheme, SchemeOutcome, SchemeStats,
+};
+
+/// Static placement: addresses are serviced in place, forever.
+#[derive(Debug, Clone)]
+pub struct RandomStatic {
+    space: AddressSpace,
+    accesses: u64,
+    serviced_from_nm: u64,
+}
+
+impl RandomStatic {
+    /// Creates the scheme over the given address space.
+    pub fn new(space: AddressSpace) -> Self {
+        Self {
+            space,
+            accesses: 0,
+            serviced_from_nm: 0,
+        }
+    }
+}
+
+impl MemoryScheme for RandomStatic {
+    fn access(&mut self, access: &Access) -> SchemeOutcome {
+        self.accesses += 1;
+        let mem = self.space.kind_of(access.addr);
+        if mem == MemKind::Near {
+            self.serviced_from_nm += 1;
+        }
+        let op = if access.is_write() {
+            MemOp::demand_write(mem, access.addr, 64)
+        } else {
+            MemOp::demand_read(mem, access.addr, 64)
+        };
+        SchemeOutcome::serviced(mem, vec![op])
+    }
+
+    fn name(&self) -> &'static str {
+        "rand"
+    }
+
+    fn stats(&self) -> SchemeStats {
+        SchemeStats {
+            accesses: self.accesses,
+            serviced_from_nm: self.serviced_from_nm,
+            subblocks_moved: 0,
+            blocks_migrated: 0,
+            details: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.accesses = 0;
+        self.serviced_from_nm = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silcfm_types::{CoreId, PhysAddr};
+
+    fn scheme() -> RandomStatic {
+        RandomStatic::new(AddressSpace::new(4 * 2048, 16 * 2048))
+    }
+
+    #[test]
+    fn services_in_place() {
+        let mut s = scheme();
+        let nm = s.access(&Access::read(PhysAddr::new(0), 0, CoreId::new(0)));
+        assert_eq!(nm.serviced_from, MemKind::Near);
+        let fm = s.access(&Access::read(PhysAddr::new(5 * 2048), 0, CoreId::new(0)));
+        assert_eq!(fm.serviced_from, MemKind::Far);
+        assert!(nm.background.is_empty() && fm.background.is_empty());
+    }
+
+    #[test]
+    fn never_migrates() {
+        let mut s = scheme();
+        for _ in 0..100 {
+            let _ = s.access(&Access::read(PhysAddr::new(5 * 2048), 0, CoreId::new(0)));
+        }
+        let st = s.stats();
+        assert_eq!(st.subblocks_moved, 0);
+        assert_eq!(st.blocks_migrated, 0);
+        assert_eq!(st.serviced_from_nm, 0);
+    }
+
+    #[test]
+    fn writes_are_writes() {
+        let mut s = scheme();
+        let out = s.access(&Access::write(PhysAddr::new(0), 0, CoreId::new(0)));
+        assert!(out.critical[0].kind.is_write());
+    }
+
+    #[test]
+    fn reset_and_name() {
+        let mut s = scheme();
+        let _ = s.access(&Access::read(PhysAddr::new(0), 0, CoreId::new(0)));
+        s.reset();
+        assert_eq!(s.stats().accesses, 0);
+        assert_eq!(s.name(), "rand");
+    }
+}

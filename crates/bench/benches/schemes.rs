@@ -1,0 +1,53 @@
+//! End-to-end scheme throughput: simulated memory accesses per second of
+//! host time for every placement scheme, on a small milc-like workload.
+//! This is a simulator-performance benchmark (how fast the reproduction
+//! runs), not a paper figure; the figures live in `src/bin/`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use silcfm_sim::{RunParams, SchemeKind, System};
+use silcfm_trace::profiles;
+use silcfm_types::SystemConfig;
+
+const ACCESSES_PER_CORE: u64 = 3_000;
+
+fn bench_schemes(c: &mut Criterion) {
+    let cfg = SystemConfig::small();
+    let params = RunParams::smoke();
+    let profile = profiles::scaled(
+        profiles::by_name("milc").expect("milc exists"),
+        params.footprint_scale,
+    );
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(
+        ACCESSES_PER_CORE * u64::from(cfg.core.cores),
+    ));
+    for kind in [
+        SchemeKind::NoNm,
+        SchemeKind::Rand,
+        SchemeKind::Hma,
+        SchemeKind::Cameo,
+        SchemeKind::CameoPrefetch,
+        SchemeKind::Pom,
+        SchemeKind::silcfm(),
+    ] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let space = silcfm_sim::experiment::space_for(&profile, &cfg, &params);
+                let total = ACCESSES_PER_CORE * u64::from(cfg.core.cores);
+                let mut sys = System::new(
+                    cfg,
+                    space,
+                    kind.placement(params.seed),
+                    kind.build(space, total),
+                );
+                std::hint::black_box(sys.run(&profile, ACCESSES_PER_CORE, params.seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation A2 — the bypass access-rate target (§III-E).
+//!
+//! The paper derives the 0.8 target from the 4:1 NM:FM bandwidth ratio
+//! (service 1/(N+1) of accesses from the slower memory) and finds optimal
+//! performance at 0.8 rather than 1.0. This sweep varies the target on
+//! bandwidth-hungry workloads.
+
+use silcfm_bench::{run_one, HarnessOpts};
+use silcfm_core::SilcFmParams;
+use silcfm_sim::{format_table, Row, SchemeKind};
+use silcfm_trace::profiles;
+use silcfm_types::stats::geometric_mean;
+
+const TARGETS: &[f64] = &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let params = opts.params();
+    let workloads = ["milc", "lbm", "lib", "gems"];
+    let columns: Vec<String> = TARGETS.iter().map(|t| format!("{t:.1}")).collect();
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    let mut per_t: Vec<Vec<f64>> = vec![Vec::new(); TARGETS.len()];
+    for name in workloads {
+        let profile = profiles::by_name(name).expect("known workload");
+        let base = run_one(profile, SchemeKind::NoNm, &params);
+        let mut values = Vec::new();
+        for (i, &t) in TARGETS.iter().enumerate() {
+            let p = SilcFmParams {
+                bypass_target: t,
+                ..SilcFmParams::paper()
+            };
+            let s = run_one(profile, SchemeKind::SilcFm(p), &params).speedup_over(&base);
+            per_t[i].push(s);
+            values.push(s);
+        }
+        rows.push(Row::new(name, values));
+    }
+    rows.push(Row::new(
+        "gmean",
+        per_t.iter().map(|v| geometric_mean(v)).collect(),
+    ));
+
+    println!(
+        "{}",
+        format_table(
+            &format!(
+                "A2: bypass target sweep, speedup over no-NM ({} mode)",
+                opts.mode()
+            ),
+            &column_refs,
+            &rows,
+            3
+        )
+    );
+    println!("Paper: 0.8 is optimal for the 4:1 bandwidth ratio (target 1.0 leaves FM idle).");
+}

@@ -1,0 +1,50 @@
+//! Energy and Energy-Delay Product (EDP).
+//!
+//! The paper reports SILC-FM reducing EDP by 13 % relative to CAMEO,
+//! driven by die-stacked DRAM's lower per-bit energy: servicing more
+//! demand from NM with less wasted migration traffic costs less energy
+//! at a shorter runtime.
+
+use silcfm_bench::{run_one, HarnessOpts};
+use silcfm_sim::{format_table, Row, SchemeKind};
+use silcfm_trace::profiles;
+use silcfm_types::stats::geometric_mean;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let params = opts.params();
+    let kinds = SchemeKind::fig7_lineup();
+    let columns: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+
+    // Relative EDP per workload, normalized to CAMEO (the paper's
+    // comparison point).
+    let cam_idx = kinds.iter().position(|k| k.label() == "cam").expect("cam");
+    let mut rows = Vec::new();
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+    for profile in profiles::all() {
+        let results: Vec<_> = kinds.iter().map(|k| run_one(profile, *k, &params)).collect();
+        let cam_edp = results[cam_idx].edp();
+        let values: Vec<f64> = results.iter().map(|r| r.edp() / cam_edp).collect();
+        for (i, v) in values.iter().enumerate() {
+            ratios[i].push(*v);
+        }
+        rows.push(Row::new(profile.name, values));
+    }
+    let gmeans: Vec<f64> = ratios.iter().map(|v| geometric_mean(v)).collect();
+    rows.push(Row::new("gmean", gmeans.clone()));
+
+    println!(
+        "{}",
+        format_table(
+            &format!("EDP normalized to CAMEO, lower is better ({} mode)", opts.mode()),
+            &columns,
+            &rows,
+            3
+        )
+    );
+    let silc_idx = kinds.iter().position(|k| k.label() == "silcfm").expect("silcfm");
+    println!(
+        "SILC-FM EDP vs CAMEO: {:+.1}% (paper: -13%)",
+        (gmeans[silc_idx] - 1.0) * 100.0
+    );
+}

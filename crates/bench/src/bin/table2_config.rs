@@ -1,0 +1,46 @@
+//! Table II — the experimental system configuration.
+//!
+//! Prints the paper's published parameters alongside the values this
+//! reproduction simulates (identical except the documented LLC
+//! miniaturization used by the experiment harness; see DESIGN.md).
+
+use silcfm_dram::DramConfig;
+use silcfm_types::SystemConfig;
+
+fn main() {
+    let paper = SystemConfig::paper();
+    let experiment = SystemConfig::experiment();
+    let nm = DramConfig::hbm2();
+    let fm = DramConfig::ddr3();
+
+    println!("# Table II: system configuration");
+    println!("Processor : {} cores @ {} MHz, {}-wide OoO, {} ROB entries",
+        paper.core.cores, paper.core.freq_mhz, paper.core.width, paper.core.rob_entries);
+    println!("L1 I-cache: {} KiB, {}-way, {} cycles (private)",
+        paper.l1i.capacity_bytes >> 10, paper.l1i.ways, paper.l1i.latency_cycles);
+    println!("L1 D-cache: {} KiB, {}-way, {} cycles (private)",
+        paper.l1d.capacity_bytes >> 10, paper.l1d.ways, paper.l1d.latency_cycles);
+    println!("L2 cache  : {} MiB, {}-way, {} cycles (shared; experiments run {} MiB — see DESIGN.md)",
+        paper.l2.capacity_bytes >> 20, paper.l2.ways, paper.l2.latency_cycles,
+        experiment.l2.capacity_bytes >> 20);
+    println!();
+    for dev in [&nm, &fm] {
+        println!(
+            "{:4} : {} channels x {}-bit @ {} MHz DDR, {} ranks x {} banks, {} KiB rows, \
+             RQ/WQ {}/{}, tCAS-tRCD-tRP-tRAS = {}-{}-{}-{}, peak {:.1} GB/s",
+            dev.name, dev.channels, dev.bus_bits, dev.bus_mhz, dev.ranks, dev.banks,
+            dev.row_bytes >> 10, dev.read_queue, dev.write_queue,
+            dev.timings.t_cas, dev.timings.t_rcd, dev.timings.t_rp, dev.timings.t_ras,
+            dev.peak_bandwidth_gbs()
+        );
+    }
+    println!();
+    println!("Geometry  : {}", paper.geometry);
+    println!("Capacity  : FM:NM = {}:1", paper.fm_to_nm_ratio);
+    println!(
+        "Bandwidth : NM:FM = {:.0}:{:.0} = {:.0}:1 (the 4:1 ratio behind the 0.8 bypass target)",
+        nm.peak_bandwidth_gbs(),
+        fm.peak_bandwidth_gbs(),
+        nm.peak_bandwidth_gbs() / fm.peak_bandwidth_gbs()
+    );
+}

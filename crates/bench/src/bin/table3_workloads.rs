@@ -1,0 +1,35 @@
+//! Table III — workload characterization.
+//!
+//! Runs each synthetic workload on the no-NM baseline system and reports
+//! the *measured* LLC MPKI (per core) and touched footprint, alongside the
+//! profile's MPKI class from the paper's table. Footprints are the paper's
+//! scaled down by ~two orders of magnitude (see DESIGN.md substitutions).
+
+use silcfm_bench::{run_one, HarnessOpts};
+use silcfm_sim::SchemeKind;
+use silcfm_trace::profiles;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let params = opts.params();
+
+    println!("# Table III: workloads ({} mode)", opts.mode());
+    println!(
+        "{:8} {:>12} {:>12} {:>16} {:>14}",
+        "name", "class", "MPKI(meas.)", "footprint(MiB)", "writes(frac)"
+    );
+    for profile in profiles::all() {
+        let r = run_one(profile, SchemeKind::NoNm, &params);
+        println!(
+            "{:8} {:>12} {:>12.1} {:>16.1} {:>14.2}",
+            profile.name,
+            profile.class.to_string().replace(" MPKI", ""),
+            r.mpki,
+            r.footprint_bytes as f64 / (1 << 20) as f64,
+            profile.write_fraction,
+        );
+    }
+    println!();
+    println!("Class boundaries (paper): Low < 11, Medium 11..=32, High > 32 LLC MPKI per core.");
+    println!("Measured MPKI is post-LLC (the cache filters some hot-set reuse).");
+}

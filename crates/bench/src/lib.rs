@@ -1,0 +1,123 @@
+//! Shared harness plumbing for the per-figure experiment binaries.
+//!
+//! Every binary reproduces one table or figure of the paper and prints the
+//! same rows/series the paper reports. All binaries accept:
+//!
+//! * `--quick` (default) — reduced run sizes, tens of seconds;
+//! * `--full` — full-size runs, minutes.
+//!
+//! See `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
+//! recorded paper-vs-measured results.
+
+use silcfm_sim::{run, RunParams, RunResult, SchemeKind};
+use silcfm_trace::profiles;
+use silcfm_trace::profiles::WorkloadProfile;
+use silcfm_types::stats::geometric_mean;
+use silcfm_types::SystemConfig;
+
+/// Harness options parsed from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessOpts {
+    /// Run full-size experiments instead of the quick default.
+    pub full: bool,
+}
+
+impl HarnessOpts {
+    /// Parses `--quick` / `--full` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let full = std::env::args().any(|a| a == "--full");
+        Self { full }
+    }
+
+    /// The run parameters implied by the options.
+    pub fn params(&self) -> RunParams {
+        if self.full {
+            RunParams::full()
+        } else {
+            RunParams::quick()
+        }
+    }
+
+    /// Mode label for output headers.
+    pub fn mode(&self) -> &'static str {
+        if self.full {
+            "full"
+        } else {
+            "quick"
+        }
+    }
+}
+
+/// The system configuration all experiments run with (Table II with the
+/// LLC miniaturized alongside the workload footprints; see DESIGN.md).
+pub fn experiment_config() -> SystemConfig {
+    SystemConfig::experiment()
+}
+
+/// Runs one (workload, scheme) pair under the harness configuration.
+pub fn run_one(profile: &WorkloadProfile, kind: SchemeKind, params: &RunParams) -> RunResult {
+    run(profile, kind, &experiment_config(), params)
+}
+
+/// Speedups of `kind` over the no-NM baseline for every Table III workload.
+/// Returns `(per-workload speedups in profile order, geometric mean)`;
+/// `baselines` must hold the no-NM run of each workload in the same order.
+pub fn speedups_vs(
+    kind: SchemeKind,
+    baselines: &[RunResult],
+    params: &RunParams,
+) -> (Vec<f64>, f64) {
+    let mut speedups = Vec::with_capacity(baselines.len());
+    for (profile, base) in profiles::all().iter().zip(baselines) {
+        let r = run_one(profile, kind, params);
+        speedups.push(r.speedup_over(base));
+    }
+    let gmean = geometric_mean(&speedups);
+    (speedups, gmean)
+}
+
+/// No-NM baseline runs for all workloads, in `profiles::all()` order.
+pub fn baselines(params: &RunParams) -> Vec<RunResult> {
+    profiles::all()
+        .iter()
+        .map(|p| run_one(p, SchemeKind::NoNm, params))
+        .collect()
+}
+
+/// Workload names in `profiles::all()` order, plus a trailing "gmean" label.
+pub fn workload_labels() -> Vec<String> {
+    profiles::all()
+        .iter()
+        .map(|p| p.name.to_string())
+        .chain(["gmean".to_string()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_cover_all_workloads() {
+        let labels = workload_labels();
+        assert_eq!(labels.len(), 15);
+        assert_eq!(labels.last().unwrap(), "gmean");
+    }
+
+    #[test]
+    fn opts_default_to_quick() {
+        let opts = HarnessOpts { full: false };
+        assert_eq!(opts.mode(), "quick");
+        assert_eq!(opts.params(), RunParams::quick());
+        let opts = HarnessOpts { full: true };
+        assert_eq!(opts.mode(), "full");
+        assert_eq!(opts.params(), RunParams::full());
+    }
+
+    #[test]
+    fn experiment_config_is_table2_with_scaled_llc() {
+        let cfg = experiment_config();
+        assert_eq!(cfg.core.cores, 16);
+        assert_eq!(cfg.l2.capacity_bytes, 1 << 20);
+    }
+}

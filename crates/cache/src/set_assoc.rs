@@ -1,0 +1,260 @@
+//! A generic set-associative, write-back, write-allocate cache.
+
+use silcfm_types::CacheParams;
+
+/// Whether an access reads or writes the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Load or instruction fetch.
+    Read,
+    /// Store (marks the line dirty).
+    Write,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was resident.
+    pub hit: bool,
+    /// Line address of a dirty line evicted to make room (write-back).
+    pub writeback: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// A set-associative cache with true-LRU replacement, write-back and
+/// write-allocate policies. Operates on *line addresses* (byte address
+/// divided by the line size) so it is independent of the line size.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<Line>,
+    ways: usize,
+    num_sets: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+    latency_cycles: u32,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache from Table II-style parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters do not yield a whole power-of-two set count.
+    pub fn new(params: CacheParams) -> Self {
+        let num_sets = params.sets();
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two, got {num_sets}"
+        );
+        Self {
+            sets: vec![Line::default(); (num_sets * u64::from(params.ways)) as usize],
+            ways: params.ways as usize,
+            num_sets,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+            latency_cycles: params.latency_cycles,
+        }
+    }
+
+    /// Access latency in CPU cycles (Table II).
+    pub const fn latency_cycles(&self) -> u32 {
+        self.latency_cycles
+    }
+
+    /// Number of sets.
+    pub const fn num_sets(&self) -> u64 {
+        self.num_sets
+    }
+
+    /// Hits so far.
+    pub const fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub const fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty evictions so far.
+    pub const fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Looks up `line_addr`, allocating it on a miss (write-allocate) and
+    /// returning any dirty victim.
+    pub fn access(&mut self, line_addr: u64, kind: AccessKind) -> AccessResult {
+        self.clock += 1;
+        let set = (line_addr % self.num_sets) as usize;
+        let tag = line_addr / self.num_sets;
+        let base = set * self.ways;
+        let lines = &mut self.sets[base..base + self.ways];
+
+        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_used = self.clock;
+            if kind == AccessKind::Write {
+                line.dirty = true;
+            }
+            self.hits += 1;
+            return AccessResult {
+                hit: true,
+                writeback: None,
+            };
+        }
+
+        self.misses += 1;
+        // Choose an invalid way, else the LRU way.
+        let victim_idx = lines
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| {
+                lines
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.last_used)
+                    .map(|(i, _)| i)
+                    .expect("ways is non-zero")
+            });
+        let victim = &mut lines[victim_idx];
+        let writeback = if victim.valid && victim.dirty {
+            self.writebacks += 1;
+            Some(victim.tag * self.num_sets + set as u64)
+        } else {
+            None
+        };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            last_used: self.clock,
+        };
+        AccessResult {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Returns true if `line_addr` is currently resident (no state change).
+    pub fn contains(&self, line_addr: u64) -> bool {
+        let set = (line_addr % self.num_sets) as usize;
+        let tag = line_addr / self.num_sets;
+        let base = set * self.ways;
+        self.sets[base..base + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Clears all contents and statistics.
+    pub fn reset(&mut self) {
+        self.sets.fill(Line::default());
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silcfm_types::CacheParams;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways x 64 B lines.
+        SetAssocCache::new(CacheParams {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            latency_cycles: 4,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0, AccessKind::Read).hit);
+        assert!(c.access(0, AccessKind::Read).hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.access(0, AccessKind::Read);
+        c.access(4, AccessKind::Read);
+        c.access(0, AccessKind::Read); // 0 is now MRU
+        c.access(8, AccessKind::Read); // evicts 4 (LRU)
+        assert!(c.contains(0));
+        assert!(!c.contains(4));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Write);
+        c.access(4, AccessKind::Read);
+        let res = c.access(8, AccessKind::Read); // evicts dirty line 0
+        assert_eq!(res.writeback, Some(0));
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Read);
+        c.access(4, AccessKind::Read);
+        let res = c.access(8, AccessKind::Read);
+        assert_eq!(res.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Read);
+        c.access(0, AccessKind::Write); // hit, now dirty
+        c.access(4, AccessKind::Read);
+        let res = c.access(8, AccessKind::Read);
+        assert_eq!(res.writeback, Some(0));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        for line in 0..4 {
+            c.access(line, AccessKind::Read);
+        }
+        for line in 0..4 {
+            assert!(c.contains(line));
+        }
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Write);
+        c.reset();
+        assert!(!c.contains(0));
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn table2_llc_shape() {
+        let c = SetAssocCache::new(silcfm_types::SystemConfig::paper().l2);
+        assert_eq!(c.num_sets(), 8192);
+        assert_eq!(c.latency_cycles(), 11);
+    }
+}

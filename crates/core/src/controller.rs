@@ -1,0 +1,1102 @@
+//! The SILC-FM controller: Table I's swap engine plus locking,
+//! associativity, bypassing and the way/location predictor.
+
+use silcfm_types::stats::WindowedRate;
+use silcfm_types::{
+    Access, AddressSpace, BlockIndex, Geometry, MemKind, MemOp, MemoryScheme, PhysAddr,
+    SchemeOutcome, SchemeStats, SubblockIndex,
+};
+
+use crate::history::BitVectorTable;
+use crate::metadata::{FrameMeta, LockState};
+use crate::params::SilcFmParams;
+use crate::predictor::{Prediction, WayPredictor};
+
+/// Bytes of one remap-entry fetch (remap field + bit vector + flags).
+const METADATA_BYTES: u32 = 8;
+
+/// The SILC-FM flat-memory controller (see the crate-level docs and the
+/// paper's §III).
+#[derive(Debug, Clone)]
+pub struct SilcFm {
+    space: AddressSpace,
+    geom: Geometry,
+    params: SilcFmParams,
+    frames: Vec<FrameMeta>,
+    sets: u64,
+    history: BitVectorTable,
+    predictor: WayPredictor,
+    rate: WindowedRate,
+    access_count: u64,
+    next_aging: u64,
+    // Statistics.
+    serviced_from_nm: u64,
+    subblock_exchanges: u64,
+    locks: u64,
+    unlocks: u64,
+    restores: u64,
+    bypassed: u64,
+    all_locked_serves: u64,
+    history_bulk_bits: u64,
+    history_bulk_fetches: u64,
+}
+
+/// Everything decided while resolving one access, before the critical path
+/// is assembled.
+struct Resolution {
+    serviced_from: MemKind,
+    /// Physical address the demand data is read from / written to.
+    data_addr: PhysAddr,
+    /// Serialized remap-entry fetches needed without a correct prediction.
+    metadata_reads: u32,
+    /// Way the access resolved to (for predictor training).
+    way: u8,
+    background: Vec<MemOp>,
+    /// Whether frame metadata changed (bit vector / remap / lock).
+    metadata_dirty: bool,
+}
+
+impl SilcFm {
+    /// Creates a controller for the given flat address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail validation or NM holds fewer blocks than the
+    /// associativity requires.
+    pub fn new(space: AddressSpace, geom: Geometry, params: SilcFmParams) -> Self {
+        params.validate().expect("invalid SILC-FM parameters");
+        let nm_blocks = space.nm_blocks(geom);
+        assert!(
+            nm_blocks >= u64::from(params.associativity),
+            "NM must hold at least one full set"
+        );
+        assert_eq!(
+            nm_blocks % u64::from(params.associativity),
+            0,
+            "NM blocks must divide evenly into sets"
+        );
+        Self {
+            space,
+            geom,
+            params,
+            frames: vec![FrameMeta::empty(); nm_blocks as usize],
+            sets: nm_blocks / u64::from(params.associativity),
+            history: BitVectorTable::new(params.history_entries),
+            predictor: WayPredictor::new(params.predictor_entries),
+            rate: WindowedRate::new(params.bypass_window),
+            access_count: 0,
+            next_aging: params.aging_period,
+            serviced_from_nm: 0,
+            subblock_exchanges: 0,
+            locks: 0,
+            unlocks: 0,
+            restores: 0,
+            bypassed: 0,
+            all_locked_serves: 0,
+            history_bulk_bits: 0,
+            history_bulk_fetches: 0,
+        }
+    }
+
+    /// The parameters this controller runs with.
+    pub const fn params(&self) -> &SilcFmParams {
+        &self.params
+    }
+
+    /// Number of congruence sets.
+    pub const fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Metadata of frame `f` (NM block index), for tests and diagnostics.
+    pub fn frame(&self, f: u64) -> &FrameMeta {
+        &self.frames[f as usize]
+    }
+
+    /// Current estimate of the NM access rate (Eq. 1) over the bypass window.
+    pub fn access_rate_estimate(&self) -> f64 {
+        self.rate.rate()
+    }
+
+    /// Whether new swap-ins are currently suspended (§III-E).
+    pub fn bypassing(&self) -> bool {
+        self.params.bypass
+            && self.rate.samples() >= self.params.bypass_window
+            && self.rate.rate() > self.params.bypass_target
+    }
+
+    // ---- address helpers --------------------------------------------------
+
+    fn frame_id(&self, set: u64, way: u32) -> u64 {
+        set + u64::from(way) * self.sets
+    }
+
+    fn nm_subblock_addr(&self, frame: u64, off: u32) -> PhysAddr {
+        PhysAddr::new(frame * self.geom.block_bytes() + u64::from(off) * self.geom.subblock_bytes())
+    }
+
+    fn fm_subblock_addr(&self, block: BlockIndex, off: u32) -> PhysAddr {
+        block
+            .base_addr(self.geom)
+            .add(u64::from(off) * self.geom.subblock_bytes())
+    }
+
+    /// Shadow address of frame `f`'s remap entry. Metadata lives in NM (the
+    /// paper stores it in a dedicated channel); consecutive frames share
+    /// rows, reproducing the row-locality the paper engineers for.
+    fn metadata_addr(&self, frame: u64) -> PhysAddr {
+        PhysAddr::new((frame * u64::from(METADATA_BYTES)) % self.space.nm_bytes())
+    }
+
+    // ---- swap helpers -----------------------------------------------------
+
+    /// Emits the migration traffic for exchanging subblock `off` between
+    /// frame `frame` and FM block `fm_block`. When `demand_covers_fetch` the
+    /// demand access already reads the incoming subblock from `fetch_side`,
+    /// so that read is not charged again.
+    fn exchange(
+        &mut self,
+        ops: &mut Vec<MemOp>,
+        frame: u64,
+        fm_block: BlockIndex,
+        off: u32,
+        demand_covers_fetch: bool,
+        fetch_side: MemKind,
+    ) {
+        let nm = self.nm_subblock_addr(frame, off);
+        let fm = self.fm_subblock_addr(fm_block, off);
+        let sb = self.geom.subblock_bytes() as u32;
+        if !(demand_covers_fetch && fetch_side == MemKind::Far) {
+            ops.push(MemOp::migration_read(MemKind::Far, fm, sb));
+        }
+        if !(demand_covers_fetch && fetch_side == MemKind::Near) {
+            ops.push(MemOp::migration_read(MemKind::Near, nm, sb));
+        }
+        ops.push(MemOp::migration_write(MemKind::Near, nm, sb));
+        ops.push(MemOp::migration_write(MemKind::Far, fm, sb));
+        self.subblock_exchanges += 1;
+    }
+
+    /// Restores frame `f` to its native contents (undoes the interleaving)
+    /// and saves the tenancy bit vector to the history table.
+    fn restore_frame(&mut self, f: u64, ops: &mut Vec<MemOp>) {
+        let meta = self.frames[f as usize];
+        if let Some(block) = meta.remap {
+            let mut bits = meta.bitvec;
+            while bits != 0 {
+                let off = bits.trailing_zeros();
+                bits &= bits - 1;
+                self.exchange(ops, f, block, off, false, MemKind::Far);
+            }
+            if self.params.history_fetch && meta.history_key != 0 {
+                self.history.store(meta.history_key, meta.bitvec_history);
+            }
+            self.restores += 1;
+        }
+        let lru = self.frames[f as usize].lru;
+        let nm_counter = self.frames[f as usize].nm_counter;
+        self.frames[f as usize] = FrameMeta {
+            lru,
+            nm_counter,
+            ..FrameMeta::empty()
+        };
+    }
+
+    /// Locks the remapped FM block of frame `f` into NM by completing the
+    /// exchange (§III-C).
+    fn lock_remap(&mut self, f: u64, ops: &mut Vec<MemOp>) {
+        let meta = self.frames[f as usize];
+        let block = meta.remap.expect("lock_remap requires a tenant");
+        let mut missing = !meta.bitvec & self.geom.full_mask();
+        while missing != 0 {
+            let off = missing.trailing_zeros();
+            missing &= missing - 1;
+            self.exchange(ops, f, block, off, false, MemKind::Far);
+        }
+        let m = &mut self.frames[f as usize];
+        m.bitvec = self.geom.full_mask();
+        m.bitvec_history = self.geom.full_mask();
+        m.lock = LockState::LockedRemap;
+        self.locks += 1;
+    }
+
+    /// Locks frame `f`'s native block in place by undoing any interleaving.
+    fn lock_native(&mut self, f: u64, ops: &mut Vec<MemOp>) {
+        self.restore_frame(f, ops);
+        self.frames[f as usize].lock = LockState::LockedNative;
+        self.locks += 1;
+    }
+
+    // ---- aging ------------------------------------------------------------
+
+    fn maybe_age(&mut self) {
+        if self.access_count < self.next_aging {
+            return;
+        }
+        self.next_aging += self.params.aging_period;
+        let threshold = self.params.lock_threshold;
+        for f in self.frames.iter_mut() {
+            f.age();
+            match f.lock {
+                LockState::LockedRemap if f.fm_counter < threshold => {
+                    // Unlocking has no immediate data movement: the frame
+                    // behaves as an unlocked block with all bits set.
+                    f.lock = LockState::Unlocked;
+                    self.unlocks += 1;
+                }
+                LockState::LockedNative if f.nm_counter < threshold => {
+                    f.lock = LockState::Unlocked;
+                    self.unlocks += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ---- the two request paths ---------------------------------------------
+
+    /// Handles a request whose address lies in the NM space (Table I rows
+    /// with "NM address = yes", plus locked-frame handling).
+    fn access_near(&mut self, block: BlockIndex, off: u32, bypassing: bool) -> Resolution {
+        let f = block.value();
+        self.frames[f as usize].lru = self.access_count;
+        let meta = self.frames[f as usize];
+        let threshold = self.params.lock_threshold;
+        let mut background = Vec::new();
+
+        match meta.lock {
+            LockState::LockedNative => {
+                self.frames[f as usize].bump_nm();
+                Resolution {
+                    serviced_from: MemKind::Near,
+                    data_addr: self.nm_subblock_addr(f, off),
+                    metadata_reads: 1,
+                    way: (f / self.sets) as u8,
+                    background,
+                    metadata_dirty: false,
+                }
+            }
+            LockState::LockedRemap => {
+                // The native block's data lives wholesale at the locked
+                // tenant's FM location; the lock forbids disturbing it.
+                let tenant = meta.remap.expect("locked remap has a tenant");
+                self.frames[f as usize].bump_nm();
+                Resolution {
+                    serviced_from: MemKind::Far,
+                    data_addr: self.fm_subblock_addr(tenant, off),
+                    metadata_reads: 1,
+                    way: (f / self.sets) as u8,
+                    background,
+                    metadata_dirty: false,
+                }
+            }
+            LockState::Unlocked => {
+                let count = self.frames[f as usize].bump_nm();
+                if !meta.bit(off) {
+                    // Row 4: remap mismatch, bit clear, NM address →
+                    // the native subblock is resident; service from NM.
+                    if self.params.locking && !bypassing && count >= threshold && meta.remap.is_some()
+                    {
+                        self.lock_native(f, &mut background);
+                    }
+                    let dirty = !background.is_empty();
+                    Resolution {
+                        serviced_from: MemKind::Near,
+                        data_addr: self.nm_subblock_addr(f, off),
+                        metadata_reads: 1,
+                        way: (f / self.sets) as u8,
+                        background,
+                        metadata_dirty: dirty,
+                    }
+                } else {
+                    // Row 3: remap mismatch, bit set, NM address → the
+                    // native subblock was swapped out; it lives at the
+                    // tenant's FM location. Swap it back (unless bypassing).
+                    let tenant = meta.remap.expect("a set bit implies a tenant");
+                    let data_addr = self.fm_subblock_addr(tenant, off);
+                    let mut metadata_dirty = false;
+                    if !bypassing {
+                        self.exchange(&mut background, f, tenant, off, true, MemKind::Far);
+                        self.frames[f as usize].clear_bit(off);
+                        metadata_dirty = true;
+                        if self.params.locking && count >= threshold {
+                            self.lock_native(f, &mut background);
+                        }
+                    }
+                    Resolution {
+                        serviced_from: MemKind::Far,
+                        data_addr,
+                        metadata_reads: 1,
+                        way: (f / self.sets) as u8,
+                        background,
+                        metadata_dirty,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles a request whose address lies in the FM space (Table I rows 1,
+    /// 2, 5 and 6).
+    fn access_far(&mut self, block: BlockIndex, off: u32, pc: u64, bypassing: bool) -> Resolution {
+        let set = block.value() % self.sets;
+        let assoc = self.params.associativity;
+        let threshold = self.params.lock_threshold;
+
+        // Search the set for a matching remap entry.
+        let hit_way = (0..assoc).find(|&w| {
+            self.frames[self.frame_id(set, w) as usize].remap == Some(block)
+        });
+
+        if let Some(way) = hit_way {
+            let f = self.frame_id(set, way);
+            self.frames[f as usize].lru = self.access_count;
+            let count = self.frames[f as usize].bump_fm();
+            let meta = self.frames[f as usize];
+            let mut background = Vec::new();
+
+            if meta.bit(off) {
+                // Row 1: remap match, bit set → service from NM.
+                if self.params.locking
+                    && !bypassing
+                    && meta.lock == LockState::Unlocked
+                    && count >= threshold
+                    && meta.bitvec_history.count_ones() >= self.params.lock_min_resident
+                {
+                    self.lock_remap(f, &mut background);
+                }
+                let dirty = !background.is_empty();
+                return Resolution {
+                    serviced_from: MemKind::Near,
+                    data_addr: self.nm_subblock_addr(f, off),
+                    metadata_reads: assoc,
+                    way: way as u8,
+                    background,
+                    metadata_dirty: dirty,
+                };
+            }
+            // Row 2: remap match, bit clear → the block's subblock is still
+            // at its FM home; swap it in (unless bypassing).
+            let data_addr = self.fm_subblock_addr(block, off);
+            let mut metadata_dirty = false;
+            if !bypassing {
+                self.exchange(&mut background, f, block, off, true, MemKind::Far);
+                self.frames[f as usize].set_bit(off);
+                metadata_dirty = true;
+                if self.params.locking
+                    && count >= threshold
+                    && self.frames[f as usize].bitvec_history.count_ones()
+                        >= self.params.lock_min_resident
+                {
+                    self.lock_remap(f, &mut background);
+                }
+            } else {
+                self.bypassed += 1;
+            }
+            return Resolution {
+                serviced_from: MemKind::Far,
+                data_addr,
+                metadata_reads: assoc,
+                way: way as u8,
+                background,
+                metadata_dirty,
+            };
+        }
+
+        // Rows 5/6: the block is not interleaved anywhere in its set.
+        let data_addr = self.fm_subblock_addr(block, off);
+        if bypassing {
+            self.bypassed += 1;
+            return Resolution {
+                serviced_from: MemKind::Far,
+                data_addr,
+                metadata_reads: assoc,
+                way: 0,
+                background: Vec::new(),
+                metadata_dirty: false,
+            };
+        }
+
+        // Victimize the LRU unlocked way — but protect tenancies that are
+        // actively in use (§III-C: the associative structure "protects
+        // those pages that are not locked and are actively participating in
+        // hardware data migrations from being frequently swapped out"). A
+        // single cold touch may not displace a tenant with recent activity.
+        // The protection comes with the associative organization; the
+        // direct-mapped configuration victimizes unconditionally, as a
+        // direct-mapped structure must.
+        let victim = (0..assoc)
+            .filter(|&w| {
+                let m = &self.frames[self.frame_id(set, w) as usize];
+                !m.lock.is_locked()
+                    && (assoc == 1 || m.remap.is_none() || m.fm_counter <= 1)
+            })
+            .min_by_key(|&w| self.frames[self.frame_id(set, w) as usize].lru);
+        let Some(way) = victim else {
+            // Every way is locked or actively used: service from FM in
+            // place; aging reopens the set as tenants cool.
+            self.all_locked_serves += 1;
+            return Resolution {
+                serviced_from: MemKind::Far,
+                data_addr,
+                metadata_reads: assoc,
+                way: 0,
+                background: Vec::new(),
+                metadata_dirty: false,
+            };
+        };
+
+        let f = self.frame_id(set, way);
+        let mut background = Vec::new();
+        self.restore_frame(f, &mut background);
+
+        // Begin the new tenancy. The history key pairs the PC with the
+        // block's base address: the paper keys on the first swapped-in
+        // subblock's address, whose block bits dominate; keying at block
+        // granularity keeps the correlation robust when successive visits
+        // enter the block at different offsets.
+        let key = pc ^ block.base_addr(self.geom).value();
+        let bits = if self.params.history_fetch {
+            self.history.lookup(key).unwrap_or(0)
+        } else {
+            0
+        } | (1 << off);
+        {
+            let m = &mut self.frames[f as usize];
+            m.remap = Some(block);
+            m.history_key = key;
+            m.fm_counter = 1;
+            m.lru = self.access_count;
+        }
+        let extra_bits = (bits & !(1u64 << off)).count_ones();
+        if extra_bits > 0 {
+            self.history_bulk_fetches += 1;
+            self.history_bulk_bits += u64::from(extra_bits);
+        }
+        let mut remaining = bits;
+        while remaining != 0 {
+            let o = remaining.trailing_zeros();
+            remaining &= remaining - 1;
+            self.exchange(&mut background, f, block, o, o == off, MemKind::Far);
+            self.frames[f as usize].set_bit(o);
+        }
+
+        Resolution {
+            serviced_from: MemKind::Far,
+            data_addr,
+            metadata_reads: assoc,
+            way: way as u8,
+            background,
+            metadata_dirty: true,
+        }
+    }
+}
+
+impl MemoryScheme for SilcFm {
+    fn access(&mut self, access: &Access) -> SchemeOutcome {
+        self.access_count += 1;
+        self.maybe_age();
+        let bypassing = self.bypassing();
+
+        let block = BlockIndex::containing(access.addr, self.geom);
+        let off = SubblockIndex::containing(access.addr, self.geom).offset_in_block(self.geom);
+        let pred_key = access.pc ^ block.value();
+        let prediction = if self.params.predictor {
+            self.predictor.predict(pred_key)
+        } else {
+            Prediction {
+                way: 0,
+                in_fm: false,
+            }
+        };
+
+        let is_near_request = self.space.block_is_near(block, self.geom);
+        let resolution = if is_near_request {
+            self.access_near(block, off, bypassing)
+        } else {
+            self.access_far(block, off, access.pc, bypassing)
+        };
+
+        // Assemble the critical path. The demand op reads/writes the
+        // subblock wherever it currently lives.
+        let sb = self.geom.subblock_bytes() as u32;
+        let demand = if access.is_write() {
+            MemOp::demand_write(resolution.serviced_from, resolution.data_addr, sb)
+        } else {
+            MemOp::demand_read(resolution.serviced_from, resolution.data_addr, sb)
+        };
+
+        // Metadata fetch (§III-F). Three latency regimes:
+        //
+        // * NM-native requests address a fixed frame, and a correctly
+        //   way-predicted set access starts the data fetch at the predicted
+        //   way immediately — the 8-byte remap entry arrives from its
+        //   dedicated channel before the data burst, so the check is fully
+        //   overlapped (the paper: "the saved time is the NM access
+        //   latency").
+        // * A correct FM location speculation likewise sends the FM request
+        //   in parallel with the metadata check.
+        // * Only a way misprediction pays the serialized scan of all ways'
+        //   remap entries.
+        let way_predicted = is_near_request
+            || (self.params.predictor && prediction.way == resolution.way)
+            || self.params.associativity == 1;
+        let metadata_reads = if way_predicted {
+            1
+        } else {
+            resolution.metadata_reads
+        };
+        let meta_ops: Vec<MemOp> = (0..metadata_reads)
+            .map(|i| {
+                let f = self.frame_id(block.value() % self.sets, i.min(self.params.associativity - 1));
+                MemOp::metadata_read(MemKind::Near, self.metadata_addr(f), METADATA_BYTES)
+            })
+            .collect();
+
+        let mut critical = Vec::with_capacity(meta_ops.len() + 1);
+        let mut background = resolution.background;
+        let fm_speculated =
+            self.params.predictor && prediction.in_fm && resolution.serviced_from == MemKind::Far;
+        if fm_speculated || way_predicted {
+            background.extend(meta_ops);
+        } else {
+            critical.extend(meta_ops);
+        }
+        critical.push(demand);
+        if resolution.metadata_dirty {
+            let f = self.frame_id(block.value() % self.sets, u32::from(resolution.way));
+            background.push(MemOp::metadata_write(
+                MemKind::Near,
+                self.metadata_addr(f),
+                METADATA_BYTES,
+            ));
+        }
+
+        if self.params.predictor {
+            self.predictor.update(
+                pred_key,
+                prediction,
+                resolution.way,
+                resolution.serviced_from == MemKind::Far,
+            );
+        }
+        self.rate.record(resolution.serviced_from == MemKind::Near);
+        if resolution.serviced_from == MemKind::Near {
+            self.serviced_from_nm += 1;
+        }
+
+        SchemeOutcome {
+            critical,
+            background,
+            serviced_from: resolution.serviced_from,
+            global_stall_cycles: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "silcfm"
+    }
+
+    fn stats(&self) -> SchemeStats {
+        let mut stats = SchemeStats {
+            accesses: self.access_count,
+            serviced_from_nm: self.serviced_from_nm,
+            subblocks_moved: self.subblock_exchanges,
+            blocks_migrated: self.locks,
+            details: Vec::new(),
+        };
+        stats.detail("locks", self.locks as f64);
+        stats.detail("unlocks", self.unlocks as f64);
+        stats.detail("restores", self.restores as f64);
+        stats.detail("bypassed", self.bypassed as f64);
+        stats.detail("all_locked_serves", self.all_locked_serves as f64);
+        stats.detail("way_accuracy", self.predictor.way_accuracy());
+        stats.detail("location_accuracy", self.predictor.location_accuracy());
+        stats.detail("history_hit_rate", self.history.hit_rate());
+        stats.detail(
+            "history_bits_per_fetch",
+            if self.history_bulk_fetches == 0 {
+                0.0
+            } else {
+                self.history_bulk_bits as f64 / self.history_bulk_fetches as f64
+            },
+        );
+        stats
+    }
+
+    fn reset(&mut self) {
+        let nm_blocks = self.space.nm_blocks(self.geom);
+        self.frames = vec![FrameMeta::empty(); nm_blocks as usize];
+        self.history.reset();
+        self.predictor.reset();
+        self.rate.reset();
+        self.access_count = 0;
+        self.next_aging = self.params.aging_period;
+        self.serviced_from_nm = 0;
+        self.subblock_exchanges = 0;
+        self.locks = 0;
+        self.unlocks = 0;
+        self.restores = 0;
+        self.bypassed = 0;
+        self.all_locked_serves = 0;
+        self.history_bulk_bits = 0;
+        self.history_bulk_fetches = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silcfm_types::CoreId;
+
+    const NM_BLOCKS: u64 = 64;
+    const FM_BLOCKS: u64 = 256;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(NM_BLOCKS * 2048, FM_BLOCKS * 2048)
+    }
+
+    fn scheme(params: SilcFmParams) -> SilcFm {
+        SilcFm::new(space(), Geometry::paper(), params)
+    }
+
+    fn fm_addr(block: u64, off: u64) -> PhysAddr {
+        PhysAddr::new(block * 2048 + off * 64)
+    }
+
+    fn read(s: &mut SilcFm, addr: PhysAddr) -> SchemeOutcome {
+        s.access(&Access::read(addr, 0x400, CoreId::new(0)))
+    }
+
+    fn read_pc(s: &mut SilcFm, addr: PhysAddr, pc: u64) -> SchemeOutcome {
+        s.access(&Access::read(addr, pc, CoreId::new(0)))
+    }
+
+    // ---- Table I row coverage ---------------------------------------------
+
+    #[test]
+    fn row4_native_subblock_serviced_from_nm() {
+        let mut s = scheme(SilcFmParams::swap_only());
+        let out = read(&mut s, PhysAddr::new(5 * 2048));
+        assert_eq!(out.serviced_from, MemKind::Near);
+        // The (overlapped) metadata verify is the only other traffic.
+        assert!(out
+            .background
+            .iter()
+            .all(|op| op.class == silcfm_types::TrafficClass::Metadata));
+        assert_eq!(out.critical.len(), 1, "data fetch only");
+    }
+
+    #[test]
+    fn rows5_6_first_fm_touch_interleaves() {
+        let mut s = scheme(SilcFmParams::swap_only());
+        let block = NM_BLOCKS + 1; // maps to set/frame 1 (direct-mapped, 64 sets)
+        let out = read(&mut s, fm_addr(block, 3));
+        assert_eq!(out.serviced_from, MemKind::Far);
+        // Exchange traffic: the NM victim subblock moves out, remap updates.
+        assert!(!out.background.is_empty());
+        let f = s.frame(block % NM_BLOCKS);
+        assert_eq!(f.remap, Some(BlockIndex::new(block)));
+        assert!(f.bit(3));
+    }
+
+    #[test]
+    fn row1_second_touch_is_an_nm_hit() {
+        let mut s = scheme(SilcFmParams::swap_only());
+        let block = NM_BLOCKS + 1;
+        let _ = read(&mut s, fm_addr(block, 3));
+        let out = read(&mut s, fm_addr(block, 3));
+        assert_eq!(out.serviced_from, MemKind::Near);
+        assert_eq!(s.stats().serviced_from_nm, 1);
+    }
+
+    #[test]
+    fn row2_same_block_new_subblock_swaps_in() {
+        let mut s = scheme(SilcFmParams::swap_only());
+        let block = NM_BLOCKS + 1;
+        let _ = read(&mut s, fm_addr(block, 3));
+        let out = read(&mut s, fm_addr(block, 9));
+        assert_eq!(out.serviced_from, MemKind::Far, "first touch of subblock 9");
+        assert!(s.frame(block % NM_BLOCKS).bit(9));
+        let out = read(&mut s, fm_addr(block, 9));
+        assert_eq!(out.serviced_from, MemKind::Near);
+    }
+
+    #[test]
+    fn row3_native_subblock_swapped_out_comes_back() {
+        let mut s = scheme(SilcFmParams::swap_only());
+        let block = NM_BLOCKS + 1;
+        let frame = block % NM_BLOCKS; // frame 1
+        let _ = read(&mut s, fm_addr(block, 3));
+        assert!(s.frame(frame).bit(3));
+        // The native block's subblock 3 now lives at the tenant's FM home.
+        let out = read(&mut s, PhysAddr::new(frame * 2048 + 3 * 64));
+        assert_eq!(out.serviced_from, MemKind::Far);
+        assert_eq!(
+            out.critical.last().unwrap().addr,
+            fm_addr(block, 3),
+            "data comes from the tenant's FM location"
+        );
+        // Swapped back: the bit is cleared and the next native touch hits NM.
+        assert!(!s.frame(frame).bit(3));
+        let out = read(&mut s, PhysAddr::new(frame * 2048 + 3 * 64));
+        assert_eq!(out.serviced_from, MemKind::Near);
+    }
+
+    #[test]
+    fn rows5_6_conflicting_block_restores_previous_tenant() {
+        let mut s = scheme(SilcFmParams::swap_only());
+        let a = NM_BLOCKS + 1;
+        let b = a + NM_BLOCKS; // same set (direct-mapped)
+        let _ = read(&mut s, fm_addr(a, 3));
+        let out = read(&mut s, fm_addr(b, 4));
+        assert_eq!(out.serviced_from, MemKind::Far);
+        let f = s.frame(a % NM_BLOCKS);
+        assert_eq!(f.remap, Some(BlockIndex::new(b)), "b evicted a");
+        assert!(!f.bit(3));
+        assert!(f.bit(4));
+        // a's subblock went home: touching it is an FM access again (rows 5/6).
+        let out = read(&mut s, fm_addr(a, 3));
+        assert_eq!(out.serviced_from, MemKind::Far);
+    }
+
+    // ---- associativity -----------------------------------------------------
+
+    #[test]
+    fn associativity_avoids_conflict_restores() {
+        let mut s = scheme(SilcFmParams::with_associativity());
+        // 64 frames / 4 ways = 16 sets. These two blocks share set 1.
+        let a = NM_BLOCKS + 1;
+        let b = a + s.sets();
+        let _ = read(&mut s, fm_addr(a, 3));
+        let _ = read(&mut s, fm_addr(b, 4));
+        // Both resident simultaneously.
+        assert_eq!(read(&mut s, fm_addr(a, 3)).serviced_from, MemKind::Near);
+        assert_eq!(read(&mut s, fm_addr(b, 4)).serviced_from, MemKind::Near);
+    }
+
+    #[test]
+    fn lru_victimizes_the_coldest_way() {
+        let mut s = scheme(SilcFmParams::with_associativity());
+        let sets = s.sets();
+        let blocks: Vec<u64> = (0..5).map(|i| NM_BLOCKS + 16 + 1 + i * sets).collect();
+        // Fill all 4 ways of the set, touching block 0 again to refresh it.
+        for &b in &blocks[..4] {
+            let _ = read(&mut s, fm_addr(b, 0));
+        }
+        let _ = read(&mut s, fm_addr(blocks[0], 0)); // refresh LRU of block 0
+        let _ = read(&mut s, fm_addr(blocks[4], 0)); // evicts blocks[1]
+        assert_eq!(read(&mut s, fm_addr(blocks[0], 0)).serviced_from, MemKind::Near);
+        assert_eq!(
+            read(&mut s, fm_addr(blocks[1], 0)).serviced_from,
+            MemKind::Far,
+            "blocks[1] was the LRU victim"
+        );
+    }
+
+    // ---- history-guided bulk fetch ------------------------------------------
+
+    #[test]
+    fn history_replays_the_previous_tenancy_pattern() {
+        let mut p = SilcFmParams::swap_only();
+        p.history_fetch = true;
+        let mut s = scheme(p);
+        let a = NM_BLOCKS + 1;
+        let b = a + NM_BLOCKS;
+        let pc = 0x400;
+        // First tenancy of a: touch subblocks 3, 4, 5 (first touch has pc-keyed history).
+        let _ = read_pc(&mut s, fm_addr(a, 3), pc);
+        let _ = read_pc(&mut s, fm_addr(a, 4), pc);
+        let _ = read_pc(&mut s, fm_addr(a, 5), pc);
+        // Evict a, then bring it back with the same pc and first subblock.
+        let _ = read_pc(&mut s, fm_addr(b, 0), pc);
+        let _ = read_pc(&mut s, fm_addr(a, 3), pc);
+        let f = s.frame(a % NM_BLOCKS);
+        assert!(f.bit(3) && f.bit(4) && f.bit(5), "history bulk-fetched 4 and 5");
+        // Subblocks 4 and 5 are NM hits without individual misses.
+        assert_eq!(read_pc(&mut s, fm_addr(a, 4), pc).serviced_from, MemKind::Near);
+        assert_eq!(read_pc(&mut s, fm_addr(a, 5), pc).serviced_from, MemKind::Near);
+    }
+
+    #[test]
+    fn history_disabled_fetches_only_the_demand_subblock() {
+        let mut with_history = SilcFmParams::swap_only(); // history on
+        with_history.aging_period = 4;
+        let mut s = scheme(with_history);
+        let mut p = SilcFmParams::swap_only();
+        p.history_fetch = false;
+        p.aging_period = 4;
+        let mut s2 = scheme(p);
+        let a = NM_BLOCKS + 1;
+        let b = a + NM_BLOCKS;
+        for s in [&mut s, &mut s2] {
+            let _ = read(s, fm_addr(a, 3));
+            let _ = read(s, fm_addr(a, 4));
+            // Let a's activity counter age to zero so it loses its
+            // tenancy protection, then evict it with b.
+            for i in 0..12 {
+                let _ = read(s, PhysAddr::new((i % 4) * 2048));
+            }
+            let _ = read(s, fm_addr(b, 0));
+            let _ = read(s, fm_addr(a, 3));
+        }
+        assert!(s.frame(a % NM_BLOCKS).bit(4), "history replays subblock 4");
+        assert!(!s2.frame(a % NM_BLOCKS).bit(4), "no history, no replay");
+    }
+
+    // ---- locking -------------------------------------------------------------
+
+    #[test]
+    fn hot_fm_block_gets_locked_and_fully_resident() {
+        let mut p = SilcFmParams::with_locking();
+        p.lock_threshold = 5;
+        p.lock_min_resident = 1;
+        let mut s = scheme(p);
+        let block = NM_BLOCKS + 1;
+        for i in 0..6 {
+            let _ = read(&mut s, fm_addr(block, i % 4));
+        }
+        let f = s.frame(block % NM_BLOCKS);
+        assert_eq!(f.lock, LockState::LockedRemap);
+        assert_eq!(f.bitvec, Geometry::paper().full_mask());
+        assert_eq!(s.stats().blocks_migrated, 1);
+        // Every subblock of the locked block is an NM hit now.
+        assert_eq!(read(&mut s, fm_addr(block, 31)).serviced_from, MemKind::Near);
+    }
+
+    #[test]
+    fn locked_frame_resists_conflicting_blocks() {
+        let mut p = SilcFmParams::with_locking();
+        p.lock_threshold = 5;
+        p.lock_min_resident = 1;
+        let mut s = scheme(p);
+        let a = NM_BLOCKS + 1;
+        let b = a + NM_BLOCKS; // direct-mapped conflict
+        for i in 0..6 {
+            let _ = read(&mut s, fm_addr(a, i % 4));
+        }
+        // b maps to the same (locked) frame: serviced from FM, no eviction.
+        let out = read(&mut s, fm_addr(b, 0));
+        assert_eq!(out.serviced_from, MemKind::Far);
+        assert_eq!(s.frame(a % NM_BLOCKS).remap, Some(BlockIndex::new(a)));
+        // a is still locked-resident.
+        assert_eq!(read(&mut s, fm_addr(a, 9)).serviced_from, MemKind::Near);
+    }
+
+    #[test]
+    fn native_request_to_locked_remap_frame_is_serviced_from_fm() {
+        let mut p = SilcFmParams::with_locking();
+        p.lock_threshold = 3;
+        p.lock_min_resident = 1;
+        let mut s = scheme(p);
+        let block = NM_BLOCKS + 2;
+        let frame = block % NM_BLOCKS;
+        for i in 0..4 {
+            let _ = read(&mut s, fm_addr(block, i));
+        }
+        assert_eq!(s.frame(frame).lock, LockState::LockedRemap);
+        // The native block's data now lives wholesale at the tenant's home.
+        let out = read(&mut s, PhysAddr::new(frame * 2048));
+        assert_eq!(out.serviced_from, MemKind::Far);
+        assert_eq!(out.critical.last().unwrap().addr, fm_addr(block, 0));
+    }
+
+    #[test]
+    fn hot_native_block_gets_locked() {
+        let mut p = SilcFmParams::with_locking();
+        p.lock_threshold = 5;
+        let mut s = scheme(p);
+        let block = NM_BLOCKS + 3;
+        let frame = block % NM_BLOCKS;
+        // Interleave a tenant subblock first.
+        let _ = read(&mut s, fm_addr(block, 7));
+        assert!(s.frame(frame).bit(7));
+        // Hammer the native block until it locks.
+        for i in 0..6 {
+            let _ = read(&mut s, PhysAddr::new(frame * 2048 + (i % 4) * 64));
+        }
+        let f = s.frame(frame);
+        assert_eq!(f.lock, LockState::LockedNative);
+        assert_eq!(f.bitvec, 0, "locking natively restores the frame");
+        assert_eq!(f.remap, None);
+    }
+
+    #[test]
+    fn aging_unlocks_cold_blocks() {
+        let mut p = SilcFmParams::with_locking();
+        p.lock_threshold = 5;
+        p.lock_min_resident = 1;
+        p.aging_period = 100;
+        let mut s = scheme(p);
+        let block = NM_BLOCKS + 1;
+        for i in 0..6 {
+            let _ = read(&mut s, fm_addr(block, i % 4));
+        }
+        assert_eq!(s.frame(block % NM_BLOCKS).lock, LockState::LockedRemap);
+        // Touch other blocks until several agings halve the counter below 5.
+        for i in 0..400u64 {
+            let _ = read(&mut s, PhysAddr::new((i % NM_BLOCKS) * 2048));
+        }
+        assert_eq!(s.frame(block % NM_BLOCKS).lock, LockState::Unlocked);
+        // Unlocking keeps the bits set: the tenant still hits in NM.
+        assert_eq!(read(&mut s, fm_addr(block, 9)).serviced_from, MemKind::Near);
+        let stats = s.stats();
+        let unlocks = stats.details.iter().find(|(n, _)| n == "unlocks").unwrap().1;
+        assert!(unlocks >= 1.0);
+    }
+
+    // ---- bypassing -------------------------------------------------------------
+
+    #[test]
+    fn bypass_engages_above_target_rate() {
+        let mut p = SilcFmParams::paper();
+        p.bypass_window = 100;
+        p.locking = false;
+        let mut s = scheme(p);
+        // Drive NM-native hits until the estimator exceeds 0.8.
+        for i in 0..200u64 {
+            let _ = read(&mut s, PhysAddr::new((i % 8) * 2048));
+        }
+        assert!(s.bypassing(), "rate = {}", s.access_rate_estimate());
+        // Now an FM access is serviced from FM with no swap.
+        let block = NM_BLOCKS + 9;
+        let out = read(&mut s, fm_addr(block, 0));
+        assert_eq!(out.serviced_from, MemKind::Far);
+        assert!(out.background.iter().all(|op| op.class != silcfm_types::TrafficClass::Migration));
+        assert_eq!(s.frame(block % NM_BLOCKS).remap, None, "no tenancy started");
+    }
+
+    #[test]
+    fn bypass_disengages_when_rate_drops() {
+        let mut p = SilcFmParams::paper();
+        p.bypass_window = 50;
+        let mut s = scheme(p);
+        for i in 0..100u64 {
+            let _ = read(&mut s, PhysAddr::new((i % 8) * 2048));
+        }
+        assert!(s.bypassing());
+        // A burst of distinct FM accesses drags the rate down.
+        for i in 0..300u64 {
+            let _ = read(&mut s, fm_addr(NM_BLOCKS + (i % 200), 0));
+        }
+        assert!(!s.bypassing(), "rate = {}", s.access_rate_estimate());
+    }
+
+    #[test]
+    fn bypass_disabled_never_engages() {
+        let mut s = scheme(SilcFmParams::with_associativity());
+        for i in 0..200u64 {
+            let _ = read(&mut s, PhysAddr::new((i % 8) * 2048));
+        }
+        assert!(!s.bypassing());
+    }
+
+    // ---- predictor ---------------------------------------------------------------
+
+    #[test]
+    fn correct_fm_speculation_moves_metadata_off_critical_path() {
+        let mut s = scheme(SilcFmParams::paper());
+        let block = NM_BLOCKS + 1;
+        // Train: repeated row-2 style FM touches with the same pc.
+        let _ = read_pc(&mut s, fm_addr(block, 0), 0x40);
+        let _ = read_pc(&mut s, fm_addr(block, 1), 0x40);
+        // Predictor now says (way 0, FM). Next new-subblock access: the
+        // critical path is just the FM demand read.
+        let out = read_pc(&mut s, fm_addr(block, 2), 0x40);
+        assert_eq!(out.serviced_from, MemKind::Far);
+        assert_eq!(out.critical.len(), 1);
+        assert_eq!(out.critical[0].mem, MemKind::Far);
+    }
+
+    #[test]
+    fn predicted_nm_hit_overlaps_metadata_check() {
+        let mut s = scheme(SilcFmParams::paper());
+        let block = NM_BLOCKS + 1;
+        let _ = read_pc(&mut s, fm_addr(block, 0), 0x40);
+        let _ = read_pc(&mut s, fm_addr(block, 0), 0x40); // NM hit, trains way
+        let out = read_pc(&mut s, fm_addr(block, 0), 0x40);
+        assert_eq!(out.serviced_from, MemKind::Near);
+        // A correctly way-predicted hit starts the data access immediately;
+        // the remap verify proceeds in parallel from its dedicated channel.
+        assert_eq!(out.critical.len(), 1);
+        assert_eq!(out.critical[0].mem, MemKind::Near);
+        assert!(out
+            .background
+            .iter()
+            .any(|op| op.class == silcfm_types::TrafficClass::Metadata));
+    }
+
+    #[test]
+    fn mispredicted_way_pays_serialized_metadata_reads() {
+        let mut p = SilcFmParams::with_associativity();
+        p.predictor = true;
+        let mut s = scheme(p);
+        let sets = s.sets();
+        let a = NM_BLOCKS + 1;
+        let b = a + sets;
+        // Interleave b into way 1 (way 0 taken by a).
+        let _ = read_pc(&mut s, fm_addr(a, 0), 0x40);
+        let _ = read_pc(&mut s, fm_addr(b, 0), 0x44);
+        let _ = read_pc(&mut s, fm_addr(b, 0), 0x44); // trains way 1 for pc 0x44
+        // A *different* pc that predicts way 0 touches b: 4 serialized reads.
+        let out = read_pc(&mut s, fm_addr(b, 0), 0x99);
+        let meta_reads = out
+            .critical
+            .iter()
+            .filter(|op| op.class == silcfm_types::TrafficClass::Metadata)
+            .count();
+        assert_eq!(meta_reads, 4, "mispredicted way scans the whole set");
+    }
+
+    // ---- conservation / invariants ------------------------------------------------
+
+    #[test]
+    fn swap_traffic_is_balanced() {
+        // Every exchange moves equal bytes in and out of each memory.
+        let mut s = scheme(SilcFmParams::paper());
+        let mut rd_nm = 0u64;
+        let mut wr_nm = 0u64;
+        let mut rd_fm = 0u64;
+        let mut wr_fm = 0u64;
+        for i in 0..500u64 {
+            let out = read(&mut s, fm_addr(NM_BLOCKS + (i * 7) % FM_BLOCKS.min(200), i % 32));
+            for op in out.background.iter().filter(|o| {
+                o.class == silcfm_types::TrafficClass::Migration
+            }) {
+                match (op.mem, op.kind.is_write()) {
+                    (MemKind::Near, false) => rd_nm += u64::from(op.bytes),
+                    (MemKind::Near, true) => wr_nm += u64::from(op.bytes),
+                    (MemKind::Far, false) => rd_fm += u64::from(op.bytes),
+                    (MemKind::Far, true) => wr_fm += u64::from(op.bytes),
+                }
+            }
+        }
+        // What leaves NM enters FM and vice versa. Demand-covered fetches
+        // mean FM reads are undercounted by exactly the demand reads, so
+        // compare writes (every exchanged subblock is written somewhere).
+        assert_eq!(wr_nm + wr_fm, 2 * s.stats().subblocks_moved * 64);
+        assert!(rd_nm <= wr_fm, "NM data read out lands in FM");
+        let _ = rd_fm;
+    }
+
+    #[test]
+    fn stats_and_reset_round_trip() {
+        let mut s = scheme(SilcFmParams::paper());
+        let _ = read(&mut s, fm_addr(NM_BLOCKS + 1, 0));
+        let st = s.stats();
+        assert_eq!(st.accesses, 1);
+        assert!(st.details.iter().any(|(n, _)| n == "locks"));
+        s.reset();
+        assert_eq!(s.stats().accesses, 0);
+        assert_eq!(s.frame(1).remap, None);
+        assert_eq!(s.name(), "silcfm");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SILC-FM parameters")]
+    fn invalid_params_panic() {
+        let mut p = SilcFmParams::paper();
+        p.associativity = 3;
+        let _ = scheme(p);
+    }
+}

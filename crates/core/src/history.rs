@@ -1,0 +1,148 @@
+//! The bit-vector history table (§III-A).
+//!
+//! When a block is evicted from a frame, its tenancy bit vector — the set of
+//! subblock positions that were actually used — is saved in a small SRAM
+//! table indexed by the XOR of the PC and the address of the first
+//! swapped-in subblock. When the same (PC, address) pair swaps a block in
+//! again, the stored vector is replayed to bulk-fetch the subblocks that
+//! were useful last time, capturing spatial locality without fetching the
+//! whole 2 KB block.
+
+/// A direct-mapped history table of residency bit vectors.
+#[derive(Debug, Clone)]
+pub struct BitVectorTable {
+    entries: Vec<u64>,
+    mask: usize,
+    stores: u64,
+    hits: u64,
+    lookups: u64,
+}
+
+impl BitVectorTable {
+    /// Creates a table with `entries` slots (rounded up to a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "history table must have at least one entry");
+        let n = entries.next_power_of_two();
+        Self {
+            entries: vec![0; n],
+            mask: n - 1,
+            stores: 0,
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has zero slots (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Saves `bitvec` under `key` (PC ⊕ first-subblock address).
+    pub fn store(&mut self, key: u64, bitvec: u64) {
+        self.stores += 1;
+        let idx = self.index(key);
+        self.entries[idx] = bitvec;
+    }
+
+    /// Looks up the bit vector remembered for `key`; returns `None` when the
+    /// slot is empty (no useful history).
+    pub fn lookup(&mut self, key: u64) -> Option<u64> {
+        self.lookups += 1;
+        let v = self.entries[self.index(key)];
+        if v == 0 {
+            None
+        } else {
+            self.hits += 1;
+            Some(v)
+        }
+    }
+
+    /// Fraction of lookups that found a stored vector.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Clears all entries and statistics.
+    pub fn reset(&mut self) {
+        self.entries.fill(0);
+        self.stores = 0;
+        self.hits = 0;
+        self.lookups = 0;
+    }
+
+    fn index(&self, key: u64) -> usize {
+        // Fibonacci hashing mixes the XORed PC/address bits well.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_then_lookup() {
+        let mut t = BitVectorTable::new(1024);
+        t.store(0xABCD, 0b1010);
+        assert_eq!(t.lookup(0xABCD), Some(0b1010));
+        assert!((t.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_key_misses() {
+        let mut t = BitVectorTable::new(1024);
+        assert_eq!(t.lookup(0xDEAD), None);
+        assert_eq!(t.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_vector_is_indistinguishable_from_empty() {
+        // A tenancy that used no subblocks stores 0, which reads back as
+        // "no history" — intended: there is nothing useful to replay.
+        let mut t = BitVectorTable::new(64);
+        t.store(5, 0);
+        assert_eq!(t.lookup(5), None);
+    }
+
+    #[test]
+    fn aliasing_overwrites() {
+        let mut t = BitVectorTable::new(1); // everything aliases
+        t.store(1, 0b01);
+        t.store(2, 0b10);
+        assert_eq!(t.lookup(1), Some(0b10), "direct-mapped: later store wins");
+    }
+
+    #[test]
+    fn rounds_up_to_power_of_two() {
+        let t = BitVectorTable::new(1000);
+        assert_eq!(t.len(), 1024);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut t = BitVectorTable::new(16);
+        t.store(3, 0xFF);
+        t.reset();
+        assert_eq!(t.lookup(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_panics() {
+        let _ = BitVectorTable::new(0);
+    }
+}

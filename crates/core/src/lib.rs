@@ -1,0 +1,54 @@
+//! SILC-FM: the Subblocked InterLeaved Cache-Like Flat Memory controller.
+//!
+//! This crate implements the primary contribution of the HPCA 2017 paper.
+//! Near memory (NM) is organized as an associative structure of 2 KB *frames*
+//! whose 64 B *subblocks* can be exchanged pairwise with subblocks of far
+//! memory (FM) blocks mapping to the same congruence set — the interleaving
+//! that gives the scheme its name. On top of the swap engine (the six cases
+//! of the paper's Table I, implemented in [`controller`]) sit four features,
+//! each independently switchable for the Fig. 6 ablation:
+//!
+//! * **history-guided bulk fetch** ([`history`]) — per-frame residency bit
+//!   vectors are saved on eviction in a PC⊕address-indexed table and replayed
+//!   on the next tenancy, converting spatial locality into NM hits;
+//! * **locking** ([`metadata`], §III-C) — aging activity counters classify
+//!   blocks hot/cold; hot blocks are fully remapped into NM and pinned;
+//! * **associativity** (§III-C) — up to 4 ways per set with LRU victimization
+//!   among unlocked frames;
+//! * **bypassing** (§III-E) — when the NM access rate exceeds 0.8 (the 4:1
+//!   bandwidth-ratio optimum), new swap-ins are suspended so FM bandwidth is
+//!   not left idle.
+//!
+//! A small way + location predictor ([`predictor`], §III-F) hides the
+//! serialized metadata-fetch latency.
+//!
+//! # Example
+//!
+//! ```
+//! use silcfm_core::{SilcFm, SilcFmParams};
+//! use silcfm_types::{Access, AddressSpace, CoreId, Geometry, MemoryScheme, PhysAddr};
+//!
+//! let space = AddressSpace::new(64 * 2048, 256 * 2048);
+//! let mut scheme = SilcFm::new(space, Geometry::paper(), SilcFmParams::default());
+//!
+//! // A far-memory access interleaves its subblock into near memory…
+//! let fm_addr = PhysAddr::new(space.nm_bytes());
+//! let out = scheme.access(&Access::read(fm_addr, 0x400, CoreId::new(0)));
+//! assert!(!out.background.is_empty());
+//!
+//! // …so the next access to it is serviced from NM.
+//! let out = scheme.access(&Access::read(fm_addr, 0x400, CoreId::new(0)));
+//! assert_eq!(out.serviced_from, silcfm_types::MemKind::Near);
+//! ```
+
+pub mod controller;
+pub mod history;
+pub mod metadata;
+pub mod params;
+pub mod predictor;
+
+pub use controller::SilcFm;
+pub use history::BitVectorTable;
+pub use metadata::{FrameMeta, LockState};
+pub use params::SilcFmParams;
+pub use predictor::WayPredictor;

@@ -1,0 +1,164 @@
+//! Per-frame metadata: remap entry, residency bit vector, activity counters,
+//! lock and LRU state (the paper's Fig. 4 layout).
+
+use silcfm_types::BlockIndex;
+
+/// Maximum value of the paper's 6-bit activity counters.
+pub const COUNTER_MAX: u8 = 63;
+
+/// Lock state of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockState {
+    /// Not locked; normal subblock interleaving applies.
+    Unlocked,
+    /// The frame's NM-native block is locked in place (no swap-ins allowed).
+    LockedNative,
+    /// The remapped FM block is locked in: a complete exchange was performed
+    /// and all subblocks of the FM block reside in this frame.
+    LockedRemap,
+}
+
+impl LockState {
+    /// Whether the frame may participate in swaps.
+    pub const fn is_locked(self) -> bool {
+        !matches!(self, Self::Unlocked)
+    }
+}
+
+/// Metadata for one 2 KB NM frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// The FM block whose subblocks are interleaved into this frame, if any.
+    pub remap: Option<BlockIndex>,
+    /// Bit `i` set ⇔ subblock position `i` holds the remapped FM block's
+    /// data (and the NM-native subblock `i` lives at the FM block's
+    /// location) — the pairwise-exchange invariant of §III-A.
+    pub bitvec: u64,
+    /// Union of all bits set during the current tenancy; saved to the
+    /// history table on eviction.
+    pub bitvec_history: u64,
+    /// PC ⊕ address key of the first swapped-in subblock of this tenancy
+    /// (the history-table index, §III-A).
+    pub history_key: u64,
+    /// 6-bit aging counter for the NM-native block.
+    pub nm_counter: u8,
+    /// 6-bit aging counter for the remapped FM block.
+    pub fm_counter: u8,
+    /// Lock state (§III-C).
+    pub lock: LockState,
+    /// Last-access stamp for LRU victimization.
+    pub lru: u64,
+}
+
+impl FrameMeta {
+    /// A frame in its initial state: holding its NM-native block only.
+    pub const fn empty() -> Self {
+        Self {
+            remap: None,
+            bitvec: 0,
+            bitvec_history: 0,
+            history_key: 0,
+            nm_counter: 0,
+            fm_counter: 0,
+            lock: LockState::Unlocked,
+            lru: 0,
+        }
+    }
+
+    /// Whether subblock position `off` currently holds remapped FM data.
+    pub const fn bit(&self, off: u32) -> bool {
+        self.bitvec & (1 << off) != 0
+    }
+
+    /// Sets the residency bit for `off` and records it in the tenancy
+    /// history.
+    pub fn set_bit(&mut self, off: u32) {
+        self.bitvec |= 1 << off;
+        self.bitvec_history |= 1 << off;
+    }
+
+    /// Clears the residency bit for `off` (subblock swapped back).
+    pub fn clear_bit(&mut self, off: u32) {
+        self.bitvec &= !(1 << off);
+    }
+
+    /// Saturating increment of the NM-native activity counter.
+    pub fn bump_nm(&mut self) -> u8 {
+        self.nm_counter = (self.nm_counter + 1).min(COUNTER_MAX);
+        self.nm_counter
+    }
+
+    /// Saturating increment of the remapped-block activity counter.
+    pub fn bump_fm(&mut self) -> u8 {
+        self.fm_counter = (self.fm_counter + 1).min(COUNTER_MAX);
+        self.fm_counter
+    }
+
+    /// Ages both counters (right shift), as done every million accesses.
+    pub fn age(&mut self) {
+        self.nm_counter >>= 1;
+        self.fm_counter >>= 1;
+    }
+}
+
+impl Default for FrameMeta {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_frame_has_no_residency() {
+        let f = FrameMeta::empty();
+        assert_eq!(f.remap, None);
+        assert_eq!(f.bitvec, 0);
+        assert!(!f.lock.is_locked());
+        for off in 0..32 {
+            assert!(!f.bit(off));
+        }
+    }
+
+    #[test]
+    fn bit_operations_and_history_union() {
+        let mut f = FrameMeta::empty();
+        f.set_bit(3);
+        f.set_bit(7);
+        assert!(f.bit(3) && f.bit(7) && !f.bit(4));
+        f.clear_bit(3);
+        assert!(!f.bit(3));
+        // History remembers everything ever set this tenancy.
+        assert_eq!(f.bitvec_history, (1 << 3) | (1 << 7));
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut f = FrameMeta::empty();
+        for _ in 0..100 {
+            f.bump_nm();
+            f.bump_fm();
+        }
+        assert_eq!(f.nm_counter, COUNTER_MAX);
+        assert_eq!(f.fm_counter, COUNTER_MAX);
+    }
+
+    #[test]
+    fn aging_halves() {
+        let mut f = FrameMeta::empty();
+        f.nm_counter = 50;
+        f.fm_counter = 7;
+        f.age();
+        assert_eq!(f.nm_counter, 25);
+        assert_eq!(f.fm_counter, 3);
+    }
+
+    #[test]
+    fn lock_state_predicate() {
+        assert!(!LockState::Unlocked.is_locked());
+        assert!(LockState::LockedNative.is_locked());
+        assert!(LockState::LockedRemap.is_locked());
+    }
+}

@@ -1,0 +1,164 @@
+//! The way + location predictor (§III-F).
+//!
+//! Fetching the remap entries of a 4-way set from NM is serialized, adding
+//! latency to every access. A small PC⊕address-indexed table remembers the
+//! way last used for each index so only one remap entry need be fetched on a
+//! correct prediction, and an extra bit speculates whether the data lives in
+//! NM or FM: on an FM speculation the request is forwarded to FM in parallel
+//! with the NM metadata check, hiding the NM access entirely when correct.
+
+/// One prediction: which way the data's frame is in, and whether the demand
+/// data will come from FM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted way within the congruence set.
+    pub way: u8,
+    /// Speculated location: `true` = far memory.
+    pub in_fm: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    way: u8,
+    in_fm: bool,
+}
+
+/// A direct-mapped way/location predictor.
+#[derive(Debug, Clone)]
+pub struct WayPredictor {
+    entries: Vec<Entry>,
+    mask: usize,
+    way_correct: u64,
+    way_total: u64,
+    loc_correct: u64,
+    loc_total: u64,
+}
+
+impl WayPredictor {
+    /// Creates a predictor with `entries` slots (rounded up to a power of
+    /// two; the paper uses 4 K).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "predictor must have at least one entry");
+        let n = entries.next_power_of_two();
+        Self {
+            entries: vec![Entry::default(); n],
+            mask: n - 1,
+            way_correct: 0,
+            way_total: 0,
+            loc_correct: 0,
+            loc_total: 0,
+        }
+    }
+
+    /// Predicts for the access identified by `key` (PC ⊕ block address).
+    pub fn predict(&self, key: u64) -> Prediction {
+        let e = self.entries[self.index(key)];
+        Prediction {
+            way: e.way,
+            in_fm: e.in_fm,
+        }
+    }
+
+    /// Trains the predictor with the resolved way and location, and records
+    /// accuracy against the earlier prediction.
+    pub fn update(&mut self, key: u64, predicted: Prediction, actual_way: u8, actual_in_fm: bool) {
+        self.way_total += 1;
+        self.loc_total += 1;
+        if predicted.way == actual_way {
+            self.way_correct += 1;
+        }
+        if predicted.in_fm == actual_in_fm {
+            self.loc_correct += 1;
+        }
+        let idx = self.index(key);
+        self.entries[idx] = Entry {
+            way: actual_way,
+            in_fm: actual_in_fm,
+        };
+    }
+
+    /// Fraction of way predictions that were correct.
+    pub fn way_accuracy(&self) -> f64 {
+        if self.way_total == 0 {
+            0.0
+        } else {
+            self.way_correct as f64 / self.way_total as f64
+        }
+    }
+
+    /// Fraction of location predictions that were correct.
+    pub fn location_accuracy(&self) -> f64 {
+        if self.loc_total == 0 {
+            0.0
+        } else {
+            self.loc_correct as f64 / self.loc_total as f64
+        }
+    }
+
+    /// Clears all entries and statistics.
+    pub fn reset(&mut self) {
+        self.entries.fill(Entry::default());
+        self.way_correct = 0;
+        self.way_total = 0;
+        self.loc_correct = 0;
+        self.loc_total = 0;
+    }
+
+    fn index(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_the_way() {
+        let mut p = WayPredictor::new(64);
+        let key = 0x1234;
+        let first = p.predict(key);
+        p.update(key, first, 3, true);
+        let second = p.predict(key);
+        assert_eq!(second, Prediction { way: 3, in_fm: true });
+    }
+
+    #[test]
+    fn accuracy_tracking() {
+        let mut p = WayPredictor::new(64);
+        let key = 9;
+        let pred = p.predict(key); // way 0, in_fm false
+        p.update(key, pred, 0, false); // both correct
+        let pred = p.predict(key);
+        p.update(key, pred, 2, true); // both wrong
+        assert!((p.way_accuracy() - 0.5).abs() < 1e-12);
+        assert!((p.location_accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_predictor_reports_zero_accuracy() {
+        let p = WayPredictor::new(16);
+        assert_eq!(p.way_accuracy(), 0.0);
+        assert_eq!(p.location_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_learning() {
+        let mut p = WayPredictor::new(16);
+        let pred = p.predict(1);
+        p.update(1, pred, 3, true);
+        p.reset();
+        assert_eq!(p.predict(1), Prediction { way: 0, in_fm: false });
+        assert_eq!(p.way_accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_panics() {
+        let _ = WayPredictor::new(0);
+    }
+}

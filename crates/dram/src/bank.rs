@@ -1,0 +1,138 @@
+//! Per-bank open-row state and ready-time tracking.
+
+use crate::config::DramTimings;
+
+/// Result class of a column access with respect to the row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowOutcome {
+    /// The requested row was already open.
+    Hit,
+    /// The bank was idle (no open row) — activate needed.
+    Miss,
+    /// A different row was open — precharge + activate needed.
+    Conflict,
+}
+
+/// One DRAM bank under an open-page policy.
+///
+/// Times are in memory cycles on the device's clock. Column accesses to an
+/// open row pipeline freely (the channel's data bus is the serializing
+/// resource); only activates and precharges occupy the bank, and precharge
+/// respects `tRAS` since the previous activate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bank {
+    open_row: Option<u64>,
+    /// Earliest time the row is open and column commands may issue.
+    ready_at: u64,
+    /// Time of the last activate (for tRAS enforcement before precharge).
+    activated_at: u64,
+}
+
+impl Bank {
+    /// Creates an idle bank.
+    pub const fn new() -> Self {
+        Self {
+            open_row: None,
+            ready_at: 0,
+            activated_at: 0,
+        }
+    }
+
+    /// The currently open row, if any.
+    pub const fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Earliest time a column command can issue.
+    pub const fn ready_at(&self) -> u64 {
+        self.ready_at
+    }
+
+    /// Performs a column access to `row` starting no earlier than `at`.
+    ///
+    /// Returns `(data_ready_time, outcome)`: the memory-cycle timestamp at
+    /// which the first data beat can appear on the bus, and whether the
+    /// access was a row hit, miss or conflict. The caller serializes the
+    /// actual data transfer on the channel bus.
+    pub fn access(&mut self, at: u64, row: u64, t: &DramTimings) -> (u64, RowOutcome) {
+        let start = at.max(self.ready_at);
+        let (data_at, outcome) = match self.open_row {
+            Some(open) if open == row => (start + t.t_cas, RowOutcome::Hit),
+            Some(_) => {
+                // Precharge may not begin before tRAS has elapsed since the
+                // last activate.
+                let pre_start = start.max(self.activated_at + t.t_ras);
+                let act_at = pre_start + t.t_rp;
+                self.activated_at = act_at;
+                self.ready_at = act_at + t.t_rcd;
+                (act_at + t.t_rcd + t.t_cas, RowOutcome::Conflict)
+            }
+            None => {
+                self.activated_at = start;
+                self.ready_at = start + t.t_rcd;
+                (start + t.t_rcd + t.t_cas, RowOutcome::Miss)
+            }
+        };
+        self.open_row = Some(row);
+        (data_at, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: DramTimings = DramTimings::ddr3_1600();
+
+    #[test]
+    fn first_access_is_a_miss() {
+        let mut b = Bank::new();
+        let (data, outcome) = b.access(0, 5, &T);
+        assert_eq!(outcome, RowOutcome::Miss);
+        assert_eq!(data, T.t_rcd + T.t_cas);
+        assert_eq!(b.open_row(), Some(5));
+        assert_eq!(b.ready_at(), T.t_rcd);
+    }
+
+    #[test]
+    fn same_row_hits_and_pipelines() {
+        let mut b = Bank::new();
+        let _ = b.access(0, 5, &T);
+        let (data, outcome) = b.access(40, 5, &T);
+        assert_eq!(outcome, RowOutcome::Hit);
+        assert_eq!(data, 40 + T.t_cas);
+        // Back-to-back hits do not serialize at the bank.
+        let (data2, _) = b.access(40, 5, &T);
+        assert_eq!(data2, data);
+    }
+
+    #[test]
+    fn different_row_conflicts_and_respects_tras() {
+        let mut b = Bank::new();
+        let _ = b.access(0, 5, &T); // activate at 0
+        // Request row 6 at time 14; precharge cannot start before tRAS=28.
+        let (data, outcome) = b.access(14, 6, &T);
+        assert_eq!(outcome, RowOutcome::Conflict);
+        let expected = 28 + T.t_rp + T.t_rcd + T.t_cas;
+        assert_eq!(data, expected);
+        assert_eq!(b.open_row(), Some(6));
+    }
+
+    #[test]
+    fn conflict_after_long_idle_skips_tras_wait() {
+        let mut b = Bank::new();
+        let _ = b.access(0, 5, &T);
+        let (data, outcome) = b.access(1000, 6, &T);
+        assert_eq!(outcome, RowOutcome::Conflict);
+        assert_eq!(data, 1000 + T.row_conflict_latency());
+    }
+
+    #[test]
+    fn column_command_waits_for_row_to_open() {
+        let mut b = Bank::new();
+        let _ = b.access(0, 5, &T); // row open at tRCD = 11
+        let (data, outcome) = b.access(5, 5, &T);
+        assert_eq!(outcome, RowOutcome::Hit);
+        assert_eq!(data, T.t_rcd + T.t_cas, "column issues once the row is open");
+    }
+}

@@ -1,0 +1,79 @@
+//! DRAM energy model.
+//!
+//! The paper reports a 13 % Energy-Delay-Product improvement over CAMEO,
+//! driven by die-stacked DRAM's lower per-bit access energy. We model energy
+//! as: `row activations × activate energy + bits transferred × I/O energy +
+//! elapsed time × background power`, with constants drawn from public HBM and
+//! DDR3 characterizations (≈4 pJ/bit vs ≈20 pJ/bit access energy).
+
+/// Per-device energy constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Energy per bit transferred on the data pins (pJ/bit).
+    pub pj_per_bit: f64,
+    /// Energy per row activation+precharge pair (pJ).
+    pub pj_per_activate: f64,
+    /// Standby/background power for the whole device (mW).
+    pub background_mw: f64,
+}
+
+impl EnergyParams {
+    /// HBM2-class energy: ~4 pJ/bit, cheap activates (short wires).
+    pub const fn hbm2() -> Self {
+        Self {
+            pj_per_bit: 4.0,
+            pj_per_activate: 900.0,
+            background_mw: 350.0,
+        }
+    }
+
+    /// DDR3-class energy: ~20 pJ/bit, expensive activates and termination.
+    pub const fn ddr3() -> Self {
+        Self {
+            pj_per_bit: 20.0,
+            pj_per_activate: 2500.0,
+            background_mw: 700.0,
+        }
+    }
+
+    /// Energy in picojoules for `bytes` transferred, `activates` row
+    /// activations and `seconds` of elapsed wall-clock.
+    pub fn energy_pj(&self, bytes: u64, activates: u64, seconds: f64) -> f64 {
+        let transfer = self.pj_per_bit * (bytes as f64) * 8.0;
+        let activate = self.pj_per_activate * activates as f64;
+        let background = self.background_mw * 1e-3 * seconds * 1e12;
+        transfer + activate + background
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm_is_cheaper_per_bit_than_ddr3() {
+        assert!(EnergyParams::hbm2().pj_per_bit < EnergyParams::ddr3().pj_per_bit);
+    }
+
+    #[test]
+    fn energy_components_add_up() {
+        let e = EnergyParams {
+            pj_per_bit: 1.0,
+            pj_per_activate: 10.0,
+            background_mw: 0.0,
+        };
+        // 8 bytes = 64 bits at 1 pJ/bit plus 2 activates at 10 pJ.
+        assert!((e.energy_pj(8, 2, 0.0) - 84.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn background_energy_scales_with_time() {
+        let e = EnergyParams {
+            pj_per_bit: 0.0,
+            pj_per_activate: 0.0,
+            background_mw: 1000.0, // 1 W
+        };
+        // 1 W for 1 s = 1 J = 1e12 pJ.
+        assert!((e.energy_pj(0, 0, 1.0) - 1e12).abs() < 1.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Device-local address → (channel, rank, bank, row) mapping.
+//!
+//! Channels interleave at 64 B granularity so that a 2 KB large block spreads
+//! across all channels (maximizing bandwidth for block migrations), while
+//! each channel's 256 B share of the block stays within a single row
+//! (preserving row-buffer locality). Within a channel, consecutive rows
+//! rotate across banks and ranks for bank-level parallelism.
+
+use crate::config::DramConfig;
+
+/// Interleave granularity across channels, in bytes. Matches the subblock
+/// size so a demand access touches exactly one channel.
+pub const CHANNEL_INTERLEAVE_BYTES: u64 = 64;
+
+/// A decoded DRAM location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank within the channel.
+    pub rank: u32,
+    /// Bank within the rank.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u64,
+}
+
+impl Location {
+    /// Flat bank index within the owning channel (`rank * banks + bank`).
+    pub fn bank_in_channel(&self, cfg: &DramConfig) -> usize {
+        (self.rank * cfg.banks + self.bank) as usize
+    }
+}
+
+/// Maps device-local byte addresses to DRAM locations for one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AddressMapper {
+    channels: u64,
+    ranks: u64,
+    banks: u64,
+    row_bytes: u64,
+}
+
+impl AddressMapper {
+    /// Creates a mapper for the given device configuration.
+    pub fn new(cfg: &DramConfig) -> Self {
+        Self {
+            channels: u64::from(cfg.channels),
+            ranks: u64::from(cfg.ranks),
+            banks: u64::from(cfg.banks),
+            row_bytes: cfg.row_bytes,
+        }
+    }
+
+    /// Decodes a device-local byte address.
+    pub fn decode(&self, device_addr: u64) -> Location {
+        let chunk = device_addr / CHANNEL_INTERLEAVE_BYTES;
+        let channel = chunk % self.channels;
+        // Channel-local compressed byte address: drop the channel bits.
+        let local = (chunk / self.channels) * CHANNEL_INTERLEAVE_BYTES
+            + device_addr % CHANNEL_INTERLEAVE_BYTES;
+        let global_row = local / self.row_bytes;
+        let bank = global_row % self.banks;
+        let rank = (global_row / self.banks) % self.ranks;
+        let row = global_row / (self.banks * self.ranks);
+        Location {
+            channel: channel as u32,
+            rank: rank as u32,
+            bank: bank as u32,
+            row,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+
+    fn mapper() -> (AddressMapper, DramConfig) {
+        let cfg = DramConfig::hbm2();
+        (AddressMapper::new(&cfg), cfg)
+    }
+
+    #[test]
+    fn consecutive_subblocks_rotate_channels() {
+        let (m, _) = mapper();
+        let locs: Vec<u32> = (0..8).map(|i| m.decode(i * 64).channel).collect();
+        assert_eq!(locs, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        // Wraps around.
+        assert_eq!(m.decode(8 * 64).channel, 0);
+    }
+
+    #[test]
+    fn same_chunk_same_location() {
+        let (m, _) = mapper();
+        let a = m.decode(100);
+        let b = m.decode(64);
+        assert_eq!(a, b, "bytes within one 64B chunk share a location");
+    }
+
+    #[test]
+    fn block_stays_in_one_row_per_channel() {
+        let (m, _) = mapper();
+        // A 2 KB block = 32 subblocks = 4 per channel. All four in channel 0
+        // should decode to the same row and bank.
+        let base = 0u64;
+        let ch0: Vec<Location> = (0..32)
+            .map(|i| m.decode(base + i * 64))
+            .filter(|l| l.channel == 0)
+            .collect();
+        assert_eq!(ch0.len(), 4);
+        assert!(ch0.iter().all(|l| l.row == ch0[0].row && l.bank == ch0[0].bank));
+    }
+
+    #[test]
+    fn rows_rotate_banks() {
+        let (m, cfg) = mapper();
+        // Jump one full row within channel 0: 8 KB x 8 channels apart.
+        let stride = cfg.row_bytes * u64::from(cfg.channels);
+        let l0 = m.decode(0);
+        let l1 = m.decode(stride);
+        assert_eq!(l1.channel, 0);
+        assert_ne!(l0.bank, l1.bank, "consecutive rows use different banks");
+    }
+
+    #[test]
+    fn bank_in_channel_flattening() {
+        let cfg = DramConfig::ddr3();
+        let loc = Location {
+            channel: 1,
+            rank: 0,
+            bank: 5,
+            row: 7,
+        };
+        assert_eq!(loc.bank_in_channel(&cfg), 5);
+    }
+
+    #[test]
+    fn decode_is_total_over_large_addresses() {
+        let (m, cfg) = mapper();
+        let loc = m.decode(u64::from(u32::MAX) * 64);
+        assert!(loc.channel < cfg.channels);
+        assert!(loc.bank < cfg.banks);
+        assert!(loc.rank < cfg.ranks);
+    }
+}

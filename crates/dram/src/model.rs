@@ -1,0 +1,243 @@
+//! The top-level DRAM device model.
+
+use crate::bank::RowOutcome;
+use crate::channel::Channel;
+use crate::config::DramConfig;
+use crate::mapping::{AddressMapper, CHANNEL_INTERLEAVE_BYTES};
+use crate::stats::DramStats;
+
+/// An event-driven model of one DRAM device (the NM or the FM).
+///
+/// The public interface works in **CPU cycles**; internally the model runs on
+/// the memory-bus clock (`cfg.cpu_cycles_per_mem_cycle` CPU cycles per bus
+/// cycle). Transactions larger than the 64 B channel-interleave granularity
+/// are split into per-channel beats that proceed in parallel across
+/// channels; the transaction completes when its last beat completes.
+///
+/// # Example
+///
+/// ```
+/// use silcfm_dram::{DramConfig, DramModel};
+/// let mut fm = DramModel::new(DramConfig::ddr3());
+/// let t1 = fm.read(0, 0, 64);
+/// let t2 = fm.read(t1, 0, 64); // same row: faster
+/// assert!(t2 - t1 < t1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    cfg: DramConfig,
+    mapper: AddressMapper,
+    channels: Vec<Channel>,
+    stats: DramStats,
+}
+
+impl DramModel {
+    /// Creates a device model from a configuration.
+    pub fn new(cfg: DramConfig) -> Self {
+        Self {
+            mapper: AddressMapper::new(&cfg),
+            channels: (0..cfg.channels).map(|_| Channel::new(&cfg)).collect(),
+            stats: DramStats::default(),
+            cfg,
+        }
+    }
+
+    /// The device configuration.
+    pub const fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub const fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Performs a read of `bytes` at device-local address `addr`, arriving at
+    /// CPU-cycle `now`. Returns the CPU-cycle completion time of the last
+    /// beat.
+    pub fn read(&mut self, now: u64, addr: u64, bytes: u32) -> u64 {
+        self.stats.reads += 1;
+        self.stats.bytes_read += u64::from(bytes);
+        self.transfer(now, addr, bytes, false)
+    }
+
+    /// Performs a write of `bytes` at device-local address `addr`, arriving
+    /// at CPU-cycle `now`. Writes are posted: the returned completion time is
+    /// when the data has drained to the array, which callers typically use
+    /// only for accounting.
+    pub fn write(&mut self, now: u64, addr: u64, bytes: u32) -> u64 {
+        self.stats.writes += 1;
+        self.stats.bytes_written += u64::from(bytes);
+        self.transfer(now, addr, bytes, true)
+    }
+
+    /// Performs a low-priority streamed transfer (migration, prefetch or
+    /// other management traffic) of `bytes` at device-local address `addr`.
+    ///
+    /// Streamed transfers consume data-bus bandwidth and write-queue slots
+    /// but bypass the bank/row model: controllers schedule such traffic in
+    /// row-sorted batches during idle slots, so it contends with demand for
+    /// *bandwidth* without inflating demand *latency* the way a same-queue
+    /// FIFO would.
+    pub fn stream(&mut self, now: u64, addr: u64, bytes: u32, is_write: bool) -> u64 {
+        if is_write {
+            self.stats.writes += 1;
+            self.stats.bytes_written += u64::from(bytes);
+        } else {
+            self.stats.reads += 1;
+            self.stats.bytes_read += u64::from(bytes);
+        }
+        // Route through the bus-only path used for writes.
+        self.transfer(now, addr, bytes, true)
+    }
+
+    /// Energy consumed so far in picojoules, given the elapsed CPU cycles of
+    /// the run (for background power).
+    pub fn energy_pj(&self, elapsed_cpu_cycles: u64) -> f64 {
+        let cpu_hz = f64::from(self.cfg.bus_mhz) * 1e6 * self.cfg.cpu_cycles_per_mem_cycle as f64;
+        let seconds = elapsed_cpu_cycles as f64 / cpu_hz;
+        self.cfg.energy.energy_pj(
+            self.stats.total_bytes(),
+            self.stats.activations(),
+            seconds,
+        )
+    }
+
+    /// Resets all channel state and statistics.
+    pub fn reset(&mut self) {
+        self.channels = (0..self.cfg.channels).map(|_| Channel::new(&self.cfg)).collect();
+        self.stats.reset();
+    }
+
+    fn transfer(&mut self, now_cpu: u64, addr: u64, bytes: u32, is_write: bool) -> u64 {
+        let ratio = self.cfg.cpu_cycles_per_mem_cycle;
+        let now_mem = now_cpu.div_ceil(ratio);
+        let mut last_completion = now_mem;
+
+        let end = addr + u64::from(bytes);
+        let mut cursor = addr;
+        while cursor < end {
+            let chunk_end = ((cursor / CHANNEL_INTERLEAVE_BYTES) + 1) * CHANNEL_INTERLEAVE_BYTES;
+            let chunk_bytes = (chunk_end.min(end) - cursor) as u32;
+            let loc = self.mapper.decode(cursor);
+            let burst = self.cfg.burst_cycles(chunk_bytes);
+            let acc =
+                self.channels[loc.channel as usize].access(now_mem, loc, burst, is_write, &self.cfg);
+            // Row-buffer statistics describe the read stream; writes are
+            // batch-drained and bypass the bank model (see `Channel`).
+            if !is_write {
+                match acc.outcome {
+                    RowOutcome::Hit => self.stats.row_hits += 1,
+                    RowOutcome::Miss => self.stats.row_misses += 1,
+                    RowOutcome::Conflict => self.stats.row_conflicts += 1,
+                }
+            }
+            self.stats.bus_busy_cycles += acc.burst;
+            last_completion = last_completion.max(acc.completion);
+            cursor = chunk_end.min(end);
+        }
+        last_completion * ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_latency_components() {
+        let cfg = DramConfig::ddr3();
+        let mut m = DramModel::new(cfg);
+        let done = m.read(0, 0, 64);
+        // Row miss: tRCD + tCAS + burst(4) memory cycles, ×4 CPU cycles.
+        let expected = (cfg.timings.row_miss_latency() + 4) * 4;
+        assert_eq!(done, expected);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_miss() {
+        let mut m = DramModel::new(DramConfig::ddr3());
+        let t1 = m.read(0, 0, 64);
+        let t2 = m.read(t1, 0, 64);
+        assert!(t2 - t1 < t1);
+        assert_eq!(m.stats().row_hits, 1);
+        assert_eq!(m.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn large_transfer_spreads_across_channels() {
+        let cfg = DramConfig::hbm2();
+        let mut m = DramModel::new(cfg);
+        // 2 KB = 32 beats over 8 channels = 4 beats per channel.
+        let done = m.read(0, 0, 2048);
+        // Each channel: miss latency + 4 bursts of 2 cycles = 20+8 = 28 mem cycles.
+        let expected = (cfg.timings.row_miss_latency() + 4 * 2) * 4;
+        assert_eq!(done, expected);
+        assert_eq!(m.stats().row_hits + m.stats().row_misses, 32);
+    }
+
+    #[test]
+    fn hbm_moves_2kb_faster_than_ddr3() {
+        let mut nm = DramModel::new(DramConfig::hbm2());
+        let mut fm = DramModel::new(DramConfig::ddr3());
+        assert!(nm.read(0, 0, 2048) < fm.read(0, 0, 2048));
+    }
+
+    #[test]
+    fn sustained_streaming_approaches_peak_bandwidth() {
+        let cfg = DramConfig::hbm2();
+        let mut m = DramModel::new(cfg);
+        // Issue the whole 1 MiB stream at time 0; the finite read queues
+        // provide back-pressure and the model pipelines the beats.
+        let total_bytes = 1u64 << 20;
+        let mut t = 0u64;
+        let mut addr = 0u64;
+        while addr < total_bytes {
+            t = t.max(m.read(0, addr, 64));
+            addr += 64;
+        }
+        // Achieved bandwidth in bytes per CPU cycle vs peak.
+        let cpu_hz = 3.2e9;
+        let seconds = t as f64 / cpu_hz;
+        let gbs = total_bytes as f64 / seconds / 1e9;
+        let peak = cfg.peak_bandwidth_gbs();
+        assert!(
+            gbs > peak * 0.5,
+            "streaming should reach at least half of peak: {gbs:.1} vs {peak:.1} GB/s"
+        );
+        assert!(gbs <= peak * 1.01, "cannot exceed peak: {gbs:.1} GB/s");
+    }
+
+    #[test]
+    fn writes_are_counted() {
+        let mut m = DramModel::new(DramConfig::ddr3());
+        let _ = m.write(0, 0, 64);
+        assert_eq!(m.stats().writes, 1);
+        assert_eq!(m.stats().bytes_written, 64);
+    }
+
+    #[test]
+    fn energy_grows_with_traffic() {
+        let mut m = DramModel::new(DramConfig::ddr3());
+        let e0 = m.energy_pj(1000);
+        let _ = m.read(0, 0, 2048);
+        let e1 = m.energy_pj(1000);
+        assert!(e1 > e0);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut m = DramModel::new(DramConfig::ddr3());
+        let t1 = m.read(0, 0, 64);
+        m.reset();
+        assert_eq!(m.stats().reads, 0);
+        assert_eq!(m.read(0, 0, 64), t1, "reset model repeats first-access timing");
+    }
+
+    #[test]
+    fn arrival_time_is_respected() {
+        let mut m = DramModel::new(DramConfig::ddr3());
+        let done = m.read(10_000, 0, 64);
+        assert!(done > 10_000);
+    }
+}

@@ -1,0 +1,119 @@
+//! DRAM device statistics.
+
+use core::fmt;
+
+use silcfm_types::stats::ratio;
+
+/// Counters accumulated by a [`crate::DramModel`] over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Logical read transactions.
+    pub reads: u64,
+    /// Logical write transactions.
+    pub writes: u64,
+    /// Bytes read from the device.
+    pub bytes_read: u64,
+    /// Bytes written to the device.
+    pub bytes_written: u64,
+    /// 64 B beats that hit an open row.
+    pub row_hits: u64,
+    /// Beats that found the bank idle (activate only).
+    pub row_misses: u64,
+    /// Beats that required precharge + activate.
+    pub row_conflicts: u64,
+    /// Memory cycles the data buses were occupied (summed over channels).
+    pub bus_busy_cycles: u64,
+}
+
+impl DramStats {
+    /// Total bytes transferred in either direction.
+    pub const fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Row activations performed (misses + conflicts).
+    pub const fn activations(&self) -> u64 {
+        self.row_misses + self.row_conflicts
+    }
+
+    /// Fraction of beats that hit an open row.
+    pub fn row_hit_rate(&self) -> f64 {
+        ratio(
+            self.row_hits,
+            self.row_hits + self.row_misses + self.row_conflicts,
+        )
+    }
+
+    /// Average data-bus utilization over `elapsed_mem_cycles`, across
+    /// `channels` channels. Values are in `[0, 1]` for a causally consistent
+    /// trace.
+    pub fn bus_utilization(&self, elapsed_mem_cycles: u64, channels: u32) -> f64 {
+        ratio(
+            self.bus_busy_cycles,
+            elapsed_mem_cycles.saturating_mul(u64::from(channels)),
+        )
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl fmt::Display for DramStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} bytes={} row_hit_rate={:.3}",
+            self.reads,
+            self.writes,
+            self.total_bytes(),
+            self.row_hit_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = DramStats {
+            reads: 10,
+            writes: 5,
+            bytes_read: 640,
+            bytes_written: 320,
+            row_hits: 9,
+            row_misses: 3,
+            row_conflicts: 3,
+            bus_busy_cycles: 50,
+        };
+        assert_eq!(s.total_bytes(), 960);
+        assert_eq!(s.activations(), 6);
+        assert!((s.row_hit_rate() - 0.6).abs() < 1e-12);
+        assert!((s.bus_utilization(100, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = DramStats::default();
+        assert_eq!(s.row_hit_rate(), 0.0);
+        assert_eq!(s.bus_utilization(0, 8), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = DramStats {
+            reads: 1,
+            ..Default::default()
+        };
+        s.reset();
+        assert_eq!(s, DramStats::default());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(DramStats::default().to_string().contains("reads=0"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Run-level metrics: the quantities the paper's figures report.
+
+use core::fmt;
+
+use silcfm_types::stats::ratio;
+use silcfm_types::SchemeStats;
+
+/// Byte tallies split by device and by demand vs. management traffic.
+///
+/// Fig. 8 plots the fraction of *demand* bandwidth serviced by each memory;
+/// migration, metadata and prefetch traffic are accounted separately.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficTally {
+    /// Demand (and LLC-writeback) bytes moved by near memory.
+    pub nm_demand: u64,
+    /// Demand bytes moved by far memory.
+    pub fm_demand: u64,
+    /// Migration/metadata/prefetch bytes moved by near memory.
+    pub nm_other: u64,
+    /// Migration/metadata/prefetch bytes moved by far memory.
+    pub fm_other: u64,
+}
+
+impl TrafficTally {
+    /// Fraction of demand bytes serviced by NM (the Fig. 8 y-axis).
+    pub fn nm_demand_fraction(&self) -> f64 {
+        ratio(self.nm_demand, self.nm_demand + self.fm_demand)
+    }
+
+    /// All bytes moved by both devices.
+    pub const fn total_bytes(&self) -> u64 {
+        self.nm_demand + self.fm_demand + self.nm_other + self.fm_other
+    }
+
+    /// Management (non-demand) overhead bytes.
+    pub const fn overhead_bytes(&self) -> u64 {
+        self.nm_other + self.fm_other
+    }
+}
+
+/// The outcome of simulating one (workload, scheme) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Scheme label ("silcfm", "cam", …).
+    pub scheme: String,
+    /// Workload name ("mcf", …).
+    pub workload: String,
+    /// Execution time in CPU cycles (all cores complete).
+    pub cycles: u64,
+    /// Total instructions retired across cores.
+    pub instructions: u64,
+    /// LLC misses across cores.
+    pub llc_misses: u64,
+    /// The paper's access rate (Eq. 1).
+    pub access_rate: f64,
+    /// Demand/management traffic split.
+    pub traffic: TrafficTally,
+    /// Total DRAM energy in picojoules (both devices, incl. background).
+    pub energy_pj: f64,
+    /// Scheme-internal statistics.
+    pub scheme_stats: SchemeStats,
+    /// Average per-core LLC misses per kilo-instruction.
+    pub mpki: f64,
+    /// Total workload footprint in bytes (unique pages touched).
+    pub footprint_bytes: u64,
+}
+
+impl RunResult {
+    /// Instructions per cycle, aggregated over all cores.
+    pub fn ipc(&self) -> f64 {
+        ratio(self.instructions, self.cycles)
+    }
+
+    /// Energy-delay product in pJ·cycles.
+    pub fn edp(&self) -> f64 {
+        self.energy_pj * self.cycles as f64
+    }
+
+    /// Speedup of this run relative to `baseline` (same workload, typically
+    /// the no-NM system), as in Figs. 6, 7 and 9.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either run has zero cycles or the workloads differ.
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        assert_eq!(
+            self.workload, baseline.workload,
+            "speedup requires the same workload"
+        );
+        assert!(self.cycles > 0 && baseline.cycles > 0);
+        baseline.cycles as f64 / self.cycles as f64
+    }
+}
+
+impl fmt::Display for RunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} cycles, IPC {:.3}, access rate {:.3}, NM demand {:.2}",
+            self.workload,
+            self.scheme,
+            self.cycles,
+            self.ipc(),
+            self.access_rate,
+            self.traffic.nm_demand_fraction()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(cycles: u64) -> RunResult {
+        RunResult {
+            scheme: "x".into(),
+            workload: "w".into(),
+            cycles,
+            instructions: 1000,
+            llc_misses: 10,
+            access_rate: 0.5,
+            traffic: TrafficTally {
+                nm_demand: 300,
+                fm_demand: 100,
+                nm_other: 40,
+                fm_other: 60,
+            },
+            energy_pj: 2.0,
+            scheme_stats: SchemeStats::default(),
+            mpki: 10.0,
+            footprint_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn traffic_fractions() {
+        let t = result(100).traffic;
+        assert!((t.nm_demand_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(t.total_bytes(), 500);
+        assert_eq!(t.overhead_bytes(), 100);
+    }
+
+    #[test]
+    fn ipc_and_edp() {
+        let r = result(500);
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+        assert!((r.edp() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup() {
+        let fast = result(500);
+        let slow = result(1000);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same workload")]
+    fn speedup_rejects_mismatched_workloads() {
+        let a = result(500);
+        let mut b = result(1000);
+        b.workload = "other".into();
+        let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn empty_tally_is_safe() {
+        assert_eq!(TrafficTally::default().nm_demand_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(result(100).to_string().contains("w/x"));
+    }
+}

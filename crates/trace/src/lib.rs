@@ -1,0 +1,43 @@
+//! Synthetic SPEC-like workloads and virtual memory for the SILC-FM simulator.
+//!
+//! The paper drives its evaluation with Pin traces of 14 SPEC CPU2006
+//! benchmarks (Table III), run in rate mode (one copy per core). Those
+//! traces are not reproducible here, so this crate provides *parametric
+//! generators* calibrated to the axes the paper's analysis attributes
+//! per-benchmark behaviour to:
+//!
+//! * **memory intensity** — LLC misses per kilo-instruction (low / medium /
+//!   high classes of Table III);
+//! * **footprint** — pages touched per core;
+//! * **page-level spatial locality** — distinct 64 B subblocks used per 2 KB
+//!   page visit (drives subblocking vs. whole-page migration);
+//! * **hot-set skew** — a small set of pages receiving most accesses (drives
+//!   locking);
+//! * **hot-set churn** — how quickly the hot set rotates (punishes epoch
+//!   schemes like HMA);
+//! * **set clustering** — hot pages crowding into few congruence sets
+//!   (drives associativity and locking, e.g. `xalancbmk`);
+//! * **dependence structure** — pointer chasing vs. streaming (bounds MLP).
+//!
+//! See [`profiles::all`] for the 14 calibrated profiles and `DESIGN.md`
+//! (repository root) for the substitution rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use silcfm_trace::{profiles, WorkloadGen};
+//! use silcfm_types::CoreId;
+//!
+//! let profile = profiles::by_name("mcf").unwrap();
+//! let mut gen = WorkloadGen::new(profile, CoreId::new(0), 42);
+//! let rec = gen.next_record();
+//! assert!(rec.vaddr.value() < profile.footprint_pages * 2048);
+//! ```
+
+pub mod generator;
+pub mod profiles;
+pub mod vm;
+
+pub use generator::WorkloadGen;
+pub use profiles::{AccessPattern, MpkiClass, WorkloadProfile};
+pub use vm::{PageMapper, PlacementPolicy};

@@ -1,0 +1,434 @@
+//! The 14 workload profiles of Table III.
+//!
+//! Parameter values are calibrated to the paper's per-benchmark narrative
+//! (§V): which benchmarks are conflict-prone, which have lukewarm working
+//! sets, which churn their hot set, and the MPKI class and relative footprint
+//! of each. Footprints are scaled from the paper's gigabytes to megabytes so
+//! experiments finish in seconds; all capacity-dependent behaviour is
+//! preserved because the simulated NM/FM sizes scale with them.
+
+use core::fmt;
+
+/// Table III's three memory-intensity classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MpkiClass {
+    /// LLC MPKI below 11.
+    Low,
+    /// LLC MPKI between 11 and 32.
+    Medium,
+    /// LLC MPKI above 32.
+    High,
+}
+
+impl fmt::Display for MpkiClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Low => "Low MPKI",
+            Self::Medium => "Medium MPKI",
+            Self::High => "High MPKI",
+        })
+    }
+}
+
+/// How a page visit walks its subblocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Sequential subblocks from the start of the page (dense loops).
+    Streaming,
+    /// Fixed-stride subblocks within the page.
+    Strided {
+        /// Stride in subblocks.
+        stride: u32,
+    },
+    /// Uniformly random subblocks within the page.
+    Random,
+    /// Serially dependent random subblocks (linked data structures); each
+    /// access depends on the previous one, so misses cannot overlap.
+    PointerChase,
+}
+
+/// A parametric description of one benchmark's memory behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark name as in Table III.
+    pub name: &'static str,
+    /// Memory-intensity class.
+    pub class: MpkiClass,
+    /// Target LLC misses per kilo-instruction per core; sets the compute gap
+    /// between memory accesses.
+    pub target_mpki: f64,
+    /// Pages (2 KB) touched per core.
+    pub footprint_pages: u64,
+    /// Fraction of the footprint that is hot.
+    pub hot_fraction: f64,
+    /// Fraction of accesses directed at hot pages.
+    pub hot_access_fraction: f64,
+    /// Mean distinct subblocks touched per page visit (1..=32).
+    pub spatial_subblocks: u32,
+    /// Accesses between hot-set rotations; `u64::MAX` means a stable hot set.
+    pub churn_interval: u64,
+    /// Fraction of the hot set replaced at each rotation.
+    pub churn_fraction: f64,
+    /// Subblock walk pattern.
+    pub pattern: AccessPattern,
+    /// Fraction of accesses that are stores.
+    pub write_fraction: f64,
+    /// Probability that a hot page is drawn from a congruence-clustered pool
+    /// (pages sharing their low-order page-number bits, which collide in
+    /// set-indexed NM organizations). 0 = spread evenly, 1 = fully clustered.
+    pub hot_clustering: f64,
+    /// Popularity skew within the hot set: hot page ranks are drawn as
+    /// `u^hot_skew` for uniform `u`, so 1.0 is uniform and larger values
+    /// concentrate accesses on the hottest few pages (real working sets are
+    /// Zipf-like; high skew is what makes locking profitable).
+    pub hot_skew: f64,
+}
+
+impl WorkloadProfile {
+    /// Mean non-memory instructions between memory accesses, derived from
+    /// the MPKI target under the approximation that accesses to a
+    /// far-larger-than-LLC footprint miss the LLC.
+    pub fn mean_compute_gap(&self) -> u32 {
+        ((1000.0 / self.target_mpki) - 1.0).max(0.0).round() as u32
+    }
+
+    /// Number of hot pages.
+    pub fn hot_pages(&self) -> u64 {
+        ((self.footprint_pages as f64 * self.hot_fraction).round() as u64).max(1)
+    }
+}
+
+impl fmt::Display for WorkloadProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, mpki~{}, {} pages)",
+            self.name, self.class, self.target_mpki, self.footprint_pages
+        )
+    }
+}
+
+/// Page-number stride used by clustered hot sets. Hot pages chosen
+/// `CLUSTER_STRIDE` apart share their index bits in any set-indexed NM
+/// organization with at most this many sets, recreating `xalancbmk`-style
+/// uneven hot-page distribution.
+pub const CLUSTER_STRIDE: u64 = 1024;
+
+const PROFILES: &[WorkloadProfile] = &[
+    // ---- Low MPKI --------------------------------------------------------
+    WorkloadProfile {
+        name: "bwaves",
+        class: MpkiClass::Low,
+        target_mpki: 8.0,
+        footprint_pages: 12_288, // 24 MiB/core
+        hot_fraction: 0.14,
+        hot_access_fraction: 0.70,
+        spatial_subblocks: 28,
+        churn_interval: u64::MAX,
+        churn_fraction: 0.0,
+        pattern: AccessPattern::Streaming,
+        write_fraction: 0.25,
+        hot_clustering: 0.0,
+        hot_skew: 1.5,
+    },
+    WorkloadProfile {
+        name: "cactus",
+        class: MpkiClass::Low,
+        target_mpki: 6.0,
+        footprint_pages: 12_288,
+        hot_fraction: 0.10,
+        hot_access_fraction: 0.80,
+        spatial_subblocks: 14,
+        churn_interval: u64::MAX,
+        churn_fraction: 0.0,
+        pattern: AccessPattern::Strided { stride: 1 },
+        write_fraction: 0.30,
+        hot_clustering: 0.75, // conflict-prone under direct-mapped schemes
+        hot_skew: 2.2,
+    },
+    WorkloadProfile {
+        name: "dealii",
+        class: MpkiClass::Low,
+        target_mpki: 5.0,
+        footprint_pages: 8_192,
+        hot_fraction: 0.15,
+        hot_access_fraction: 0.75,
+        spatial_subblocks: 8,
+        churn_interval: u64::MAX,
+        churn_fraction: 0.0,
+        pattern: AccessPattern::Random,
+        write_fraction: 0.20,
+        hot_clustering: 0.2,
+        hot_skew: 1.8,
+    },
+    WorkloadProfile {
+        name: "xalanc",
+        class: MpkiClass::Low,
+        target_mpki: 10.0,
+        footprint_pages: 20_480,
+        hot_fraction: 0.06,
+        hot_access_fraction: 0.90, // strongly skewed hot set …
+        spatial_subblocks: 10,
+        churn_interval: u64::MAX,
+        churn_fraction: 0.0,
+        pattern: AccessPattern::Random,
+        write_fraction: 0.20,
+        hot_clustering: 1.0, // … crowded into few sets → locking pays (+14 %)
+        hot_skew: 3.0,
+    },
+    // ---- Medium MPKI -----------------------------------------------------
+    WorkloadProfile {
+        name: "gcc",
+        class: MpkiClass::Medium,
+        target_mpki: 14.0,
+        footprint_pages: 8_192,
+        hot_fraction: 0.15, // a large *lukewarm* working set …
+        hot_access_fraction: 0.80,
+        spatial_subblocks: 12,
+        churn_interval: 400_000,
+        churn_fraction: 0.15,
+        pattern: AccessPattern::Random,
+        write_fraction: 0.30,
+        hot_clustering: 0.35, // … that conflicts: associativity pays (+36 %)
+        hot_skew: 1.2,
+    },
+    WorkloadProfile {
+        name: "gems",
+        class: MpkiClass::Medium,
+        target_mpki: 20.0,
+        footprint_pages: 10_240,
+        hot_fraction: 0.12,
+        hot_access_fraction: 0.80,
+        spatial_subblocks: 16,
+        churn_interval: 120_000, // short-lived hot pages: epochs are too slow
+        churn_fraction: 0.50,
+        pattern: AccessPattern::Strided { stride: 1 },
+        write_fraction: 0.30,
+        hot_clustering: 0.2,
+        hot_skew: 2.0,
+    },
+    WorkloadProfile {
+        name: "leslie",
+        class: MpkiClass::Medium,
+        target_mpki: 18.0,
+        footprint_pages: 10_240,
+        hot_fraction: 0.14,
+        hot_access_fraction: 0.70,
+        spatial_subblocks: 24,
+        churn_interval: u64::MAX,
+        churn_fraction: 0.0,
+        pattern: AccessPattern::Streaming,
+        write_fraction: 0.35,
+        hot_clustering: 0.0,
+        hot_skew: 1.5,
+    },
+    WorkloadProfile {
+        name: "omnet",
+        class: MpkiClass::Medium,
+        target_mpki: 25.0,
+        footprint_pages: 8_192,
+        hot_fraction: 0.15,
+        hot_access_fraction: 0.75,
+        spatial_subblocks: 6,
+        churn_interval: 600_000,
+        churn_fraction: 0.25,
+        pattern: AccessPattern::PointerChase,
+        write_fraction: 0.25,
+        hot_clustering: 0.3,
+        hot_skew: 1.8,
+    },
+    WorkloadProfile {
+        name: "zeusmp",
+        class: MpkiClass::Medium,
+        target_mpki: 15.0,
+        footprint_pages: 8_192,
+        hot_fraction: 0.12,
+        hot_access_fraction: 0.75,
+        spatial_subblocks: 20,
+        churn_interval: u64::MAX,
+        churn_fraction: 0.0,
+        pattern: AccessPattern::Strided { stride: 1 },
+        write_fraction: 0.30,
+        hot_clustering: 0.1,
+        hot_skew: 1.6,
+    },
+    // ---- High MPKI -------------------------------------------------------
+    WorkloadProfile {
+        name: "lbm",
+        class: MpkiClass::High,
+        target_mpki: 40.0,
+        footprint_pages: 16_384, // 32 MiB/core
+        hot_fraction: 0.12,
+        hot_access_fraction: 0.75,
+        spatial_subblocks: 32,
+        churn_interval: u64::MAX,
+        churn_fraction: 0.0,
+        pattern: AccessPattern::Streaming,
+        write_fraction: 0.45,
+        hot_clustering: 0.0,
+        hot_skew: 1.3,
+    },
+    WorkloadProfile {
+        name: "lib",
+        class: MpkiClass::High,
+        target_mpki: 35.0,
+        footprint_pages: 8_192,
+        hot_fraction: 0.12,
+        hot_access_fraction: 0.85, // stable hot set: HMA does well …
+        spatial_subblocks: 30,
+        churn_interval: u64::MAX,
+        churn_fraction: 0.0,
+        pattern: AccessPattern::Streaming,
+        write_fraction: 0.20,
+        hot_clustering: 0.8, // … but CAMEO conflicts
+        hot_skew: 2.0,
+    },
+    WorkloadProfile {
+        name: "mcf",
+        class: MpkiClass::High,
+        target_mpki: 60.0,
+        footprint_pages: 16_384,
+        hot_fraction: 0.10,
+        hot_access_fraction: 0.65,
+        spatial_subblocks: 3,
+        churn_interval: 800_000,
+        churn_fraction: 0.20,
+        pattern: AccessPattern::PointerChase,
+        write_fraction: 0.15,
+        hot_clustering: 0.2,
+        hot_skew: 1.8,
+    },
+    WorkloadProfile {
+        name: "milc",
+        class: MpkiClass::High,
+        target_mpki: 45.0,
+        footprint_pages: 12_288,
+        hot_fraction: 0.08,
+        hot_access_fraction: 0.90, // very hot small set: access rate > 0.8 …
+        spatial_subblocks: 8,
+        churn_interval: u64::MAX,
+        churn_fraction: 0.0,
+        pattern: AccessPattern::Random,
+        write_fraction: 0.30,
+        hot_clustering: 0.8, // … but conflicts thrash plain swapping
+        hot_skew: 2.5,
+    },
+    WorkloadProfile {
+        name: "soplex",
+        class: MpkiClass::High,
+        target_mpki: 38.0,
+        footprint_pages: 10_240,
+        hot_fraction: 0.12,
+        hot_access_fraction: 0.75,
+        spatial_subblocks: 12,
+        churn_interval: 500_000,
+        churn_fraction: 0.20,
+        pattern: AccessPattern::Strided { stride: 2 },
+        write_fraction: 0.25,
+        hot_clustering: 0.3,
+        hot_skew: 1.8,
+    },
+];
+
+/// All 14 Table III profiles, in the paper's order.
+pub fn all() -> &'static [WorkloadProfile] {
+    PROFILES
+}
+
+/// Looks up a profile by benchmark name.
+pub fn by_name(name: &str) -> Option<&'static WorkloadProfile> {
+    PROFILES.iter().find(|p| p.name == name)
+}
+
+/// Returns a copy of `profile` with its footprint (and churn interval)
+/// scaled by `factor`, for `--quick` experiment runs.
+pub fn scaled(profile: &WorkloadProfile, factor: f64) -> WorkloadProfile {
+    assert!(factor > 0.0, "scale factor must be positive");
+    let mut p = *profile;
+    p.footprint_pages = ((p.footprint_pages as f64 * factor).round() as u64).max(64);
+    if p.churn_interval != u64::MAX {
+        p.churn_interval = ((p.churn_interval as f64 * factor).round() as u64).max(1_000);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_all_14_benchmarks() {
+        assert_eq!(all().len(), 14);
+        let names: Vec<_> = all().iter().map(|p| p.name).collect();
+        for expected in [
+            "bwaves", "cactus", "dealii", "xalanc", "gcc", "gems", "leslie", "omnet", "zeusmp",
+            "lbm", "lib", "mcf", "milc", "soplex",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn class_boundaries_match_the_paper() {
+        for p in all() {
+            match p.class {
+                MpkiClass::Low => assert!(p.target_mpki < 11.0, "{}", p.name),
+                MpkiClass::Medium => {
+                    assert!(p.target_mpki >= 11.0 && p.target_mpki <= 32.0, "{}", p.name)
+                }
+                MpkiClass::High => assert!(p.target_mpki > 32.0, "{}", p.name),
+            }
+        }
+    }
+
+    #[test]
+    fn parameters_are_sane() {
+        for p in all() {
+            assert!(p.spatial_subblocks >= 1 && p.spatial_subblocks <= 32, "{}", p.name);
+            assert!(p.hot_fraction > 0.0 && p.hot_fraction < 1.0, "{}", p.name);
+            assert!(
+                p.hot_access_fraction > 0.0 && p.hot_access_fraction <= 1.0,
+                "{}",
+                p.name
+            );
+            assert!(p.write_fraction >= 0.0 && p.write_fraction <= 1.0, "{}", p.name);
+            assert!(
+                (0.0..=1.0).contains(&p.hot_clustering),
+                "{}",
+                p.name
+            );
+            assert!(p.hot_pages() >= 1);
+            assert!(p.footprint_pages >= 1024, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn compute_gap_from_mpki() {
+        let p = by_name("mcf").unwrap();
+        // 1000/60 - 1 ≈ 16.
+        assert_eq!(p.mean_compute_gap(), 16);
+        let b = by_name("dealii").unwrap();
+        assert_eq!(b.mean_compute_gap(), 199);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("xalanc").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn scaling_shrinks_footprint() {
+        let p = by_name("lbm").unwrap();
+        let s = scaled(p, 0.25);
+        assert_eq!(s.footprint_pages, p.footprint_pages / 4);
+        let g = scaled(by_name("gems").unwrap(), 0.5);
+        assert_eq!(g.churn_interval, 60_000);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert!(by_name("mcf").unwrap().to_string().contains("High MPKI"));
+        assert_eq!(MpkiClass::Low.to_string(), "Low MPKI");
+    }
+}

@@ -1,0 +1,242 @@
+//! Virtual → physical translation with a 2 KB page size.
+//!
+//! The paper implements virtual-to-physical translation with 2 KB pages and
+//! ensures rate-mode benchmark copies do not share physical pages (§IV-B).
+//! [`PageMapper`] reproduces that: every `(core, virtual page)` pair is
+//! allocated a distinct physical page on first touch, under one of three
+//! static placement policies.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use silcfm_types::{AddressSpace, CoreId, PhysAddr, VirtAddr};
+
+/// Page size used for translation (the paper's 2 KB).
+pub const PAGE_BYTES: u64 = 2048;
+
+/// How first-touch allocation places pages across the flat NM+FM space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Pages are placed uniformly at random over NM+FM (the paper's
+    /// *Random* static baseline, and the initial layout every hardware
+    /// scheme starts from).
+    RandomSeeded(u64),
+    /// Every page goes to far memory (the paper's no-NM baseline system).
+    /// Pages are scattered uniformly within FM, exactly as [`RandomSeeded`]
+    /// scatters them within NM+FM, so the baseline differs from the other
+    /// policies only in *which memories* it uses, not in row-buffer
+    /// locality.
+    ///
+    /// [`RandomSeeded`]: PlacementPolicy::RandomSeeded
+    FarOnly,
+    /// Deterministic proportional interleave: one page to NM for every
+    /// `fm:nm` ratio's worth to FM.
+    Interleaved,
+}
+
+/// First-touch page allocator and translator.
+#[derive(Debug, Clone)]
+pub struct PageMapper {
+    space: AddressSpace,
+    policy: PlacementPolicy,
+    map: HashMap<(u16, u64), u64>,
+    /// Shuffled physical page pool (RandomSeeded) consumed from the back.
+    pool: Vec<u64>,
+    next_nm: u64,
+    next_fm: u64,
+    counter: u64,
+}
+
+impl PageMapper {
+    /// Creates a mapper over `space`.
+    pub fn new(space: AddressSpace, policy: PlacementPolicy) -> Self {
+        let nm_pages = space.nm_bytes() / PAGE_BYTES;
+        let total_pages = space.total_bytes() / PAGE_BYTES;
+        let pool = match policy {
+            PlacementPolicy::RandomSeeded(seed) => {
+                Self::shuffled_pool((0..total_pages).collect(), seed)
+            }
+            PlacementPolicy::FarOnly => {
+                // A fixed internal seed: the baseline must be reproducible
+                // regardless of the workload seed.
+                Self::shuffled_pool((nm_pages..total_pages).collect(), 0x5E_EDF0_FA11)
+            }
+            PlacementPolicy::Interleaved => Vec::new(),
+        };
+        Self {
+            space,
+            policy,
+            map: HashMap::new(),
+            pool,
+            next_nm: 0,
+            next_fm: nm_pages,
+            counter: 0,
+        }
+    }
+
+    /// The address space this mapper allocates within.
+    pub const fn space(&self) -> AddressSpace {
+        self.space
+    }
+
+    /// Number of physical pages allocated so far.
+    pub fn pages_allocated(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Translates `vaddr` for `core`, allocating a physical page on first
+    /// touch. Returns `None` when physical memory is exhausted.
+    pub fn translate(&mut self, core: CoreId, vaddr: VirtAddr) -> Option<PhysAddr> {
+        let vpage = vaddr.page_number(PAGE_BYTES);
+        let key = (core.value(), vpage);
+        let ppage = match self.map.get(&key) {
+            Some(&p) => p,
+            None => {
+                let p = self.allocate()?;
+                self.map.insert(key, p);
+                p
+            }
+        };
+        Some(PhysAddr::new(
+            ppage * PAGE_BYTES + vaddr.page_offset(PAGE_BYTES),
+        ))
+    }
+
+    fn shuffled_pool(mut pages: Vec<u64>, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Fisher–Yates shuffle.
+        for i in (1..pages.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            pages.swap(i, j);
+        }
+        pages
+    }
+
+    fn allocate(&mut self) -> Option<u64> {
+        let nm_pages = self.space.nm_bytes() / PAGE_BYTES;
+        let total_pages = self.space.total_bytes() / PAGE_BYTES;
+        match self.policy {
+            PlacementPolicy::RandomSeeded(_) | PlacementPolicy::FarOnly => self.pool.pop(),
+            PlacementPolicy::Interleaved => {
+                // Place 1 page in NM per (ratio+1) allocations.
+                let ratio = self.space.fm_bytes() / self.space.nm_bytes();
+                let want_nm = self.counter.is_multiple_of(ratio + 1);
+                self.counter += 1;
+                let nm_ok = self.next_nm < nm_pages;
+                let fm_ok = self.next_fm < total_pages;
+                if nm_ok && (want_nm || !fm_ok) {
+                    let p = self.next_nm;
+                    self.next_nm += 1;
+                    Some(p)
+                } else if fm_ok {
+                    let p = self.next_fm;
+                    self.next_fm += 1;
+                    Some(p)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silcfm_types::MemKind;
+
+    fn space() -> AddressSpace {
+        // 64 NM pages + 256 FM pages.
+        AddressSpace::new(64 * PAGE_BYTES, 256 * PAGE_BYTES)
+    }
+
+    #[test]
+    fn translation_is_stable() {
+        let mut m = PageMapper::new(space(), PlacementPolicy::RandomSeeded(1));
+        let a = m.translate(CoreId::new(0), VirtAddr::new(5000)).unwrap();
+        let b = m.translate(CoreId::new(0), VirtAddr::new(5000)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(m.pages_allocated(), 1);
+    }
+
+    #[test]
+    fn page_offset_is_preserved() {
+        let mut m = PageMapper::new(space(), PlacementPolicy::FarOnly);
+        let p = m.translate(CoreId::new(0), VirtAddr::new(2048 + 100)).unwrap();
+        assert_eq!(p.offset(PAGE_BYTES), 100);
+    }
+
+    #[test]
+    fn cores_get_disjoint_physical_pages() {
+        let mut m = PageMapper::new(space(), PlacementPolicy::RandomSeeded(1));
+        let a = m.translate(CoreId::new(0), VirtAddr::new(0)).unwrap();
+        let b = m.translate(CoreId::new(1), VirtAddr::new(0)).unwrap();
+        assert_ne!(a.align_down(PAGE_BYTES), b.align_down(PAGE_BYTES));
+    }
+
+    #[test]
+    fn far_only_never_touches_nm() {
+        let mut m = PageMapper::new(space(), PlacementPolicy::FarOnly);
+        for v in 0..100u64 {
+            let p = m.translate(CoreId::new(0), VirtAddr::new(v * PAGE_BYTES)).unwrap();
+            assert_eq!(m.space().kind_of(p), MemKind::Far);
+        }
+    }
+
+    #[test]
+    fn random_spreads_proportionally() {
+        let mut m = PageMapper::new(space(), PlacementPolicy::RandomSeeded(7));
+        let mut nm = 0;
+        let total = 320;
+        for v in 0..total {
+            let p = m
+                .translate(CoreId::new(0), VirtAddr::new(v * PAGE_BYTES))
+                .unwrap();
+            if m.space().kind_of(p) == MemKind::Near {
+                nm += 1;
+            }
+        }
+        assert_eq!(nm, 64, "allocating everything uses exactly the NM pages");
+    }
+
+    #[test]
+    fn random_allocation_exhausts_exactly() {
+        let mut m = PageMapper::new(space(), PlacementPolicy::RandomSeeded(7));
+        for v in 0..320u64 {
+            assert!(m.translate(CoreId::new(0), VirtAddr::new(v * PAGE_BYTES)).is_some());
+        }
+        assert!(
+            m.translate(CoreId::new(0), VirtAddr::new(320 * PAGE_BYTES)).is_none(),
+            "321st page must fail"
+        );
+    }
+
+    #[test]
+    fn interleaved_ratio() {
+        let mut m = PageMapper::new(space(), PlacementPolicy::Interleaved);
+        let mut nm = 0;
+        for v in 0..100u64 {
+            let p = m
+                .translate(CoreId::new(0), VirtAddr::new(v * PAGE_BYTES))
+                .unwrap();
+            if m.space().kind_of(p) == MemKind::Near {
+                nm += 1;
+            }
+        }
+        assert_eq!(nm, 20, "1 in 5 pages goes to NM at a 4:1 ratio");
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let mut a = PageMapper::new(space(), PlacementPolicy::RandomSeeded(9));
+        let mut b = PageMapper::new(space(), PlacementPolicy::RandomSeeded(9));
+        for v in 0..50u64 {
+            assert_eq!(
+                a.translate(CoreId::new(2), VirtAddr::new(v * PAGE_BYTES)),
+                b.translate(CoreId::new(2), VirtAddr::new(v * PAGE_BYTES))
+            );
+        }
+    }
+}

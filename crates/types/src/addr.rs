@@ -1,0 +1,273 @@
+//! Address newtypes.
+//!
+//! Physical and virtual addresses are kept statically distinct so that a
+//! pre-translation address can never be handed to the memory system, and
+//! block/subblock *indices* are distinct from byte addresses so that index
+//! arithmetic (congruence-set computation, bit-vector offsets) cannot be
+//! accidentally performed on raw bytes.
+
+use core::fmt;
+
+use crate::geometry::Geometry;
+
+/// A physical byte address in the flat NM+FM space.
+///
+/// # Example
+///
+/// ```
+/// use silcfm_types::PhysAddr;
+/// let a = PhysAddr::new(0x1_0040);
+/// assert_eq!(a.value(), 0x1_0040);
+/// assert_eq!(a.offset(2048), 0x40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte value.
+    pub const fn new(value: u64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw byte value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte offset of this address within an aligned region of
+    /// `region_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `region_bytes` is not a power of two.
+    pub fn offset(self, region_bytes: u64) -> u64 {
+        debug_assert!(region_bytes.is_power_of_two());
+        self.0 & (region_bytes - 1)
+    }
+
+    /// Returns the address rounded down to a multiple of `align_bytes`.
+    pub fn align_down(self, align_bytes: u64) -> Self {
+        debug_assert!(align_bytes.is_power_of_two());
+        Self(self.0 & !(align_bytes - 1))
+    }
+
+    /// Returns the address advanced by `bytes`.
+    pub const fn add(self, bytes: u64) -> Self {
+        Self(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PA:{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(value: u64) -> Self {
+        Self(value)
+    }
+}
+
+/// A virtual byte address as issued by a core, before translation.
+///
+/// # Example
+///
+/// ```
+/// use silcfm_types::VirtAddr;
+/// let v = VirtAddr::new(0x7fff_0000);
+/// assert_eq!(v.value(), 0x7fff_0000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address from a raw byte value.
+    pub const fn new(value: u64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw byte value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the virtual page number for a page of `page_bytes` bytes.
+    pub fn page_number(self, page_bytes: u64) -> u64 {
+        debug_assert!(page_bytes.is_power_of_two());
+        self.0 / page_bytes
+    }
+
+    /// Returns the byte offset within a page of `page_bytes` bytes.
+    pub fn page_offset(self, page_bytes: u64) -> u64 {
+        debug_assert!(page_bytes.is_power_of_two());
+        self.0 & (page_bytes - 1)
+    }
+
+    /// Returns the address advanced by `bytes`.
+    pub const fn add(self, bytes: u64) -> Self {
+        Self(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VA:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(value: u64) -> Self {
+        Self(value)
+    }
+}
+
+/// The index of a 2 KB large block (page) in the flat physical space.
+///
+/// Index `i` covers physical bytes `[i * block_bytes, (i + 1) * block_bytes)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockIndex(u64);
+
+impl BlockIndex {
+    /// Creates a block index from a raw index value.
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Creates the block index containing `addr`.
+    pub fn containing(addr: PhysAddr, geom: Geometry) -> Self {
+        Self(addr.value() / geom.block_bytes())
+    }
+
+    /// Returns the raw index value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the physical address of the first byte of this block.
+    pub fn base_addr(self, geom: Geometry) -> PhysAddr {
+        PhysAddr::new(self.0 * geom.block_bytes())
+    }
+
+    /// Returns the subblock index of the `offset`-th subblock of this block.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `offset >= geom.subblocks_per_block()`.
+    pub fn subblock(self, offset: u32, geom: Geometry) -> SubblockIndex {
+        debug_assert!(offset < geom.subblocks_per_block());
+        SubblockIndex::new(self.0 * u64::from(geom.subblocks_per_block()) + u64::from(offset))
+    }
+}
+
+impl fmt::Display for BlockIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// The index of a 64 B subblock in the flat physical space.
+///
+/// Index `i` covers physical bytes `[i * subblock_bytes, (i+1) * subblock_bytes)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SubblockIndex(u64);
+
+impl SubblockIndex {
+    /// Creates a subblock index from a raw index value.
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Creates the subblock index containing `addr`.
+    pub fn containing(addr: PhysAddr, geom: Geometry) -> Self {
+        Self(addr.value() / geom.subblock_bytes())
+    }
+
+    /// Returns the raw index value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the physical address of the first byte of this subblock.
+    pub fn base_addr(self, geom: Geometry) -> PhysAddr {
+        PhysAddr::new(self.0 * geom.subblock_bytes())
+    }
+
+    /// Returns the large block containing this subblock.
+    pub fn block(self, geom: Geometry) -> BlockIndex {
+        BlockIndex::new(self.0 / u64::from(geom.subblocks_per_block()))
+    }
+
+    /// Returns the position of this subblock within its large block
+    /// (`0..geom.subblocks_per_block()`), i.e. the bit number in a per-block
+    /// residency bit vector.
+    pub fn offset_in_block(self, geom: Geometry) -> u32 {
+        (self.0 % u64::from(geom.subblocks_per_block())) as u32
+    }
+}
+
+impl fmt::Display for SubblockIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_addr_offset_and_align() {
+        let a = PhysAddr::new(0x1234);
+        assert_eq!(a.offset(0x1000), 0x234);
+        assert_eq!(a.align_down(0x1000), PhysAddr::new(0x1000));
+        assert_eq!(a.add(0x10), PhysAddr::new(0x1244));
+    }
+
+    #[test]
+    fn virt_addr_page_math() {
+        let v = VirtAddr::new(3 * 2048 + 100);
+        assert_eq!(v.page_number(2048), 3);
+        assert_eq!(v.page_offset(2048), 100);
+    }
+
+    #[test]
+    fn block_and_subblock_round_trip() {
+        let geom = Geometry::paper();
+        let addr = PhysAddr::new(5 * 2048 + 7 * 64 + 3);
+        let block = BlockIndex::containing(addr, geom);
+        assert_eq!(block.value(), 5);
+        assert_eq!(block.base_addr(geom), PhysAddr::new(5 * 2048));
+
+        let sub = SubblockIndex::containing(addr, geom);
+        assert_eq!(sub.block(geom), block);
+        assert_eq!(sub.offset_in_block(geom), 7);
+        assert_eq!(block.subblock(7, geom), sub);
+        assert_eq!(sub.base_addr(geom), PhysAddr::new(5 * 2048 + 7 * 64));
+    }
+
+    #[test]
+    fn display_forms_are_nonempty() {
+        assert_eq!(format!("{}", PhysAddr::new(16)), "PA:0x10");
+        assert_eq!(format!("{}", VirtAddr::new(16)), "VA:0x10");
+        assert_eq!(format!("{}", BlockIndex::new(4)), "B4");
+        assert_eq!(format!("{}", SubblockIndex::new(9)), "S9");
+    }
+
+    #[test]
+    fn lower_hex_formatting() {
+        assert_eq!(format!("{:x}", PhysAddr::new(255)), "ff");
+    }
+
+    #[test]
+    fn from_u64_conversions() {
+        assert_eq!(PhysAddr::from(7u64), PhysAddr::new(7));
+        assert_eq!(VirtAddr::from(7u64), VirtAddr::new(7));
+    }
+}

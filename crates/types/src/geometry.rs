@@ -1,0 +1,190 @@
+//! Block geometry: the subblock / large-block sizes of the paper.
+//!
+//! SILC-FM manages data at two granularities (paper §II): a *small block or
+//! subblock* of 64 contiguous bytes, and a *large block* (page) of 2 KB. The
+//! geometry is configurable for testing, but [`Geometry::paper`] gives the
+//! published values.
+
+use core::fmt;
+
+/// Subblock/large-block geometry of the flat memory organization.
+///
+/// # Example
+///
+/// ```
+/// use silcfm_types::Geometry;
+/// let geom = Geometry::paper();
+/// assert_eq!(geom.subblock_bytes(), 64);
+/// assert_eq!(geom.block_bytes(), 2048);
+/// assert_eq!(geom.subblocks_per_block(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    subblock_bytes: u64,
+    block_bytes: u64,
+}
+
+impl Geometry {
+    /// Creates a geometry with the given subblock and large-block sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] unless both sizes are powers of two and the
+    /// block size is a multiple of the subblock size with at most 64
+    /// subblocks per block (the residency bit vector is a `u64`).
+    pub fn new(subblock_bytes: u64, block_bytes: u64) -> Result<Self, GeometryError> {
+        if !subblock_bytes.is_power_of_two() || !block_bytes.is_power_of_two() {
+            return Err(GeometryError::NotPowerOfTwo);
+        }
+        if block_bytes < subblock_bytes {
+            return Err(GeometryError::BlockSmallerThanSubblock);
+        }
+        let per_block = block_bytes / subblock_bytes;
+        if per_block > 64 {
+            return Err(GeometryError::TooManySubblocks(per_block));
+        }
+        Ok(Self {
+            subblock_bytes,
+            block_bytes,
+        })
+    }
+
+    /// The geometry used throughout the paper: 64 B subblocks in 2 KB blocks.
+    pub const fn paper() -> Self {
+        Self {
+            subblock_bytes: 64,
+            block_bytes: 2048,
+        }
+    }
+
+    /// Size of a subblock (small block) in bytes.
+    pub const fn subblock_bytes(self) -> u64 {
+        self.subblock_bytes
+    }
+
+    /// Size of a large block (page) in bytes.
+    pub const fn block_bytes(self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Number of subblocks per large block (bit-vector width).
+    pub const fn subblocks_per_block(self) -> u32 {
+        (self.block_bytes / self.subblock_bytes) as u32
+    }
+
+    /// A bit mask with one bit set for every subblock position in a block.
+    pub const fn full_mask(self) -> u64 {
+        let n = self.subblocks_per_block();
+        if n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}B subblocks / {}B blocks",
+            self.subblock_bytes, self.block_bytes
+        )
+    }
+}
+
+/// Error returned by [`Geometry::new`] for invalid size combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// One of the sizes is not a power of two.
+    NotPowerOfTwo,
+    /// The large-block size is smaller than the subblock size.
+    BlockSmallerThanSubblock,
+    /// More subblocks per block than the 64-bit residency vector can track.
+    TooManySubblocks(u64),
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotPowerOfTwo => write!(f, "sizes must be powers of two"),
+            Self::BlockSmallerThanSubblock => {
+                write!(f, "block size must be at least the subblock size")
+            }
+            Self::TooManySubblocks(n) => {
+                write!(f, "{n} subblocks per block exceeds the 64-bit vector")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let g = Geometry::paper();
+        assert_eq!(g.subblock_bytes(), 64);
+        assert_eq!(g.block_bytes(), 2048);
+        assert_eq!(g.subblocks_per_block(), 32);
+        assert_eq!(g.full_mask(), 0xFFFF_FFFF);
+        assert_eq!(Geometry::default(), g);
+    }
+
+    #[test]
+    fn custom_geometry() {
+        let g = Geometry::new(64, 4096).unwrap();
+        assert_eq!(g.subblocks_per_block(), 64);
+        assert_eq!(g.full_mask(), u64::MAX);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert_eq!(Geometry::new(63, 2048), Err(GeometryError::NotPowerOfTwo));
+        assert_eq!(Geometry::new(64, 3000), Err(GeometryError::NotPowerOfTwo));
+    }
+
+    #[test]
+    fn rejects_block_smaller_than_subblock() {
+        assert_eq!(
+            Geometry::new(128, 64),
+            Err(GeometryError::BlockSmallerThanSubblock)
+        );
+    }
+
+    #[test]
+    fn rejects_too_many_subblocks() {
+        assert_eq!(
+            Geometry::new(64, 64 * 128),
+            Err(GeometryError::TooManySubblocks(128))
+        );
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        for e in [
+            GeometryError::NotPowerOfTwo,
+            GeometryError::BlockSmallerThanSubblock,
+            GeometryError::TooManySubblocks(128),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(
+            Geometry::paper().to_string(),
+            "64B subblocks / 2048B blocks"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Core types shared by every crate of the SILC-FM reproduction.
+//!
+//! This crate defines the vocabulary of the simulator:
+//!
+//! * [`addr`] — physical/virtual address newtypes and block/subblock indices;
+//! * [`geometry`] — the 64 B subblock / 2 KB large-block layout of the paper;
+//! * [`layout`] — the flat NM+FM physical address space (NM at low addresses);
+//! * [`mem`] — memory operations ([`MemOp`]) produced by placement schemes and
+//!   consumed by the DRAM timing model;
+//! * [`access`] — post-LLC-miss demand accesses ([`Access`]) as seen by a
+//!   flat-memory scheme;
+//! * [`scheme`] — the [`MemoryScheme`] trait implemented by SILC-FM and all
+//!   baselines;
+//! * [`config`] — the Table II system configuration;
+//! * [`stats`] — small counter/ratio helpers used across crates.
+//!
+//! # Example
+//!
+//! ```
+//! use silcfm_types::{PhysAddr, Geometry, AddressSpace, MemKind};
+//!
+//! let geom = Geometry::paper();
+//! assert_eq!(geom.subblocks_per_block(), 32);
+//!
+//! // 256 MiB of near memory followed by 1 GiB of far memory.
+//! let space = AddressSpace::new(256 << 20, 1 << 30);
+//! assert_eq!(space.kind_of(PhysAddr::new(0)), MemKind::Near);
+//! assert_eq!(space.kind_of(PhysAddr::new(256 << 20)), MemKind::Far);
+//! ```
+
+pub mod access;
+pub mod addr;
+pub mod config;
+pub mod geometry;
+pub mod layout;
+pub mod mem;
+pub mod record;
+pub mod scheme;
+pub mod stats;
+
+pub use access::{Access, CoreId};
+pub use addr::{BlockIndex, PhysAddr, SubblockIndex, VirtAddr};
+pub use config::{CacheParams, CoreParams, SystemConfig};
+pub use geometry::Geometry;
+pub use layout::AddressSpace;
+pub use mem::{MemKind, MemOp, OpKind, TrafficClass};
+pub use record::TraceRecord;
+pub use scheme::{MemoryScheme, SchemeOutcome, SchemeStats};

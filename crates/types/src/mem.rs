@@ -1,0 +1,246 @@
+//! Memory operations exchanged between placement schemes and the DRAM models.
+
+use core::fmt;
+
+use crate::addr::PhysAddr;
+
+/// Which of the two memories an address or operation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// Near memory: small, fast, die-stacked (HBM-like).
+    Near,
+    /// Far memory: large, slow, off-chip (DDR-like).
+    Far,
+}
+
+impl MemKind {
+    /// The other memory.
+    pub const fn other(self) -> Self {
+        match self {
+            Self::Near => Self::Far,
+            Self::Far => Self::Near,
+        }
+    }
+
+    /// Short lowercase label used in reports ("nm" / "fm").
+    pub const fn label(self) -> &'static str {
+        match self {
+            Self::Near => "nm",
+            Self::Far => "fm",
+        }
+    }
+}
+
+impl fmt::Display for MemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Near => "NM",
+            Self::Far => "FM",
+        })
+    }
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A read transfers data from the memory device.
+    Read,
+    /// A write transfers data to the memory device.
+    Write,
+}
+
+impl OpKind {
+    /// Whether this is a write.
+    pub const fn is_write(self) -> bool {
+        matches!(self, Self::Write)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Read => "RD",
+            Self::Write => "WR",
+        })
+    }
+}
+
+/// Why an operation exists; used for bandwidth accounting (Fig. 8 separates
+/// demand traffic from migration traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// A demand access servicing an LLC miss.
+    Demand,
+    /// Data movement caused by swapping/migration between NM and FM.
+    Migration,
+    /// Remap-table / bit-vector metadata access.
+    Metadata,
+    /// Speculative fetch issued by a prefetching scheme (CAMEO+P).
+    Prefetch,
+    /// Dirty-data writeback from the LLC.
+    Writeback,
+}
+
+impl TrafficClass {
+    /// Whether this class counts as demand bandwidth in Fig. 8.
+    pub const fn is_demand(self) -> bool {
+        matches!(self, Self::Demand | Self::Writeback)
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Demand => "demand",
+            Self::Migration => "migration",
+            Self::Metadata => "metadata",
+            Self::Prefetch => "prefetch",
+            Self::Writeback => "writeback",
+        })
+    }
+}
+
+/// A single memory transaction issued to one of the DRAM devices.
+///
+/// `addr` is a *global* physical address; the simulator converts it to a
+/// device-local address with [`crate::AddressSpace::device_addr`] before
+/// handing it to the DRAM model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemOp {
+    /// Read or write.
+    pub kind: OpKind,
+    /// Which memory services the operation.
+    pub mem: MemKind,
+    /// Global physical byte address of the first byte touched.
+    pub addr: PhysAddr,
+    /// Number of bytes transferred.
+    pub bytes: u32,
+    /// Accounting class.
+    pub class: TrafficClass,
+}
+
+impl MemOp {
+    /// A demand read of `bytes` at `addr` from `mem`.
+    pub const fn demand_read(mem: MemKind, addr: PhysAddr, bytes: u32) -> Self {
+        Self {
+            kind: OpKind::Read,
+            mem,
+            addr,
+            bytes,
+            class: TrafficClass::Demand,
+        }
+    }
+
+    /// A demand write of `bytes` at `addr` to `mem`.
+    pub const fn demand_write(mem: MemKind, addr: PhysAddr, bytes: u32) -> Self {
+        Self {
+            kind: OpKind::Write,
+            mem,
+            addr,
+            bytes,
+            class: TrafficClass::Demand,
+        }
+    }
+
+    /// A migration read (swap traffic) of `bytes` at `addr` from `mem`.
+    pub const fn migration_read(mem: MemKind, addr: PhysAddr, bytes: u32) -> Self {
+        Self {
+            kind: OpKind::Read,
+            mem,
+            addr,
+            bytes,
+            class: TrafficClass::Migration,
+        }
+    }
+
+    /// A migration write (swap traffic) of `bytes` at `addr` to `mem`.
+    pub const fn migration_write(mem: MemKind, addr: PhysAddr, bytes: u32) -> Self {
+        Self {
+            kind: OpKind::Write,
+            mem,
+            addr,
+            bytes,
+            class: TrafficClass::Migration,
+        }
+    }
+
+    /// A metadata read (remap entry / bit vector) of `bytes` at `addr`.
+    pub const fn metadata_read(mem: MemKind, addr: PhysAddr, bytes: u32) -> Self {
+        Self {
+            kind: OpKind::Read,
+            mem,
+            addr,
+            bytes,
+            class: TrafficClass::Metadata,
+        }
+    }
+
+    /// A metadata write of `bytes` at `addr`.
+    pub const fn metadata_write(mem: MemKind, addr: PhysAddr, bytes: u32) -> Self {
+        Self {
+            kind: OpKind::Write,
+            mem,
+            addr,
+            bytes,
+            class: TrafficClass::Metadata,
+        }
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}B @ {} ({})",
+            self.kind, self.mem, self.bytes, self.addr, self.class
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_kind_other_and_labels() {
+        assert_eq!(MemKind::Near.other(), MemKind::Far);
+        assert_eq!(MemKind::Far.other(), MemKind::Near);
+        assert_eq!(MemKind::Near.label(), "nm");
+        assert_eq!(MemKind::Far.to_string(), "FM");
+    }
+
+    #[test]
+    fn traffic_class_demand_split() {
+        assert!(TrafficClass::Demand.is_demand());
+        assert!(TrafficClass::Writeback.is_demand());
+        assert!(!TrafficClass::Migration.is_demand());
+        assert!(!TrafficClass::Metadata.is_demand());
+        assert!(!TrafficClass::Prefetch.is_demand());
+    }
+
+    #[test]
+    fn constructors_set_class_and_kind() {
+        let a = PhysAddr::new(64);
+        let r = MemOp::demand_read(MemKind::Near, a, 64);
+        assert_eq!(r.kind, OpKind::Read);
+        assert_eq!(r.class, TrafficClass::Demand);
+        let w = MemOp::migration_write(MemKind::Far, a, 64);
+        assert!(w.kind.is_write());
+        assert_eq!(w.class, TrafficClass::Migration);
+        let m = MemOp::metadata_read(MemKind::Near, a, 8);
+        assert_eq!(m.class, TrafficClass::Metadata);
+        assert_eq!(m.bytes, 8);
+        let mw = MemOp::metadata_write(MemKind::Near, a, 8);
+        assert!(mw.kind.is_write());
+        let dw = MemOp::demand_write(MemKind::Far, a, 64);
+        assert!(dw.kind.is_write());
+        let mr = MemOp::migration_read(MemKind::Far, a, 64);
+        assert!(!mr.kind.is_write());
+    }
+
+    #[test]
+    fn display_form() {
+        let op = MemOp::demand_read(MemKind::Near, PhysAddr::new(128), 64);
+        assert_eq!(op.to_string(), "RD NM 64B @ PA:0x80 (demand)");
+    }
+}

@@ -1,0 +1,170 @@
+//! The interface every flat-memory placement scheme implements.
+//!
+//! A scheme (SILC-FM or a baseline) receives post-LLC-miss [`Access`]es and
+//! decides which DRAM transactions happen: where the demand data is serviced
+//! from, what metadata must be consulted, and what swap/migration traffic is
+//! generated. The simulator charges the returned [`MemOp`]s against the DRAM
+//! timing models.
+
+use core::fmt;
+
+use crate::access::Access;
+use crate::mem::{MemKind, MemOp};
+
+/// What a scheme decided for one demand access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeOutcome {
+    /// Operations on the critical path of the demand access, in order.
+    /// The demand load completes when the last of these completes; they are
+    /// issued back-to-back (each waits for the previous one).
+    pub critical: Vec<MemOp>,
+    /// Operations that consume bandwidth but do not block the demand access
+    /// (swap writes, migration of additional subblocks, prefetches).
+    pub background: Vec<MemOp>,
+    /// Which memory the demand data was ultimately serviced from. This feeds
+    /// the paper's *access rate* metric (Eq. 1).
+    pub serviced_from: MemKind,
+    /// Extra cycles during which *all* cores stall, used by the epoch-based
+    /// HMA scheme to model OS overheads (context switches, TLB shootdowns).
+    pub global_stall_cycles: u64,
+}
+
+impl SchemeOutcome {
+    /// An outcome that services the demand from `mem` with the given
+    /// critical-path operations and no background traffic.
+    pub fn serviced(mem: MemKind, critical: Vec<MemOp>) -> Self {
+        Self {
+            critical,
+            background: Vec::new(),
+            serviced_from: mem,
+            global_stall_cycles: 0,
+        }
+    }
+
+    /// Total bytes moved on the critical path.
+    pub fn critical_bytes(&self) -> u64 {
+        self.critical.iter().map(|op| u64::from(op.bytes)).sum()
+    }
+
+    /// Total bytes moved in the background.
+    pub fn background_bytes(&self) -> u64 {
+        self.background.iter().map(|op| u64::from(op.bytes)).sum()
+    }
+}
+
+/// Aggregate statistics a scheme reports at the end of a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchemeStats {
+    /// Total demand accesses (LLC misses) seen.
+    pub accesses: u64,
+    /// Demand accesses serviced from near memory.
+    pub serviced_from_nm: u64,
+    /// Number of subblock-granularity transfers between NM and FM.
+    pub subblocks_moved: u64,
+    /// Number of whole-block migrations (locks, PoM migrations, HMA moves).
+    pub blocks_migrated: u64,
+    /// Scheme-specific named metrics (predictor accuracy, lock counts, …).
+    pub details: Vec<(String, f64)>,
+}
+
+impl SchemeStats {
+    /// The paper's *access rate* (Eq. 1): fraction of LLC misses serviced
+    /// from NM. Returns 0 when no accesses were recorded.
+    pub fn access_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.serviced_from_nm as f64 / self.accesses as f64
+        }
+    }
+
+    /// Adds a named detail metric.
+    pub fn detail(&mut self, name: impl Into<String>, value: f64) {
+        self.details.push((name.into(), value));
+    }
+}
+
+impl fmt::Display for SchemeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses={} access_rate={:.3} subblocks_moved={} blocks_migrated={}",
+            self.accesses,
+            self.access_rate(),
+            self.subblocks_moved,
+            self.blocks_migrated
+        )
+    }
+}
+
+/// A hardware (or software) data-placement scheme managing the flat NM+FM
+/// address space.
+///
+/// Implementations must be deterministic given the same access sequence so
+/// that experiments are reproducible.
+pub trait MemoryScheme {
+    /// Handles one post-LLC-miss access and returns the memory traffic it
+    /// causes.
+    fn access(&mut self, access: &Access) -> SchemeOutcome;
+
+    /// Short machine-readable name ("silcfm", "cameo", "pom", …).
+    fn name(&self) -> &'static str;
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> SchemeStats;
+
+    /// Resets all internal state and statistics, as if freshly constructed.
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PhysAddr;
+
+    #[test]
+    fn outcome_byte_accounting() {
+        let out = SchemeOutcome {
+            critical: vec![
+                MemOp::metadata_read(MemKind::Near, PhysAddr::new(0), 8),
+                MemOp::demand_read(MemKind::Near, PhysAddr::new(64), 64),
+            ],
+            background: vec![MemOp::migration_write(MemKind::Far, PhysAddr::new(128), 64)],
+            serviced_from: MemKind::Near,
+            global_stall_cycles: 0,
+        };
+        assert_eq!(out.critical_bytes(), 72);
+        assert_eq!(out.background_bytes(), 64);
+    }
+
+    #[test]
+    fn serviced_helper() {
+        let out = SchemeOutcome::serviced(
+            MemKind::Far,
+            vec![MemOp::demand_read(MemKind::Far, PhysAddr::new(0), 64)],
+        );
+        assert_eq!(out.serviced_from, MemKind::Far);
+        assert!(out.background.is_empty());
+        assert_eq!(out.global_stall_cycles, 0);
+    }
+
+    #[test]
+    fn access_rate() {
+        let mut s = SchemeStats {
+            accesses: 10,
+            serviced_from_nm: 8,
+            ..Default::default()
+        };
+        assert!((s.access_rate() - 0.8).abs() < 1e-12);
+        s.detail("predictor_accuracy", 0.95);
+        assert_eq!(s.details.len(), 1);
+        let empty = SchemeStats::default();
+        assert_eq!(empty.access_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_display_is_nonempty() {
+        let s = SchemeStats::default();
+        assert!(s.to_string().contains("accesses=0"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Capacity planning: how much die-stacked DRAM does a workload need?
+//!
+//! Sweeps the NM:FM capacity ratio the way the paper's Fig. 9 does
+//! (1/16 → 1/4, bracketing Knights Landing's ~1:24) and shows how SILC-FM's
+//! locking and associativity hold up its performance when NM shrinks,
+//! compared against CAMEO.
+//!
+//! Run with: `cargo run --release --example capacity_planning -- [workload]`
+
+use silc_fm::sim::{run, RunParams, SchemeKind};
+use silc_fm::trace::profiles;
+use silc_fm::types::SystemConfig;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "milc".to_string());
+    let workload = profiles::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload '{name}'");
+        std::process::exit(1);
+    });
+
+    let cfg = SystemConfig::experiment();
+    println!("{workload}\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>14}",
+        "NM size", "cam speedup", "silc speedup", "cam acc.rate", "silc acc.rate"
+    );
+
+    for ratio in [16u64, 8, 4] {
+        let params = RunParams::smoke().with_ratio(ratio);
+        let base = run(workload, SchemeKind::NoNm, &cfg, &params);
+        let cam = run(workload, SchemeKind::Cameo, &cfg, &params);
+        let silc = run(workload, SchemeKind::silcfm(), &cfg, &params);
+        println!(
+            "{:>10} {:>11.2}x {:>11.2}x {:>14.2} {:>14.2}",
+            format!("FM/{ratio}"),
+            cam.speedup_over(&base),
+            silc.speedup_over(&base),
+            cam.access_rate,
+            silc.access_rate,
+        );
+    }
+    println!("\nPaper (Fig. 9): SILC-FM degrades least at small NM because locking and");
+    println!("associativity absorb the conflict pressure of having fewer sets.");
+}

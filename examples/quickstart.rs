@@ -1,0 +1,53 @@
+//! Quickstart: simulate SILC-FM on one workload and print what the paper's
+//! evaluation measures — speedup over a system without die-stacked DRAM,
+//! the NM access rate, and the bandwidth split.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use silc_fm::sim::{run, RunParams, SchemeKind};
+use silc_fm::trace::profiles;
+use silc_fm::types::SystemConfig;
+
+fn main() {
+    // Table II's system with the harness's miniaturized LLC (see DESIGN.md).
+    let cfg = SystemConfig::experiment();
+    // Small runs so the example finishes in a few seconds.
+    let params = RunParams::smoke();
+    let workload = profiles::by_name("milc").expect("milc is in Table III");
+
+    println!("workload : {workload}");
+    println!("system   : {cfg}");
+    println!();
+
+    // The baseline the paper normalizes to: the same machine without NM.
+    let base = run(workload, SchemeKind::NoNm, &cfg, &params);
+    println!("no-NM baseline: {} cycles (IPC {:.2})", base.cycles, base.ipc());
+
+    // SILC-FM with the paper's full feature set.
+    let silc = run(workload, SchemeKind::silcfm(), &cfg, &params);
+    println!(
+        "SILC-FM       : {} cycles (IPC {:.2})  ->  speedup {:.2}x",
+        silc.cycles,
+        silc.ipc(),
+        silc.speedup_over(&base)
+    );
+    println!(
+        "access rate   : {:.2} of LLC misses serviced from near memory (Eq. 1)",
+        silc.access_rate
+    );
+    println!(
+        "bandwidth     : {:.0}% of demand bytes moved by NM (ideal 80% at 4:1)",
+        silc.traffic.nm_demand_fraction() * 100.0
+    );
+    println!(
+        "energy        : {:.1} mJ vs {:.1} mJ for the baseline",
+        silc.energy_pj / 1e9,
+        base.energy_pj / 1e9
+    );
+
+    // Every detail the controller tracks is available for inspection.
+    println!("\ncontroller details:");
+    for (name, value) in &silc.scheme_stats.details {
+        println!("  {name:24} {value:.3}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Scheme shootout: compare every flat-memory scheme on a workload of your
+//! choice — the single-workload version of the paper's Fig. 7.
+//!
+//! Run with: `cargo run --release --example scheme_shootout -- [workload]`
+//! (default `lib`; any Table III name works, e.g. `mcf`, `milc`, `gcc`).
+
+use silc_fm::sim::{run, RunParams, SchemeKind};
+use silc_fm::trace::profiles;
+use silc_fm::types::SystemConfig;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "lib".to_string());
+    let Some(workload) = profiles::by_name(&name) else {
+        eprintln!("unknown workload '{name}'; Table III has:");
+        for p in profiles::all() {
+            eprintln!("  {p}");
+        }
+        std::process::exit(1);
+    };
+
+    let cfg = SystemConfig::experiment();
+    let params = RunParams::smoke();
+    println!("{workload}\n");
+    println!(
+        "{:8} {:>9} {:>8} {:>12} {:>12} {:>14}",
+        "scheme", "speedup", "access", "NM demand", "migration", "blocks"
+    );
+    println!(
+        "{:8} {:>9} {:>8} {:>12} {:>12} {:>14}",
+        "", "(vs base)", "rate", "fraction", "bytes (MiB)", "migrated"
+    );
+
+    let base = run(workload, SchemeKind::NoNm, &cfg, &params);
+    for kind in SchemeKind::fig7_lineup() {
+        let r = run(workload, kind, &cfg, &params);
+        println!(
+            "{:8} {:>8.2}x {:>8.2} {:>12.2} {:>12.1} {:>14}",
+            r.scheme,
+            r.speedup_over(&base),
+            r.access_rate,
+            r.traffic.nm_demand_fraction(),
+            r.traffic.overhead_bytes() as f64 / (1 << 20) as f64,
+            r.scheme_stats.blocks_migrated,
+        );
+    }
+    println!("\nThe paper's Fig. 7 ordering: SILC-FM first, CAMEO the best prior scheme.");
+}

@@ -1,0 +1,31 @@
+//! SILC-FM reproduction — umbrella crate.
+//!
+//! Re-exports every sub-crate of the workspace so downstream users (and the
+//! examples/integration tests in this repository) can depend on a single
+//! crate:
+//!
+//! ```
+//! use silc_fm::types::SystemConfig;
+//! let cfg = SystemConfig::paper();
+//! assert_eq!(cfg.core.cores, 16);
+//! ```
+//!
+//! See the crate-level docs of each module for details:
+//!
+//! * [`types`] — shared vocabulary (addresses, geometry, scheme trait);
+//! * [`dram`] — event-driven DRAM timing models (HBM2 / DDR3);
+//! * [`cache`] — SRAM cache hierarchy;
+//! * [`cpu`] — ROB-window core model;
+//! * [`trace`] — synthetic SPEC-like workloads (Table III);
+//! * [`core`] — the SILC-FM controller (the paper's contribution);
+//! * [`baselines`] — Random / HMA / CAMEO / CAMEO+P / PoM;
+//! * [`sim`] — full-system simulation and experiment runners.
+
+pub use silcfm_baselines as baselines;
+pub use silcfm_cache as cache;
+pub use silcfm_core as core;
+pub use silcfm_cpu as cpu;
+pub use silcfm_dram as dram;
+pub use silcfm_sim as sim;
+pub use silcfm_trace as trace;
+pub use silcfm_types as types;

@@ -1,0 +1,199 @@
+//! Cross-crate integration tests: the full simulation pipeline (workload →
+//! translation → caches → scheme → DRAM) for every scheme, exercised
+//! end-to-end through the public API.
+
+use silc_fm::sim::{run, RunParams, SchemeKind};
+use silc_fm::trace::profiles;
+use silc_fm::types::stats::geometric_mean;
+use silc_fm::types::SystemConfig;
+
+fn cfg() -> SystemConfig {
+    SystemConfig::small()
+}
+
+fn params() -> RunParams {
+    RunParams::smoke()
+}
+
+#[test]
+fn every_scheme_completes_on_every_mpki_class() {
+    for workload in ["dealii", "gems", "milc"] {
+        let profile = profiles::by_name(workload).unwrap();
+        let base = run(profile, SchemeKind::NoNm, &cfg(), &params());
+        assert!(base.cycles > 0);
+        for kind in SchemeKind::fig7_lineup() {
+            let r = run(profile, kind, &cfg(), &params());
+            assert!(r.cycles > 0, "{workload}/{}", r.scheme);
+            assert!(
+                (0.0..=1.0).contains(&r.access_rate),
+                "{workload}/{}: access rate {}",
+                r.scheme,
+                r.access_rate
+            );
+            assert!(r.instructions > 0);
+            assert!(r.energy_pj > 0.0);
+        }
+    }
+}
+
+#[test]
+fn demand_traffic_matches_llc_misses() {
+    // Every LLC miss moves exactly one 64-byte line of demand read traffic
+    // (plus writebacks); no scheme may lose or invent demand traffic.
+    let profile = profiles::by_name("milc").unwrap();
+    for kind in [SchemeKind::NoNm, SchemeKind::Cameo, SchemeKind::silcfm()] {
+        let r = run(profile, kind, &cfg(), &params());
+        let demand = r.traffic.nm_demand + r.traffic.fm_demand;
+        // Reads: one per miss; CAMEO's widened bursts add <= 8B per access;
+        // writebacks add at most one more line each.
+        let min_expected = r.llc_misses * 64;
+        assert!(
+            demand >= min_expected,
+            "{}: demand {} < misses x 64 = {}",
+            r.scheme,
+            demand,
+            min_expected
+        );
+        assert!(
+            demand <= min_expected * 3,
+            "{}: demand {} implausibly large vs {}",
+            r.scheme,
+            demand,
+            min_expected
+        );
+    }
+}
+
+#[test]
+fn no_nm_baseline_never_touches_near_memory() {
+    let profile = profiles::by_name("gems").unwrap();
+    let r = run(profile, SchemeKind::NoNm, &cfg(), &params());
+    assert_eq!(r.traffic.nm_demand, 0);
+    assert_eq!(r.traffic.nm_other, 0);
+    assert_eq!(r.access_rate, 0.0);
+}
+
+#[test]
+fn static_random_placement_has_capacity_fraction_access_rate() {
+    // With a 4:1 FM:NM ratio, random placement puts ~1/5 of pages in NM.
+    let profile = profiles::by_name("milc").unwrap();
+    let r = run(profile, SchemeKind::Rand, &cfg(), &params());
+    assert!(
+        (r.access_rate - 0.2).abs() < 0.06,
+        "access rate {} should be near the 0.2 capacity fraction",
+        r.access_rate
+    );
+}
+
+#[test]
+fn migrating_schemes_beat_static_placement_on_skewed_workloads() {
+    // The paper's headline: hardware migration captures hot data that
+    // static placement leaves in FM (milc/lib are the skewed workloads).
+    let profile = profiles::by_name("lib").unwrap();
+    let base = run(profile, SchemeKind::NoNm, &cfg(), &params());
+    let rand = run(profile, SchemeKind::Rand, &cfg(), &params());
+    let silc = run(profile, SchemeKind::silcfm(), &cfg(), &params());
+    assert!(
+        silc.speedup_over(&base) > rand.speedup_over(&base),
+        "SILC-FM {:.3} must beat static {:.3}",
+        silc.speedup_over(&base),
+        rand.speedup_over(&base)
+    );
+    assert!(silc.access_rate > rand.access_rate + 0.2);
+}
+
+#[test]
+fn silcfm_access_rate_exceeds_cameo_on_spatial_workloads() {
+    // §III-A: bit-vector bulk fetching captures spatial locality a
+    // one-line-at-a-time scheme misses.
+    let profile = profiles::by_name("milc").unwrap();
+    let cam = run(profile, SchemeKind::Cameo, &cfg(), &params());
+    let silc = run(profile, SchemeKind::silcfm(), &cfg(), &params());
+    assert!(
+        silc.access_rate >= cam.access_rate - 0.02,
+        "silcfm {:.3} vs cameo {:.3}",
+        silc.access_rate,
+        cam.access_rate
+    );
+}
+
+#[test]
+fn results_are_bit_reproducible() {
+    let profile = profiles::by_name("xalanc").unwrap();
+    let a = run(profile, SchemeKind::silcfm(), &cfg(), &params());
+    let b = run(profile, SchemeKind::silcfm(), &cfg(), &params());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.traffic, b.traffic);
+    assert_eq!(a.scheme_stats, b.scheme_stats);
+}
+
+#[test]
+fn different_seeds_give_different_but_similar_results() {
+    let profile = profiles::by_name("milc").unwrap();
+    let p1 = params();
+    let p2 = RunParams { seed: 999, ..params() };
+    let a = run(profile, SchemeKind::silcfm(), &cfg(), &p1);
+    let b = run(profile, SchemeKind::silcfm(), &cfg(), &p2);
+    assert_ne!(a.cycles, b.cycles, "different seeds should perturb the run");
+    let ratio = a.cycles as f64 / b.cycles as f64;
+    assert!(
+        (0.6..1.6).contains(&ratio),
+        "seeds should not change results qualitatively: ratio {ratio}"
+    );
+}
+
+#[test]
+fn capacity_sweep_is_monotone_for_silcfm() {
+    // Fig. 9: more NM never hurts.
+    let profile = profiles::by_name("milc").unwrap();
+    let mut speedups = Vec::new();
+    for ratio in [16u64, 8, 4] {
+        let p = params().with_ratio(ratio);
+        let base = run(profile, SchemeKind::NoNm, &cfg(), &p);
+        let silc = run(profile, SchemeKind::silcfm(), &cfg(), &p);
+        speedups.push(silc.speedup_over(&base));
+    }
+    assert!(
+        speedups[2] >= speedups[0] - 0.05,
+        "1/4 NM should be at least as good as 1/16: {speedups:?}"
+    );
+}
+
+#[test]
+fn edp_favors_silcfm_over_baseline() {
+    // NM's lower pJ/bit means faster and cheaper on NM-friendly workloads.
+    let profile = profiles::by_name("lib").unwrap();
+    let base = run(profile, SchemeKind::NoNm, &cfg(), &params());
+    let silc = run(profile, SchemeKind::silcfm(), &cfg(), &params());
+    assert!(
+        silc.edp() < base.edp(),
+        "SILC-FM EDP {:.3e} should beat the baseline {:.3e}",
+        silc.edp(),
+        base.edp()
+    );
+}
+
+#[test]
+fn gmean_ordering_places_silcfm_on_top() {
+    // The paper's headline ordering on the three most NM-friendly
+    // workloads: SILC-FM above CAMEO above static random.
+    let mut rand_s = Vec::new();
+    let mut cam_s = Vec::new();
+    let mut silc_s = Vec::new();
+    for w in ["milc", "lib", "xalanc"] {
+        let profile = profiles::by_name(w).unwrap();
+        let base = run(profile, SchemeKind::NoNm, &cfg(), &params());
+        rand_s.push(run(profile, SchemeKind::Rand, &cfg(), &params()).speedup_over(&base));
+        cam_s.push(run(profile, SchemeKind::Cameo, &cfg(), &params()).speedup_over(&base));
+        silc_s.push(run(profile, SchemeKind::silcfm(), &cfg(), &params()).speedup_over(&base));
+    }
+    let (rand_g, cam_g, silc_g) = (
+        geometric_mean(&rand_s),
+        geometric_mean(&cam_s),
+        geometric_mean(&silc_s),
+    );
+    assert!(
+        silc_g > cam_g && silc_g > rand_g,
+        "ordering violated: silc {silc_g:.3}, cam {cam_g:.3}, rand {rand_g:.3}"
+    );
+}

@@ -1,0 +1,254 @@
+//! Property-based tests of the core invariants.
+//!
+//! The load-bearing property of a *flat* memory organization is that data is
+//! exchanged, never copied or lost: at all times every block of the combined
+//! address space is resident at exactly one location. These tests drive the
+//! schemes with arbitrary access sequences and check the metadata invariants
+//! that encode that property, plus conservation laws on the traffic the
+//! schemes emit.
+
+use proptest::prelude::*;
+
+use silc_fm::baselines::{Cameo, CameoParams, Pom, PomParams};
+use silc_fm::core::{LockState, SilcFm, SilcFmParams};
+use silc_fm::dram::{DramConfig, DramModel};
+use silc_fm::types::{
+    Access, AddressSpace, BlockIndex, CoreId, Geometry, MemKind, MemOp, MemoryScheme, OpKind,
+    PhysAddr, TrafficClass,
+};
+
+const NM_BLOCKS: u64 = 64;
+const FM_BLOCKS: u64 = 256;
+
+fn space() -> AddressSpace {
+    AddressSpace::new(NM_BLOCKS * 2048, FM_BLOCKS * 2048)
+}
+
+/// An arbitrary access: (block, subblock offset, pc-site, is_write).
+fn access_strategy() -> impl Strategy<Value = (u64, u32, u64, bool)> {
+    (
+        0..(NM_BLOCKS + FM_BLOCKS),
+        0u32..32,
+        0u64..8,
+        proptest::bool::ANY,
+    )
+}
+
+fn make_access((block, off, pc, write): (u64, u32, u64, bool)) -> Access {
+    let addr = PhysAddr::new(block * 2048 + u64::from(off) * 64);
+    if write {
+        Access::write(addr, 0x400 + pc * 4, CoreId::new(0))
+    } else {
+        Access::read(addr, 0x400 + pc * 4, CoreId::new(0))
+    }
+}
+
+/// Sums migration bytes by (memory, direction).
+fn migration_tally(ops: &[MemOp]) -> (u64, u64, u64, u64) {
+    let mut nm_r = 0;
+    let mut nm_w = 0;
+    let mut fm_r = 0;
+    let mut fm_w = 0;
+    for op in ops.iter().filter(|o| o.class == TrafficClass::Migration) {
+        match (op.mem, op.kind) {
+            (MemKind::Near, OpKind::Read) => nm_r += u64::from(op.bytes),
+            (MemKind::Near, OpKind::Write) => nm_w += u64::from(op.bytes),
+            (MemKind::Far, OpKind::Read) => fm_r += u64::from(op.bytes),
+            (MemKind::Far, OpKind::Write) => fm_w += u64::from(op.bytes),
+        }
+    }
+    (nm_r, nm_w, fm_r, fm_w)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SILC-FM metadata invariants: an FM block is interleaved into at most
+    /// one frame of its congruence set; locked-remap frames are fully
+    /// resident; locked-native frames hold only native data; a set bit
+    /// always has a tenant to exchange with.
+    #[test]
+    fn silcfm_metadata_invariants(accesses in proptest::collection::vec(access_strategy(), 1..400)) {
+        let mut scheme = SilcFm::new(space(), Geometry::paper(), SilcFmParams {
+            lock_threshold: 6,
+            lock_min_resident: 1,
+            aging_period: 100,
+            bypass_window: 50,
+            ..SilcFmParams::paper()
+        });
+        for a in accesses {
+            let out = scheme.access(&make_access(a));
+            prop_assert!(!out.critical.is_empty(), "demand op always present");
+            let demand = out.critical.last().unwrap();
+            prop_assert_eq!(demand.mem, out.serviced_from);
+        }
+        // Check every frame's metadata.
+        let sets = scheme.sets();
+        let mut tenants = std::collections::HashSet::new();
+        for f in 0..NM_BLOCKS {
+            let meta = *scheme.frame(f);
+            if let Some(tenant) = meta.remap {
+                prop_assert!(tenant.value() >= NM_BLOCKS, "tenants come from FM");
+                prop_assert_eq!(tenant.value() % sets, f % sets, "tenant in its set");
+                prop_assert!(tenants.insert(tenant), "tenant {} in two frames", tenant);
+            } else {
+                prop_assert_eq!(meta.bitvec, 0, "bits without a tenant");
+            }
+            match meta.lock {
+                LockState::LockedRemap => {
+                    prop_assert_eq!(meta.bitvec, Geometry::paper().full_mask());
+                    prop_assert!(meta.remap.is_some());
+                }
+                LockState::LockedNative => {
+                    prop_assert_eq!(meta.bitvec, 0);
+                    prop_assert!(meta.remap.is_none());
+                }
+                LockState::Unlocked => {}
+            }
+        }
+    }
+
+    /// Conservation: every migration writes as many bytes into each memory
+    /// as it reads out of the other (the demand read may substitute for one
+    /// migration read), so writes to NM+FM always equal 2 x 64 B per
+    /// exchange.
+    #[test]
+    fn silcfm_swap_traffic_balances(accesses in proptest::collection::vec(access_strategy(), 1..300)) {
+        let mut scheme = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
+        for a in accesses {
+            let out = scheme.access(&make_access(a));
+            let (_, nm_w, fm_r, fm_w) = migration_tally(&out.background);
+            // Per exchange: exactly one NM write and one FM write.
+            prop_assert_eq!(nm_w, fm_w, "NM and FM receive equal swap bytes");
+            // Reads never exceed writes (demand covers at most one read).
+            prop_assert!(fm_r <= fm_w + nm_w);
+        }
+    }
+
+    /// CAMEO's line location table stays a permutation under arbitrary
+    /// access sequences: no line is ever lost or duplicated.
+    #[test]
+    fn cameo_permutation_totality(accesses in proptest::collection::vec(access_strategy(), 1..500)) {
+        let mut cameo = Cameo::new(space(), CameoParams::with_prefetch());
+        let mut last_serviced = Vec::new();
+        for a in accesses {
+            let out = cameo.access(&make_access(a));
+            last_serviced.push(out.serviced_from);
+        }
+        // Re-access every line of set 0's congruence group: each must be
+        // found somewhere (find_slot panics on a broken permutation).
+        for member in 0..5u64 {
+            let addr = member * NM_BLOCKS * 2048; // line 0 of each member
+            let _ = cameo.access(&Access::read(PhysAddr::new(addr), 0, CoreId::new(0)));
+        }
+    }
+
+    /// A swapped-in line is immediately re-serviceable from NM (CAMEO swaps
+    /// unconditionally on every FM access).
+    #[test]
+    fn cameo_swap_in_is_visible(block in NM_BLOCKS..(NM_BLOCKS + FM_BLOCKS), off in 0u32..32) {
+        let mut cameo = Cameo::new(space(), CameoParams::default());
+        let addr = PhysAddr::new(block * 2048 + u64::from(off) * 64);
+        let first = cameo.access(&Access::read(addr, 0, CoreId::new(0)));
+        prop_assert_eq!(first.serviced_from, MemKind::Far);
+        let second = cameo.access(&Access::read(addr, 0, CoreId::new(0)));
+        prop_assert_eq!(second.serviced_from, MemKind::Near);
+    }
+
+    /// PoM's permutation stays total and its migrations move whole blocks.
+    #[test]
+    fn pom_invariants(accesses in proptest::collection::vec(access_strategy(), 1..400)) {
+        let mut pom = Pom::new(space(), PomParams {
+            threshold: 3,
+            ..PomParams::default()
+        });
+        let mut migration_bytes = 0u64;
+        for a in accesses {
+            let out = pom.access(&make_access(a));
+            for op in &out.background {
+                prop_assert_eq!(op.bytes, 2048, "PoM moves whole blocks");
+                migration_bytes += u64::from(op.bytes);
+            }
+        }
+        let stats = pom.stats();
+        prop_assert_eq!(migration_bytes, stats.blocks_migrated * 4 * 2048);
+    }
+
+    /// DRAM model laws: completions never precede arrivals, per-channel bus
+    /// occupancy never exceeds elapsed time, and identical request streams
+    /// give identical timings.
+    #[test]
+    fn dram_model_laws(requests in proptest::collection::vec((0u64..(1<<22), 1u32..4, proptest::bool::ANY), 1..200)) {
+        let mut m1 = DramModel::new(DramConfig::ddr3());
+        let mut m2 = DramModel::new(DramConfig::ddr3());
+        let mut now = 0u64;
+        let mut last = 0u64;
+        for (addr, size64, is_write) in requests {
+            let bytes = size64 * 64;
+            let addr = addr & !63;
+            let (a, b) = if is_write {
+                (m1.write(now, addr, bytes), m2.write(now, addr, bytes))
+            } else {
+                (m1.read(now, addr, bytes), m2.read(now, addr, bytes))
+            };
+            prop_assert_eq!(a, b, "deterministic");
+            prop_assert!(a >= now, "completion {} before arrival {}", a, now);
+            last = last.max(a);
+            now += 8; // advancing arrival times
+        }
+        let elapsed_mem = last / 4 + 1;
+        let stats = m1.stats();
+        prop_assert!(
+            stats.bus_busy_cycles <= elapsed_mem * 4,
+            "bus busier ({}) than 4 channels x {} cycles",
+            stats.bus_busy_cycles,
+            elapsed_mem
+        );
+    }
+
+    /// Scheme determinism across the board: same access sequence, same
+    /// emitted operations.
+    #[test]
+    fn schemes_are_deterministic(accesses in proptest::collection::vec(access_strategy(), 1..200)) {
+        let mut a = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
+        let mut b = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
+        for acc in &accesses {
+            prop_assert_eq!(a.access(&make_access(*acc)), b.access(&make_access(*acc)));
+        }
+        // And reset really resets.
+        a.reset();
+        let mut c = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
+        for acc in &accesses {
+            prop_assert_eq!(a.access(&make_access(*acc)), c.access(&make_access(*acc)));
+        }
+    }
+
+    /// The access-rate metric is always the fraction of NM-serviced demands.
+    #[test]
+    fn access_rate_accounting(accesses in proptest::collection::vec(access_strategy(), 1..300)) {
+        let mut scheme = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
+        let mut nm_count = 0u64;
+        for a in &accesses {
+            if scheme.access(&make_access(*a)).serviced_from == MemKind::Near {
+                nm_count += 1;
+            }
+        }
+        let stats = scheme.stats();
+        prop_assert_eq!(stats.serviced_from_nm, nm_count);
+        prop_assert_eq!(stats.accesses, accesses.len() as u64);
+        let expected = nm_count as f64 / accesses.len() as f64;
+        prop_assert!((stats.access_rate() - expected).abs() < 1e-12);
+    }
+
+    /// Geometry round trips: any address decomposes into (block, offset) and
+    /// recomposes exactly.
+    #[test]
+    fn geometry_round_trip(addr in 0u64..(1u64 << 40)) {
+        let geom = Geometry::paper();
+        let a = PhysAddr::new(addr);
+        let block = BlockIndex::containing(a, geom);
+        let off = silc_fm::types::SubblockIndex::containing(a, geom).offset_in_block(geom);
+        let reconstructed = block.base_addr(geom).value() + u64::from(off) * 64 + (addr % 64);
+        prop_assert_eq!(reconstructed, addr);
+    }
+}
