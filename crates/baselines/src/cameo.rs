@@ -309,7 +309,10 @@ mod tests {
     const FM_BYTES: u64 = 4 * NM_BYTES;
 
     fn cameo() -> Cameo {
-        Cameo::new(AddressSpace::new(NM_BYTES, FM_BYTES), CameoParams::default())
+        Cameo::new(
+            AddressSpace::new(NM_BYTES, FM_BYTES),
+            CameoParams::default(),
+        )
     }
 
     fn read(s: &mut Cameo, addr: u64) -> SchemeOutcome {
@@ -431,6 +434,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "integral multiple")]
     fn ratio_must_be_integral() {
-        let _ = Cameo::new(AddressSpace::new(3 * 2048, 4 * 2048), CameoParams::default());
+        let _ = Cameo::new(
+            AddressSpace::new(3 * 2048, 4 * 2048),
+            CameoParams::default(),
+        );
     }
 }

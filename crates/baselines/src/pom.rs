@@ -351,7 +351,11 @@ mod tests {
     fn remap_cache_hits_skip_metadata() {
         let mut p = pom();
         let first = read(&mut p, NM);
-        assert_eq!(first.critical.len(), 2, "cold remap-cache miss fetches metadata");
+        assert_eq!(
+            first.critical.len(),
+            2,
+            "cold remap-cache miss fetches metadata"
+        );
         let second = read(&mut p, NM + 64);
         assert_eq!(second.critical.len(), 1, "same set hits the remap cache");
     }

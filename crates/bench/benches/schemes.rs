@@ -2,27 +2,24 @@
 //! host time for every placement scheme, on a small milc-like workload.
 //! This is a simulator-performance benchmark (how fast the reproduction
 //! runs), not a paper figure; the figures live in `src/bin/`.
+//!
+//! Run with: `cargo bench -p silcfm-bench --bench schemes`
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use silcfm_bench::timing::bench;
 use silcfm_sim::{RunParams, SchemeKind, System};
 use silcfm_trace::profiles;
 use silcfm_types::SystemConfig;
 
 const ACCESSES_PER_CORE: u64 = 3_000;
 
-fn bench_schemes(c: &mut Criterion) {
+fn main() {
     let cfg = SystemConfig::small();
     let params = RunParams::smoke();
     let profile = profiles::scaled(
         profiles::by_name("milc").expect("milc exists"),
         params.footprint_scale,
     );
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(
-        ACCESSES_PER_CORE * u64::from(cfg.core.cores),
-    ));
+    let accesses = ACCESSES_PER_CORE * u64::from(cfg.core.cores);
     for kind in [
         SchemeKind::NoNm,
         SchemeKind::Rand,
@@ -32,22 +29,20 @@ fn bench_schemes(c: &mut Criterion) {
         SchemeKind::Pom,
         SchemeKind::silcfm(),
     ] {
-        group.bench_function(kind.label(), |b| {
-            b.iter(|| {
-                let space = silcfm_sim::experiment::space_for(&profile, &cfg, &params);
-                let total = ACCESSES_PER_CORE * u64::from(cfg.core.cores);
-                let mut sys = System::new(
-                    cfg,
-                    space,
-                    kind.placement(params.seed),
-                    kind.build(space, total),
-                );
-                std::hint::black_box(sys.run(&profile, ACCESSES_PER_CORE, params.seed))
-            })
+        let m = bench("end_to_end", kind.label(), || {
+            let space = silcfm_sim::experiment::space_for(&profile, &cfg, &params);
+            let total = ACCESSES_PER_CORE * u64::from(cfg.core.cores);
+            let mut sys = System::new(
+                cfg,
+                space,
+                kind.placement(params.seed),
+                kind.build(space, total),
+            );
+            std::hint::black_box(sys.run(&profile, ACCESSES_PER_CORE, params.seed));
         });
+        println!(
+            "  -> {:>8.3} M simulated accesses/s",
+            m.throughput() * accesses as f64 / 1e6
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_schemes);
-criterion_main!(benches);

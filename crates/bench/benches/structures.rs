@@ -1,99 +1,78 @@
 //! Micro-benchmarks of the hot data structures: remap/metadata handling in
 //! the SILC-FM controller, the bit-vector history table, the way predictor,
 //! the set-associative cache and the DRAM timing model.
+//!
+//! Run with: `cargo bench -p silcfm-bench --bench structures`
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use silcfm_bench::timing::bench;
 use silcfm_cache::{AccessKind, SetAssocCache};
 use silcfm_core::{BitVectorTable, SilcFm, SilcFmParams, WayPredictor};
 use silcfm_dram::{DramConfig, DramModel};
 use silcfm_types::{Access, AddressSpace, CoreId, Geometry, MemoryScheme, PhysAddr, SystemConfig};
 
-fn bench_history_table(c: &mut Criterion) {
-    let mut group = c.benchmark_group("history_table");
-    group.throughput(Throughput::Elements(1));
+fn bench_history_table() {
     let mut table = BitVectorTable::new(1 << 20);
     let mut key = 0u64;
-    group.bench_function("store", |b| {
-        b.iter(|| {
-            key = key.wrapping_add(0x9E37_79B9);
-            table.store(key, 0xDEAD_BEEF);
-        })
+    bench("history_table", "store", || {
+        key = key.wrapping_add(0x9E37_79B9);
+        table.store(key, 0xDEAD_BEEF);
     });
-    group.bench_function("lookup", |b| {
-        b.iter(|| {
-            key = key.wrapping_add(0x9E37_79B9);
-            std::hint::black_box(table.lookup(key))
-        })
+    bench("history_table", "lookup", || {
+        key = key.wrapping_add(0x9E37_79B9);
+        std::hint::black_box(table.lookup(key));
     });
-    group.finish();
 }
 
-fn bench_predictor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("way_predictor");
-    group.throughput(Throughput::Elements(1));
+fn bench_predictor() {
     let mut pred = WayPredictor::new(4 << 10);
     let mut key = 0u64;
-    group.bench_function("predict_update", |b| {
-        b.iter(|| {
-            key = key.wrapping_add(31);
-            let p = pred.predict(key);
-            pred.update(key, p, (key % 4) as u8, key.is_multiple_of(3));
-        })
+    bench("way_predictor", "predict_update", || {
+        key = key.wrapping_add(31);
+        let p = pred.predict(key);
+        pred.update(key, p, (key % 4) as u8, key.is_multiple_of(3));
     });
-    group.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("set_assoc_cache");
-    group.throughput(Throughput::Elements(1));
+fn bench_cache() {
     let mut cache = SetAssocCache::new(SystemConfig::paper().l2);
     let mut line = 0u64;
-    group.bench_function("l2_access", |b| {
-        b.iter(|| {
-            line = line.wrapping_add(97);
-            std::hint::black_box(cache.access(line % (1 << 20), AccessKind::Read))
-        })
+    bench("set_assoc_cache", "l2_access", || {
+        line = line.wrapping_add(97);
+        std::hint::black_box(cache.access(line % (1 << 20), AccessKind::Read));
     });
-    group.finish();
 }
 
-fn bench_dram(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dram_model");
-    group.throughput(Throughput::Elements(1));
+fn bench_dram() {
     for cfg in [DramConfig::hbm2(), DramConfig::ddr3()] {
         let mut model = DramModel::new(cfg);
         let mut now = 0u64;
         let mut addr = 0u64;
-        group.bench_function(format!("{}_read", cfg.name.to_lowercase()), |b| {
-            b.iter(|| {
+        bench(
+            "dram_model",
+            &format!("{}_read", cfg.name.to_lowercase()),
+            || {
                 addr = (addr + 4096) % (1 << 28);
                 now = std::hint::black_box(model.read(now, addr, 64));
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_controller(c: &mut Criterion) {
-    let mut group = c.benchmark_group("silcfm_controller");
-    group.throughput(Throughput::Elements(1));
+fn bench_controller() {
     let space = AddressSpace::new(4096 * 2048, 4 * 4096 * 2048);
     let mut scheme = SilcFm::new(space, Geometry::paper(), SilcFmParams::paper());
     let mut i = 0u64;
-    group.bench_function("access", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            let addr = PhysAddr::new((i * 64 * 131) % space.total_bytes());
-            std::hint::black_box(scheme.access(&Access::read(addr, 0x400 + i % 8, CoreId::new(0))))
-        })
+    bench("silcfm_controller", "access", || {
+        i = i.wrapping_add(1);
+        let addr = PhysAddr::new((i * 64 * 131) % space.total_bytes());
+        std::hint::black_box(scheme.access(&Access::read(addr, 0x400 + i % 8, CoreId::new(0))));
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_history_table, bench_predictor, bench_cache, bench_dram, bench_controller
+fn main() {
+    bench_history_table();
+    bench_predictor();
+    bench_cache();
+    bench_dram();
+    bench_controller();
 }
-criterion_main!(benches);

@@ -5,10 +5,9 @@
 //! performance at 0.8 rather than 1.0. This sweep varies the target on
 //! bandwidth-hungry workloads.
 
-use silcfm_bench::{run_one, HarnessOpts};
+use silcfm_bench::{run_named_matrix, HarnessOpts};
 use silcfm_core::SilcFmParams;
 use silcfm_sim::{format_table, Row, SchemeKind};
-use silcfm_trace::profiles;
 use silcfm_types::stats::geometric_mean;
 
 const TARGETS: &[f64] = &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
@@ -20,22 +19,28 @@ fn main() {
     let columns: Vec<String> = TARGETS.iter().map(|t| format!("{t:.1}")).collect();
     let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
 
-    let mut rows = Vec::new();
-    let mut per_t: Vec<Vec<f64>> = vec![Vec::new(); TARGETS.len()];
-    for name in workloads {
-        let profile = profiles::by_name(name).expect("known workload");
-        let base = run_one(profile, SchemeKind::NoNm, &params);
-        let mut values = Vec::new();
-        for (i, &t) in TARGETS.iter().enumerate() {
-            let p = SilcFmParams {
+    // Column 0 is the no-NM baseline; the sweep points follow.
+    let kinds: Vec<SchemeKind> = std::iter::once(SchemeKind::NoNm)
+        .chain(TARGETS.iter().map(|&t| {
+            SchemeKind::SilcFm(SilcFmParams {
                 bypass_target: t,
                 ..SilcFmParams::paper()
-            };
-            let s = run_one(profile, SchemeKind::SilcFm(p), &params).speedup_over(&base);
+            })
+        }))
+        .collect();
+    let results = run_named_matrix(&workloads, &kinds, &params);
+
+    let mut rows = Vec::new();
+    let mut per_t: Vec<Vec<f64>> = vec![Vec::new(); TARGETS.len()];
+    for (name, row) in workloads.iter().zip(&results) {
+        let base = &row[0];
+        let mut values = Vec::new();
+        for (i, r) in row[1..].iter().enumerate() {
+            let s = r.speedup_over(base);
             per_t[i].push(s);
             values.push(s);
         }
-        rows.push(Row::new(name, values));
+        rows.push(Row::new(*name, values));
     }
     rows.push(Row::new(
         "gmean",

@@ -5,37 +5,65 @@
 //! column disables or varies exactly one feature against the full paper
 //! configuration.
 
-use silcfm_bench::{run_one, HarnessOpts};
+use silcfm_bench::{run_named_matrix, HarnessOpts};
 use silcfm_core::SilcFmParams;
 use silcfm_sim::{format_table, Row, SchemeKind};
-use silcfm_trace::profiles;
 use silcfm_types::stats::geometric_mean;
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let params = opts.params();
     let variants: Vec<(&str, SilcFmParams)> = vec![
-        ("1-way", SilcFmParams { associativity: 1, ..SilcFmParams::paper() }),
-        ("2-way", SilcFmParams { associativity: 2, ..SilcFmParams::paper() }),
+        (
+            "1-way",
+            SilcFmParams {
+                associativity: 1,
+                ..SilcFmParams::paper()
+            },
+        ),
+        (
+            "2-way",
+            SilcFmParams {
+                associativity: 2,
+                ..SilcFmParams::paper()
+            },
+        ),
         ("4-way", SilcFmParams::paper()),
-        ("no-pred", SilcFmParams { predictor: false, ..SilcFmParams::paper() }),
-        ("no-hist", SilcFmParams { history_fetch: false, ..SilcFmParams::paper() }),
+        (
+            "no-pred",
+            SilcFmParams {
+                predictor: false,
+                ..SilcFmParams::paper()
+            },
+        ),
+        (
+            "no-hist",
+            SilcFmParams {
+                history_fetch: false,
+                ..SilcFmParams::paper()
+            },
+        ),
     ];
     let workloads = ["xalanc", "gcc", "milc", "mcf", "lib"];
     let columns: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
 
+    // Column 0 is the no-NM baseline; the variants follow. One parallel grid.
+    let kinds: Vec<SchemeKind> = std::iter::once(SchemeKind::NoNm)
+        .chain(variants.iter().map(|(_, p)| SchemeKind::SilcFm(*p)))
+        .collect();
+    let results = run_named_matrix(&workloads, &kinds, &params);
+
     let mut rows = Vec::new();
     let mut per_v: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
-    for name in workloads {
-        let profile = profiles::by_name(name).expect("known workload");
-        let base = run_one(profile, SchemeKind::NoNm, &params);
+    for (name, row) in workloads.iter().zip(&results) {
+        let base = &row[0];
         let mut values = Vec::new();
-        for (i, (_, p)) in variants.iter().enumerate() {
-            let s = run_one(profile, SchemeKind::SilcFm(*p), &params).speedup_over(&base);
+        for (i, r) in row[1..].iter().enumerate() {
+            let s = r.speedup_over(base);
             per_v[i].push(s);
             values.push(s);
         }
-        rows.push(Row::new(name, values));
+        rows.push(Row::new(*name, values));
     }
     rows.push(Row::new(
         "gmean",
@@ -45,7 +73,10 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &format!("A3: feature ablations, speedup over no-NM ({} mode)", opts.mode()),
+            &format!(
+                "A3: feature ablations, speedup over no-NM ({} mode)",
+                opts.mode()
+            ),
             &columns,
             &rows,
             3

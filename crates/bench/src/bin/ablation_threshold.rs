@@ -6,10 +6,9 @@
 //! are expressed in the paper's 1 M-access-aging units and scaled to the
 //! run length by the harness.
 
-use silcfm_bench::{run_one, HarnessOpts};
+use silcfm_bench::{run_named_matrix, HarnessOpts};
 use silcfm_core::SilcFmParams;
 use silcfm_sim::{format_table, Row, SchemeKind};
-use silcfm_trace::profiles;
 use silcfm_types::stats::geometric_mean;
 
 /// Thresholds applied directly (the harness scaling is bypassed by setting
@@ -23,24 +22,30 @@ fn main() {
     let columns: Vec<String> = THRESHOLDS.iter().map(|t| format!("T={t}")).collect();
     let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
 
-    let mut rows = Vec::new();
-    let mut per_t: Vec<Vec<f64>> = vec![Vec::new(); THRESHOLDS.len()];
-    for name in workloads {
-        let profile = profiles::by_name(name).expect("known workload");
-        let base = run_one(profile, SchemeKind::NoNm, &params);
-        let mut values = Vec::new();
-        for (i, &t) in THRESHOLDS.iter().enumerate() {
+    // Column 0 is the no-NM baseline; the sweep points follow.
+    let kinds: Vec<SchemeKind> = std::iter::once(SchemeKind::NoNm)
+        .chain(THRESHOLDS.iter().map(|&t| {
             let mut p = SilcFmParams::paper();
             // Scale the sweep point the same way the harness scales the
             // default: threshold per (aging_period/1M) proportion.
             let period = (params.accesses_per_core * 16 / 16).max(1_000);
-            p.lock_threshold =
-                ((f64::from(t) * period as f64 / 1_000_000.0) as u8).clamp(2, 63);
-            let s = run_one(profile, SchemeKind::SilcFm(p), &params).speedup_over(&base);
+            p.lock_threshold = ((f64::from(t) * period as f64 / 1_000_000.0) as u8).clamp(2, 63);
+            SchemeKind::SilcFm(p)
+        }))
+        .collect();
+    let results = run_named_matrix(&workloads, &kinds, &params);
+
+    let mut rows = Vec::new();
+    let mut per_t: Vec<Vec<f64>> = vec![Vec::new(); THRESHOLDS.len()];
+    for (name, row) in workloads.iter().zip(&results) {
+        let base = &row[0];
+        let mut values = Vec::new();
+        for (i, r) in row[1..].iter().enumerate() {
+            let s = r.speedup_over(base);
             per_t[i].push(s);
             values.push(s);
         }
-        rows.push(Row::new(name, values));
+        rows.push(Row::new(*name, values));
     }
     rows.push(Row::new(
         "gmean",
@@ -50,7 +55,10 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &format!("A1: lock-threshold sweep, speedup over no-NM ({} mode)", opts.mode()),
+            &format!(
+                "A1: lock-threshold sweep, speedup over no-NM ({} mode)",
+                opts.mode()
+            ),
             &column_refs,
             &rows,
             3

@@ -5,7 +5,7 @@
 //! demand from NM with less wasted migration traffic costs less energy
 //! at a shorter runtime.
 
-use silcfm_bench::{run_one, HarnessOpts};
+use silcfm_bench::{run_matrix, HarnessOpts};
 use silcfm_sim::{format_table, Row, SchemeKind};
 use silcfm_trace::profiles;
 use silcfm_types::stats::geometric_mean;
@@ -19,10 +19,10 @@ fn main() {
     // Relative EDP per workload, normalized to CAMEO (the paper's
     // comparison point).
     let cam_idx = kinds.iter().position(|k| k.label() == "cam").expect("cam");
+    let grid = run_matrix(&kinds, &params);
     let mut rows = Vec::new();
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
-    for profile in profiles::all() {
-        let results: Vec<_> = kinds.iter().map(|k| run_one(profile, *k, &params)).collect();
+    for (profile, results) in profiles::all().iter().zip(&grid) {
         let cam_edp = results[cam_idx].edp();
         let values: Vec<f64> = results.iter().map(|r| r.edp() / cam_edp).collect();
         for (i, v) in values.iter().enumerate() {
@@ -36,13 +36,19 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &format!("EDP normalized to CAMEO, lower is better ({} mode)", opts.mode()),
+            &format!(
+                "EDP normalized to CAMEO, lower is better ({} mode)",
+                opts.mode()
+            ),
             &columns,
             &rows,
             3
         )
     );
-    let silc_idx = kinds.iter().position(|k| k.label() == "silcfm").expect("silcfm");
+    let silc_idx = kinds
+        .iter()
+        .position(|k| k.label() == "silcfm")
+        .expect("silcfm");
     println!(
         "SILC-FM EDP vs CAMEO: {:+.1}% (paper: -13%)",
         (gmeans[silc_idx] - 1.0) * 100.0

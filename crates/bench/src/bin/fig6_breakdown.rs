@@ -5,7 +5,7 @@
 //! associativity, then bypassing. The paper reports 1.55× for swapping
 //! alone, +11 % locking, +8 % associativity, +8 % bypassing (1.82× total).
 
-use silcfm_bench::{baselines, run_one, HarnessOpts};
+use silcfm_bench::{baselines, run_matrix, HarnessOpts};
 use silcfm_core::SilcFmParams;
 use silcfm_sim::{format_table, Row, SchemeKind};
 use silcfm_trace::profiles;
@@ -18,17 +18,24 @@ fn main() {
         ("rand", SchemeKind::Rand),
         ("swap", SchemeKind::SilcFm(SilcFmParams::swap_only())),
         ("+lock", SchemeKind::SilcFm(SilcFmParams::with_locking())),
-        ("+assoc", SchemeKind::SilcFm(SilcFmParams::with_associativity())),
+        (
+            "+assoc",
+            SchemeKind::SilcFm(SilcFmParams::with_associativity()),
+        ),
         ("+bypass", SchemeKind::SilcFm(SilcFmParams::with_bypass())),
     ];
     let base = baselines(&params);
 
+    // Run the whole feature ladder × workload grid in parallel at once.
+    let kinds: Vec<SchemeKind> = ladder.iter().map(|(_, k)| *k).collect();
+    let results = run_matrix(&kinds, &params);
+
     let mut rows = Vec::new();
     let mut per_rung: Vec<Vec<f64>> = vec![Vec::new(); ladder.len()];
-    for (profile, b) in profiles::all().iter().zip(&base) {
+    for ((profile, b), row) in profiles::all().iter().zip(&base).zip(&results) {
         let mut values = Vec::new();
-        for (i, (_, kind)) in ladder.iter().enumerate() {
-            let s = run_one(profile, *kind, &params).speedup_over(b);
+        for (i, r) in row.iter().enumerate() {
+            let s = r.speedup_over(b);
             per_rung[i].push(s);
             values.push(s);
         }
@@ -41,7 +48,10 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &format!("Fig. 6: SILC-FM breakdown, speedup over no-NM ({} mode)", opts.mode()),
+            &format!(
+                "Fig. 6: SILC-FM breakdown, speedup over no-NM ({} mode)",
+                opts.mode()
+            ),
             &columns,
             &rows,
             3

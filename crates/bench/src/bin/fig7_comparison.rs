@@ -4,8 +4,8 @@
 //! cam / camp / pom / silcfm, plus the geometric mean, as in the paper's
 //! Fig. 7 (SILC-FM best overall; CAMEO the best prior hardware scheme).
 
-use silcfm_bench::{baselines, workload_labels, HarnessOpts};
-use silcfm_sim::{format_table, Row, RunResult, SchemeKind};
+use silcfm_bench::{baselines, run_matrix, workload_labels, HarnessOpts};
+use silcfm_sim::{format_table, Row, SchemeKind};
 use silcfm_trace::profiles;
 use silcfm_types::stats::geometric_mean;
 
@@ -15,12 +15,13 @@ fn main() {
     let kinds = SchemeKind::fig7_lineup();
     let base = baselines(&params);
 
+    // One parallel grid covers every (workload, scheme) cell;
     // speedups[w][k] for workload w, scheme k.
+    let results = run_matrix(&kinds, &params);
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); profiles::all().len()];
     let mut access_rates: Vec<Vec<f64>> = vec![Vec::new(); profiles::all().len()];
-    for kind in &kinds {
-        for (w, (profile, b)) in profiles::all().iter().zip(&base).enumerate() {
-            let r: RunResult = silcfm_bench::run_one(profile, *kind, &params);
+    for (w, (row, b)) in results.iter().zip(&base).enumerate() {
+        for r in row {
             speedups[w].push(r.speedup_over(b));
             access_rates[w].push(r.access_rate);
         }
@@ -55,11 +56,22 @@ fn main() {
         .collect();
     println!(
         "{}",
-        format_table("Fig. 7 (companion): access rate (Eq. 1)", &columns, &ar_rows, 3)
+        format_table(
+            "Fig. 7 (companion): access rate (Eq. 1)",
+            &columns,
+            &ar_rows,
+            3
+        )
     );
 
-    let cam_idx = kinds.iter().position(|k| k.label() == "cam").expect("cam in lineup");
-    let silc_idx = kinds.iter().position(|k| k.label() == "silcfm").expect("silcfm in lineup");
+    let cam_idx = kinds
+        .iter()
+        .position(|k| k.label() == "cam")
+        .expect("cam in lineup");
+    let silc_idx = kinds
+        .iter()
+        .position(|k| k.label() == "silcfm")
+        .expect("silcfm in lineup");
     println!(
         "SILC-FM vs best prior hardware scheme (CAMEO): {:+.1}% (paper: +36%)",
         (gmeans[silc_idx] / gmeans[cam_idx] - 1.0) * 100.0

@@ -4,7 +4,7 @@
 //! paper reports average NM demand fractions of 0.71 (HMA), 0.58 (PoM) and
 //! 0.76 (SILC-FM, 4 points below the ideal thanks to bypassing).
 
-use silcfm_bench::{run_one, HarnessOpts};
+use silcfm_bench::{run_matrix, HarnessOpts};
 use silcfm_sim::{format_table, Row, SchemeKind};
 use silcfm_trace::profiles;
 
@@ -14,12 +14,12 @@ fn main() {
     let kinds = SchemeKind::fig7_lineup();
     let columns: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
 
+    let results = run_matrix(&kinds, &params);
     let mut rows = Vec::new();
     let mut sums = vec![0.0; kinds.len()];
-    for profile in profiles::all() {
+    for (profile, row) in profiles::all().iter().zip(&results) {
         let mut values = Vec::new();
-        for (i, kind) in kinds.iter().enumerate() {
-            let r = run_one(profile, *kind, &params);
+        for (i, r) in row.iter().enumerate() {
             let frac = r.traffic.nm_demand_fraction();
             sums[i] += frac;
             values.push(frac);

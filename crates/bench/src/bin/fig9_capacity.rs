@@ -5,9 +5,8 @@
 //! moves from 1.47× to 1.61×; SILC-FM degrades least at small capacities
 //! because locking and associativity absorb the extra conflicts.
 
-use silcfm_bench::{run_one, HarnessOpts};
+use silcfm_bench::{run_matrix, HarnessOpts};
 use silcfm_sim::{format_table, Row, SchemeKind};
-use silcfm_trace::profiles;
 use silcfm_types::stats::geometric_mean;
 
 fn main() {
@@ -18,23 +17,30 @@ fn main() {
     let mut rows = Vec::new();
     for ratio in [16u64, 8, 4] {
         let params = opts.params().with_ratio(ratio);
-        let mut values = Vec::new();
-        for kind in &kinds {
-            let mut speedups = Vec::new();
-            for profile in profiles::all() {
-                let base = run_one(profile, SchemeKind::NoNm, &params);
-                let r = run_one(profile, *kind, &params);
-                speedups.push(r.speedup_over(&base));
-            }
-            values.push(geometric_mean(&speedups));
-        }
+        // One parallel grid per capacity point, baseline in column 0.
+        let with_base: Vec<SchemeKind> = std::iter::once(SchemeKind::NoNm)
+            .chain(kinds.iter().copied())
+            .collect();
+        let results = run_matrix(&with_base, &params);
+        let values: Vec<f64> = (1..with_base.len())
+            .map(|k| {
+                let speedups: Vec<f64> = results
+                    .iter()
+                    .map(|row| row[k].speedup_over(&row[0]))
+                    .collect();
+                geometric_mean(&speedups)
+            })
+            .collect();
         rows.push(Row::new(format!("NM=FM/{ratio}"), values));
     }
 
     println!(
         "{}",
         format_table(
-            &format!("Fig. 9: gmean speedup across NM capacities ({} mode)", opts.mode()),
+            &format!(
+                "Fig. 9: gmean speedup across NM capacities ({} mode)",
+                opts.mode()
+            ),
             &columns,
             &rows,
             3

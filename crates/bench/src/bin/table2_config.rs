@@ -14,23 +14,47 @@ fn main() {
     let fm = DramConfig::ddr3();
 
     println!("# Table II: system configuration");
-    println!("Processor : {} cores @ {} MHz, {}-wide OoO, {} ROB entries",
-        paper.core.cores, paper.core.freq_mhz, paper.core.width, paper.core.rob_entries);
-    println!("L1 I-cache: {} KiB, {}-way, {} cycles (private)",
-        paper.l1i.capacity_bytes >> 10, paper.l1i.ways, paper.l1i.latency_cycles);
-    println!("L1 D-cache: {} KiB, {}-way, {} cycles (private)",
-        paper.l1d.capacity_bytes >> 10, paper.l1d.ways, paper.l1d.latency_cycles);
-    println!("L2 cache  : {} MiB, {}-way, {} cycles (shared; experiments run {} MiB — see DESIGN.md)",
-        paper.l2.capacity_bytes >> 20, paper.l2.ways, paper.l2.latency_cycles,
-        experiment.l2.capacity_bytes >> 20);
+    println!(
+        "Processor : {} cores @ {} MHz, {}-wide OoO, {} ROB entries",
+        paper.core.cores, paper.core.freq_mhz, paper.core.width, paper.core.rob_entries
+    );
+    println!(
+        "L1 I-cache: {} KiB, {}-way, {} cycles (private)",
+        paper.l1i.capacity_bytes >> 10,
+        paper.l1i.ways,
+        paper.l1i.latency_cycles
+    );
+    println!(
+        "L1 D-cache: {} KiB, {}-way, {} cycles (private)",
+        paper.l1d.capacity_bytes >> 10,
+        paper.l1d.ways,
+        paper.l1d.latency_cycles
+    );
+    println!(
+        "L2 cache  : {} MiB, {}-way, {} cycles (shared; experiments run {} MiB — see DESIGN.md)",
+        paper.l2.capacity_bytes >> 20,
+        paper.l2.ways,
+        paper.l2.latency_cycles,
+        experiment.l2.capacity_bytes >> 20
+    );
     println!();
     for dev in [&nm, &fm] {
         println!(
             "{:4} : {} channels x {}-bit @ {} MHz DDR, {} ranks x {} banks, {} KiB rows, \
              RQ/WQ {}/{}, tCAS-tRCD-tRP-tRAS = {}-{}-{}-{}, peak {:.1} GB/s",
-            dev.name, dev.channels, dev.bus_bits, dev.bus_mhz, dev.ranks, dev.banks,
-            dev.row_bytes >> 10, dev.read_queue, dev.write_queue,
-            dev.timings.t_cas, dev.timings.t_rcd, dev.timings.t_rp, dev.timings.t_ras,
+            dev.name,
+            dev.channels,
+            dev.bus_bits,
+            dev.bus_mhz,
+            dev.ranks,
+            dev.banks,
+            dev.row_bytes >> 10,
+            dev.read_queue,
+            dev.write_queue,
+            dev.timings.t_cas,
+            dev.timings.t_rcd,
+            dev.timings.t_rp,
+            dev.timings.t_ras,
             dev.peak_bandwidth_gbs()
         );
     }

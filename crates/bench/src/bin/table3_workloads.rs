@@ -5,8 +5,7 @@
 //! profile's MPKI class from the paper's table. Footprints are the paper's
 //! scaled down by ~two orders of magnitude (see DESIGN.md substitutions).
 
-use silcfm_bench::{run_one, HarnessOpts};
-use silcfm_sim::SchemeKind;
+use silcfm_bench::{baselines, HarnessOpts};
 use silcfm_trace::profiles;
 
 fn main() {
@@ -18,8 +17,7 @@ fn main() {
         "{:8} {:>12} {:>12} {:>16} {:>14}",
         "name", "class", "MPKI(meas.)", "footprint(MiB)", "writes(frac)"
     );
-    for profile in profiles::all() {
-        let r = run_one(profile, SchemeKind::NoNm, &params);
+    for (profile, r) in profiles::all().iter().zip(baselines(&params)) {
         println!(
             "{:8} {:>12} {:>12.1} {:>16.1} {:>14.2}",
             profile.name,

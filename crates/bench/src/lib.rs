@@ -9,6 +9,9 @@
 //! See `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
 //! recorded paper-vs-measured results.
 
+pub mod timing;
+
+use silcfm_sim::runner::{default_threads, run_grid, ExperimentGrid};
 use silcfm_sim::{run, RunParams, RunResult, SchemeKind};
 use silcfm_trace::profiles;
 use silcfm_trace::profiles::WorkloadProfile;
@@ -59,6 +62,46 @@ pub fn run_one(profile: &WorkloadProfile, kind: SchemeKind, params: &RunParams) 
     run(profile, kind, &experiment_config(), params)
 }
 
+/// Runs the full (workload × scheme) grid across the worker pool and
+/// returns results indexed `[workload][scheme]`, in `profiles::all()` /
+/// `kinds` order. All figure binaries funnel through this, so every harness
+/// sweep is parallel; the ordered reassembly in
+/// [`run_grid`](silcfm_sim::runner::run_grid) keeps output bit-identical to
+/// the old serial loops.
+pub fn run_matrix(kinds: &[SchemeKind], params: &RunParams) -> Vec<Vec<RunResult>> {
+    let jobs = ExperimentGrid::new(experiment_config(), *params)
+        .all_workloads()
+        .schemes(kinds.iter().copied())
+        .jobs();
+    let flat = run_grid(&jobs, default_threads());
+    flat.chunks(kinds.len().max(1))
+        .map(<[RunResult]>::to_vec)
+        .collect()
+}
+
+/// [`run_matrix`] over a named subset of Table III workloads, for the
+/// ablation sweeps. Results are indexed `[workload][scheme]` in the order
+/// given.
+///
+/// # Panics
+///
+/// Panics if a workload name is not in Table III.
+pub fn run_named_matrix(
+    workloads: &[&str],
+    kinds: &[SchemeKind],
+    params: &RunParams,
+) -> Vec<Vec<RunResult>> {
+    let mut grid = ExperimentGrid::new(experiment_config(), *params);
+    for name in workloads {
+        grid = grid.workload(profiles::by_name(name).expect("known workload"));
+    }
+    let jobs = grid.schemes(kinds.iter().copied()).jobs();
+    let flat = run_grid(&jobs, default_threads());
+    flat.chunks(kinds.len().max(1))
+        .map(<[RunResult]>::to_vec)
+        .collect()
+}
+
 /// Speedups of `kind` over the no-NM baseline for every Table III workload.
 /// Returns `(per-workload speedups in profile order, geometric mean)`;
 /// `baselines` must hold the no-NM run of each workload in the same order.
@@ -67,10 +110,10 @@ pub fn speedups_vs(
     baselines: &[RunResult],
     params: &RunParams,
 ) -> (Vec<f64>, f64) {
+    let results = run_matrix(&[kind], params);
     let mut speedups = Vec::with_capacity(baselines.len());
-    for (profile, base) in profiles::all().iter().zip(baselines) {
-        let r = run_one(profile, kind, params);
-        speedups.push(r.speedup_over(base));
+    for (row, base) in results.iter().zip(baselines) {
+        speedups.push(row[0].speedup_over(base));
     }
     let gmean = geometric_mean(&speedups);
     (speedups, gmean)
@@ -78,9 +121,9 @@ pub fn speedups_vs(
 
 /// No-NM baseline runs for all workloads, in `profiles::all()` order.
 pub fn baselines(params: &RunParams) -> Vec<RunResult> {
-    profiles::all()
-        .iter()
-        .map(|p| run_one(p, SchemeKind::NoNm, params))
+    run_matrix(&[SchemeKind::NoNm], params)
+        .into_iter()
+        .map(|mut row| row.remove(0))
         .collect()
 }
 

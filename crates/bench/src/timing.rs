@@ -1,0 +1,94 @@
+//! A dependency-free micro-benchmark timer.
+//!
+//! Replaces the external benchmark framework so the workspace builds with no
+//! registry access. The methodology is deliberately simple: a warm-up
+//! interval, then a fixed number of timed samples whose batch size is
+//! auto-calibrated so each sample runs long enough for the OS clock to
+//! resolve, reported as median / min ns-per-iteration plus derived
+//! throughput. Results print in a stable, grep-friendly single-line format.
+
+use std::time::{Duration, Instant};
+
+/// Samples collected per benchmark.
+const SAMPLES: usize = 20;
+/// Target wall time per sample; batch size is calibrated to hit it.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+/// Warm-up wall time before any measurement.
+const WARMUP: Duration = Duration::from_millis(100);
+
+/// One benchmark's measured distribution, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median of the per-sample means.
+    pub median_ns: f64,
+    /// Fastest sample's mean (the low-noise floor).
+    pub min_ns: f64,
+    /// Iterations executed per timed sample.
+    pub batch: u64,
+}
+
+impl Measurement {
+    /// Iterations per second implied by the median.
+    pub fn throughput(&self) -> f64 {
+        if self.median_ns == 0.0 {
+            0.0
+        } else {
+            1e9 / self.median_ns
+        }
+    }
+}
+
+/// Times `f`, printing `group/name: median .. ns/iter (min .., .. M/s)`.
+///
+/// Returns the measurement so callers can post-process (e.g. compare
+/// schemes).
+pub fn bench(group: &str, name: &str, mut f: impl FnMut()) -> Measurement {
+    // Warm up and calibrate the batch size in one pass.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP {
+        f();
+        warm_iters += 1;
+    }
+    let per_iter = WARMUP.as_nanos() as f64 / warm_iters.max(1) as f64;
+    let batch = ((SAMPLE_TARGET.as_nanos() as f64 / per_iter.max(1.0)) as u64).max(1);
+
+    let mut sample_means = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        sample_means.push(start.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    sample_means.sort_by(|a, b| a.total_cmp(b));
+    let measurement = Measurement {
+        median_ns: sample_means[SAMPLES / 2],
+        min_ns: sample_means[0],
+        batch,
+    };
+    println!(
+        "{group}/{name}: {:>12.1} ns/iter (min {:>12.1}, {:>8.3} M/s)",
+        measurement.median_ns,
+        measurement.min_ns,
+        measurement.throughput() / 1e6,
+    );
+    measurement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut acc = 0u64;
+        let m = bench("test", "wrapping_add", || {
+            acc = std::hint::black_box(acc.wrapping_add(0x9E37_79B9));
+        });
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns);
+        assert!(m.batch >= 1);
+        assert!(m.throughput() > 0.0);
+    }
+}

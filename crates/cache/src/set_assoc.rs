@@ -115,17 +115,14 @@ impl SetAssocCache {
 
         self.misses += 1;
         // Choose an invalid way, else the LRU way.
-        let victim_idx = lines
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                lines
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_used)
-                    .map(|(i, _)| i)
-                    .expect("ways is non-zero")
-            });
+        let victim_idx = lines.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_used)
+                .map(|(i, _)| i)
+                .expect("ways is non-zero")
+        });
         let victim = &mut lines[victim_idx];
         let writeback = if victim.valid && victim.dirty {
             self.writebacks += 1;

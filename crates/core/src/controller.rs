@@ -295,7 +295,10 @@ impl SilcFm {
                 if !meta.bit(off) {
                     // Row 4: remap mismatch, bit clear, NM address →
                     // the native subblock is resident; service from NM.
-                    if self.params.locking && !bypassing && count >= threshold && meta.remap.is_some()
+                    if self.params.locking
+                        && !bypassing
+                        && count >= threshold
+                        && meta.remap.is_some()
                     {
                         self.lock_native(f, &mut background);
                     }
@@ -344,9 +347,8 @@ impl SilcFm {
         let threshold = self.params.lock_threshold;
 
         // Search the set for a matching remap entry.
-        let hit_way = (0..assoc).find(|&w| {
-            self.frames[self.frame_id(set, w) as usize].remap == Some(block)
-        });
+        let hit_way =
+            (0..assoc).find(|&w| self.frames[self.frame_id(set, w) as usize].remap == Some(block));
 
         if let Some(way) = hit_way {
             let f = self.frame_id(set, way);
@@ -428,8 +430,7 @@ impl SilcFm {
         let victim = (0..assoc)
             .filter(|&w| {
                 let m = &self.frames[self.frame_id(set, w) as usize];
-                !m.lock.is_locked()
-                    && (assoc == 1 || m.remap.is_none() || m.fm_counter <= 1)
+                !m.lock.is_locked() && (assoc == 1 || m.remap.is_none() || m.fm_counter <= 1)
             })
             .min_by_key(|&w| self.frames[self.frame_id(set, w) as usize].lru);
         let Some(way) = victim else {
@@ -548,7 +549,10 @@ impl MemoryScheme for SilcFm {
         };
         let meta_ops: Vec<MemOp> = (0..metadata_reads)
             .map(|i| {
-                let f = self.frame_id(block.value() % self.sets, i.min(self.params.associativity - 1));
+                let f = self.frame_id(
+                    block.value() % self.sets,
+                    i.min(self.params.associativity - 1),
+                );
                 MemOp::metadata_read(MemKind::Near, self.metadata_addr(f), METADATA_BYTES)
             })
             .collect();
@@ -786,7 +790,10 @@ mod tests {
         }
         let _ = read(&mut s, fm_addr(blocks[0], 0)); // refresh LRU of block 0
         let _ = read(&mut s, fm_addr(blocks[4], 0)); // evicts blocks[1]
-        assert_eq!(read(&mut s, fm_addr(blocks[0], 0)).serviced_from, MemKind::Near);
+        assert_eq!(
+            read(&mut s, fm_addr(blocks[0], 0)).serviced_from,
+            MemKind::Near
+        );
         assert_eq!(
             read(&mut s, fm_addr(blocks[1], 0)).serviced_from,
             MemKind::Far,
@@ -812,10 +819,19 @@ mod tests {
         let _ = read_pc(&mut s, fm_addr(b, 0), pc);
         let _ = read_pc(&mut s, fm_addr(a, 3), pc);
         let f = s.frame(a % NM_BLOCKS);
-        assert!(f.bit(3) && f.bit(4) && f.bit(5), "history bulk-fetched 4 and 5");
+        assert!(
+            f.bit(3) && f.bit(4) && f.bit(5),
+            "history bulk-fetched 4 and 5"
+        );
         // Subblocks 4 and 5 are NM hits without individual misses.
-        assert_eq!(read_pc(&mut s, fm_addr(a, 4), pc).serviced_from, MemKind::Near);
-        assert_eq!(read_pc(&mut s, fm_addr(a, 5), pc).serviced_from, MemKind::Near);
+        assert_eq!(
+            read_pc(&mut s, fm_addr(a, 4), pc).serviced_from,
+            MemKind::Near
+        );
+        assert_eq!(
+            read_pc(&mut s, fm_addr(a, 5), pc).serviced_from,
+            MemKind::Near
+        );
     }
 
     #[test]
@@ -861,7 +877,10 @@ mod tests {
         assert_eq!(f.bitvec, Geometry::paper().full_mask());
         assert_eq!(s.stats().blocks_migrated, 1);
         // Every subblock of the locked block is an NM hit now.
-        assert_eq!(read(&mut s, fm_addr(block, 31)).serviced_from, MemKind::Near);
+        assert_eq!(
+            read(&mut s, fm_addr(block, 31)).serviced_from,
+            MemKind::Near
+        );
     }
 
     #[test]
@@ -941,8 +960,127 @@ mod tests {
         // Unlocking keeps the bits set: the tenant still hits in NM.
         assert_eq!(read(&mut s, fm_addr(block, 9)).serviced_from, MemKind::Near);
         let stats = s.stats();
-        let unlocks = stats.details.iter().find(|(n, _)| n == "unlocks").unwrap().1;
+        let unlocks = stats
+            .details
+            .iter()
+            .find(|(n, _)| n == "unlocks")
+            .unwrap()
+            .1;
         assert!(unlocks >= 1.0);
+    }
+
+    #[test]
+    fn interleave_to_lock_promotion_crosses_threshold_exactly() {
+        // Table I → §III-C: an FM block first interleaves subblock by
+        // subblock (Unlocked, partial bit vector) and is promoted to
+        // LockedRemap on the access that carries its activity counter to
+        // the threshold — not before.
+        let mut p = SilcFmParams::with_locking();
+        p.lock_threshold = 5;
+        p.lock_min_resident = 1;
+        let mut s = scheme(p);
+        let block = NM_BLOCKS + 1;
+        let frame = block % NM_BLOCKS;
+
+        // First touch: interleaved, unlocked, exactly one bit set.
+        let _ = read(&mut s, fm_addr(block, 0));
+        assert_eq!(s.frame(frame).lock, LockState::Unlocked);
+        assert_eq!(s.frame(frame).bitvec.count_ones(), 1);
+
+        // Accesses 2..=4 keep it below threshold: still interleaving.
+        for i in 1..4 {
+            let _ = read(&mut s, fm_addr(block, i % 4));
+            assert_eq!(s.frame(frame).lock, LockState::Unlocked, "access {}", i + 1);
+            assert!(s.frame(frame).bitvec != Geometry::paper().full_mask());
+        }
+        assert_eq!(s.stats().blocks_migrated, 0, "no lock fetch yet");
+
+        // The 5th access crosses lock_threshold: promotion completes the
+        // exchange and the whole block becomes resident.
+        let _ = read(&mut s, fm_addr(block, 0));
+        let f = s.frame(frame);
+        assert_eq!(f.lock, LockState::LockedRemap);
+        assert_eq!(f.bitvec, Geometry::paper().full_mask());
+        assert_eq!(s.stats().blocks_migrated, 1);
+    }
+
+    #[test]
+    fn bypass_suppresses_lock_fetches() {
+        // §III-E: when the access-rate estimator says NM is already
+        // saturated, crossing the lock threshold must NOT trigger the
+        // lock's bulk fetch — bypassing suppresses all migration,
+        // including promotions.
+        let mut p = SilcFmParams::paper();
+        p.bypass_window = 100;
+        p.lock_threshold = 5;
+        p.lock_min_resident = 1;
+        let mut s = scheme(p);
+        let block = NM_BLOCKS + 1; // frame 1 under direct mapping
+
+        // Interleave one subblock while bypassing is still disengaged.
+        let _ = read(&mut s, fm_addr(block, 0));
+        assert!(!s.bypassing());
+
+        // Saturate the estimator with native NM hits on other frames.
+        for i in 0..200u64 {
+            let _ = read(&mut s, PhysAddr::new((8 + i % 8) * 2048));
+        }
+        assert!(s.bypassing(), "rate = {}", s.access_rate_estimate());
+        let locks_before = s.stats().blocks_migrated;
+
+        // Hammer the interleaved block far past the lock threshold.
+        for _ in 0..10 {
+            let out = read(&mut s, fm_addr(block, 0));
+            assert_eq!(out.serviced_from, MemKind::Near, "row 1 still hits");
+            assert!(
+                out.background
+                    .iter()
+                    .all(|op| op.class != silcfm_types::TrafficClass::Migration),
+                "bypassing emits no migration traffic"
+            );
+        }
+        let f = s.frame(block % NM_BLOCKS);
+        assert_eq!(f.lock, LockState::Unlocked, "no promotion under bypass");
+        assert_ne!(f.bitvec, Geometry::paper().full_mask(), "no bulk fetch");
+        assert_eq!(s.stats().blocks_migrated, locks_before);
+    }
+
+    #[test]
+    fn aging_counter_decays_on_epoch_boundaries() {
+        // §III-C: activity counters halve on every aging epoch. Build a
+        // counter up to 4, then watch it decay 4 → 2 → 1 with the two
+        // halvings exactly one aging period apart.
+        let mut p = SilcFmParams::with_locking();
+        p.lock_threshold = 60; // out of reach: isolate aging from locking
+        p.aging_period = 32;
+        let mut s = scheme(p);
+        let block = NM_BLOCKS + 1;
+        let frame = block % NM_BLOCKS;
+
+        for i in 0..4 {
+            let _ = read(&mut s, fm_addr(block, i));
+        }
+        assert_eq!(s.frame(frame).fm_counter, 4);
+
+        // Filler accesses to unrelated native frames; record the access
+        // numbers at which the tenant's counter changes.
+        let mut changes = Vec::new();
+        let mut last = s.frame(frame).fm_counter;
+        for i in 0..80u64 {
+            let _ = read(&mut s, PhysAddr::new((8 + i % 8) * 2048));
+            let now = s.frame(frame).fm_counter;
+            if now != last {
+                changes.push((i, now));
+                last = now;
+            }
+        }
+        let values: Vec<u8> = changes.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, [2, 1], "counter halves 4 -> 2 -> 1");
+        assert_eq!(
+            changes[1].0 - changes[0].0,
+            p.aging_period,
+            "halvings are one aging period apart"
+        );
     }
 
     // ---- bypassing -------------------------------------------------------------
@@ -962,7 +1100,10 @@ mod tests {
         let block = NM_BLOCKS + 9;
         let out = read(&mut s, fm_addr(block, 0));
         assert_eq!(out.serviced_from, MemKind::Far);
-        assert!(out.background.iter().all(|op| op.class != silcfm_types::TrafficClass::Migration));
+        assert!(out
+            .background
+            .iter()
+            .all(|op| op.class != silcfm_types::TrafficClass::Migration));
         assert_eq!(s.frame(block % NM_BLOCKS).remap, None, "no tenancy started");
     }
 
@@ -1038,7 +1179,7 @@ mod tests {
         let _ = read_pc(&mut s, fm_addr(a, 0), 0x40);
         let _ = read_pc(&mut s, fm_addr(b, 0), 0x44);
         let _ = read_pc(&mut s, fm_addr(b, 0), 0x44); // trains way 1 for pc 0x44
-        // A *different* pc that predicts way 0 touches b: 4 serialized reads.
+                                                      // A *different* pc that predicts way 0 touches b: 4 serialized reads.
         let out = read_pc(&mut s, fm_addr(b, 0), 0x99);
         let meta_reads = out
             .critical
@@ -1059,10 +1200,15 @@ mod tests {
         let mut rd_fm = 0u64;
         let mut wr_fm = 0u64;
         for i in 0..500u64 {
-            let out = read(&mut s, fm_addr(NM_BLOCKS + (i * 7) % FM_BLOCKS.min(200), i % 32));
-            for op in out.background.iter().filter(|o| {
-                o.class == silcfm_types::TrafficClass::Migration
-            }) {
+            let out = read(
+                &mut s,
+                fm_addr(NM_BLOCKS + (i * 7) % FM_BLOCKS.min(200), i % 32),
+            );
+            for op in out
+                .background
+                .iter()
+                .filter(|o| o.class == silcfm_types::TrafficClass::Migration)
+            {
                 match (op.mem, op.kind.is_write()) {
                     (MemKind::Near, false) => rd_nm += u64::from(op.bytes),
                     (MemKind::Near, true) => wr_nm += u64::from(op.bytes),

@@ -142,7 +142,10 @@ impl fmt::Display for ParamsError {
         match self {
             Self::BadAssociativity(a) => write!(f, "associativity {a} is not a power of two <= 16"),
             Self::ThresholdExceedsCounter(t) => {
-                write!(f, "lock threshold {t} exceeds the 6-bit counter maximum of 63")
+                write!(
+                    f,
+                    "lock threshold {t} exceeds the 6-bit counter maximum of 63"
+                )
             }
             Self::BadBypassTarget(t) => write!(f, "bypass target {t} is outside [0, 1]"),
             Self::EmptyTable => write!(f, "history and predictor tables must be non-empty"),

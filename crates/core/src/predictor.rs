@@ -124,7 +124,13 @@ mod tests {
         let first = p.predict(key);
         p.update(key, first, 3, true);
         let second = p.predict(key);
-        assert_eq!(second, Prediction { way: 3, in_fm: true });
+        assert_eq!(
+            second,
+            Prediction {
+                way: 3,
+                in_fm: true
+            }
+        );
     }
 
     #[test]
@@ -152,7 +158,13 @@ mod tests {
         let pred = p.predict(1);
         p.update(1, pred, 3, true);
         p.reset();
-        assert_eq!(p.predict(1), Prediction { way: 0, in_fm: false });
+        assert_eq!(
+            p.predict(1),
+            Prediction {
+                way: 0,
+                in_fm: false
+            }
+        );
         assert_eq!(p.way_accuracy(), 0.0);
     }
 

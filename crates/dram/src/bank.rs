@@ -110,7 +110,7 @@ mod tests {
     fn different_row_conflicts_and_respects_tras() {
         let mut b = Bank::new();
         let _ = b.access(0, 5, &T); // activate at 0
-        // Request row 6 at time 14; precharge cannot start before tRAS=28.
+                                    // Request row 6 at time 14; precharge cannot start before tRAS=28.
         let (data, outcome) = b.access(14, 6, &T);
         assert_eq!(outcome, RowOutcome::Conflict);
         let expected = 28 + T.t_rp + T.t_rcd + T.t_cas;
@@ -133,6 +133,10 @@ mod tests {
         let _ = b.access(0, 5, &T); // row open at tRCD = 11
         let (data, outcome) = b.access(5, 5, &T);
         assert_eq!(outcome, RowOutcome::Hit);
-        assert_eq!(data, T.t_rcd + T.t_cas, "column issues once the row is open");
+        assert_eq!(
+            data,
+            T.t_rcd + T.t_cas,
+            "column issues once the row is open"
+        );
     }
 }

@@ -110,7 +110,9 @@ mod tests {
             .filter(|l| l.channel == 0)
             .collect();
         assert_eq!(ch0.len(), 4);
-        assert!(ch0.iter().all(|l| l.row == ch0[0].row && l.bank == ch0[0].bank));
+        assert!(ch0
+            .iter()
+            .all(|l| l.row == ch0[0].row && l.bank == ch0[0].bank));
     }
 
     #[test]

@@ -96,16 +96,16 @@ impl DramModel {
     pub fn energy_pj(&self, elapsed_cpu_cycles: u64) -> f64 {
         let cpu_hz = f64::from(self.cfg.bus_mhz) * 1e6 * self.cfg.cpu_cycles_per_mem_cycle as f64;
         let seconds = elapsed_cpu_cycles as f64 / cpu_hz;
-        self.cfg.energy.energy_pj(
-            self.stats.total_bytes(),
-            self.stats.activations(),
-            seconds,
-        )
+        self.cfg
+            .energy
+            .energy_pj(self.stats.total_bytes(), self.stats.activations(), seconds)
     }
 
     /// Resets all channel state and statistics.
     pub fn reset(&mut self) {
-        self.channels = (0..self.cfg.channels).map(|_| Channel::new(&self.cfg)).collect();
+        self.channels = (0..self.cfg.channels)
+            .map(|_| Channel::new(&self.cfg))
+            .collect();
         self.stats.reset();
     }
 
@@ -121,8 +121,8 @@ impl DramModel {
             let chunk_bytes = (chunk_end.min(end) - cursor) as u32;
             let loc = self.mapper.decode(cursor);
             let burst = self.cfg.burst_cycles(chunk_bytes);
-            let acc =
-                self.channels[loc.channel as usize].access(now_mem, loc, burst, is_write, &self.cfg);
+            let acc = self.channels[loc.channel as usize]
+                .access(now_mem, loc, burst, is_write, &self.cfg);
             // Row-buffer statistics describe the read stream; writes are
             // batch-drained and bypass the bank model (see `Channel`).
             if !is_write {
@@ -231,7 +231,11 @@ mod tests {
         let t1 = m.read(0, 0, 64);
         m.reset();
         assert_eq!(m.stats().reads, 0);
-        assert_eq!(m.read(0, 0, 64), t1, "reset model repeats first-access timing");
+        assert_eq!(
+            m.read(0, 0, 64),
+            t1,
+            "reset model repeats first-access timing"
+        );
     }
 
     #[test]

@@ -203,7 +203,11 @@ impl Default for RunParams {
 /// Sizes the flat address space for a workload: FM holds the whole combined
 /// footprint (so the no-NM baseline fits), NM adds `1/ratio` on top, and
 /// block counts stay divisible by 64 for set/associativity alignment.
-pub fn space_for(profile: &WorkloadProfile, cfg: &SystemConfig, params: &RunParams) -> AddressSpace {
+pub fn space_for(
+    profile: &WorkloadProfile,
+    cfg: &SystemConfig,
+    params: &RunParams,
+) -> AddressSpace {
     let total_pages = profile.footprint_pages * u64::from(cfg.core.cores);
     let align = params.fm_to_nm_ratio * 64;
     let fm_blocks = total_pages.div_ceil(align) * align;
@@ -278,7 +282,10 @@ mod tests {
     fn all_schemes_run_to_completion() {
         let cfg = SystemConfig::small();
         let params = RunParams::smoke();
-        for kind in SchemeKind::fig7_lineup().into_iter().chain([SchemeKind::NoNm]) {
+        for kind in SchemeKind::fig7_lineup()
+            .into_iter()
+            .chain([SchemeKind::NoNm])
+        {
             let r = run(profile(), kind, &cfg, &params);
             assert!(r.cycles > 0, "{} produced no cycles", r.scheme);
             assert_eq!(r.workload, "milc");
@@ -311,7 +318,10 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(SchemeKind::NoNm.label(), "base");
         assert_eq!(SchemeKind::silcfm().label(), "silcfm");
-        let labels: Vec<_> = SchemeKind::fig7_lineup().iter().map(|k| k.label()).collect();
+        let labels: Vec<_> = SchemeKind::fig7_lineup()
+            .iter()
+            .map(|k| k.label())
+            .collect();
         assert_eq!(labels, vec!["rand", "hma", "cam", "camp", "pom", "silcfm"]);
     }
 

@@ -26,9 +26,11 @@
 pub mod experiment;
 pub mod metrics;
 pub mod report;
+pub mod runner;
 pub mod system;
 
 pub use experiment::{run, RunParams, SchemeKind};
 pub use metrics::{RunResult, TrafficTally};
 pub use report::{format_table, Row};
+pub use runner::{run_grid, run_grid_serial, ExperimentGrid, Job};
 pub use system::System;

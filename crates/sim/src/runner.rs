@@ -1,0 +1,319 @@
+//! Sharded parallel execution of experiment grids.
+//!
+//! Every figure harness runs the same shape of computation: a grid of
+//! (workload profile × scheme × configuration point) simulations, each
+//! completely independent of the others. This module dispatches that grid
+//! across a `std::thread` worker pool with work stealing and returns results
+//! in grid order, **bit-identical** to running the jobs serially:
+//!
+//! * each [`Job`] is self-contained (its own profile, scheme, config and
+//!   seed), so execution order cannot leak into results;
+//! * per-job seeds are derived deterministically from a base seed and the
+//!   job's grid index via [`SplitMix64`](silcfm_types::rng::SplitMix64), so
+//!   regridding or resharding never changes any individual run;
+//! * workers tag each result with its job index and the pool reassembles
+//!   them in index order, so aggregate output is a pure function of the grid.
+//!
+//! # Example
+//!
+//! ```
+//! use silcfm_sim::runner::{ExperimentGrid, run_grid, run_grid_serial};
+//! use silcfm_sim::{RunParams, SchemeKind};
+//! use silcfm_trace::profiles;
+//! use silcfm_types::SystemConfig;
+//!
+//! let grid = ExperimentGrid::new(SystemConfig::small(), RunParams::smoke())
+//!     .workload(profiles::by_name("mcf").unwrap())
+//!     .scheme(SchemeKind::NoNm)
+//!     .scheme(SchemeKind::silcfm());
+//! let jobs = grid.jobs();
+//! let parallel = run_grid(&jobs, 2);
+//! let serial = run_grid_serial(&jobs);
+//! for (p, s) in parallel.iter().zip(&serial) {
+//!     assert_eq!(p.cycles, s.cycles);
+//!     assert_eq!(p.traffic, s.traffic);
+//! }
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+use silcfm_trace::profiles::WorkloadProfile;
+use silcfm_types::rng::SplitMix64;
+use silcfm_types::SystemConfig;
+
+use crate::experiment::{run, RunParams, SchemeKind};
+use crate::metrics::RunResult;
+
+/// One self-contained simulation: everything [`run`] needs, by value, so the
+/// job can execute on any worker in any order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    /// Workload profile to simulate.
+    pub profile: WorkloadProfile,
+    /// Placement scheme.
+    pub scheme: SchemeKind,
+    /// System configuration (cores, caches, memories).
+    pub cfg: SystemConfig,
+    /// Run-size and seeding knobs.
+    pub params: RunParams,
+}
+
+impl Job {
+    /// Executes the job. This is the *only* path by which both the serial
+    /// and the parallel engines run a simulation, which is what makes their
+    /// outputs comparable bit for bit.
+    pub fn execute(&self) -> RunResult {
+        run(&self.profile, self.scheme, &self.cfg, &self.params)
+    }
+}
+
+/// Builder for the scheme × workload grid all figure harnesses iterate.
+///
+/// Jobs are emitted workload-major (all schemes of workload 0, then workload
+/// 1, …) matching the serial loops the figure binaries used to write by
+/// hand.
+#[derive(Debug, Clone)]
+pub struct ExperimentGrid {
+    cfg: SystemConfig,
+    params: RunParams,
+    workloads: Vec<WorkloadProfile>,
+    schemes: Vec<SchemeKind>,
+    seeded: bool,
+}
+
+impl ExperimentGrid {
+    /// Starts an empty grid over one configuration point.
+    pub fn new(cfg: SystemConfig, params: RunParams) -> Self {
+        Self {
+            cfg,
+            params,
+            workloads: Vec::new(),
+            schemes: Vec::new(),
+            seeded: false,
+        }
+    }
+
+    /// Adds one workload row.
+    #[must_use]
+    pub fn workload(mut self, profile: &WorkloadProfile) -> Self {
+        self.workloads.push(*profile);
+        self
+    }
+
+    /// Adds every Table III workload as a row.
+    #[must_use]
+    pub fn all_workloads(mut self) -> Self {
+        self.workloads
+            .extend(silcfm_trace::profiles::all().iter().copied());
+        self
+    }
+
+    /// Adds one scheme column.
+    #[must_use]
+    pub fn scheme(mut self, scheme: SchemeKind) -> Self {
+        self.schemes.push(scheme);
+        self
+    }
+
+    /// Adds several scheme columns.
+    #[must_use]
+    pub fn schemes(mut self, schemes: impl IntoIterator<Item = SchemeKind>) -> Self {
+        self.schemes.extend(schemes);
+        self
+    }
+
+    /// Derives a decorrelated per-job seed from the base seed and each job's
+    /// grid index. Without this, every cell of a sweep reuses one seed and a
+    /// lucky placement can masquerade as a scheme effect; with it, reordering
+    /// or resharding the grid still reproduces every run exactly.
+    #[must_use]
+    pub fn seed_per_job(mut self) -> Self {
+        self.seeded = true;
+        self
+    }
+
+    /// Materializes the grid in workload-major order.
+    pub fn jobs(&self) -> Vec<Job> {
+        let base = SplitMix64::new(self.params.seed);
+        let mut jobs = Vec::with_capacity(self.workloads.len() * self.schemes.len());
+        for profile in &self.workloads {
+            for scheme in &self.schemes {
+                let mut params = self.params;
+                if self.seeded {
+                    params.seed = base.split(jobs.len() as u64);
+                }
+                jobs.push(Job {
+                    profile: *profile,
+                    scheme: *scheme,
+                    cfg: self.cfg,
+                    params,
+                });
+            }
+        }
+        jobs
+    }
+}
+
+/// Number of worker threads to use by default: the `SILCFM_THREADS`
+/// environment variable if set, else the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::env::var("SILCFM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `jobs` serially in order. The reference implementation the parallel
+/// engine is checked against.
+pub fn run_grid_serial(jobs: &[Job]) -> Vec<RunResult> {
+    jobs.iter().map(Job::execute).collect()
+}
+
+/// Runs `jobs` across `threads` workers with work stealing and returns the
+/// results in job order.
+///
+/// Jobs are dealt round-robin into per-worker deques. Each worker drains its
+/// own deque from the front and, when empty, steals from the *back* of the
+/// busiest sibling — the classic split that keeps owner and thief off the
+/// same end. Long-running jobs (full SILC-FM sweeps take ~10× the no-NM
+/// baseline) therefore cannot serialize the tail of the grid behind one
+/// unlucky worker.
+///
+/// Results are tagged with the job index and reassembled in order, so the
+/// output is bit-identical to [`run_grid_serial`] regardless of thread
+/// count, scheduling, or steal pattern.
+pub fn run_grid(jobs: &[Job], threads: usize) -> Vec<RunResult> {
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads <= 1 || jobs.len() <= 1 {
+        return run_grid_serial(jobs);
+    }
+
+    // Round-robin deal into per-worker deques.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| {
+            Mutex::new(
+                (w..jobs.len())
+                    .step_by(threads)
+                    .collect::<VecDeque<usize>>(),
+            )
+        })
+        .collect();
+    let queues = &queues;
+
+    let (tx, rx) = mpsc::channel::<(usize, RunResult)>();
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                loop {
+                    // Own work first (front), then steal (back).
+                    let next = queues[me].lock().unwrap().pop_front().or_else(|| {
+                        (0..queues.len())
+                            .filter(|&w| w != me)
+                            .max_by_key(|&w| queues[w].lock().unwrap().len())
+                            .and_then(|w| queues[w].lock().unwrap().pop_back())
+                    });
+                    let Some(idx) = next else { break };
+                    let result = jobs[idx].execute();
+                    if tx.send((idx, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let mut slots: Vec<Option<RunResult>> = vec![None; jobs.len()];
+    for (idx, result) in rx {
+        slots[idx] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every job produces exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silcfm_trace::profiles;
+
+    fn small_grid() -> Vec<Job> {
+        ExperimentGrid::new(SystemConfig::small(), RunParams::smoke())
+            .workload(profiles::by_name("milc").unwrap())
+            .workload(profiles::by_name("lib").unwrap())
+            .schemes([SchemeKind::NoNm, SchemeKind::Rand, SchemeKind::silcfm()])
+            .jobs()
+    }
+
+    #[test]
+    fn grid_is_workload_major() {
+        let jobs = small_grid();
+        assert_eq!(jobs.len(), 6);
+        assert_eq!(jobs[0].profile.name, "milc");
+        assert_eq!(jobs[2].profile.name, "milc");
+        assert_eq!(jobs[3].profile.name, "lib");
+        assert_eq!(jobs[0].scheme.label(), "base");
+        assert_eq!(jobs[5].scheme.label(), "silcfm");
+    }
+
+    #[test]
+    fn all_workloads_covers_table3() {
+        let jobs = ExperimentGrid::new(SystemConfig::small(), RunParams::smoke())
+            .all_workloads()
+            .scheme(SchemeKind::NoNm)
+            .jobs();
+        assert_eq!(jobs.len(), 14);
+    }
+
+    #[test]
+    fn per_job_seeds_are_distinct_and_stable() {
+        let grid = ExperimentGrid::new(SystemConfig::small(), RunParams::smoke())
+            .workload(profiles::by_name("milc").unwrap())
+            .workload(profiles::by_name("lib").unwrap())
+            .schemes([SchemeKind::NoNm, SchemeKind::Rand])
+            .seed_per_job();
+        let a = grid.jobs();
+        let b = grid.jobs();
+        assert_eq!(a, b, "seed derivation is deterministic");
+        let seeds: std::collections::HashSet<u64> = a.iter().map(|j| j.params.seed).collect();
+        assert_eq!(seeds.len(), a.len(), "every job gets its own seed");
+    }
+
+    #[test]
+    fn parallel_results_match_serial_bit_for_bit() {
+        let jobs = small_grid();
+        let serial = run_grid_serial(&jobs);
+        for threads in [2, 3, 8] {
+            let parallel = run_grid(&jobs, threads);
+            assert_eq!(parallel.len(), serial.len());
+            for (p, s) in parallel.iter().zip(&serial) {
+                assert_eq!(p.cycles, s.cycles, "{}/{}", s.workload, s.scheme);
+                assert_eq!(p.traffic, s.traffic);
+                assert_eq!(p.scheme_stats, s.scheme_stats);
+                assert_eq!(p.llc_misses, s.llc_misses);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_pools_still_work() {
+        let jobs = &small_grid()[..1];
+        assert_eq!(run_grid(jobs, 1).len(), 1);
+        assert_eq!(run_grid(jobs, 16).len(), 1);
+        assert!(run_grid(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -108,7 +108,12 @@ impl System {
     /// # Panics
     ///
     /// Panics if the combined footprint exceeds the physical address space.
-    pub fn run(&mut self, profile: &WorkloadProfile, accesses_per_core: u64, seed: u64) -> SystemOutcome {
+    pub fn run(
+        &mut self,
+        profile: &WorkloadProfile,
+        accesses_per_core: u64,
+        seed: u64,
+    ) -> SystemOutcome {
         let n = usize::from(self.cfg.core.cores);
         let mut cores: Vec<Core> = (0..n)
             .map(|i| {
@@ -145,7 +150,9 @@ impl System {
                 .translate(core_id, rec.vaddr)
                 .expect("workload footprint exceeds physical memory");
 
-            let h = self.hierarchy.access_data(core_id, paddr, rec.kind.is_write());
+            let h = self
+                .hierarchy
+                .access_data(core_id, paddr, rec.kind.is_write());
             let issue = t + u64::from(h.latency_cycles);
 
             let completion = if h.traffic.demand_fetch {

@@ -1,9 +1,7 @@
 //! The workload generator: turns a [`WorkloadProfile`] into a deterministic
 //! stream of [`TraceRecord`]s.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use silcfm_types::rng::{Rng, Xoshiro256StarStar};
 use silcfm_types::{CoreId, TraceRecord, VirtAddr};
 
 use crate::profiles::{AccessPattern, WorkloadProfile, CLUSTER_STRIDE};
@@ -25,7 +23,7 @@ const PC_SITES: u64 = 8;
 #[derive(Debug, Clone)]
 pub struct WorkloadGen {
     profile: WorkloadProfile,
-    rng: SmallRng,
+    rng: Xoshiro256StarStar,
     hot_pages: Vec<u64>,
     accesses: u64,
     next_churn: u64,
@@ -47,7 +45,7 @@ pub struct WorkloadGen {
 impl WorkloadGen {
     /// Creates a generator for `core` with a reproducible `seed`.
     pub fn new(profile: &WorkloadProfile, core: CoreId, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(
+        let mut rng = Xoshiro256StarStar::seed_from_u64(
             seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ u64::from(core.value()).wrapping_mul(0xD1B5_4A32_D192_ED03),
         );
@@ -104,7 +102,7 @@ impl WorkloadGen {
 
         let vaddr = VirtAddr::new(self.page * PAGE_BYTES + u64::from(offset) * 64);
         let gap = self.sample_gap();
-        let is_write = self.rng.gen::<f64>() < self.profile.write_fraction;
+        let is_write = self.rng.gen_bool(self.profile.write_fraction);
         let pc = self.visit_pc;
         let dependent = self.visit_dependent;
 
@@ -127,7 +125,7 @@ impl WorkloadGen {
     }
 
     fn begin_visit(&mut self) {
-        let hot = self.rng.gen::<f64>() < self.profile.hot_access_fraction;
+        let hot = self.rng.gen_bool(self.profile.hot_access_fraction);
         self.page = if hot {
             match self.profile.pattern {
                 AccessPattern::Streaming => {
@@ -138,9 +136,9 @@ impl WorkloadGen {
                 _ => {
                     // Zipf-like popularity: rank = u^skew biases toward the
                     // head of the hot list.
-                    let u: f64 = self.rng.gen();
-                    let rank = (u.powf(self.profile.hot_skew) * self.hot_pages.len() as f64)
-                        as usize;
+                    let u: f64 = self.rng.next_f64();
+                    let rank =
+                        (u.powf(self.profile.hot_skew) * self.hot_pages.len() as f64) as usize;
                     self.hot_pages[rank.min(self.hot_pages.len() - 1)]
                 }
             }
@@ -207,7 +205,7 @@ impl WorkloadGen {
             .gen_range(mean.saturating_sub(jitter)..=mean + jitter)
     }
 
-    fn choose_hot_pages(profile: &WorkloadProfile, rng: &mut SmallRng) -> Vec<u64> {
+    fn choose_hot_pages(profile: &WorkloadProfile, rng: &mut Xoshiro256StarStar) -> Vec<u64> {
         let count = profile.hot_pages() as usize;
         let mut pages = Vec::with_capacity(count);
         let clustered_target = (count as f64 * profile.hot_clustering).round() as usize;
@@ -282,8 +280,13 @@ mod tests {
         let p = profiles::by_name("mcf").unwrap();
         let mut a = WorkloadGen::new(p, CoreId::new(0), 1);
         let mut b = WorkloadGen::new(p, CoreId::new(1), 1);
-        let same = (0..100).filter(|_| a.next_record() == b.next_record()).count();
-        assert!(same < 100, "different cores must not emit identical streams");
+        let same = (0..100)
+            .filter(|_| a.next_record() == b.next_record())
+            .count();
+        assert!(
+            same < 100,
+            "different cores must not emit identical streams"
+        );
     }
 
     #[test]
@@ -300,7 +303,10 @@ mod tests {
     fn pointer_chase_is_dependent() {
         let mut g = gen_for("mcf");
         let dependent = (0..1000).filter(|_| g.next_record().dependent).count();
-        assert!(dependent > 900, "mcf should be nearly all dependent: {dependent}");
+        assert!(
+            dependent > 900,
+            "mcf should be nearly all dependent: {dependent}"
+        );
     }
 
     #[test]
@@ -338,11 +344,7 @@ mod tests {
     fn clustered_hot_pages_share_residues() {
         let p = profiles::by_name("xalanc").unwrap(); // clustering 1.0
         let g = WorkloadGen::new(p, CoreId::new(0), 3);
-        let residues: HashSet<u64> = g
-            .hot_pages()
-            .iter()
-            .map(|p| p % CLUSTER_STRIDE)
-            .collect();
+        let residues: HashSet<u64> = g.hot_pages().iter().map(|p| p % CLUSTER_STRIDE).collect();
         // ~307 hot pages with only 5 pages per residue → ~62 residues, far
         // fewer than 307 distinct ones an unclustered choice would give.
         assert!(
@@ -373,7 +375,9 @@ mod tests {
     #[test]
     fn compute_gaps_track_mpki() {
         let mut g = gen_for("dealii"); // mean gap 199
-        let total: u64 = (0..10_000).map(|_| u64::from(g.next_record().compute)).sum();
+        let total: u64 = (0..10_000)
+            .map(|_| u64::from(g.next_record().compute))
+            .sum();
         let mean = total as f64 / 10_000.0;
         assert!((mean - 199.0).abs() < 20.0, "mean gap = {mean}");
     }

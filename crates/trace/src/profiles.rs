@@ -384,19 +384,23 @@ mod tests {
     #[test]
     fn parameters_are_sane() {
         for p in all() {
-            assert!(p.spatial_subblocks >= 1 && p.spatial_subblocks <= 32, "{}", p.name);
+            assert!(
+                p.spatial_subblocks >= 1 && p.spatial_subblocks <= 32,
+                "{}",
+                p.name
+            );
             assert!(p.hot_fraction > 0.0 && p.hot_fraction < 1.0, "{}", p.name);
             assert!(
                 p.hot_access_fraction > 0.0 && p.hot_access_fraction <= 1.0,
                 "{}",
                 p.name
             );
-            assert!(p.write_fraction >= 0.0 && p.write_fraction <= 1.0, "{}", p.name);
             assert!(
-                (0.0..=1.0).contains(&p.hot_clustering),
+                p.write_fraction >= 0.0 && p.write_fraction <= 1.0,
                 "{}",
                 p.name
             );
+            assert!((0.0..=1.0).contains(&p.hot_clustering), "{}", p.name);
             assert!(p.hot_pages() >= 1);
             assert!(p.footprint_pages >= 1024, "{}", p.name);
         }

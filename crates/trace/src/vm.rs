@@ -8,9 +8,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use silcfm_types::rng::{Rng, Xoshiro256StarStar};
 use silcfm_types::{AddressSpace, CoreId, PhysAddr, VirtAddr};
 
 /// Page size used for translation (the paper's 2 KB).
@@ -105,12 +103,8 @@ impl PageMapper {
     }
 
     fn shuffled_pool(mut pages: Vec<u64>, seed: u64) -> Vec<u64> {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        // Fisher–Yates shuffle.
-        for i in (1..pages.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            pages.swap(i, j);
-        }
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        rng.shuffle(&mut pages);
         pages
     }
 
@@ -164,7 +158,9 @@ mod tests {
     #[test]
     fn page_offset_is_preserved() {
         let mut m = PageMapper::new(space(), PlacementPolicy::FarOnly);
-        let p = m.translate(CoreId::new(0), VirtAddr::new(2048 + 100)).unwrap();
+        let p = m
+            .translate(CoreId::new(0), VirtAddr::new(2048 + 100))
+            .unwrap();
         assert_eq!(p.offset(PAGE_BYTES), 100);
     }
 
@@ -180,7 +176,9 @@ mod tests {
     fn far_only_never_touches_nm() {
         let mut m = PageMapper::new(space(), PlacementPolicy::FarOnly);
         for v in 0..100u64 {
-            let p = m.translate(CoreId::new(0), VirtAddr::new(v * PAGE_BYTES)).unwrap();
+            let p = m
+                .translate(CoreId::new(0), VirtAddr::new(v * PAGE_BYTES))
+                .unwrap();
             assert_eq!(m.space().kind_of(p), MemKind::Far);
         }
     }
@@ -205,10 +203,13 @@ mod tests {
     fn random_allocation_exhausts_exactly() {
         let mut m = PageMapper::new(space(), PlacementPolicy::RandomSeeded(7));
         for v in 0..320u64 {
-            assert!(m.translate(CoreId::new(0), VirtAddr::new(v * PAGE_BYTES)).is_some());
+            assert!(m
+                .translate(CoreId::new(0), VirtAddr::new(v * PAGE_BYTES))
+                .is_some());
         }
         assert!(
-            m.translate(CoreId::new(0), VirtAddr::new(320 * PAGE_BYTES)).is_none(),
+            m.translate(CoreId::new(0), VirtAddr::new(320 * PAGE_BYTES))
+                .is_none(),
             "321st page must fail"
         );
     }

@@ -84,7 +84,11 @@ impl Access {
 
 impl fmt::Display for Access {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} from {} (pc={:#x})", self.kind, self.addr, self.core, self.pc)
+        write!(
+            f,
+            "{} {} from {} (pc={:#x})",
+            self.kind, self.addr, self.core, self.pc
+        )
     }
 }
 

@@ -12,6 +12,10 @@
 //! * [`scheme`] — the [`MemoryScheme`] trait implemented by SILC-FM and all
 //!   baselines;
 //! * [`config`] — the Table II system configuration;
+//! * [`rng`] — hermetic in-tree pseudo-random number generation (SplitMix64
+//!   seeding, xoshiro256\*\* streams) used by workload generation, placement
+//!   and the experiment runner;
+//! * [`check`] — a minimal fixed-seed property-testing harness;
 //! * [`stats`] — small counter/ratio helpers used across crates.
 //!
 //! # Example
@@ -30,11 +34,13 @@
 
 pub mod access;
 pub mod addr;
+pub mod check;
 pub mod config;
 pub mod geometry;
 pub mod layout;
 pub mod mem;
 pub mod record;
+pub mod rng;
 pub mod scheme;
 pub mod stats;
 

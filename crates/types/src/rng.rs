@@ -1,0 +1,343 @@
+//! Hermetic in-tree pseudo-random number generation.
+//!
+//! The simulator must build and run with **zero external dependencies**, and
+//! every run must be reproducible from a single `u64` seed — including runs
+//! dispatched across worker threads, where each job derives its own
+//! independent stream. This module provides exactly that:
+//!
+//! * [`SplitMix64`] — a tiny seeder/stream-splitter (Steele et al., OOPSLA
+//!   2014). Used to expand one user seed into the 256-bit state of the main
+//!   generator and to derive decorrelated per-job seeds in the experiment
+//!   runner.
+//! * [`Xoshiro256StarStar`] — the workhorse generator (Blackman & Vigna,
+//!   2018): 256 bits of state, period 2^256 − 1, passes BigCrush, and is a
+//!   few instructions per draw.
+//! * [`Rng`] — the trait the rest of the workspace programs against, with
+//!   bias-free range sampling ([`Rng::gen_range`]), floats, Bernoulli draws
+//!   and Fisher–Yates shuffling.
+//!
+//! # Example
+//!
+//! ```
+//! use silcfm_types::rng::{Rng, Xoshiro256StarStar};
+//!
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+//! let die = rng.gen_range(1u32..=6);
+//! assert!((1..=6).contains(&die));
+//! let p = rng.next_f64();
+//! assert!((0.0..1.0).contains(&p));
+//!
+//! // Same seed, same stream — always.
+//! let mut a = Xoshiro256StarStar::seed_from_u64(7);
+//! let mut b = Xoshiro256StarStar::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+use core::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a fast, well-mixed 64-bit generator used as a seeder.
+///
+/// Every output is a bijective mix of a counter, so even adjacent seeds
+/// (0, 1, 2, …) yield statistically independent values — which is exactly
+/// what per-job seed derivation in a sharded experiment grid needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a seeder starting from `seed`.
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Mixes `salt` into a fresh stream-selection value without advancing
+    /// this seeder: `split(a) != split(b)` for `a != b`, and the results are
+    /// decorrelated even for adjacent salts.
+    pub fn split(&self, salt: u64) -> u64 {
+        let mut s = Self::new(self.state ^ salt.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        s.next_u64()
+    }
+}
+
+/// xoshiro256**: the workspace's general-purpose generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Expands a 64-bit seed into the full 256-bit state via [`SplitMix64`],
+    /// as the xoshiro authors recommend. The state is never all-zero.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Builds a generator from raw state; any all-zero state is repaired
+    /// (xoshiro's one forbidden fixed point).
+    pub fn from_state(mut s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15, 0, 0, 0];
+        }
+        Self { s }
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The random-number interface the simulator programs against.
+///
+/// Only [`next_u64`](Rng::next_u64) is required; everything else derives
+/// from it, so any 64-bit generator plugs in.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits (the high half of a draw,
+    /// which for xoshiro-family generators is the better-mixed one).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform sample from `range`, without modulo bias.
+    ///
+    /// Accepts half-open (`lo..hi`) and inclusive (`lo..=hi`) ranges of
+    /// `u32`, `u64` and `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Fisher–Yates shuffle of `slice` in place.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = uniform_below(self, i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Uniform draw in `[0, span)` using Lemire's widening-multiply rejection
+/// method — unbiased and branch-cheap.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut x = rng.next_u64();
+    let mut m = u128::from(x) * u128::from(span);
+    let mut lo = m as u64;
+    if lo < span {
+        // Threshold = (2^64 - span) mod span: reject the biased low zone.
+        let t = span.wrapping_neg() % span;
+        while lo < t {
+            x = rng.next_u64();
+            m = u128::from(x) * u128::from(span);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// A range that can be sampled uniformly. Mirrors the standard library's
+/// range types so call sites read naturally: `rng.gen_range(0..n)`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample an empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference outputs for seed 1234567 from the canonical C
+        // implementation (Vigna's splitmix64.c).
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 0x599e_d017_fb08_fc85);
+        assert_eq!(sm.next_u64(), 0x2c73_f084_5854_0fa5);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_distinct_across_seeds() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(1);
+        let mut b = Xoshiro256StarStar::seed_from_u64(1);
+        let mut c = Xoshiro256StarStar::seed_from_u64(2);
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn zero_state_is_repaired() {
+        let mut r = Xoshiro256StarStar::from_state([0; 4]);
+        assert_ne!(r.next_u64() | r.next_u64(), 0, "must not be stuck at 0");
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_centered() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_covers() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(5);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = r.gen_range(0u32..6);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..6 appear");
+        for _ in 0..1000 {
+            let v = r.gen_range(10u64..=12);
+            assert!((10..=12).contains(&v));
+        }
+        // Degenerate inclusive range.
+        assert_eq!(r.gen_range(9usize..=9), 9);
+    }
+
+    #[test]
+    fn gen_range_is_unbiased_enough() {
+        // With Lemire rejection the counts over a non-power-of-two span
+        // should be flat to within sampling noise.
+        let mut r = Xoshiro256StarStar::seed_from_u64(6);
+        let mut counts = [0u32; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[r.gen_range(0usize..3)] += 1;
+        }
+        for c in counts {
+            let frac = f64::from(c) / f64::from(n);
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "count fraction {frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(7);
+        let _ = r.gen_range(5u32..5);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(8);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        let frac = hits as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "frac = {frac}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_stable() {
+        let mut r1 = Xoshiro256StarStar::seed_from_u64(9);
+        let mut r2 = Xoshiro256StarStar::seed_from_u64(9);
+        let mut a: Vec<u32> = (0..100).collect();
+        let mut b: Vec<u32> = (0..100).collect();
+        r1.shuffle(&mut a);
+        r2.shuffle(&mut b);
+        assert_eq!(a, b, "same seed, same shuffle");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            a, sorted,
+            "100 elements virtually never shuffle to identity"
+        );
+    }
+
+    #[test]
+    fn split_streams_are_decorrelated() {
+        let base = SplitMix64::new(1);
+        let mut a = Xoshiro256StarStar::seed_from_u64(base.split(0));
+        let mut b = Xoshiro256StarStar::seed_from_u64(base.split(1));
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0, "adjacent split streams must not collide");
+    }
+}

@@ -12,7 +12,9 @@ use silc_fm::trace::profiles;
 use silc_fm::types::SystemConfig;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "milc".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "milc".to_string());
     let workload = profiles::by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown workload '{name}'");
         std::process::exit(1);

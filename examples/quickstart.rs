@@ -21,7 +21,11 @@ fn main() {
 
     // The baseline the paper normalizes to: the same machine without NM.
     let base = run(workload, SchemeKind::NoNm, &cfg, &params);
-    println!("no-NM baseline: {} cycles (IPC {:.2})", base.cycles, base.ipc());
+    println!(
+        "no-NM baseline: {} cycles (IPC {:.2})",
+        base.cycles,
+        base.ipc()
+    );
 
     // SILC-FM with the paper's full feature set.
     let silc = run(workload, SchemeKind::silcfm(), &cfg, &params);

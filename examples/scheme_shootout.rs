@@ -3,8 +3,15 @@
 //!
 //! Run with: `cargo run --release --example scheme_shootout -- [workload]`
 //! (default `lib`; any Table III name works, e.g. `mcf`, `milc`, `gcc`).
+//!
+//! The scheme grid runs twice — once serially, once through the sharded
+//! worker pool (`silc_fm::sim::run_grid`, thread count from
+//! `SILCFM_THREADS` or the machine) — and prints both wall-clock times
+//! along with a check that the two paths produced identical results.
 
-use silc_fm::sim::{run, RunParams, SchemeKind};
+use std::time::Instant;
+
+use silc_fm::sim::{run_grid, run_grid_serial, ExperimentGrid, RunParams, SchemeKind};
 use silc_fm::trace::profiles;
 use silc_fm::types::SystemConfig;
 
@@ -18,8 +25,26 @@ fn main() {
         std::process::exit(1);
     };
 
-    let cfg = SystemConfig::experiment();
-    let params = RunParams::smoke();
+    let threads = silc_fm::sim::runner::default_threads();
+    let jobs = ExperimentGrid::new(SystemConfig::experiment(), RunParams::smoke())
+        .workload(workload)
+        .scheme(SchemeKind::NoNm)
+        .schemes(SchemeKind::fig7_lineup())
+        .jobs();
+
+    let t0 = Instant::now();
+    let serial = run_grid_serial(&jobs);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let parallel = run_grid(&jobs, threads);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let identical = serial
+        .iter()
+        .zip(&parallel)
+        .all(|(s, p)| s.cycles == p.cycles && s.traffic == p.traffic);
+
     println!("{workload}\n");
     println!(
         "{:8} {:>9} {:>8} {:>12} {:>12} {:>14}",
@@ -30,13 +55,12 @@ fn main() {
         "", "(vs base)", "rate", "fraction", "bytes (MiB)", "migrated"
     );
 
-    let base = run(workload, SchemeKind::NoNm, &cfg, &params);
-    for kind in SchemeKind::fig7_lineup() {
-        let r = run(workload, kind, &cfg, &params);
+    let base = &parallel[0];
+    for r in &parallel[1..] {
         println!(
             "{:8} {:>8.2}x {:>8.2} {:>12.2} {:>12.1} {:>14}",
             r.scheme,
-            r.speedup_over(&base),
+            r.speedup_over(base),
             r.access_rate,
             r.traffic.nm_demand_fraction(),
             r.traffic.overhead_bytes() as f64 / (1 << 20) as f64,
@@ -44,4 +68,15 @@ fn main() {
         );
     }
     println!("\nThe paper's Fig. 7 ordering: SILC-FM first, CAMEO the best prior scheme.");
+    println!(
+        "grid of {} runs: serial {serial_ms:.0} ms, parallel ({threads} threads) \
+         {parallel_ms:.0} ms, results {}",
+        jobs.len(),
+        if identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        },
+    );
+    assert!(identical, "parallel runner diverged from the serial path");
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 offline CI: everything here must pass with no network access.
+#
+# The workspace is hermetic by policy — no external crates, no registry,
+# no lockfile churn (see README "Testing"). `--offline` enforces that:
+# if a dependency on a registry crate sneaks into any Cargo.toml, the
+# build step fails right here instead of in an air-gapped environment.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release (offline)"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q (offline)"
+cargo test -q --workspace --offline
+
+echo "ok: tier-1 green"

@@ -45,7 +45,11 @@ fn bypass_suppresses_locking_too() {
     let mut s = SilcFm::new(space(), Geometry::paper(), p);
     // Saturate the access-rate estimator with native NM hits.
     for i in 0..200u64 {
-        let _ = s.access(&Access::read(PhysAddr::new((i % 4) * 2048), 0x10, CoreId::new(0)));
+        let _ = s.access(&Access::read(
+            PhysAddr::new((i % 4) * 2048),
+            0x10,
+            CoreId::new(0),
+        ));
     }
     assert!(s.bypassing());
     // While the rate is above target, FM accesses are serviced in place
@@ -59,7 +63,9 @@ fn bypass_suppresses_locking_too() {
         if was_bypassing {
             bypassed_some = true;
             assert!(
-                out.background.iter().all(|op| op.class != TrafficClass::Migration),
+                out.background
+                    .iter()
+                    .all(|op| op.class != TrafficClass::Migration),
                 "no migration while bypassing"
             );
         } else {
@@ -81,17 +87,14 @@ fn history_replay_never_exceeds_block_capacity() {
     let mut s = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
     let a = NM_BLOCKS + 1;
     let b = a + NM_BLOCKS / 4; // same set under 4-way (16 sets)
-    // Build a full-page history for `a`, evict it, re-enter.
+                               // Build a full-page history for `a`, evict it, re-enter.
     for off in 0..32u64 {
         let _ = s.access(&Access::read(fm_addr(a, off), 0x400, CoreId::new(0)));
     }
     for off in 0..4u64 {
         let _ = s.access(&Access::read(fm_addr(b, off), 0x404, CoreId::new(0)));
     }
-    let frame = s
-        .frame(a % s.sets())
-        .bitvec
-        .count_ones();
+    let frame = s.frame(a % s.sets()).bitvec.count_ones();
     assert!(frame <= 32, "residency vector bounded by block capacity");
 }
 
@@ -116,7 +119,11 @@ fn hma_epoch_stall_slows_all_cores() {
     );
     let mut saw_stall = false;
     for i in 0..300u64 {
-        let out = hma.access(&Access::read(fm_addr(NM_BLOCKS + (i % 8), i % 32), 0, CoreId::new(0)));
+        let out = hma.access(&Access::read(
+            fm_addr(NM_BLOCKS + (i % 8), i % 32),
+            0,
+            CoreId::new(0),
+        ));
         if out.global_stall_cycles > 0 {
             saw_stall = true;
             assert!(out.global_stall_cycles >= 50_000);
@@ -191,7 +198,10 @@ fn camp_prefetch_traffic_is_bounded() {
     let profile = profiles::by_name("lbm").unwrap();
     let cam = run(profile, SchemeKind::Cameo, &cfg, &params);
     let camp = run(profile, SchemeKind::CameoPrefetch, &cfg, &params);
-    assert!(camp.access_rate >= cam.access_rate, "prefetching raises the access rate");
+    assert!(
+        camp.access_rate >= cam.access_rate,
+        "prefetching raises the access rate"
+    );
     // Total traffic grows by at most ~4x.
     assert!(camp.traffic.total_bytes() <= cam.traffic.total_bytes() * 5);
 }

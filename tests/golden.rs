@@ -1,0 +1,101 @@
+//! Golden-stats snapshot test.
+//!
+//! One fixed-seed trace per Table III workload runs through SILC-FM and
+//! each baseline (HMA, CAMEO, PoM); a digest of the stats the paper's
+//! figures are built from — hit rate (Eq. 1 access rate), NM demand
+//! fraction, and swap counts — is compared against the checked-in
+//! snapshot `tests/golden_stats.txt`.
+//!
+//! The snapshot pins the *whole* simulation stack: trace generation (the
+//! in-tree xoshiro256** streams), the cache hierarchy, every scheme's
+//! placement decisions, and the DRAM timing models. Any behavioral change
+//! shows up as a diff here before it shows up as a mystery in a figure.
+//!
+//! To bless a deliberate change: `BLESS=1 cargo test --test golden` and
+//! review the diff like any other code change.
+
+use std::fmt::Write as _;
+
+use silc_fm::sim::{run_grid, run_grid_serial, ExperimentGrid, Job, RunParams, SchemeKind};
+use silc_fm::types::SystemConfig;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_stats.txt");
+
+/// The snapshot grid: every workload × (SILC-FM + the paper's baselines),
+/// on the small config with sub-smoke-sized fixed-seed runs (the grid is
+/// 56 cells and runs twice — serial and parallel — so each cell is kept
+/// to a third of a smoke run to stay inside a tier-1 time budget).
+fn snapshot_jobs() -> Vec<Job> {
+    let params = RunParams {
+        accesses_per_core: 10_000,
+        ..RunParams::smoke()
+    };
+    ExperimentGrid::new(SystemConfig::small(), params)
+        .all_workloads()
+        .schemes([
+            SchemeKind::Hma,
+            SchemeKind::Cameo,
+            SchemeKind::Pom,
+            SchemeKind::silcfm(),
+        ])
+        .jobs()
+}
+
+/// Renders the stats digest, one line per run. Floats print with six
+/// decimals: the runs are bit-deterministic, so the text is too.
+fn digest(results: &[silc_fm::sim::RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str("# workload scheme hit_rate nm_demand_frac subblock_swaps block_migrations\n");
+    for r in results {
+        writeln!(
+            out,
+            "{} {} hit_rate={:.6} nm_frac={:.6} sub_swaps={} blk_migr={}",
+            r.workload,
+            r.scheme,
+            r.access_rate,
+            r.traffic.nm_demand_fraction(),
+            r.scheme_stats.subblocks_moved,
+            r.scheme_stats.blocks_migrated,
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[test]
+fn golden_stats_snapshot() {
+    let jobs = snapshot_jobs();
+    let serial = run_grid_serial(&jobs);
+    let actual = digest(&serial);
+
+    // The parallel engine must reproduce the digest bit for bit — this is
+    // the aggregate-level determinism guarantee of the sharded runner.
+    let parallel = run_grid(&jobs, 4);
+    assert_eq!(
+        digest(&parallel),
+        actual,
+        "parallel runner digest diverged from the serial path"
+    );
+
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(GOLDEN_PATH, &actual).expect("write golden snapshot");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("tests/golden_stats.txt missing; regenerate with BLESS=1 cargo test --test golden");
+    if actual != expected {
+        // Line-level diff keeps the failure actionable.
+        for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+            if a != e {
+                eprintln!("line {}:\n  expected: {e}\n  actual:   {a}", i + 1);
+            }
+        }
+        panic!(
+            "golden stats diverged ({} vs {} lines); if intentional, rerun \
+             with BLESS=1 and commit the diff",
+            actual.lines().count(),
+            expected.lines().count()
+        );
+    }
+}

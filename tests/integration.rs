@@ -131,7 +131,10 @@ fn results_are_bit_reproducible() {
 fn different_seeds_give_different_but_similar_results() {
     let profile = profiles::by_name("milc").unwrap();
     let p1 = params();
-    let p2 = RunParams { seed: 999, ..params() };
+    let p2 = RunParams {
+        seed: 999,
+        ..params()
+    };
     let a = run(profile, SchemeKind::silcfm(), &cfg(), &p1);
     let b = run(profile, SchemeKind::silcfm(), &cfg(), &p2);
     assert_ne!(a.cycles, b.cycles, "different seeds should perturb the run");

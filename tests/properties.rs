@@ -3,15 +3,20 @@
 //! The load-bearing property of a *flat* memory organization is that data is
 //! exchanged, never copied or lost: at all times every block of the combined
 //! address space is resident at exactly one location. These tests drive the
-//! schemes with arbitrary access sequences and check the metadata invariants
+//! schemes with generated access sequences and check the metadata invariants
 //! that encode that property, plus conservation laws on the traffic the
 //! schemes emit.
-
-use proptest::prelude::*;
+//!
+//! The cases come from the in-tree harness ([`silc_fm::types::check`]):
+//! 256 fixed-seed cases per property, with the failing case's seed printed
+//! on assertion failure so it can be rerun in isolation via
+//! `check::forall_seed`.
 
 use silc_fm::baselines::{Cameo, CameoParams, Pom, PomParams};
 use silc_fm::core::{LockState, SilcFm, SilcFmParams};
 use silc_fm::dram::{DramConfig, DramModel};
+use silc_fm::types::check::{forall, forall_cases};
+use silc_fm::types::rng::{Rng, Xoshiro256StarStar};
 use silc_fm::types::{
     Access, AddressSpace, BlockIndex, CoreId, Geometry, MemKind, MemOp, MemoryScheme, OpKind,
     PhysAddr, TrafficClass,
@@ -24,23 +29,24 @@ fn space() -> AddressSpace {
     AddressSpace::new(NM_BLOCKS * 2048, FM_BLOCKS * 2048)
 }
 
-/// An arbitrary access: (block, subblock offset, pc-site, is_write).
-fn access_strategy() -> impl Strategy<Value = (u64, u32, u64, bool)> {
-    (
-        0..(NM_BLOCKS + FM_BLOCKS),
-        0u32..32,
-        0u64..8,
-        proptest::bool::ANY,
-    )
+/// An arbitrary access: uniform over blocks, subblock offsets, a small PC
+/// pool, and read/write.
+fn arb_access(rng: &mut Xoshiro256StarStar) -> Access {
+    let block = rng.gen_range(0..NM_BLOCKS + FM_BLOCKS);
+    let off = rng.gen_range(0u32..32);
+    let pc = 0x400 + rng.gen_range(0u64..8) * 4;
+    let addr = PhysAddr::new(block * 2048 + u64::from(off) * 64);
+    if rng.gen_bool(0.5) {
+        Access::write(addr, pc, CoreId::new(0))
+    } else {
+        Access::read(addr, pc, CoreId::new(0))
+    }
 }
 
-fn make_access((block, off, pc, write): (u64, u32, u64, bool)) -> Access {
-    let addr = PhysAddr::new(block * 2048 + u64::from(off) * 64);
-    if write {
-        Access::write(addr, 0x400 + pc * 4, CoreId::new(0))
-    } else {
-        Access::read(addr, 0x400 + pc * 4, CoreId::new(0))
-    }
+/// A generated access sequence of length in `1..max_len`.
+fn arb_accesses(rng: &mut Xoshiro256StarStar, max_len: usize) -> Vec<Access> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| arb_access(rng)).collect()
 }
 
 /// Sums migration bytes by (memory, direction).
@@ -60,27 +66,29 @@ fn migration_tally(ops: &[MemOp]) -> (u64, u64, u64, u64) {
     (nm_r, nm_w, fm_r, fm_w)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// SILC-FM metadata invariants: an FM block is interleaved into at most
-    /// one frame of its congruence set; locked-remap frames are fully
-    /// resident; locked-native frames hold only native data; a set bit
-    /// always has a tenant to exchange with.
-    #[test]
-    fn silcfm_metadata_invariants(accesses in proptest::collection::vec(access_strategy(), 1..400)) {
-        let mut scheme = SilcFm::new(space(), Geometry::paper(), SilcFmParams {
-            lock_threshold: 6,
-            lock_min_resident: 1,
-            aging_period: 100,
-            bypass_window: 50,
-            ..SilcFmParams::paper()
-        });
-        for a in accesses {
-            let out = scheme.access(&make_access(a));
-            prop_assert!(!out.critical.is_empty(), "demand op always present");
+/// SILC-FM metadata invariants: an FM block is interleaved into at most one
+/// frame of its congruence set; locked-remap frames are fully resident;
+/// locked-native frames hold only native data; a set bit always has a tenant
+/// to exchange with.
+#[test]
+fn silcfm_metadata_invariants() {
+    forall("silcfm_metadata_invariants", |rng| {
+        let mut scheme = SilcFm::new(
+            space(),
+            Geometry::paper(),
+            SilcFmParams {
+                lock_threshold: 6,
+                lock_min_resident: 1,
+                aging_period: 100,
+                bypass_window: 50,
+                ..SilcFmParams::paper()
+            },
+        );
+        for a in arb_accesses(rng, 400) {
+            let out = scheme.access(&a);
+            assert!(!out.critical.is_empty(), "demand op always present");
             let demand = out.critical.last().unwrap();
-            prop_assert_eq!(demand.mem, out.serviced_from);
+            assert_eq!(demand.mem, out.serviced_from);
         }
         // Check every frame's metadata.
         let sets = scheme.sets();
@@ -88,52 +96,53 @@ proptest! {
         for f in 0..NM_BLOCKS {
             let meta = *scheme.frame(f);
             if let Some(tenant) = meta.remap {
-                prop_assert!(tenant.value() >= NM_BLOCKS, "tenants come from FM");
-                prop_assert_eq!(tenant.value() % sets, f % sets, "tenant in its set");
-                prop_assert!(tenants.insert(tenant), "tenant {} in two frames", tenant);
+                assert!(tenant.value() >= NM_BLOCKS, "tenants come from FM");
+                assert_eq!(tenant.value() % sets, f % sets, "tenant in its set");
+                assert!(tenants.insert(tenant), "tenant {tenant} in two frames");
             } else {
-                prop_assert_eq!(meta.bitvec, 0, "bits without a tenant");
+                assert_eq!(meta.bitvec, 0, "bits without a tenant");
             }
             match meta.lock {
                 LockState::LockedRemap => {
-                    prop_assert_eq!(meta.bitvec, Geometry::paper().full_mask());
-                    prop_assert!(meta.remap.is_some());
+                    assert_eq!(meta.bitvec, Geometry::paper().full_mask());
+                    assert!(meta.remap.is_some());
                 }
                 LockState::LockedNative => {
-                    prop_assert_eq!(meta.bitvec, 0);
-                    prop_assert!(meta.remap.is_none());
+                    assert_eq!(meta.bitvec, 0);
+                    assert!(meta.remap.is_none());
                 }
                 LockState::Unlocked => {}
             }
         }
-    }
+    });
+}
 
-    /// Conservation: every migration writes as many bytes into each memory
-    /// as it reads out of the other (the demand read may substitute for one
-    /// migration read), so writes to NM+FM always equal 2 x 64 B per
-    /// exchange.
-    #[test]
-    fn silcfm_swap_traffic_balances(accesses in proptest::collection::vec(access_strategy(), 1..300)) {
+/// Conservation: every migration writes as many bytes into each memory as it
+/// reads out of the other (the demand read may substitute for one migration
+/// read), so writes to NM+FM always equal 2 x 64 B per exchange.
+#[test]
+fn silcfm_swap_traffic_balances() {
+    forall("silcfm_swap_traffic_balances", |rng| {
         let mut scheme = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
-        for a in accesses {
-            let out = scheme.access(&make_access(a));
+        for a in arb_accesses(rng, 300) {
+            let out = scheme.access(&a);
             let (_, nm_w, fm_r, fm_w) = migration_tally(&out.background);
             // Per exchange: exactly one NM write and one FM write.
-            prop_assert_eq!(nm_w, fm_w, "NM and FM receive equal swap bytes");
+            assert_eq!(nm_w, fm_w, "NM and FM receive equal swap bytes");
             // Reads never exceed writes (demand covers at most one read).
-            prop_assert!(fm_r <= fm_w + nm_w);
+            assert!(fm_r <= fm_w + nm_w);
         }
-    }
+    });
+}
 
-    /// CAMEO's line location table stays a permutation under arbitrary
-    /// access sequences: no line is ever lost or duplicated.
-    #[test]
-    fn cameo_permutation_totality(accesses in proptest::collection::vec(access_strategy(), 1..500)) {
+/// CAMEO's line location table stays a permutation under arbitrary access
+/// sequences: no line is ever lost or duplicated.
+#[test]
+fn cameo_permutation_totality() {
+    forall("cameo_permutation_totality", |rng| {
         let mut cameo = Cameo::new(space(), CameoParams::with_prefetch());
-        let mut last_serviced = Vec::new();
-        for a in accesses {
-            let out = cameo.access(&make_access(a));
-            last_serviced.push(out.serviced_from);
+        for a in arb_accesses(rng, 500) {
+            let _ = cameo.access(&a);
         }
         // Re-access every line of set 0's congruence group: each must be
         // found somewhere (find_slot panics on a broken permutation).
@@ -141,44 +150,65 @@ proptest! {
             let addr = member * NM_BLOCKS * 2048; // line 0 of each member
             let _ = cameo.access(&Access::read(PhysAddr::new(addr), 0, CoreId::new(0)));
         }
-    }
+    });
+}
 
-    /// A swapped-in line is immediately re-serviceable from NM (CAMEO swaps
-    /// unconditionally on every FM access).
-    #[test]
-    fn cameo_swap_in_is_visible(block in NM_BLOCKS..(NM_BLOCKS + FM_BLOCKS), off in 0u32..32) {
+/// A swapped-in line is immediately re-serviceable from NM (CAMEO swaps
+/// unconditionally on every FM access).
+#[test]
+fn cameo_swap_in_is_visible() {
+    forall("cameo_swap_in_is_visible", |rng| {
+        let block = rng.gen_range(NM_BLOCKS..NM_BLOCKS + FM_BLOCKS);
+        let off = rng.gen_range(0u32..32);
         let mut cameo = Cameo::new(space(), CameoParams::default());
         let addr = PhysAddr::new(block * 2048 + u64::from(off) * 64);
         let first = cameo.access(&Access::read(addr, 0, CoreId::new(0)));
-        prop_assert_eq!(first.serviced_from, MemKind::Far);
+        assert_eq!(first.serviced_from, MemKind::Far);
         let second = cameo.access(&Access::read(addr, 0, CoreId::new(0)));
-        prop_assert_eq!(second.serviced_from, MemKind::Near);
-    }
+        assert_eq!(second.serviced_from, MemKind::Near);
+    });
+}
 
-    /// PoM's permutation stays total and its migrations move whole blocks.
-    #[test]
-    fn pom_invariants(accesses in proptest::collection::vec(access_strategy(), 1..400)) {
-        let mut pom = Pom::new(space(), PomParams {
-            threshold: 3,
-            ..PomParams::default()
-        });
+/// PoM's permutation stays total and its migrations move whole blocks.
+#[test]
+fn pom_invariants() {
+    forall("pom_invariants", |rng| {
+        let mut pom = Pom::new(
+            space(),
+            PomParams {
+                threshold: 3,
+                ..PomParams::default()
+            },
+        );
         let mut migration_bytes = 0u64;
-        for a in accesses {
-            let out = pom.access(&make_access(a));
+        for a in arb_accesses(rng, 400) {
+            let out = pom.access(&a);
             for op in &out.background {
-                prop_assert_eq!(op.bytes, 2048, "PoM moves whole blocks");
+                assert_eq!(op.bytes, 2048, "PoM moves whole blocks");
                 migration_bytes += u64::from(op.bytes);
             }
         }
         let stats = pom.stats();
-        prop_assert_eq!(migration_bytes, stats.blocks_migrated * 4 * 2048);
-    }
+        assert_eq!(migration_bytes, stats.blocks_migrated * 4 * 2048);
+    });
+}
 
-    /// DRAM model laws: completions never precede arrivals, per-channel bus
-    /// occupancy never exceeds elapsed time, and identical request streams
-    /// give identical timings.
-    #[test]
-    fn dram_model_laws(requests in proptest::collection::vec((0u64..(1<<22), 1u32..4, proptest::bool::ANY), 1..200)) {
+/// DRAM model laws: completions never precede arrivals, per-channel bus
+/// occupancy never exceeds elapsed time, and identical request streams give
+/// identical timings.
+#[test]
+fn dram_model_laws() {
+    forall("dram_model_laws", |rng| {
+        let len = rng.gen_range(1usize..200);
+        let requests: Vec<(u64, u32, bool)> = (0..len)
+            .map(|_| {
+                (
+                    rng.gen_range(0u64..1 << 22),
+                    rng.gen_range(1u32..4),
+                    rng.gen_bool(0.5),
+                )
+            })
+            .collect();
         let mut m1 = DramModel::new(DramConfig::ddr3());
         let mut m2 = DramModel::new(DramConfig::ddr3());
         let mut now = 0u64;
@@ -191,64 +221,73 @@ proptest! {
             } else {
                 (m1.read(now, addr, bytes), m2.read(now, addr, bytes))
             };
-            prop_assert_eq!(a, b, "deterministic");
-            prop_assert!(a >= now, "completion {} before arrival {}", a, now);
+            assert_eq!(a, b, "deterministic");
+            assert!(a >= now, "completion {a} before arrival {now}");
             last = last.max(a);
             now += 8; // advancing arrival times
         }
         let elapsed_mem = last / 4 + 1;
         let stats = m1.stats();
-        prop_assert!(
+        assert!(
             stats.bus_busy_cycles <= elapsed_mem * 4,
             "bus busier ({}) than 4 channels x {} cycles",
             stats.bus_busy_cycles,
             elapsed_mem
         );
-    }
+    });
+}
 
-    /// Scheme determinism across the board: same access sequence, same
-    /// emitted operations.
-    #[test]
-    fn schemes_are_deterministic(accesses in proptest::collection::vec(access_strategy(), 1..200)) {
+/// Scheme determinism across the board: same access sequence, same emitted
+/// operations. (Fewer cases: each case simulates three controllers.)
+#[test]
+fn schemes_are_deterministic() {
+    forall_cases("schemes_are_deterministic", 128, |rng| {
+        let accesses = arb_accesses(rng, 200);
         let mut a = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
         let mut b = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
         for acc in &accesses {
-            prop_assert_eq!(a.access(&make_access(*acc)), b.access(&make_access(*acc)));
+            assert_eq!(a.access(acc), b.access(acc));
         }
         // And reset really resets.
         a.reset();
         let mut c = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
         for acc in &accesses {
-            prop_assert_eq!(a.access(&make_access(*acc)), c.access(&make_access(*acc)));
+            assert_eq!(a.access(acc), c.access(acc));
         }
-    }
+    });
+}
 
-    /// The access-rate metric is always the fraction of NM-serviced demands.
-    #[test]
-    fn access_rate_accounting(accesses in proptest::collection::vec(access_strategy(), 1..300)) {
+/// The access-rate metric is always the fraction of NM-serviced demands.
+#[test]
+fn access_rate_accounting() {
+    forall("access_rate_accounting", |rng| {
+        let accesses = arb_accesses(rng, 300);
         let mut scheme = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
         let mut nm_count = 0u64;
         for a in &accesses {
-            if scheme.access(&make_access(*a)).serviced_from == MemKind::Near {
+            if scheme.access(a).serviced_from == MemKind::Near {
                 nm_count += 1;
             }
         }
         let stats = scheme.stats();
-        prop_assert_eq!(stats.serviced_from_nm, nm_count);
-        prop_assert_eq!(stats.accesses, accesses.len() as u64);
+        assert_eq!(stats.serviced_from_nm, nm_count);
+        assert_eq!(stats.accesses, accesses.len() as u64);
         let expected = nm_count as f64 / accesses.len() as f64;
-        prop_assert!((stats.access_rate() - expected).abs() < 1e-12);
-    }
+        assert!((stats.access_rate() - expected).abs() < 1e-12);
+    });
+}
 
-    /// Geometry round trips: any address decomposes into (block, offset) and
-    /// recomposes exactly.
-    #[test]
-    fn geometry_round_trip(addr in 0u64..(1u64 << 40)) {
+/// Geometry round trips: any address decomposes into (block, offset) and
+/// recomposes exactly.
+#[test]
+fn geometry_round_trip() {
+    forall("geometry_round_trip", |rng| {
+        let addr = rng.gen_range(0u64..1 << 40);
         let geom = Geometry::paper();
         let a = PhysAddr::new(addr);
         let block = BlockIndex::containing(a, geom);
         let off = silc_fm::types::SubblockIndex::containing(a, geom).offset_in_block(geom);
         let reconstructed = block.base_addr(geom).value() + u64::from(off) * 64 + (addr % 64);
-        prop_assert_eq!(reconstructed, addr);
-    }
+        assert_eq!(reconstructed, addr);
+    });
 }
