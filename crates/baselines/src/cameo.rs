@@ -11,7 +11,8 @@
 //! sequential lines with every miss (the authors found 3 best).
 
 use silcfm_types::{
-    Access, AddressSpace, MemKind, MemOp, MemoryScheme, PhysAddr, SchemeOutcome, SchemeStats,
+    Access, AddressSpace, MemKind, MemOp, MemoryScheme, OpList, PhysAddr, SchemeOutcome,
+    SchemeStats,
 };
 
 /// Extra bytes per NM access for the embedded LLT entry (the paper widens
@@ -145,7 +146,7 @@ impl Cameo {
     /// the FM read of the incoming line is already charged as the demand.
     fn swap_with_nm(
         &mut self,
-        ops: &mut Vec<MemOp>,
+        ops: &mut OpList,
         set: u64,
         slot: u8,
         demand_covers_fetch: bool,
@@ -191,7 +192,8 @@ impl Cameo {
 }
 
 impl MemoryScheme for Cameo {
-    fn access(&mut self, access: &Access) -> SchemeOutcome {
+    fn access(&mut self, access: &Access, out: &mut SchemeOutcome) {
+        out.clear();
         self.accesses += 1;
         let line = access.addr.value() / LINE;
         let (set, member) = self.set_and_member(line);
@@ -200,14 +202,11 @@ impl MemoryScheme for Cameo {
         let predicted = self.predictor[pidx].slot;
         self.predictor[pidx].slot = slot;
 
-        let mut critical = Vec::new();
-        let mut background = Vec::new();
-
-        let serviced_from = if slot == 0 {
+        out.serviced_from = if slot == 0 {
             // Resident in NM: one widened access returns data + LLT entry.
             self.serviced_from_nm += 1;
             let addr = self.slot_addr(set, 0);
-            critical.push(if access.is_write() {
+            out.critical.push(if access.is_write() {
                 MemOp::demand_write(MemKind::Near, addr, LINE as u32 + LLT_BYTES)
             } else {
                 MemOp::demand_read(MemKind::Near, addr, LINE as u32 + LLT_BYTES)
@@ -220,17 +219,17 @@ impl MemoryScheme for Cameo {
             let llt = MemOp::metadata_read(MemKind::Near, self.slot_addr(set, 0), LLT_BYTES);
             if predicted == slot {
                 self.pred_correct += 1;
-                background.push(llt);
+                out.background.push(llt);
             } else {
-                critical.push(llt);
+                out.critical.push(llt);
             }
-            critical.push(if access.is_write() {
+            out.critical.push(if access.is_write() {
                 MemOp::demand_write(MemKind::Far, addr, LINE as u32)
             } else {
                 MemOp::demand_read(MemKind::Far, addr, LINE as u32)
             });
             // CAMEO always swaps the accessed line into NM.
-            self.swap_with_nm(&mut background, set, slot, true, false);
+            self.swap_with_nm(&mut out.background, set, slot, true, false);
 
             // CAMEO+P: swap the next sequential lines in, too.
             for i in 1..=u64::from(self.params.prefetch_lines) {
@@ -241,18 +240,11 @@ impl MemoryScheme for Cameo {
                 let (pset, pmember) = self.set_and_member(pline);
                 let pslot = self.find_slot(pset, pmember);
                 if pslot != 0 {
-                    self.swap_with_nm(&mut background, pset, pslot, false, true);
+                    self.swap_with_nm(&mut out.background, pset, pslot, false, true);
                 }
             }
             MemKind::Far
         };
-
-        SchemeOutcome {
-            critical,
-            background,
-            serviced_from,
-            global_stall_cycles: 0,
-        }
     }
 
     fn name(&self) -> &'static str {
@@ -316,7 +308,7 @@ mod tests {
     }
 
     fn read(s: &mut Cameo, addr: u64) -> SchemeOutcome {
-        s.access(&Access::read(PhysAddr::new(addr), 0x400, CoreId::new(0)))
+        s.access_fresh(&Access::read(PhysAddr::new(addr), 0x400, CoreId::new(0)))
     }
 
     #[test]

@@ -7,10 +7,9 @@
 //! scheme's fundamental handicap: it adapts only at epoch boundaries, so
 //! short-lived hot pages are never captured.
 
-use std::collections::HashMap;
-
 use silcfm_types::{
-    Access, AddressSpace, MemKind, MemOp, MemoryScheme, PhysAddr, SchemeOutcome, SchemeStats,
+    Access, AddressSpace, FxHashMap, MemKind, MemOp, MemoryScheme, OpList, PhysAddr, SchemeOutcome,
+    SchemeStats,
 };
 
 /// Page/block size.
@@ -56,11 +55,11 @@ pub struct Hma {
     params: HmaParams,
     nm_blocks: u64,
     /// Logical block → physical block, identity when absent.
-    location: HashMap<u64, u64>,
+    location: FxHashMap<u64, u64>,
     /// Physical block → logical block, identity when absent.
-    resident: HashMap<u64, u64>,
+    resident: FxHashMap<u64, u64>,
     /// Per-epoch access counts by logical block.
-    counts: HashMap<u64, u32>,
+    counts: FxHashMap<u64, u32>,
     accesses: u64,
     serviced_from_nm: u64,
     migrations: u64,
@@ -75,9 +74,9 @@ impl Hma {
         Self {
             space,
             nm_blocks: space.nm_bytes() / BLOCK,
-            location: HashMap::new(),
-            resident: HashMap::new(),
-            counts: HashMap::new(),
+            location: FxHashMap::default(),
+            resident: FxHashMap::default(),
+            counts: FxHashMap::default(),
             accesses: 0,
             serviced_from_nm: 0,
             migrations: 0,
@@ -116,7 +115,7 @@ impl Hma {
         *self.resident.get(&physical).unwrap_or(&physical)
     }
 
-    fn swap_pages(&mut self, hot_logical: u64, cold_logical: u64, ops: &mut Vec<MemOp>) {
+    fn swap_pages(&mut self, hot_logical: u64, cold_logical: u64, ops: &mut OpList) {
         let hot_phys = self.loc(hot_logical);
         let cold_phys = self.loc(cold_logical);
         debug_assert!(hot_phys >= self.nm_blocks, "hot page must be in FM");
@@ -148,10 +147,10 @@ impl Hma {
         self.migrations += 1;
     }
 
-    /// Runs the epoch-boundary migration; returns (traffic, stall cycles).
-    fn epoch_boundary(&mut self) -> (Vec<MemOp>, u64) {
+    /// Runs the epoch-boundary migration, appending the migration traffic to
+    /// `ops`; returns the stall cycles charged to all cores.
+    fn epoch_boundary(&mut self, ops: &mut OpList) -> u64 {
         self.epochs += 1;
-        let mut ops = Vec::new();
         let mut stall = self.params.stall_per_epoch;
 
         // Hot candidates currently in FM, hottest first.
@@ -196,7 +195,7 @@ impl Hma {
                     Some((cold_count, cold_logical))
                         if u64::from(hot_count) > 2 * u64::from(cold_count) =>
                     {
-                        self.swap_pages(hot_logical, cold_logical, &mut ops);
+                        self.swap_pages(hot_logical, cold_logical, ops);
                         stall += self.params.stall_per_migration;
                     }
                     _ => break,
@@ -204,12 +203,13 @@ impl Hma {
             }
         }
         self.counts.clear();
-        (ops, stall)
+        stall
     }
 }
 
 impl MemoryScheme for Hma {
-    fn access(&mut self, access: &Access) -> SchemeOutcome {
+    fn access(&mut self, access: &Access, out: &mut SchemeOutcome) {
+        out.clear();
         self.accesses += 1;
         let logical = access.addr.value() / BLOCK;
         let offset = access.addr.value() % BLOCK;
@@ -223,24 +223,19 @@ impl MemoryScheme for Hma {
         } else {
             MemKind::Far
         };
-        let demand = if access.is_write() {
+        // The demand address is resolved *before* the epoch boundary runs:
+        // the access that crosses the boundary is still serviced from the
+        // old placement.
+        out.critical.push(if access.is_write() {
             MemOp::demand_write(mem, addr, 64)
         } else {
             MemOp::demand_read(mem, addr, 64)
-        };
+        });
+        out.serviced_from = mem;
 
-        let (background, stall) = if self.accesses >= self.next_epoch {
+        if self.accesses >= self.next_epoch {
             self.next_epoch += self.params.epoch_accesses;
-            self.epoch_boundary()
-        } else {
-            (Vec::new(), 0)
-        };
-
-        SchemeOutcome {
-            critical: vec![demand],
-            background,
-            serviced_from: mem,
-            global_stall_cycles: stall,
+            out.global_stall_cycles = self.epoch_boundary(&mut out.background);
         }
     }
 
@@ -295,7 +290,7 @@ mod tests {
     }
 
     fn read(s: &mut Hma, addr: u64) -> SchemeOutcome {
-        s.access(&Access::read(PhysAddr::new(addr), 0, CoreId::new(0)))
+        s.access_fresh(&Access::read(PhysAddr::new(addr), 0, CoreId::new(0)))
     }
 
     #[test]
@@ -403,7 +398,7 @@ mod tests {
         for i in 0..20u64 {
             let _ = read(&mut h, NM + i * 64);
         }
-        assert!(h.stats().details.iter().any(|(n, _)| n == "epochs"));
+        assert!(h.stats().details.iter().any(|(n, _)| *n == "epochs"));
         h.reset();
         assert_eq!(h.stats().accesses, 0);
         assert_eq!(h.epochs(), 0);

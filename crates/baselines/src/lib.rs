@@ -23,9 +23,9 @@
 //! let space = AddressSpace::new(64 * 2048, 256 * 2048);
 //! let mut cameo = Cameo::new(space, Default::default());
 //! let fm = PhysAddr::new(space.nm_bytes());
-//! let first = cameo.access(&Access::read(fm, 0x400, CoreId::new(0)));
+//! let first = cameo.access_fresh(&Access::read(fm, 0x400, CoreId::new(0)));
 //! assert_eq!(first.serviced_from, MemKind::Far);   // miss + swap
-//! let second = cameo.access(&Access::read(fm, 0x400, CoreId::new(0)));
+//! let second = cameo.access_fresh(&Access::read(fm, 0x400, CoreId::new(0)));
 //! assert_eq!(second.serviced_from, MemKind::Near); // now resident
 //! ```
 

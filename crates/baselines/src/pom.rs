@@ -8,7 +8,8 @@
 //! cached in a finite SRAM structure; cache misses pay one NM metadata fetch.
 
 use silcfm_types::{
-    Access, AddressSpace, MemKind, MemOp, MemoryScheme, PhysAddr, SchemeOutcome, SchemeStats,
+    Access, AddressSpace, MemKind, MemOp, MemoryScheme, OpList, PhysAddr, SchemeOutcome,
+    SchemeStats,
 };
 
 /// Block (page) size.
@@ -139,7 +140,7 @@ impl Pom {
 
     /// Migrates the whole 2 KB block at `slot` into the group's NM frame,
     /// swapping with the current NM resident.
-    fn migrate(&mut self, ops: &mut Vec<MemOp>, set: u64, slot: u8) {
+    fn migrate(&mut self, ops: &mut OpList, set: u64, slot: u8) {
         debug_assert_ne!(slot, 0);
         let nm = self.slot_addr(set, 0);
         let fm = self.slot_addr(set, slot);
@@ -164,7 +165,8 @@ impl Pom {
 }
 
 impl MemoryScheme for Pom {
-    fn access(&mut self, access: &Access) -> SchemeOutcome {
+    fn access(&mut self, access: &Access, out: &mut SchemeOutcome) {
+        out.clear();
         self.accesses += 1;
         self.maybe_decay();
         let block = access.addr.value() / BLOCK;
@@ -172,16 +174,14 @@ impl MemoryScheme for Pom {
         let (set, member) = self.set_and_member(block);
         let slot = self.find_slot(set, member);
 
-        let mut critical = Vec::new();
         if !self.remap_cache_probe(set) {
             // Remap-table cache miss: fetch the entry from NM metadata.
-            critical.push(MemOp::metadata_read(
+            out.critical.push(MemOp::metadata_read(
                 MemKind::Near,
                 PhysAddr::new((set * 8) % self.space.nm_bytes()),
                 8,
             ));
         }
-        let mut background = Vec::new();
         let base = set as usize * self.group;
         let serviced_from = if slot == 0 {
             self.serviced_from_nm += 1;
@@ -198,7 +198,7 @@ impl MemoryScheme for Pom {
             let cidx = base + member as usize;
             self.counters[cidx] = self.counters[cidx].saturating_add(1);
             if self.counters[cidx] >= self.params.threshold {
-                self.migrate(&mut background, set, slot);
+                self.migrate(&mut out.background, set, slot);
                 // The swap resets the contest for the whole group.
                 for m in 0..self.group {
                     self.counters[base + m] = 0;
@@ -209,19 +209,12 @@ impl MemoryScheme for Pom {
 
         // Data is read from where it was at the start of the access.
         let addr = self.slot_addr(set, slot).add(offset);
-        let demand = if access.is_write() {
+        out.critical.push(if access.is_write() {
             MemOp::demand_write(serviced_from, addr, 64)
         } else {
             MemOp::demand_read(serviced_from, addr, 64)
-        };
-
-        critical.push(demand);
-        SchemeOutcome {
-            critical,
-            background,
-            serviced_from,
-            global_stall_cycles: 0,
-        }
+        });
+        out.serviced_from = serviced_from;
     }
 
     fn name(&self) -> &'static str {
@@ -277,7 +270,7 @@ mod tests {
     }
 
     fn read(s: &mut Pom, addr: u64) -> SchemeOutcome {
-        s.access(&Access::read(PhysAddr::new(addr), 0, CoreId::new(0)))
+        s.access_fresh(&Access::read(PhysAddr::new(addr), 0, CoreId::new(0)))
     }
 
     #[test]

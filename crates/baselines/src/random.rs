@@ -30,18 +30,19 @@ impl RandomStatic {
 }
 
 impl MemoryScheme for RandomStatic {
-    fn access(&mut self, access: &Access) -> SchemeOutcome {
+    fn access(&mut self, access: &Access, out: &mut SchemeOutcome) {
+        out.clear();
         self.accesses += 1;
         let mem = self.space.kind_of(access.addr);
         if mem == MemKind::Near {
             self.serviced_from_nm += 1;
         }
-        let op = if access.is_write() {
+        out.critical.push(if access.is_write() {
             MemOp::demand_write(mem, access.addr, 64)
         } else {
             MemOp::demand_read(mem, access.addr, 64)
-        };
-        SchemeOutcome::serviced(mem, vec![op])
+        });
+        out.serviced_from = mem;
     }
 
     fn name(&self) -> &'static str {
@@ -76,9 +77,9 @@ mod tests {
     #[test]
     fn services_in_place() {
         let mut s = scheme();
-        let nm = s.access(&Access::read(PhysAddr::new(0), 0, CoreId::new(0)));
+        let nm = s.access_fresh(&Access::read(PhysAddr::new(0), 0, CoreId::new(0)));
         assert_eq!(nm.serviced_from, MemKind::Near);
-        let fm = s.access(&Access::read(PhysAddr::new(5 * 2048), 0, CoreId::new(0)));
+        let fm = s.access_fresh(&Access::read(PhysAddr::new(5 * 2048), 0, CoreId::new(0)));
         assert_eq!(fm.serviced_from, MemKind::Far);
         assert!(nm.background.is_empty() && fm.background.is_empty());
     }
@@ -87,7 +88,7 @@ mod tests {
     fn never_migrates() {
         let mut s = scheme();
         for _ in 0..100 {
-            let _ = s.access(&Access::read(PhysAddr::new(5 * 2048), 0, CoreId::new(0)));
+            let _ = s.access_fresh(&Access::read(PhysAddr::new(5 * 2048), 0, CoreId::new(0)));
         }
         let st = s.stats();
         assert_eq!(st.subblocks_moved, 0);
@@ -98,14 +99,14 @@ mod tests {
     #[test]
     fn writes_are_writes() {
         let mut s = scheme();
-        let out = s.access(&Access::write(PhysAddr::new(0), 0, CoreId::new(0)));
+        let out = s.access_fresh(&Access::write(PhysAddr::new(0), 0, CoreId::new(0)));
         assert!(out.critical[0].kind.is_write());
     }
 
     #[test]
     fn reset_and_name() {
         let mut s = scheme();
-        let _ = s.access(&Access::read(PhysAddr::new(0), 0, CoreId::new(0)));
+        let _ = s.access_fresh(&Access::read(PhysAddr::new(0), 0, CoreId::new(0)));
         s.reset();
         assert_eq!(s.stats().accesses, 0);
         assert_eq!(s.name(), "rand");

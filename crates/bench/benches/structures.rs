@@ -61,11 +61,13 @@ fn bench_dram() {
 fn bench_controller() {
     let space = AddressSpace::new(4096 * 2048, 4 * 4096 * 2048);
     let mut scheme = SilcFm::new(space, Geometry::paper(), SilcFmParams::paper());
+    let mut out = silcfm_types::SchemeOutcome::empty();
     let mut i = 0u64;
     bench("silcfm_controller", "access", || {
         i = i.wrapping_add(1);
         let addr = PhysAddr::new((i * 64 * 131) % space.total_bytes());
-        std::hint::black_box(scheme.access(&Access::read(addr, 0x400 + i % 8, CoreId::new(0))));
+        scheme.access(&Access::read(addr, 0x400 + i % 8, CoreId::new(0)), &mut out);
+        std::hint::black_box(&out);
     });
 }
 

@@ -1,0 +1,404 @@
+//! Simulator throughput benchmark: simulated accesses per second, per
+//! scheme and per layer.
+//!
+//! Every figure in the paper is produced by replaying post-LLC-miss
+//! accesses through [`MemoryScheme::access`], so simulated-accesses-per-
+//! second is the currency of the whole reproduction. This binary measures
+//! it at two layers:
+//!
+//! * **scheme-only** — a pre-generated access stream driven straight into
+//!   the scheme, isolating the placement logic (remap lookups, swap
+//!   bookkeeping, op emission) from the rest of the machine;
+//! * **full-system** — [`silcfm_sim::run`], i.e. cores + caches + scheme +
+//!   both DRAM timing models, which is what the experiment harnesses pay.
+//!
+//! Each scheme gets a fixed access budget spread evenly over the Table III
+//! workload profiles. The binary also times the `scheme_shootout` grid
+//! (serial vs sharded-parallel) so whole-grid speed is tracked alongside
+//! per-access speed. Results land in `results/BENCH_throughput.json`.
+//!
+//! Run with: `cargo run --release -p silcfm-bench --bin throughput`
+//! Options:
+//!   --budget N    accesses per scheme per layer (default 560000)
+//!   --repeats N   repetitions per measurement; best rate wins (default 3)
+//!   --out PATH    output JSON path (default results/BENCH_throughput.json)
+//!   --no-write    measure and print, but do not write the JSON
+//!   --skip-grid   skip the serial-vs-parallel grid timing
+//!   --baseline P  JSON from a pre-change build of this binary; its rates
+//!                 are embedded as "pre_change" and a full-system SILC-FM
+//!                 speedup ratio is computed against it
+//!
+//! Each measurement is repeated `--repeats` times and the best rate is
+//! reported: minimum-time estimation discards interference from whatever
+//! else the host is running, which on shared machines dwarfs the
+//! simulator's own run-to-run variation.
+
+use std::time::Instant;
+
+use silcfm_sim::experiment::space_for;
+use silcfm_sim::{run, run_grid, run_grid_serial, ExperimentGrid, RunParams, SchemeKind};
+use silcfm_trace::{profiles, PageMapper, PlacementPolicy, WorkloadGen};
+use silcfm_types::{Access, CoreId, SystemConfig};
+
+/// Default accesses per scheme per layer, spread over the profiles.
+const DEFAULT_BUDGET: u64 = 560_000;
+
+struct Options {
+    budget: u64,
+    repeats: u32,
+    out: String,
+    write: bool,
+    grid: bool,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        budget: DEFAULT_BUDGET,
+        repeats: 3,
+        out: "results/BENCH_throughput.json".to_string(),
+        write: true,
+        grid: true,
+        baseline: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--budget" => {
+                let v = args.next().expect("--budget needs a value");
+                opts.budget = v.parse().expect("--budget must be an integer");
+            }
+            "--repeats" => {
+                let v = args.next().expect("--repeats needs a value");
+                opts.repeats = v.parse().expect("--repeats must be an integer");
+                assert!(opts.repeats > 0, "--repeats must be positive");
+            }
+            "--out" => opts.out = args.next().expect("--out needs a path"),
+            "--no-write" => opts.write = false,
+            "--skip-grid" => opts.grid = false,
+            "--baseline" => opts.baseline = Some(args.next().expect("--baseline needs a path")),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!(
+                    "usage: throughput [--budget N] [--repeats N] [--out PATH] \
+                     [--no-write] [--skip-grid] [--baseline PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// The benchmark lineup: the no-NM baseline plus the Fig. 7 schemes.
+fn lineup() -> Vec<SchemeKind> {
+    let mut kinds = vec![SchemeKind::NoNm];
+    kinds.extend(SchemeKind::fig7_lineup());
+    kinds
+}
+
+/// Pre-generates one post-LLC-miss access stream per profile: the workload
+/// generator's virtual stream pushed through first-touch translation, as
+/// `System::run` would. Generated once and replayed for every scheme so
+/// all schemes see identical streams.
+fn generate_streams(
+    cfg: &SystemConfig,
+    params: &RunParams,
+    per_profile: u64,
+) -> Vec<(silcfm_types::AddressSpace, Vec<Access>)> {
+    let cores = u64::from(cfg.core.cores);
+    profiles::all()
+        .iter()
+        .map(|profile| {
+            let scaled = profiles::scaled(profile, params.footprint_scale);
+            let space = space_for(&scaled, cfg, params);
+            let mut mapper = PageMapper::new(space, PlacementPolicy::RandomSeeded(params.seed));
+            let mut gens: Vec<WorkloadGen> = (0..cores)
+                .map(|i| WorkloadGen::new(&scaled, CoreId::new(i as u16), params.seed))
+                .collect();
+            let mut stream = Vec::with_capacity(per_profile as usize);
+            for i in 0..per_profile {
+                let core = CoreId::new((i % cores) as u16);
+                let rec = gens[(i % cores) as usize].next_record();
+                let paddr = mapper
+                    .translate(core, rec.vaddr)
+                    .expect("footprint exceeds physical memory");
+                stream.push(Access::read(paddr, rec.pc, core));
+            }
+            (space, stream)
+        })
+        .collect()
+}
+
+/// Accesses/sec for one scheme with the access stream driven straight into
+/// `MemoryScheme::access`, bypassing cores/caches/DRAM.
+fn scheme_only_rate(
+    kind: SchemeKind,
+    streams: &[(silcfm_types::AddressSpace, Vec<Access>)],
+    repeats: u32,
+) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..repeats {
+        let mut total = 0u64;
+        let mut elapsed = 0.0f64;
+        let mut sink = 0u64;
+        let mut out = silcfm_types::SchemeOutcome::empty();
+        for (space, stream) in streams {
+            let mut scheme = kind.build(*space, stream.len() as u64);
+            let t0 = Instant::now();
+            for access in stream {
+                scheme.access(access, &mut out);
+                sink ^= out.critical_bytes().wrapping_add(out.background_bytes());
+            }
+            elapsed += t0.elapsed().as_secs_f64();
+            total += stream.len() as u64;
+        }
+        std::hint::black_box(sink);
+        best = best.max(total as f64 / elapsed);
+    }
+    best
+}
+
+/// Accesses/sec for one scheme through the full `System::run` pipeline.
+fn full_system_rate(
+    kind: SchemeKind,
+    cfg: &SystemConfig,
+    params: &RunParams,
+    per_profile: u64,
+    repeats: u32,
+) -> f64 {
+    let cores = u64::from(cfg.core.cores);
+    let p = RunParams {
+        accesses_per_core: (per_profile / cores).max(1),
+        ..*params
+    };
+    let mut best = 0.0f64;
+    for _ in 0..repeats {
+        let mut total = 0u64;
+        let mut elapsed = 0.0f64;
+        for profile in profiles::all() {
+            let t0 = Instant::now();
+            let r = run(profile, kind, cfg, &p);
+            elapsed += t0.elapsed().as_secs_f64();
+            std::hint::black_box(r.cycles);
+            total += p.accesses_per_core * cores;
+        }
+        best = best.max(total as f64 / elapsed);
+    }
+    best
+}
+
+/// Times the `scheme_shootout` grid serially and through the sharded pool.
+fn grid_times() -> (usize, usize, f64, f64) {
+    let threads = silcfm_sim::runner::default_threads();
+    let workload = profiles::by_name("lib").unwrap();
+    let jobs = ExperimentGrid::new(SystemConfig::experiment(), RunParams::smoke())
+        .workload(workload)
+        .scheme(SchemeKind::NoNm)
+        .schemes(SchemeKind::fig7_lineup())
+        .jobs();
+
+    let t0 = Instant::now();
+    let serial = run_grid_serial(&jobs);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let parallel = run_grid(&jobs, threads);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    assert!(
+        serial
+            .iter()
+            .zip(&parallel)
+            .all(|(s, p)| s.cycles == p.cycles && s.traffic == p.traffic),
+        "parallel runner diverged from the serial path"
+    );
+    (jobs.len(), threads, serial_ms, parallel_ms)
+}
+
+/// Pre-change rates parsed back out of a JSON file written by an older
+/// build of this binary (same format).
+struct Baseline {
+    scheme_only: String,
+    full_system: String,
+    silcfm_full_system: Option<f64>,
+}
+
+/// Extracts the body of a flat `"key": { ... }` object. The input is this
+/// binary's own output, so object bodies never contain nested braces.
+fn extract_object(json: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": {{");
+    let start = json.find(&tag)? + tag.len();
+    let end = start + json[start..].find('}')?;
+    Some(json[start..end].trim().to_string())
+}
+
+/// Extracts a single `"name": <number>` rate from an object body.
+fn extract_rate(body: &str, name: &str) -> Option<f64> {
+    let tag = format!("\"{name}\": ");
+    let start = body.find(&tag)? + tag.len();
+    let rest = &body[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn load_baseline(path: &str) -> Baseline {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let full_system =
+        extract_object(&json, "full_system").expect("baseline JSON has no full_system section");
+    Baseline {
+        silcfm_full_system: extract_rate(&full_system, "silcfm"),
+        scheme_only: extract_object(&json, "scheme_only").unwrap_or_default(),
+        full_system,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let cfg = SystemConfig::small();
+    let params = RunParams::smoke();
+    let n_profiles = profiles::all().len() as u64;
+    let per_profile = (opts.budget / n_profiles).max(1);
+
+    println!(
+        "throughput: {} accesses/scheme/layer over {} profiles ({} each), config=small",
+        per_profile * n_profiles,
+        n_profiles,
+        per_profile
+    );
+
+    let streams = generate_streams(&cfg, &params, per_profile);
+
+    let mut scheme_only: Vec<(&'static str, f64)> = Vec::new();
+    let mut full_system: Vec<(&'static str, f64)> = Vec::new();
+    println!(
+        "\n{:8} {:>18} {:>18}",
+        "scheme", "scheme-only acc/s", "full-system acc/s"
+    );
+    for kind in lineup() {
+        let so = scheme_only_rate(kind, &streams, opts.repeats);
+        let fs = full_system_rate(kind, &cfg, &params, per_profile, opts.repeats);
+        println!("{:8} {:>18.0} {:>18.0}", kind.label(), so, fs);
+        scheme_only.push((kind.label(), so));
+        full_system.push((kind.label(), fs));
+    }
+
+    let grid = if opts.grid {
+        let (jobs, threads, serial_ms, parallel_ms) = grid_times();
+        println!(
+            "\ngrid of {jobs} runs: serial {serial_ms:.0} ms, \
+             parallel ({threads} threads) {parallel_ms:.0} ms"
+        );
+        Some((jobs, threads, serial_ms, parallel_ms))
+    } else {
+        None
+    };
+
+    let baseline = opts.baseline.as_deref().map(load_baseline);
+    if let Some(b) = &baseline {
+        let post = full_system
+            .iter()
+            .find(|(name, _)| *name == "silcfm")
+            .map(|(_, r)| *r);
+        if let (Some(pre), Some(post)) = (b.silcfm_full_system, post) {
+            println!(
+                "\nfull-system silcfm vs baseline: {:.0} -> {:.0} acc/s ({:.3}x)",
+                pre,
+                post,
+                post / pre
+            );
+        }
+    }
+
+    if opts.write {
+        let json = render_json(
+            opts.budget,
+            per_profile * n_profiles,
+            &scheme_only,
+            &full_system,
+            grid,
+            baseline.as_ref(),
+        );
+        if let Some(dir) = std::path::Path::new(&opts.out).parent() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+        std::fs::write(&opts.out, json).expect("write results JSON");
+        println!("\nwrote {}", opts.out);
+    }
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free by policy).
+fn render_json(
+    budget: u64,
+    accesses: u64,
+    scheme_only: &[(&'static str, f64)],
+    full_system: &[(&'static str, f64)],
+    grid: Option<(usize, usize, f64, f64)>,
+    baseline: Option<&Baseline>,
+) -> String {
+    fn rates(pairs: &[(&'static str, f64)]) -> String {
+        let body: Vec<String> = pairs
+            .iter()
+            .map(|(name, rate)| format!("    \"{name}\": {rate:.0}"))
+            .collect();
+        body.join(",\n")
+    }
+    fn reindent(body: &str, indent: &str) -> String {
+        body.lines()
+            .map(|l| format!("{indent}{}", l.trim()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"meta\": {\n");
+    out.push_str(&format!("    \"budget_per_scheme_per_layer\": {budget},\n"));
+    out.push_str(&format!(
+        "    \"accesses_measured_per_scheme\": {accesses},\n"
+    ));
+    out.push_str("    \"config\": \"small\",\n");
+    out.push_str("    \"unit\": \"simulated accesses per second\"\n");
+    out.push_str("  },\n");
+    out.push_str("  \"scheme_only\": {\n");
+    out.push_str(&rates(scheme_only));
+    out.push_str("\n  },\n");
+    out.push_str("  \"full_system\": {\n");
+    out.push_str(&rates(full_system));
+    out.push_str("\n  }");
+    if let Some((jobs, threads, serial_ms, parallel_ms)) = grid {
+        out.push_str(",\n  \"grid\": {\n");
+        out.push_str(&format!("    \"jobs\": {jobs},\n"));
+        out.push_str(&format!("    \"threads\": {threads},\n"));
+        out.push_str(&format!("    \"serial_ms\": {serial_ms:.1},\n"));
+        out.push_str(&format!("    \"parallel_ms\": {parallel_ms:.1},\n"));
+        out.push_str(&format!(
+            "    \"speedup\": {:.2}\n",
+            serial_ms / parallel_ms
+        ));
+        out.push_str("  }");
+    }
+    if let Some(b) = baseline {
+        out.push_str(",\n  \"pre_change\": {\n");
+        out.push_str("    \"scheme_only\": {\n");
+        out.push_str(&reindent(&b.scheme_only, "      "));
+        out.push_str("\n    },\n");
+        out.push_str("    \"full_system\": {\n");
+        out.push_str(&reindent(&b.full_system, "      "));
+        out.push_str("\n    }\n  }");
+        let post = full_system
+            .iter()
+            .find(|(name, _)| *name == "silcfm")
+            .map(|(_, r)| *r);
+        if let (Some(pre), Some(post)) = (b.silcfm_full_system, post) {
+            out.push_str(&format!(
+                ",\n  \"speedup_full_system_silcfm\": {:.3}",
+                post / pre
+            ));
+        }
+    }
+    out.push_str("\n}\n");
+    out
+}

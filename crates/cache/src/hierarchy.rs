@@ -64,6 +64,10 @@ pub struct CacheHierarchy {
     l1d: Vec<SetAssocCache>,
     l2: SetAssocCache,
     line_bytes: u64,
+    /// `line_bytes.trailing_zeros()` when the line size is a power of two
+    /// (all Table II configurations): the per-access byte→line conversion
+    /// runs twice per simulated record, so it becomes a shift.
+    line_shift: Option<u32>,
     l1_latency: u32,
     l2_latency: u32,
     stats: HierarchyStats,
@@ -78,6 +82,9 @@ impl CacheHierarchy {
             l1d: (0..cores).map(|_| SetAssocCache::new(cfg.l1d)).collect(),
             l2: SetAssocCache::new(cfg.l2),
             line_bytes: u64::from(cfg.l2.line_bytes),
+            line_shift: u64::from(cfg.l2.line_bytes)
+                .is_power_of_two()
+                .then(|| cfg.l2.line_bytes.trailing_zeros()),
             l1_latency: cfg.l1d.latency_cycles,
             l2_latency: cfg.l2.latency_cycles,
             stats: HierarchyStats {
@@ -127,7 +134,10 @@ impl CacheHierarchy {
         kind: AccessKind,
         is_fetch: bool,
     ) -> HierarchyAccess {
-        let line = addr.value() / self.line_bytes;
+        let line = match self.line_shift {
+            Some(s) => addr.value() >> s,
+            None => addr.value() / self.line_bytes,
+        };
         let l1 = if is_fetch {
             &mut self.l1i[core.index()]
         } else {

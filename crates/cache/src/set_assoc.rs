@@ -20,22 +20,30 @@ pub struct AccessResult {
     pub writeback: Option<u64>,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    last_used: u64,
-}
+/// Tag-match words: `(tag << 2) | (dirty << 1) | valid`. Packing state and
+/// tag into one u64 lets a lookup test validity and tag equality with a
+/// single compare, and keeps a whole 8-way set inside one host cacheline —
+/// this probe runs on every simulated memory access.
+const VALID_BIT: u64 = 1;
+const DIRTY_BIT: u64 = 2;
+const TAG_SHIFT: u32 = 2;
 
 /// A set-associative cache with true-LRU replacement, write-back and
 /// write-allocate policies. Operates on *line addresses* (byte address
 /// divided by the line size) so it is independent of the line size.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    sets: Vec<Line>,
+    /// Packed tag/valid/dirty words, `ways` per set.
+    lines: Vec<u64>,
+    /// LRU timestamps, parallel to `lines`; touched only on hit-update and
+    /// victim selection so the tag probe stays single-cacheline.
+    last_used: Vec<u64>,
     ways: usize,
     num_sets: u64,
+    /// `num_sets - 1`; the power-of-two set count makes index extraction a
+    /// mask and tag extraction a shift.
+    set_mask: u64,
+    set_shift: u32,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -56,9 +64,12 @@ impl SetAssocCache {
             "set count must be a power of two, got {num_sets}"
         );
         Self {
-            sets: vec![Line::default(); (num_sets * u64::from(params.ways)) as usize],
+            lines: vec![0; (num_sets * u64::from(params.ways)) as usize],
+            last_used: vec![0; (num_sets * u64::from(params.ways)) as usize],
             ways: params.ways as usize,
             num_sets,
+            set_mask: num_sets - 1,
+            set_shift: num_sets.trailing_zeros(),
             clock: 0,
             hits: 0,
             misses: 0,
@@ -96,16 +107,17 @@ impl SetAssocCache {
     /// returning any dirty victim.
     pub fn access(&mut self, line_addr: u64, kind: AccessKind) -> AccessResult {
         self.clock += 1;
-        let set = (line_addr % self.num_sets) as usize;
-        let tag = line_addr / self.num_sets;
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_shift;
+        let want = (tag << TAG_SHIFT) | VALID_BIT;
         let base = set * self.ways;
-        let lines = &mut self.sets[base..base + self.ways];
+        let lines = &mut self.lines[base..base + self.ways];
 
-        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.last_used = self.clock;
+        if let Some(i) = lines.iter().position(|&l| l & !DIRTY_BIT == want) {
             if kind == AccessKind::Write {
-                line.dirty = true;
+                lines[i] |= DIRTY_BIT;
             }
+            self.last_used[base + i] = self.clock;
             self.hits += 1;
             return AccessResult {
                 hit: true,
@@ -115,27 +127,31 @@ impl SetAssocCache {
 
         self.misses += 1;
         // Choose an invalid way, else the LRU way.
-        let victim_idx = lines.iter().position(|l| !l.valid).unwrap_or_else(|| {
-            lines
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.last_used)
-                .map(|(i, _)| i)
-                .expect("ways is non-zero")
-        });
-        let victim = &mut lines[victim_idx];
-        let writeback = if victim.valid && victim.dirty {
+        let victim_idx = lines
+            .iter()
+            .position(|&l| l & VALID_BIT == 0)
+            .unwrap_or_else(|| {
+                self.last_used[base..base + self.ways]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &t)| t)
+                    .map(|(i, _)| i)
+                    .expect("ways is non-zero")
+            });
+        let victim = lines[victim_idx];
+        let writeback = if victim & VALID_BIT != 0 && victim & DIRTY_BIT != 0 {
             self.writebacks += 1;
-            Some(victim.tag * self.num_sets + set as u64)
+            Some(((victim >> TAG_SHIFT) << self.set_shift) | set as u64)
         } else {
             None
         };
-        *victim = Line {
-            tag,
-            valid: true,
-            dirty: kind == AccessKind::Write,
-            last_used: self.clock,
-        };
+        self.lines[base + victim_idx] = want
+            | if kind == AccessKind::Write {
+                DIRTY_BIT
+            } else {
+                0
+            };
+        self.last_used[base + victim_idx] = self.clock;
         AccessResult {
             hit: false,
             writeback,
@@ -144,17 +160,19 @@ impl SetAssocCache {
 
     /// Returns true if `line_addr` is currently resident (no state change).
     pub fn contains(&self, line_addr: u64) -> bool {
-        let set = (line_addr % self.num_sets) as usize;
-        let tag = line_addr / self.num_sets;
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_shift;
+        let want = (tag << TAG_SHIFT) | VALID_BIT;
         let base = set * self.ways;
-        self.sets[base..base + self.ways]
+        self.lines[base..base + self.ways]
             .iter()
-            .any(|l| l.valid && l.tag == tag)
+            .any(|&l| l & !DIRTY_BIT == want)
     }
 
     /// Clears all contents and statistics.
     pub fn reset(&mut self) {
-        self.sets.fill(Line::default());
+        self.lines.fill(0);
+        self.last_used.fill(0);
         self.clock = 0;
         self.hits = 0;
         self.misses = 0;

@@ -3,7 +3,7 @@
 
 use silcfm_types::stats::WindowedRate;
 use silcfm_types::{
-    Access, AddressSpace, BlockIndex, Geometry, MemKind, MemOp, MemoryScheme, PhysAddr,
+    Access, AddressSpace, BlockIndex, Geometry, MemKind, MemOp, MemoryScheme, OpList, PhysAddr,
     SchemeOutcome, SchemeStats, SubblockIndex,
 };
 
@@ -23,6 +23,12 @@ pub struct SilcFm {
     geom: Geometry,
     params: SilcFmParams,
     frames: Vec<FrameMeta>,
+    /// Mirror of `frames[..].remap`, laid out `[set][way]` contiguously and
+    /// encoded as `block + 1` (0 = no tenant). The set-probe in
+    /// [`Self::access_far`] runs on every FM request; scanning
+    /// `associativity` adjacent words here replaces `associativity` loads
+    /// strided `sets` frames apart through the metadata array.
+    remap_tags: Vec<u64>,
     sets: u64,
     history: BitVectorTable,
     predictor: WayPredictor,
@@ -42,7 +48,8 @@ pub struct SilcFm {
 }
 
 /// Everything decided while resolving one access, before the critical path
-/// is assembled.
+/// is assembled. Background (migration) traffic is written directly into
+/// the caller's outcome while resolving, so no per-access buffer exists.
 struct Resolution {
     serviced_from: MemKind,
     /// Physical address the demand data is read from / written to.
@@ -51,7 +58,6 @@ struct Resolution {
     metadata_reads: u32,
     /// Way the access resolved to (for predictor training).
     way: u8,
-    background: Vec<MemOp>,
     /// Whether frame metadata changed (bit vector / remap / lock).
     metadata_dirty: bool,
 }
@@ -80,6 +86,7 @@ impl SilcFm {
             geom,
             params,
             frames: vec![FrameMeta::empty(); nm_blocks as usize],
+            remap_tags: vec![0; nm_blocks as usize],
             sets: nm_blocks / u64::from(params.associativity),
             history: BitVectorTable::new(params.history_entries),
             predictor: WayPredictor::new(params.predictor_entries),
@@ -131,6 +138,31 @@ impl SilcFm {
         set + u64::from(way) * self.sets
     }
 
+    /// Congruence set of a block index. Every Table II geometry has a
+    /// power-of-two set count, so the hot path reduces to a mask; the
+    /// modulo fallback keeps odd geometries working identically.
+    fn set_of(&self, block: u64) -> u64 {
+        if self.sets.is_power_of_two() {
+            block & (self.sets - 1)
+        } else {
+            block % self.sets
+        }
+    }
+
+    /// Way of frame `f` (the inverse of [`Self::frame_id`]).
+    fn way_of(&self, f: u64) -> u8 {
+        if self.sets.is_power_of_two() {
+            (f >> self.sets.trailing_zeros()) as u8
+        } else {
+            (f / self.sets) as u8
+        }
+    }
+
+    /// Slot of frame `f` in the `[set][way]` remap-tag mirror.
+    fn tag_slot(&self, f: u64) -> usize {
+        (self.set_of(f) * u64::from(self.params.associativity) + u64::from(self.way_of(f))) as usize
+    }
+
     fn nm_subblock_addr(&self, frame: u64, off: u32) -> PhysAddr {
         PhysAddr::new(frame * self.geom.block_bytes() + u64::from(off) * self.geom.subblock_bytes())
     }
@@ -145,7 +177,13 @@ impl SilcFm {
     /// paper stores it in a dedicated channel); consecutive frames share
     /// rows, reproducing the row-locality the paper engineers for.
     fn metadata_addr(&self, frame: u64) -> PhysAddr {
-        PhysAddr::new((frame * u64::from(METADATA_BYTES)) % self.space.nm_bytes())
+        let nm = self.space.nm_bytes();
+        let shadow = frame * u64::from(METADATA_BYTES);
+        PhysAddr::new(if nm.is_power_of_two() {
+            shadow & (nm - 1)
+        } else {
+            shadow % nm
+        })
     }
 
     // ---- swap helpers -----------------------------------------------------
@@ -156,7 +194,7 @@ impl SilcFm {
     /// so that read is not charged again.
     fn exchange(
         &mut self,
-        ops: &mut Vec<MemOp>,
+        ops: &mut OpList,
         frame: u64,
         fm_block: BlockIndex,
         off: u32,
@@ -179,7 +217,7 @@ impl SilcFm {
 
     /// Restores frame `f` to its native contents (undoes the interleaving)
     /// and saves the tenancy bit vector to the history table.
-    fn restore_frame(&mut self, f: u64, ops: &mut Vec<MemOp>) {
+    fn restore_frame(&mut self, f: u64, ops: &mut OpList) {
         let meta = self.frames[f as usize];
         if let Some(block) = meta.remap {
             let mut bits = meta.bitvec;
@@ -200,11 +238,13 @@ impl SilcFm {
             nm_counter,
             ..FrameMeta::empty()
         };
+        let slot = self.tag_slot(f);
+        self.remap_tags[slot] = 0;
     }
 
     /// Locks the remapped FM block of frame `f` into NM by completing the
     /// exchange (§III-C).
-    fn lock_remap(&mut self, f: u64, ops: &mut Vec<MemOp>) {
+    fn lock_remap(&mut self, f: u64, ops: &mut OpList) {
         let meta = self.frames[f as usize];
         let block = meta.remap.expect("lock_remap requires a tenant");
         let mut missing = !meta.bitvec & self.geom.full_mask();
@@ -221,7 +261,7 @@ impl SilcFm {
     }
 
     /// Locks frame `f`'s native block in place by undoing any interleaving.
-    fn lock_native(&mut self, f: u64, ops: &mut Vec<MemOp>) {
+    fn lock_native(&mut self, f: u64, ops: &mut OpList) {
         self.restore_frame(f, ops);
         self.frames[f as usize].lock = LockState::LockedNative;
         self.locks += 1;
@@ -256,13 +296,20 @@ impl SilcFm {
     // ---- the two request paths ---------------------------------------------
 
     /// Handles a request whose address lies in the NM space (Table I rows
-    /// with "NM address = yes", plus locked-frame handling).
-    fn access_near(&mut self, block: BlockIndex, off: u32, bypassing: bool) -> Resolution {
+    /// with "NM address = yes", plus locked-frame handling). Migration
+    /// traffic is appended to `bg` (the caller's background list).
+    fn access_near(
+        &mut self,
+        block: BlockIndex,
+        off: u32,
+        bypassing: bool,
+        bg: &mut OpList,
+    ) -> Resolution {
         let f = block.value();
         self.frames[f as usize].lru = self.access_count;
         let meta = self.frames[f as usize];
         let threshold = self.params.lock_threshold;
-        let mut background = Vec::new();
+        let bg_start = bg.len();
 
         match meta.lock {
             LockState::LockedNative => {
@@ -271,8 +318,7 @@ impl SilcFm {
                     serviced_from: MemKind::Near,
                     data_addr: self.nm_subblock_addr(f, off),
                     metadata_reads: 1,
-                    way: (f / self.sets) as u8,
-                    background,
+                    way: self.way_of(f),
                     metadata_dirty: false,
                 }
             }
@@ -285,8 +331,7 @@ impl SilcFm {
                     serviced_from: MemKind::Far,
                     data_addr: self.fm_subblock_addr(tenant, off),
                     metadata_reads: 1,
-                    way: (f / self.sets) as u8,
-                    background,
+                    way: self.way_of(f),
                     metadata_dirty: false,
                 }
             }
@@ -300,16 +345,14 @@ impl SilcFm {
                         && count >= threshold
                         && meta.remap.is_some()
                     {
-                        self.lock_native(f, &mut background);
+                        self.lock_native(f, bg);
                     }
-                    let dirty = !background.is_empty();
                     Resolution {
                         serviced_from: MemKind::Near,
                         data_addr: self.nm_subblock_addr(f, off),
                         metadata_reads: 1,
-                        way: (f / self.sets) as u8,
-                        background,
-                        metadata_dirty: dirty,
+                        way: self.way_of(f),
+                        metadata_dirty: bg.len() > bg_start,
                     }
                 } else {
                     // Row 3: remap mismatch, bit set, NM address → the
@@ -319,19 +362,18 @@ impl SilcFm {
                     let data_addr = self.fm_subblock_addr(tenant, off);
                     let mut metadata_dirty = false;
                     if !bypassing {
-                        self.exchange(&mut background, f, tenant, off, true, MemKind::Far);
+                        self.exchange(bg, f, tenant, off, true, MemKind::Far);
                         self.frames[f as usize].clear_bit(off);
                         metadata_dirty = true;
                         if self.params.locking && count >= threshold {
-                            self.lock_native(f, &mut background);
+                            self.lock_native(f, bg);
                         }
                     }
                     Resolution {
                         serviced_from: MemKind::Far,
                         data_addr,
                         metadata_reads: 1,
-                        way: (f / self.sets) as u8,
-                        background,
+                        way: self.way_of(f),
                         metadata_dirty,
                     }
                 }
@@ -340,22 +382,35 @@ impl SilcFm {
     }
 
     /// Handles a request whose address lies in the FM space (Table I rows 1,
-    /// 2, 5 and 6).
-    fn access_far(&mut self, block: BlockIndex, off: u32, pc: u64, bypassing: bool) -> Resolution {
-        let set = block.value() % self.sets;
+    /// 2, 5 and 6). Migration traffic is appended to `bg` (the caller's
+    /// background list).
+    fn access_far(
+        &mut self,
+        block: BlockIndex,
+        off: u32,
+        pc: u64,
+        bypassing: bool,
+        bg: &mut OpList,
+    ) -> Resolution {
+        let set = self.set_of(block.value());
         let assoc = self.params.associativity;
         let threshold = self.params.lock_threshold;
 
-        // Search the set for a matching remap entry.
-        let hit_way =
-            (0..assoc).find(|&w| self.frames[self.frame_id(set, w) as usize].remap == Some(block));
+        // Search the set for a matching remap entry (via the contiguous
+        // `[set][way]` tag mirror — see `remap_tags`).
+        let tag_base = (set * u64::from(assoc)) as usize;
+        let want = block.value() + 1;
+        let hit_way = self.remap_tags[tag_base..tag_base + assoc as usize]
+            .iter()
+            .position(|&t| t == want)
+            .map(|w| w as u32);
 
         if let Some(way) = hit_way {
             let f = self.frame_id(set, way);
             self.frames[f as usize].lru = self.access_count;
             let count = self.frames[f as usize].bump_fm();
             let meta = self.frames[f as usize];
-            let mut background = Vec::new();
+            let bg_start = bg.len();
 
             if meta.bit(off) {
                 // Row 1: remap match, bit set → service from NM.
@@ -365,16 +420,14 @@ impl SilcFm {
                     && count >= threshold
                     && meta.bitvec_history.count_ones() >= self.params.lock_min_resident
                 {
-                    self.lock_remap(f, &mut background);
+                    self.lock_remap(f, bg);
                 }
-                let dirty = !background.is_empty();
                 return Resolution {
                     serviced_from: MemKind::Near,
                     data_addr: self.nm_subblock_addr(f, off),
                     metadata_reads: assoc,
                     way: way as u8,
-                    background,
-                    metadata_dirty: dirty,
+                    metadata_dirty: bg.len() > bg_start,
                 };
             }
             // Row 2: remap match, bit clear → the block's subblock is still
@@ -382,7 +435,7 @@ impl SilcFm {
             let data_addr = self.fm_subblock_addr(block, off);
             let mut metadata_dirty = false;
             if !bypassing {
-                self.exchange(&mut background, f, block, off, true, MemKind::Far);
+                self.exchange(bg, f, block, off, true, MemKind::Far);
                 self.frames[f as usize].set_bit(off);
                 metadata_dirty = true;
                 if self.params.locking
@@ -390,7 +443,7 @@ impl SilcFm {
                     && self.frames[f as usize].bitvec_history.count_ones()
                         >= self.params.lock_min_resident
                 {
-                    self.lock_remap(f, &mut background);
+                    self.lock_remap(f, bg);
                 }
             } else {
                 self.bypassed += 1;
@@ -400,7 +453,6 @@ impl SilcFm {
                 data_addr,
                 metadata_reads: assoc,
                 way: way as u8,
-                background,
                 metadata_dirty,
             };
         }
@@ -414,7 +466,6 @@ impl SilcFm {
                 data_addr,
                 metadata_reads: assoc,
                 way: 0,
-                background: Vec::new(),
                 metadata_dirty: false,
             };
         }
@@ -442,14 +493,12 @@ impl SilcFm {
                 data_addr,
                 metadata_reads: assoc,
                 way: 0,
-                background: Vec::new(),
                 metadata_dirty: false,
             };
         };
 
         let f = self.frame_id(set, way);
-        let mut background = Vec::new();
-        self.restore_frame(f, &mut background);
+        self.restore_frame(f, bg);
 
         // Begin the new tenancy. The history key pairs the PC with the
         // block's base address: the paper keys on the first swapped-in
@@ -469,6 +518,7 @@ impl SilcFm {
             m.fm_counter = 1;
             m.lru = self.access_count;
         }
+        self.remap_tags[tag_base + way as usize] = want;
         let extra_bits = (bits & !(1u64 << off)).count_ones();
         if extra_bits > 0 {
             self.history_bulk_fetches += 1;
@@ -478,7 +528,7 @@ impl SilcFm {
         while remaining != 0 {
             let o = remaining.trailing_zeros();
             remaining &= remaining - 1;
-            self.exchange(&mut background, f, block, o, o == off, MemKind::Far);
+            self.exchange(bg, f, block, o, o == off, MemKind::Far);
             self.frames[f as usize].set_bit(o);
         }
 
@@ -487,14 +537,14 @@ impl SilcFm {
             data_addr,
             metadata_reads: assoc,
             way: way as u8,
-            background,
             metadata_dirty: true,
         }
     }
 }
 
 impl MemoryScheme for SilcFm {
-    fn access(&mut self, access: &Access) -> SchemeOutcome {
+    fn access(&mut self, access: &Access, out: &mut SchemeOutcome) {
+        out.clear();
         self.access_count += 1;
         self.maybe_age();
         let bypassing = self.bypassing();
@@ -511,11 +561,13 @@ impl MemoryScheme for SilcFm {
             }
         };
 
+        // Resolution appends its migration traffic straight into the
+        // (cleared) background list; nothing on this path allocates.
         let is_near_request = self.space.block_is_near(block, self.geom);
         let resolution = if is_near_request {
-            self.access_near(block, off, bypassing)
+            self.access_near(block, off, bypassing, &mut out.background)
         } else {
-            self.access_far(block, off, access.pc, bypassing)
+            self.access_far(block, off, access.pc, bypassing, &mut out.background)
         };
 
         // Assemble the critical path. The demand op reads/writes the
@@ -547,29 +599,30 @@ impl MemoryScheme for SilcFm {
         } else {
             resolution.metadata_reads
         };
-        let meta_ops: Vec<MemOp> = (0..metadata_reads)
-            .map(|i| {
-                let f = self.frame_id(
-                    block.value() % self.sets,
-                    i.min(self.params.associativity - 1),
-                );
-                MemOp::metadata_read(MemKind::Near, self.metadata_addr(f), METADATA_BYTES)
-            })
-            .collect();
-
-        let mut critical = Vec::with_capacity(meta_ops.len() + 1);
-        let mut background = resolution.background;
         let fm_speculated =
             self.params.predictor && prediction.in_fm && resolution.serviced_from == MemKind::Far;
-        if fm_speculated || way_predicted {
-            background.extend(meta_ops);
+        // Overlapped metadata checks ride behind the demand (background);
+        // a mispredicted way pays them serialized on the critical path.
+        let meta_list = if fm_speculated || way_predicted {
+            &mut out.background
         } else {
-            critical.extend(meta_ops);
+            &mut out.critical
+        };
+        for i in 0..metadata_reads {
+            let f = self.frame_id(
+                self.set_of(block.value()),
+                i.min(self.params.associativity - 1),
+            );
+            meta_list.push(MemOp::metadata_read(
+                MemKind::Near,
+                self.metadata_addr(f),
+                METADATA_BYTES,
+            ));
         }
-        critical.push(demand);
+        out.critical.push(demand);
         if resolution.metadata_dirty {
-            let f = self.frame_id(block.value() % self.sets, u32::from(resolution.way));
-            background.push(MemOp::metadata_write(
+            let f = self.frame_id(self.set_of(block.value()), u32::from(resolution.way));
+            out.background.push(MemOp::metadata_write(
                 MemKind::Near,
                 self.metadata_addr(f),
                 METADATA_BYTES,
@@ -589,12 +642,7 @@ impl MemoryScheme for SilcFm {
             self.serviced_from_nm += 1;
         }
 
-        SchemeOutcome {
-            critical,
-            background,
-            serviced_from: resolution.serviced_from,
-            global_stall_cycles: 0,
-        }
+        out.serviced_from = resolution.serviced_from;
     }
 
     fn name(&self) -> &'static str {
@@ -631,6 +679,7 @@ impl MemoryScheme for SilcFm {
     fn reset(&mut self) {
         let nm_blocks = self.space.nm_blocks(self.geom);
         self.frames = vec![FrameMeta::empty(); nm_blocks as usize];
+        self.remap_tags.fill(0);
         self.history.reset();
         self.predictor.reset();
         self.rate.reset();
@@ -669,11 +718,11 @@ mod tests {
     }
 
     fn read(s: &mut SilcFm, addr: PhysAddr) -> SchemeOutcome {
-        s.access(&Access::read(addr, 0x400, CoreId::new(0)))
+        s.access_fresh(&Access::read(addr, 0x400, CoreId::new(0)))
     }
 
     fn read_pc(s: &mut SilcFm, addr: PhysAddr, pc: u64) -> SchemeOutcome {
-        s.access(&Access::read(addr, pc, CoreId::new(0)))
+        s.access_fresh(&Access::read(addr, pc, CoreId::new(0)))
     }
 
     // ---- Table I row coverage ---------------------------------------------
@@ -963,7 +1012,7 @@ mod tests {
         let unlocks = stats
             .details
             .iter()
-            .find(|(n, _)| n == "unlocks")
+            .find(|(n, _)| *n == "unlocks")
             .unwrap()
             .1;
         assert!(unlocks >= 1.0);
@@ -1226,12 +1275,44 @@ mod tests {
     }
 
     #[test]
+    fn remap_tags_mirror_frame_metadata() {
+        // The `[set][way]` tag array is a pure cache of `frames[..].remap`;
+        // drive a workload that exercises tenancy creation, eviction,
+        // restores, locking and aging, then check the mirror exactly.
+        for params in [
+            SilcFmParams::swap_only(),
+            SilcFmParams::with_associativity(),
+            SilcFmParams::paper(),
+        ] {
+            let mut s = scheme(params);
+            for i in 0..3000u64 {
+                let addr = if i % 3 == 0 {
+                    PhysAddr::new((i * 11 % NM_BLOCKS) * 2048 + (i % 32) * 64)
+                } else {
+                    fm_addr(NM_BLOCKS + (i * 7) % FM_BLOCKS, i % 32)
+                };
+                let _ = read_pc(&mut s, addr, 0x40 + i % 5);
+            }
+            for f in 0..NM_BLOCKS {
+                let expect = s.frames[f as usize].remap.map_or(0, |b| b.value() + 1);
+                assert_eq!(
+                    s.remap_tags[s.tag_slot(f)],
+                    expect,
+                    "frame {f} tag diverged"
+                );
+            }
+            s.reset();
+            assert!(s.remap_tags.iter().all(|&t| t == 0), "reset clears tags");
+        }
+    }
+
+    #[test]
     fn stats_and_reset_round_trip() {
         let mut s = scheme(SilcFmParams::paper());
         let _ = read(&mut s, fm_addr(NM_BLOCKS + 1, 0));
         let st = s.stats();
         assert_eq!(st.accesses, 1);
-        assert!(st.details.iter().any(|(n, _)| n == "locks"));
+        assert!(st.details.iter().any(|(n, _)| *n == "locks"));
         s.reset();
         assert_eq!(s.stats().accesses, 0);
         assert_eq!(s.frame(1).remap, None);

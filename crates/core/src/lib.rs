@@ -26,18 +26,23 @@
 //!
 //! ```
 //! use silcfm_core::{SilcFm, SilcFmParams};
-//! use silcfm_types::{Access, AddressSpace, CoreId, Geometry, MemoryScheme, PhysAddr};
+//! use silcfm_types::{
+//!     Access, AddressSpace, CoreId, Geometry, MemoryScheme, PhysAddr, SchemeOutcome,
+//! };
 //!
 //! let space = AddressSpace::new(64 * 2048, 256 * 2048);
 //! let mut scheme = SilcFm::new(space, Geometry::paper(), SilcFmParams::default());
 //!
+//! // The driving loop owns one outcome and hands it back for every miss.
+//! let mut out = SchemeOutcome::empty();
+//!
 //! // A far-memory access interleaves its subblock into near memory…
 //! let fm_addr = PhysAddr::new(space.nm_bytes());
-//! let out = scheme.access(&Access::read(fm_addr, 0x400, CoreId::new(0)));
+//! scheme.access(&Access::read(fm_addr, 0x400, CoreId::new(0)), &mut out);
 //! assert!(!out.background.is_empty());
 //!
 //! // …so the next access to it is serviced from NM.
-//! let out = scheme.access(&Access::read(fm_addr, 0x400, CoreId::new(0)));
+//! scheme.access(&Access::read(fm_addr, 0x400, CoreId::new(0)), &mut out);
 //! assert_eq!(out.serviced_from, silcfm_types::MemKind::Near);
 //! ```
 

@@ -39,6 +39,10 @@ pub struct Core {
     id: CoreId,
     rob_entries: u64,
     width: u64,
+    /// `width.trailing_zeros()` when the width is a power of two (the
+    /// paper's cores are 4-wide): [`Core::now`] runs several times per
+    /// simulated access, so the slot→cycle conversion becomes a shift.
+    width_shift: Option<u32>,
     /// Dispatch progress in *slot* units (1 slot = 1 instruction issue
     /// opportunity); the current cycle is `slots / width`.
     slots: u64,
@@ -65,6 +69,7 @@ impl Core {
             id,
             rob_entries,
             width,
+            width_shift: width.is_power_of_two().then(|| width.trailing_zeros()),
             slots: 0,
             seq: 0,
             inflight: VecDeque::new(),
@@ -81,7 +86,10 @@ impl Core {
     /// The current dispatch time in cycles — the time at which the next
     /// instruction (e.g. a memory access) would issue.
     pub fn now(&self) -> u64 {
-        self.slots.div_ceil(self.width)
+        match self.width_shift {
+            Some(s) => (self.slots + self.width - 1) >> s,
+            None => self.slots.div_ceil(self.width),
+        }
     }
 
     /// Instructions executed so far.

@@ -129,9 +129,17 @@ impl DramConfig {
     }
 
     /// Memory cycles the data bus is occupied by a transfer of `bytes`.
+    ///
+    /// Called once per 64 B chunk of every transfer; real bus widths make
+    /// `bus_bytes_per_cycle` a power of two, turning the rounding division
+    /// into a shift.
     pub fn burst_cycles(&self, bytes: u32) -> u64 {
         let per_cycle = self.bus_bytes_per_cycle();
-        u64::from(bytes).div_ceil(per_cycle)
+        if per_cycle.is_power_of_two() {
+            (u64::from(bytes) + per_cycle - 1) >> per_cycle.trailing_zeros()
+        } else {
+            u64::from(bytes).div_ceil(per_cycle)
+        }
     }
 
     /// Theoretical peak bandwidth across all channels, in GB/s.

@@ -37,6 +37,6 @@ pub mod stats;
 
 pub use config::{DramConfig, DramTimings};
 pub use energy::EnergyParams;
-pub use mapping::{AddressMapper, Location};
+pub use mapping::{AddressMapper, ChunkWalker, Location};
 pub use model::DramModel;
 pub use stats::DramStats;

@@ -39,21 +39,67 @@ pub struct AddressMapper {
     ranks: u64,
     banks: u64,
     row_bytes: u64,
+    /// Set when every dimension is a power of two (true of all real DRAM
+    /// shapes): [`decode`] then runs on shifts and masks. Decode is invoked
+    /// for every DRAM transfer, so the division-free path matters.
+    ///
+    /// [`decode`]: AddressMapper::decode
+    shifts: Option<Shifts>,
+}
+
+/// Precomputed shift amounts for the power-of-two decode path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Shifts {
+    channel: u32,
+    row: u32,
+    bank: u32,
+    rank: u32,
 }
 
 impl AddressMapper {
     /// Creates a mapper for the given device configuration.
     pub fn new(cfg: &DramConfig) -> Self {
+        let channels = u64::from(cfg.channels);
+        let ranks = u64::from(cfg.ranks);
+        let banks = u64::from(cfg.banks);
+        let row_bytes = cfg.row_bytes;
+        let shifts = ([channels, ranks, banks, row_bytes]
+            .iter()
+            .all(|d| d.is_power_of_two()))
+        .then(|| Shifts {
+            channel: channels.trailing_zeros(),
+            row: row_bytes.trailing_zeros(),
+            bank: banks.trailing_zeros(),
+            rank: ranks.trailing_zeros(),
+        });
         Self {
-            channels: u64::from(cfg.channels),
-            ranks: u64::from(cfg.ranks),
-            banks: u64::from(cfg.banks),
-            row_bytes: cfg.row_bytes,
+            channels,
+            ranks,
+            banks,
+            row_bytes,
+            shifts,
         }
     }
 
     /// Decodes a device-local byte address.
     pub fn decode(&self, device_addr: u64) -> Location {
+        if let Some(s) = self.shifts {
+            let chunk = device_addr / CHANNEL_INTERLEAVE_BYTES;
+            let channel = chunk & (self.channels - 1);
+            // Channel-local compressed byte address: drop the channel bits.
+            let local = ((chunk >> s.channel) * CHANNEL_INTERLEAVE_BYTES)
+                + (device_addr % CHANNEL_INTERLEAVE_BYTES);
+            let global_row = local >> s.row;
+            let bank = global_row & (self.banks - 1);
+            let rank = (global_row >> s.bank) & (self.ranks - 1);
+            let row = global_row >> (s.bank + s.rank);
+            return Location {
+                channel: channel as u32,
+                rank: rank as u32,
+                bank: bank as u32,
+                row,
+            };
+        }
         let chunk = device_addr / CHANNEL_INTERLEAVE_BYTES;
         let channel = chunk % self.channels;
         // Channel-local compressed byte address: drop the channel bits.
@@ -68,6 +114,62 @@ impl AddressMapper {
             rank: rank as u32,
             bank: bank as u32,
             row,
+        }
+    }
+}
+
+/// Walks the locations of consecutive 64 B chunks with one full [`decode`]
+/// up front and pure increments afterwards.
+///
+/// Consecutive chunks rotate through the channels; the channel-local address
+/// (and with it bank/rank/row) advances only when the rotation wraps, and
+/// since rows are whole multiples of the interleave granularity the row
+/// fields change only when that advance crosses a row boundary. A 32-beat
+/// block transfer therefore performs one division-heavy decode instead of 32.
+///
+/// [`decode`]: AddressMapper::decode
+#[derive(Debug, Clone)]
+pub struct ChunkWalker {
+    mapper: AddressMapper,
+    loc: Location,
+    /// Index of the current chunk within its channel (`chunk / channels`).
+    local_chunk: u64,
+    /// Channel-local chunks per DRAM row (`row_bytes / 64`).
+    chunks_per_row: u64,
+}
+
+impl ChunkWalker {
+    /// Starts a walk at `device_addr` (any byte within the first chunk).
+    pub fn new(mapper: &AddressMapper, device_addr: u64) -> Self {
+        let chunk = device_addr / CHANNEL_INTERLEAVE_BYTES;
+        Self {
+            mapper: *mapper,
+            loc: mapper.decode(device_addr),
+            local_chunk: match mapper.shifts {
+                Some(s) => chunk >> s.channel,
+                None => chunk / mapper.channels,
+            },
+            chunks_per_row: mapper.row_bytes / CHANNEL_INTERLEAVE_BYTES,
+        }
+    }
+
+    /// The location of the current chunk.
+    pub const fn location(&self) -> Location {
+        self.loc
+    }
+
+    /// Advances to the next consecutive 64 B chunk.
+    pub fn advance(&mut self) {
+        self.loc.channel += 1;
+        if u64::from(self.loc.channel) == self.mapper.channels {
+            self.loc.channel = 0;
+            self.local_chunk += 1;
+            if self.local_chunk.is_multiple_of(self.chunks_per_row) {
+                let global_row = self.local_chunk / self.chunks_per_row;
+                self.loc.bank = (global_row % self.mapper.banks) as u32;
+                self.loc.rank = ((global_row / self.mapper.banks) % self.mapper.ranks) as u32;
+                self.loc.row = global_row / (self.mapper.banks * self.mapper.ranks);
+            }
         }
     }
 }
@@ -145,5 +247,31 @@ mod tests {
         assert!(loc.channel < cfg.channels);
         assert!(loc.bank < cfg.banks);
         assert!(loc.rank < cfg.ranks);
+    }
+
+    #[test]
+    fn walker_matches_per_chunk_decode() {
+        use silcfm_types::check::forall;
+        use silcfm_types::rng::Rng;
+
+        for cfg in [DramConfig::hbm2(), DramConfig::ddr3()] {
+            let m = AddressMapper::new(&cfg);
+            forall("chunk_walker_matches_decode", |rng| {
+                // Arbitrary (unaligned) start, long enough to cross rows
+                // and banks in every configuration.
+                let start = rng.gen_range(0..1u64 << 34);
+                let chunks = rng.gen_range(1..200u64);
+                let mut walker = ChunkWalker::new(&m, start);
+                for i in 0..chunks {
+                    let addr = (start / CHANNEL_INTERLEAVE_BYTES + i) * CHANNEL_INTERLEAVE_BYTES;
+                    assert_eq!(
+                        walker.location(),
+                        m.decode(addr),
+                        "chunk {i} of walk from {start:#x}"
+                    );
+                    walker.advance();
+                }
+            });
+        }
     }
 }

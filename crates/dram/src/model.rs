@@ -3,7 +3,7 @@
 use crate::bank::RowOutcome;
 use crate::channel::Channel;
 use crate::config::DramConfig;
-use crate::mapping::{AddressMapper, CHANNEL_INTERLEAVE_BYTES};
+use crate::mapping::{AddressMapper, ChunkWalker, CHANNEL_INTERLEAVE_BYTES};
 use crate::stats::DramStats;
 
 /// An event-driven model of one DRAM device (the NM or the FM).
@@ -111,15 +111,24 @@ impl DramModel {
 
     fn transfer(&mut self, now_cpu: u64, addr: u64, bytes: u32, is_write: bool) -> u64 {
         let ratio = self.cfg.cpu_cycles_per_mem_cycle;
-        let now_mem = now_cpu.div_ceil(ratio);
+        // The CPU:bus clock ratio is 4 in every Table II configuration, so
+        // the rounding division reduces to a shift.
+        let now_mem = if ratio.is_power_of_two() {
+            (now_cpu + ratio - 1) >> ratio.trailing_zeros()
+        } else {
+            now_cpu.div_ceil(ratio)
+        };
         let mut last_completion = now_mem;
 
         let end = addr + u64::from(bytes);
         let mut cursor = addr;
+        // One decode for the whole transfer; the walker's increments track
+        // the channel rotation and row crossings of consecutive chunks.
+        let mut walker = ChunkWalker::new(&self.mapper, addr);
         while cursor < end {
             let chunk_end = ((cursor / CHANNEL_INTERLEAVE_BYTES) + 1) * CHANNEL_INTERLEAVE_BYTES;
             let chunk_bytes = (chunk_end.min(end) - cursor) as u32;
-            let loc = self.mapper.decode(cursor);
+            let loc = walker.location();
             let burst = self.cfg.burst_cycles(chunk_bytes);
             let acc = self.channels[loc.channel as usize]
                 .access(now_mem, loc, burst, is_write, &self.cfg);
@@ -135,6 +144,7 @@ impl DramModel {
             self.stats.bus_busy_cycles += acc.burst;
             last_completion = last_completion.max(acc.completion);
             cursor = chunk_end.min(end);
+            walker.advance();
         }
         last_completion * ratio
     }

@@ -1,14 +1,12 @@
 //! The multicore system: cores + caches + scheme + two DRAM devices.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use silcfm_cache::CacheHierarchy;
 use silcfm_cpu::Core;
 use silcfm_dram::{DramConfig, DramModel};
 use silcfm_trace::{PageMapper, PlacementPolicy, WorkloadGen, WorkloadProfile};
 use silcfm_types::{
-    Access, AddressSpace, CoreId, MemKind, MemOp, MemoryScheme, SystemConfig, TraceRecord,
+    Access, AddressSpace, CoreId, MemKind, MemOp, MemoryScheme, SchemeOutcome, SystemConfig,
+    TraceRecord,
 };
 
 use crate::metrics::TrafficTally;
@@ -131,19 +129,31 @@ impl System {
         let mut remaining = vec![accesses_per_core; n];
         let mut finish_time = vec![0u64; n];
 
-        // Min-heap of (next issue time, core); ties broken by core index.
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        // One outcome reused for every scheme access (the reuse protocol):
+        // the hot loop never allocates for ordinary misses.
+        let mut out = SchemeOutcome::empty();
+
+        // Next issue time per active core (`None` = finished). Each step
+        // services the core with the smallest (time, index) pair — the same
+        // order a min-heap would give, but for the handful of cores a
+        // linear scan is cheaper than heap maintenance on every access.
+        let mut next: Vec<Option<u64>> = Vec::with_capacity(n);
         for i in 0..n {
             let rec = gens[i].next_record();
             cores[i].execute_compute(u64::from(rec.compute));
-            heap.push(Reverse((cores[i].issue_time(rec.dependent), i)));
+            next.push(Some(cores[i].issue_time(rec.dependent)));
             pending.push(rec);
         }
 
-        while let Some(Reverse((t_heap, i))) = heap.pop() {
+        while let Some((t_sched, i)) = next
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (t, i)))
+            .min()
+        {
             let rec = pending[i];
-            // Global stalls may have moved the core's clock since push.
-            let t = cores[i].issue_time(rec.dependent).max(t_heap);
+            // Global stalls may have moved the core's clock since scheduling.
+            let t = cores[i].issue_time(rec.dependent).max(t_sched);
             let core_id = CoreId::new(i as u16);
             let paddr = self
                 .mapper
@@ -158,7 +168,8 @@ impl System {
             let completion = if h.traffic.demand_fetch {
                 // The demand fetch reaches the flat-memory scheme as a read
                 // (write-allocate: stores fetch for ownership).
-                let out = self.scheme.access(&Access::read(paddr, rec.pc, core_id));
+                self.scheme
+                    .access(&Access::read(paddr, rec.pc, core_id), &mut out);
                 let mut cursor = issue;
                 for op in &out.critical {
                     cursor = self.charge(op, cursor);
@@ -182,7 +193,8 @@ impl System {
 
             // Dirty LLC victims go to memory off the critical path.
             for wb in &h.traffic.writebacks {
-                let out = self.scheme.access(&Access::write(*wb, 0, core_id));
+                self.scheme
+                    .access(&Access::write(*wb, 0, core_id), &mut out);
                 for op in out.critical.iter().chain(out.background.iter()) {
                     let _ = self.charge(op, issue + BACKGROUND_LAG);
                 }
@@ -193,9 +205,10 @@ impl System {
             if remaining[i] > 0 {
                 let rec = gens[i].next_record();
                 cores[i].execute_compute(u64::from(rec.compute));
-                heap.push(Reverse((cores[i].issue_time(rec.dependent), i)));
+                next[i] = Some(cores[i].issue_time(rec.dependent));
                 pending[i] = rec;
             } else {
+                next[i] = None;
                 finish_time[i] = cores[i].finish();
             }
         }

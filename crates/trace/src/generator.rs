@@ -39,7 +39,7 @@ pub struct WorkloadGen {
     stream_hot: usize,
     /// Per-page visit-rotation counters: successive visits to a page walk
     /// successive windows of it.
-    rotation: std::collections::HashMap<u64, u32>,
+    rotation: silcfm_types::FxHashMap<u64, u32>,
 }
 
 impl WorkloadGen {
@@ -69,7 +69,7 @@ impl WorkloadGen {
             visit_dependent: false,
             stream_cold: 0,
             stream_hot: 0,
-            rotation: std::collections::HashMap::new(),
+            rotation: silcfm_types::FxHashMap::default(),
         };
         gen.begin_visit();
         gen

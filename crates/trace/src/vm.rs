@@ -6,10 +6,8 @@
 //! allocated a distinct physical page on first touch, under one of three
 //! static placement policies.
 
-use std::collections::HashMap;
-
 use silcfm_types::rng::{Rng, Xoshiro256StarStar};
-use silcfm_types::{AddressSpace, CoreId, PhysAddr, VirtAddr};
+use silcfm_types::{AddressSpace, CoreId, FxHashMap, PhysAddr, VirtAddr};
 
 /// Page size used for translation (the paper's 2 KB).
 pub const PAGE_BYTES: u64 = 2048;
@@ -39,7 +37,15 @@ pub enum PlacementPolicy {
 pub struct PageMapper {
     space: AddressSpace,
     policy: PlacementPolicy,
-    map: HashMap<(u16, u64), u64>,
+    /// Keyed on `(core << 48) | vpage` so a translation hashes one u64
+    /// through the multiply-xor [`FxHashMap`] — the hottest map in the
+    /// simulator (one lookup per generated access).
+    map: FxHashMap<u64, u64>,
+    /// Last `(key, physical page)` translated. Page mappings are immutable
+    /// once allocated, so this one-entry cache can never go stale; spatial
+    /// locality within 2 KB pages makes it hit on most accesses, skipping
+    /// the map probe entirely.
+    last: Option<(u64, u64)>,
     /// Shuffled physical page pool (RandomSeeded) consumed from the back.
     pool: Vec<u64>,
     next_nm: u64,
@@ -66,7 +72,8 @@ impl PageMapper {
         Self {
             space,
             policy,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
+            last: None,
             pool,
             next_nm: 0,
             next_fm: nm_pages,
@@ -88,12 +95,20 @@ impl PageMapper {
     /// touch. Returns `None` when physical memory is exhausted.
     pub fn translate(&mut self, core: CoreId, vaddr: VirtAddr) -> Option<PhysAddr> {
         let vpage = vaddr.page_number(PAGE_BYTES);
-        let key = (core.value(), vpage);
-        let ppage = match self.map.get(&key) {
-            Some(&p) => p,
-            None => {
-                let p = self.allocate()?;
-                self.map.insert(key, p);
+        debug_assert!(vpage < 1 << 48, "vpage must leave 16 bits for the core");
+        let key = (u64::from(core.value()) << 48) | vpage;
+        let ppage = match self.last {
+            Some((k, p)) if k == key => p,
+            _ => {
+                let p = match self.map.get(&key) {
+                    Some(&p) => p,
+                    None => {
+                        let p = self.allocate()?;
+                        self.map.insert(key, p);
+                        p
+                    }
+                };
+                self.last = Some((key, p));
                 p
             }
         };

@@ -141,8 +141,16 @@ impl BlockIndex {
     }
 
     /// Creates the block index containing `addr`.
+    ///
+    /// Runs on every scheme access; the paper's power-of-two block size
+    /// turns the division into a shift, with an exact fallback otherwise.
     pub fn containing(addr: PhysAddr, geom: Geometry) -> Self {
-        Self(addr.value() / geom.block_bytes())
+        let bytes = geom.block_bytes();
+        Self(if bytes.is_power_of_two() {
+            addr.value() >> bytes.trailing_zeros()
+        } else {
+            addr.value() / bytes
+        })
     }
 
     /// Returns the raw index value.
@@ -185,8 +193,16 @@ impl SubblockIndex {
     }
 
     /// Creates the subblock index containing `addr`.
+    ///
+    /// Runs on every scheme access; the paper's power-of-two subblock size
+    /// turns the division into a shift, with an exact fallback otherwise.
     pub fn containing(addr: PhysAddr, geom: Geometry) -> Self {
-        Self(addr.value() / geom.subblock_bytes())
+        let bytes = geom.subblock_bytes();
+        Self(if bytes.is_power_of_two() {
+            addr.value() >> bytes.trailing_zeros()
+        } else {
+            addr.value() / bytes
+        })
     }
 
     /// Returns the raw index value.
@@ -201,14 +217,24 @@ impl SubblockIndex {
 
     /// Returns the large block containing this subblock.
     pub fn block(self, geom: Geometry) -> BlockIndex {
-        BlockIndex::new(self.0 / u64::from(geom.subblocks_per_block()))
+        let per_block = u64::from(geom.subblocks_per_block());
+        BlockIndex::new(if per_block.is_power_of_two() {
+            self.0 >> per_block.trailing_zeros()
+        } else {
+            self.0 / per_block
+        })
     }
 
     /// Returns the position of this subblock within its large block
     /// (`0..geom.subblocks_per_block()`), i.e. the bit number in a per-block
     /// residency bit vector.
     pub fn offset_in_block(self, geom: Geometry) -> u32 {
-        (self.0 % u64::from(geom.subblocks_per_block())) as u32
+        let per_block = u64::from(geom.subblocks_per_block());
+        (if per_block.is_power_of_two() {
+            self.0 & (per_block - 1)
+        } else {
+            self.0 % per_block
+        }) as u32
     }
 }
 

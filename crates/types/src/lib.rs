@@ -11,6 +11,10 @@
 //!   flat-memory scheme;
 //! * [`scheme`] — the [`MemoryScheme`] trait implemented by SILC-FM and all
 //!   baselines;
+//! * [`oplist`] — the inline-capacity [`OpList`] that keeps outcome
+//!   assembly off the heap on the access hot path;
+//! * [`hash`] — the in-tree multiply-xor [`FxHasher`] used by every hot
+//!   `HashMap` (page translation, baseline bookkeeping);
 //! * [`config`] — the Table II system configuration;
 //! * [`rng`] — hermetic in-tree pseudo-random number generation (SplitMix64
 //!   seeding, xoshiro256\*\* streams) used by workload generation, placement
@@ -37,8 +41,10 @@ pub mod addr;
 pub mod check;
 pub mod config;
 pub mod geometry;
+pub mod hash;
 pub mod layout;
 pub mod mem;
+pub mod oplist;
 pub mod record;
 pub mod rng;
 pub mod scheme;
@@ -48,7 +54,9 @@ pub use access::{Access, CoreId};
 pub use addr::{BlockIndex, PhysAddr, SubblockIndex, VirtAddr};
 pub use config::{CacheParams, CoreParams, SystemConfig};
 pub use geometry::Geometry;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use layout::AddressSpace;
 pub use mem::{MemKind, MemOp, OpKind, TrafficClass};
+pub use oplist::OpList;
 pub use record::TraceRecord;
 pub use scheme::{MemoryScheme, SchemeOutcome, SchemeStats};

@@ -5,11 +5,24 @@
 //! from, what metadata must be consulted, and what swap/migration traffic is
 //! generated. The simulator charges the returned [`MemOp`]s against the DRAM
 //! timing models.
+//!
+//! # The outcome-reuse protocol
+//!
+//! [`MemoryScheme::access`] writes into a caller-owned [`SchemeOutcome`]
+//! instead of returning a fresh one. The driving loop (`System::run`) owns a
+//! single outcome and hands it back for every miss; the scheme clears and
+//! refills it. Combined with [`OpList`]'s inline capacity this makes the
+//! access hot path allocation-free: ordinary misses never touch the heap,
+//! and the rare spilling outcome (whole-block migrations) reuses the spill
+//! buffer from previous misses. Tests and one-shot callers can use
+//! [`MemoryScheme::access_fresh`], which allocates a new outcome per call
+//! and is behaviorally identical.
 
 use core::fmt;
 
 use crate::access::Access;
 use crate::mem::{MemKind, MemOp};
+use crate::oplist::OpList;
 
 /// What a scheme decided for one demand access.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,10 +30,10 @@ pub struct SchemeOutcome {
     /// Operations on the critical path of the demand access, in order.
     /// The demand load completes when the last of these completes; they are
     /// issued back-to-back (each waits for the previous one).
-    pub critical: Vec<MemOp>,
+    pub critical: OpList,
     /// Operations that consume bandwidth but do not block the demand access
     /// (swap writes, migration of additional subblocks, prefetches).
-    pub background: Vec<MemOp>,
+    pub background: OpList,
     /// Which memory the demand data was ultimately serviced from. This feeds
     /// the paper's *access rate* metric (Eq. 1).
     pub serviced_from: MemKind,
@@ -30,12 +43,31 @@ pub struct SchemeOutcome {
 }
 
 impl SchemeOutcome {
+    /// An empty outcome for the reuse protocol. Allocation-free.
+    pub const fn empty() -> Self {
+        Self {
+            critical: OpList::new(),
+            background: OpList::new(),
+            serviced_from: MemKind::Far,
+            global_stall_cycles: 0,
+        }
+    }
+
+    /// Resets the outcome for refilling, keeping any heap capacity the op
+    /// lists spilled into on earlier misses.
+    pub fn clear(&mut self) {
+        self.critical.clear();
+        self.background.clear();
+        self.serviced_from = MemKind::Far;
+        self.global_stall_cycles = 0;
+    }
+
     /// An outcome that services the demand from `mem` with the given
     /// critical-path operations and no background traffic.
     pub fn serviced(mem: MemKind, critical: Vec<MemOp>) -> Self {
         Self {
-            critical,
-            background: Vec::new(),
+            critical: critical.into(),
+            background: OpList::new(),
             serviced_from: mem,
             global_stall_cycles: 0,
         }
@@ -52,6 +84,12 @@ impl SchemeOutcome {
     }
 }
 
+impl Default for SchemeOutcome {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 /// Aggregate statistics a scheme reports at the end of a run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SchemeStats {
@@ -64,7 +102,8 @@ pub struct SchemeStats {
     /// Number of whole-block migrations (locks, PoM migrations, HMA moves).
     pub blocks_migrated: u64,
     /// Scheme-specific named metrics (predictor accuracy, lock counts, …).
-    pub details: Vec<(String, f64)>,
+    /// Keys are static so building a stats snapshot allocates no strings.
+    pub details: Vec<(&'static str, f64)>,
 }
 
 impl SchemeStats {
@@ -79,8 +118,8 @@ impl SchemeStats {
     }
 
     /// Adds a named detail metric.
-    pub fn detail(&mut self, name: impl Into<String>, value: f64) {
-        self.details.push((name.into(), value));
+    pub fn detail(&mut self, name: &'static str, value: f64) {
+        self.details.push((name, value));
     }
 }
 
@@ -103,9 +142,23 @@ impl fmt::Display for SchemeStats {
 /// Implementations must be deterministic given the same access sequence so
 /// that experiments are reproducible.
 pub trait MemoryScheme {
-    /// Handles one post-LLC-miss access and returns the memory traffic it
-    /// causes.
-    fn access(&mut self, access: &Access) -> SchemeOutcome;
+    /// Handles one post-LLC-miss access, writing the memory traffic it
+    /// causes into `out`.
+    ///
+    /// Implementations clear `out` before filling it; callers may pass the
+    /// same outcome for every access (the reuse protocol) or a fresh one.
+    fn access(&mut self, access: &Access, out: &mut SchemeOutcome);
+
+    /// One-shot convenience around [`access`](MemoryScheme::access): runs
+    /// the access against a freshly allocated outcome and returns it.
+    /// Behaviorally identical to the reuse protocol (the equivalence is
+    /// pinned by `tests/golden.rs`); meant for tests and examples, not the
+    /// simulation loop.
+    fn access_fresh(&mut self, access: &Access) -> SchemeOutcome {
+        let mut out = SchemeOutcome::empty();
+        self.access(access, &mut out);
+        out
+    }
 
     /// Short machine-readable name ("silcfm", "cameo", "pom", …).
     fn name(&self) -> &'static str;
@@ -128,8 +181,9 @@ mod tests {
             critical: vec![
                 MemOp::metadata_read(MemKind::Near, PhysAddr::new(0), 8),
                 MemOp::demand_read(MemKind::Near, PhysAddr::new(64), 64),
-            ],
-            background: vec![MemOp::migration_write(MemKind::Far, PhysAddr::new(128), 64)],
+            ]
+            .into(),
+            background: vec![MemOp::migration_write(MemKind::Far, PhysAddr::new(128), 64)].into(),
             serviced_from: MemKind::Near,
             global_stall_cycles: 0,
         };
@@ -146,6 +200,18 @@ mod tests {
         assert_eq!(out.serviced_from, MemKind::Far);
         assert!(out.background.is_empty());
         assert_eq!(out.global_stall_cycles, 0);
+    }
+
+    #[test]
+    fn clear_resets_everything_observable() {
+        let mut out = SchemeOutcome::serviced(
+            MemKind::Near,
+            vec![MemOp::demand_read(MemKind::Near, PhysAddr::new(0), 64)],
+        );
+        out.global_stall_cycles = 17;
+        out.clear();
+        assert_eq!(out, SchemeOutcome::empty());
+        assert_eq!(out.critical_bytes(), 0);
     }
 
     #[test]

@@ -41,7 +41,7 @@ fn main() {
             .scheme_stats
             .details
             .iter()
-            .find(|(n, _)| n == "locks")
+            .find(|(n, _)| *n == "locks")
             .map(|(_, v)| *v)
             .unwrap_or(0.0);
         println!(

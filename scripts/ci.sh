@@ -12,10 +12,20 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> cargo clippy -D warnings (offline)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "==> cargo build --release (offline)"
 cargo build --release --workspace --offline
 
 echo "==> cargo test -q (offline)"
 cargo test -q --workspace --offline
+
+# Smoke-run the throughput benchmark: a tiny budget exercises the whole
+# measurement path (stream generation, both layers, every scheme) in a few
+# seconds without writing an artifact or timing the grid.
+echo "==> throughput benchmark (smoke budget)"
+cargo run --release --offline -p silcfm-bench --bin throughput -- \
+  --budget 2000 --repeats 1 --no-write --skip-grid
 
 echo "ok: tier-1 green"

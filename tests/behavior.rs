@@ -26,8 +26,8 @@ fn writes_reach_the_current_location_of_the_subblock() {
     let mut s = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
     let block = NM_BLOCKS + 1;
     // Interleave the subblock, then write it: the write must go to NM.
-    let _ = s.access(&Access::read(fm_addr(block, 3), 0x400, CoreId::new(0)));
-    let out = s.access(&Access::write(fm_addr(block, 3), 0x400, CoreId::new(0)));
+    let _ = s.access_fresh(&Access::read(fm_addr(block, 3), 0x400, CoreId::new(0)));
+    let out = s.access_fresh(&Access::write(fm_addr(block, 3), 0x400, CoreId::new(0)));
     assert_eq!(out.serviced_from, MemKind::Near);
     let demand = out.critical.last().unwrap();
     assert!(demand.kind.is_write());
@@ -45,7 +45,7 @@ fn bypass_suppresses_locking_too() {
     let mut s = SilcFm::new(space(), Geometry::paper(), p);
     // Saturate the access-rate estimator with native NM hits.
     for i in 0..200u64 {
-        let _ = s.access(&Access::read(
+        let _ = s.access_fresh(&Access::read(
             PhysAddr::new((i % 4) * 2048),
             0x10,
             CoreId::new(0),
@@ -59,7 +59,7 @@ fn bypass_suppresses_locking_too() {
     let mut resumed = false;
     for i in 0..40u64 {
         let was_bypassing = s.bypassing();
-        let out = s.access(&Access::read(fm_addr(block, i % 32), 0x20, CoreId::new(0)));
+        let out = s.access_fresh(&Access::read(fm_addr(block, i % 32), 0x20, CoreId::new(0)));
         if was_bypassing {
             bypassed_some = true;
             assert!(
@@ -89,10 +89,10 @@ fn history_replay_never_exceeds_block_capacity() {
     let b = a + NM_BLOCKS / 4; // same set under 4-way (16 sets)
                                // Build a full-page history for `a`, evict it, re-enter.
     for off in 0..32u64 {
-        let _ = s.access(&Access::read(fm_addr(a, off), 0x400, CoreId::new(0)));
+        let _ = s.access_fresh(&Access::read(fm_addr(a, off), 0x400, CoreId::new(0)));
     }
     for off in 0..4u64 {
-        let _ = s.access(&Access::read(fm_addr(b, off), 0x404, CoreId::new(0)));
+        let _ = s.access_fresh(&Access::read(fm_addr(b, off), 0x404, CoreId::new(0)));
     }
     let frame = s.frame(a % s.sets()).bitvec.count_ones();
     assert!(frame <= 32, "residency vector bounded by block capacity");
@@ -119,7 +119,7 @@ fn hma_epoch_stall_slows_all_cores() {
     );
     let mut saw_stall = false;
     for i in 0..300u64 {
-        let out = hma.access(&Access::read(
+        let out = hma.access_fresh(&Access::read(
             fm_addr(NM_BLOCKS + (i % 8), i % 32),
             0,
             CoreId::new(0),
@@ -185,7 +185,7 @@ fn locking_rungs_never_lose_data() {
             1 => fm_addr(b, i % 32),
             _ => native.add((i % 32) * 64),
         };
-        let out = s.access(&Access::read(addr, 0x400 + (i % 4), CoreId::new(0)));
+        let out = s.access_fresh(&Access::read(addr, 0x400 + (i % 4), CoreId::new(0)));
         assert_eq!(out.critical.last().unwrap().mem, out.serviced_from);
     }
 }
@@ -213,15 +213,15 @@ fn pom_reacts_slower_than_cameo() {
     let mut cam_scheme = silc_fm::baselines::Cameo::new(space(), Default::default());
     let addr = fm_addr(NM_BLOCKS + 1, 0);
     let acc = Access::read(addr, 0, CoreId::new(0));
-    let _ = pom_scheme.access(&acc);
-    let _ = cam_scheme.access(&acc);
+    let _ = pom_scheme.access_fresh(&acc);
+    let _ = cam_scheme.access_fresh(&acc);
     assert_eq!(
-        pom_scheme.access(&acc).serviced_from,
+        pom_scheme.access_fresh(&acc).serviced_from,
         MemKind::Far,
         "PoM still in FM after two touches"
     );
     assert_eq!(
-        cam_scheme.access(&acc).serviced_from,
+        cam_scheme.access_fresh(&acc).serviced_from,
         MemKind::Near,
         "CAMEO already swapped in"
     );

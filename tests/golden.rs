@@ -16,8 +16,10 @@
 
 use std::fmt::Write as _;
 
+use silc_fm::sim::experiment::space_for;
 use silc_fm::sim::{run_grid, run_grid_serial, ExperimentGrid, Job, RunParams, SchemeKind};
-use silc_fm::types::SystemConfig;
+use silc_fm::trace::{PageMapper, PlacementPolicy, WorkloadGen};
+use silc_fm::types::{Access, CoreId, SchemeOutcome, SystemConfig};
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_stats.txt");
 
@@ -96,6 +98,65 @@ fn golden_stats_snapshot() {
              with BLESS=1 and commit the diff",
             actual.lines().count(),
             expected.lines().count()
+        );
+    }
+}
+
+/// The outcome-reuse protocol is behavior-neutral: driving every scheme with
+/// one reused `SchemeOutcome` produces exactly the op sequences, servicing
+/// decisions and tallies of a fresh outcome per access. This is the
+/// equivalence `System::run` (which reuses) leans on, pinned here against a
+/// fixed-seed workload for SILC-FM and all four baselines.
+#[test]
+fn outcome_reuse_matches_fresh_outcomes() {
+    let cfg = SystemConfig::small();
+    let params = RunParams::smoke();
+    let profile = silc_fm::trace::profiles::scaled(
+        silc_fm::trace::profiles::by_name("milc").unwrap(),
+        params.footprint_scale,
+    );
+    let space = space_for(&profile, &cfg, &params);
+
+    let schemes = [
+        SchemeKind::Rand,
+        SchemeKind::Hma,
+        SchemeKind::Cameo,
+        SchemeKind::CameoPrefetch,
+        SchemeKind::Pom,
+        SchemeKind::silcfm(),
+    ];
+    for kind in schemes {
+        // Identical access stream for both drivers.
+        let mut mapper = PageMapper::new(space, PlacementPolicy::RandomSeeded(params.seed));
+        let mut gen = WorkloadGen::new(&profile, CoreId::new(0), params.seed);
+        let accesses: Vec<Access> = (0..20_000)
+            .map(|_| {
+                let rec = gen.next_record();
+                let paddr = mapper
+                    .translate(CoreId::new(0), rec.vaddr)
+                    .expect("footprint exceeds physical memory");
+                Access::read(paddr, rec.pc, CoreId::new(0))
+            })
+            .collect();
+
+        let mut fresh = kind.build(space, accesses.len() as u64);
+        let mut reuse = kind.build(space, accesses.len() as u64);
+        let mut out = SchemeOutcome::empty();
+        for (i, access) in accesses.iter().enumerate() {
+            let expected = fresh.access_fresh(access);
+            reuse.access(access, &mut out);
+            assert_eq!(
+                out,
+                expected,
+                "access {i} diverged under outcome reuse ({})",
+                fresh.name()
+            );
+        }
+        assert_eq!(
+            fresh.stats(),
+            reuse.stats(),
+            "stats diverged under outcome reuse ({})",
+            fresh.name()
         );
     }
 }

@@ -50,12 +50,15 @@ fn arb_accesses(rng: &mut Xoshiro256StarStar, max_len: usize) -> Vec<Access> {
 }
 
 /// Sums migration bytes by (memory, direction).
-fn migration_tally(ops: &[MemOp]) -> (u64, u64, u64, u64) {
+fn migration_tally<'a>(ops: impl IntoIterator<Item = &'a MemOp>) -> (u64, u64, u64, u64) {
     let mut nm_r = 0;
     let mut nm_w = 0;
     let mut fm_r = 0;
     let mut fm_w = 0;
-    for op in ops.iter().filter(|o| o.class == TrafficClass::Migration) {
+    for op in ops
+        .into_iter()
+        .filter(|o| o.class == TrafficClass::Migration)
+    {
         match (op.mem, op.kind) {
             (MemKind::Near, OpKind::Read) => nm_r += u64::from(op.bytes),
             (MemKind::Near, OpKind::Write) => nm_w += u64::from(op.bytes),
@@ -85,7 +88,7 @@ fn silcfm_metadata_invariants() {
             },
         );
         for a in arb_accesses(rng, 400) {
-            let out = scheme.access(&a);
+            let out = scheme.access_fresh(&a);
             assert!(!out.critical.is_empty(), "demand op always present");
             let demand = out.critical.last().unwrap();
             assert_eq!(demand.mem, out.serviced_from);
@@ -125,7 +128,7 @@ fn silcfm_swap_traffic_balances() {
     forall("silcfm_swap_traffic_balances", |rng| {
         let mut scheme = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
         for a in arb_accesses(rng, 300) {
-            let out = scheme.access(&a);
+            let out = scheme.access_fresh(&a);
             let (_, nm_w, fm_r, fm_w) = migration_tally(&out.background);
             // Per exchange: exactly one NM write and one FM write.
             assert_eq!(nm_w, fm_w, "NM and FM receive equal swap bytes");
@@ -142,13 +145,13 @@ fn cameo_permutation_totality() {
     forall("cameo_permutation_totality", |rng| {
         let mut cameo = Cameo::new(space(), CameoParams::with_prefetch());
         for a in arb_accesses(rng, 500) {
-            let _ = cameo.access(&a);
+            let _ = cameo.access_fresh(&a);
         }
         // Re-access every line of set 0's congruence group: each must be
         // found somewhere (find_slot panics on a broken permutation).
         for member in 0..5u64 {
             let addr = member * NM_BLOCKS * 2048; // line 0 of each member
-            let _ = cameo.access(&Access::read(PhysAddr::new(addr), 0, CoreId::new(0)));
+            let _ = cameo.access_fresh(&Access::read(PhysAddr::new(addr), 0, CoreId::new(0)));
         }
     });
 }
@@ -162,9 +165,9 @@ fn cameo_swap_in_is_visible() {
         let off = rng.gen_range(0u32..32);
         let mut cameo = Cameo::new(space(), CameoParams::default());
         let addr = PhysAddr::new(block * 2048 + u64::from(off) * 64);
-        let first = cameo.access(&Access::read(addr, 0, CoreId::new(0)));
+        let first = cameo.access_fresh(&Access::read(addr, 0, CoreId::new(0)));
         assert_eq!(first.serviced_from, MemKind::Far);
-        let second = cameo.access(&Access::read(addr, 0, CoreId::new(0)));
+        let second = cameo.access_fresh(&Access::read(addr, 0, CoreId::new(0)));
         assert_eq!(second.serviced_from, MemKind::Near);
     });
 }
@@ -182,7 +185,7 @@ fn pom_invariants() {
         );
         let mut migration_bytes = 0u64;
         for a in arb_accesses(rng, 400) {
-            let out = pom.access(&a);
+            let out = pom.access_fresh(&a);
             for op in &out.background {
                 assert_eq!(op.bytes, 2048, "PoM moves whole blocks");
                 migration_bytes += u64::from(op.bytes);
@@ -246,13 +249,13 @@ fn schemes_are_deterministic() {
         let mut a = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
         let mut b = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
         for acc in &accesses {
-            assert_eq!(a.access(acc), b.access(acc));
+            assert_eq!(a.access_fresh(acc), b.access_fresh(acc));
         }
         // And reset really resets.
         a.reset();
         let mut c = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
         for acc in &accesses {
-            assert_eq!(a.access(acc), c.access(acc));
+            assert_eq!(a.access_fresh(acc), c.access_fresh(acc));
         }
     });
 }
@@ -265,7 +268,7 @@ fn access_rate_accounting() {
         let mut scheme = SilcFm::new(space(), Geometry::paper(), SilcFmParams::paper());
         let mut nm_count = 0u64;
         for a in &accesses {
-            if scheme.access(a).serviced_from == MemKind::Near {
+            if scheme.access_fresh(a).serviced_from == MemKind::Near {
                 nm_count += 1;
             }
         }
