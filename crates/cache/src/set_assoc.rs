@@ -103,21 +103,41 @@ impl SetAssocCache {
         self.writebacks
     }
 
+    /// The set's ways as parallel `(tag word, LRU stamp)` pairs. Positioning
+    /// is `skip`/`take` rather than slicing so lookups stay panic-free; slice
+    /// iterators advance in O(1), so this costs the same as `[base..base+w]`.
+    /// `base` is in bounds by construction (`set < num_sets` after masking).
+    fn set_ways_mut<'a>(
+        lines: &'a mut [u64],
+        last_used: &'a mut [u64],
+        base: usize,
+        ways: usize,
+    ) -> impl Iterator<Item = (&'a mut u64, &'a mut u64)> {
+        lines
+            .iter_mut()
+            .skip(base)
+            .take(ways)
+            .zip(last_used.iter_mut().skip(base).take(ways))
+    }
+
     /// Looks up `line_addr`, allocating it on a miss (write-allocate) and
     /// returning any dirty victim.
     pub fn access(&mut self, line_addr: u64, kind: AccessKind) -> AccessResult {
         self.clock += 1;
+        let clock = self.clock;
         let set = (line_addr & self.set_mask) as usize;
         let tag = line_addr >> self.set_shift;
         let want = (tag << TAG_SHIFT) | VALID_BIT;
         let base = set * self.ways;
-        let lines = &mut self.lines[base..base + self.ways];
 
-        if let Some(i) = lines.iter().position(|&l| l & !DIRTY_BIT == want) {
+        if let Some((line, used)) =
+            Self::set_ways_mut(&mut self.lines, &mut self.last_used, base, self.ways)
+                .find(|(l, _)| **l & !DIRTY_BIT == want)
+        {
             if kind == AccessKind::Write {
-                lines[i] |= DIRTY_BIT;
+                *line |= DIRTY_BIT;
             }
-            self.last_used[base + i] = self.clock;
+            *used = clock;
             self.hits += 1;
             return AccessResult {
                 hit: true,
@@ -126,32 +146,41 @@ impl SetAssocCache {
         }
 
         self.misses += 1;
-        // Choose an invalid way, else the LRU way.
-        let victim_idx = lines
-            .iter()
-            .position(|&l| l & VALID_BIT == 0)
-            .unwrap_or_else(|| {
-                self.last_used[base..base + self.ways]
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|&(_, &t)| t)
-                    .map(|(i, _)| i)
-                    .expect("ways is non-zero")
-            });
-        let victim = lines[victim_idx];
+        // Choose an invalid way, else the LRU way. Invalid ways key below
+        // every valid one, and `min_by_key` takes the first minimum, so this
+        // is exactly "first invalid, else least-recently-used". Valid ways
+        // never tie: each allocation stamps a fresh nonzero clock.
+        let Some((line, used)) =
+            Self::set_ways_mut(&mut self.lines, &mut self.last_used, base, self.ways).min_by_key(
+                |(l, u)| {
+                    if **l & VALID_BIT == 0 {
+                        (0u8, 0u64)
+                    } else {
+                        (1u8, **u)
+                    }
+                },
+            )
+        else {
+            debug_assert!(false, "CacheParams::sets() cannot yield zero ways");
+            return AccessResult {
+                hit: false,
+                writeback: None,
+            };
+        };
+        let victim = *line;
         let writeback = if victim & VALID_BIT != 0 && victim & DIRTY_BIT != 0 {
             self.writebacks += 1;
             Some(((victim >> TAG_SHIFT) << self.set_shift) | set as u64)
         } else {
             None
         };
-        self.lines[base + victim_idx] = want
+        *line = want
             | if kind == AccessKind::Write {
                 DIRTY_BIT
             } else {
                 0
             };
-        self.last_used[base + victim_idx] = self.clock;
+        *used = clock;
         AccessResult {
             hit: false,
             writeback,
@@ -164,8 +193,10 @@ impl SetAssocCache {
         let tag = line_addr >> self.set_shift;
         let want = (tag << TAG_SHIFT) | VALID_BIT;
         let base = set * self.ways;
-        self.lines[base..base + self.ways]
+        self.lines
             .iter()
+            .skip(base)
+            .take(self.ways)
             .any(|&l| l & !DIRTY_BIT == want)
     }
 

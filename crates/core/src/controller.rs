@@ -70,6 +70,7 @@ impl SilcFm {
     /// Panics if `params` fail validation or NM holds fewer blocks than the
     /// associativity requires.
     pub fn new(space: AddressSpace, geom: Geometry, params: SilcFmParams) -> Self {
+        // silcfm-lint: allow(P1) -- documented `# Panics` constructor precondition; construction is off the access path
         params.validate().expect("invalid SILC-FM parameters");
         let nm_blocks = space.nm_blocks(geom);
         assert!(
@@ -117,7 +118,40 @@ impl SilcFm {
 
     /// Metadata of frame `f` (NM block index), for tests and diagnostics.
     pub fn frame(&self, f: u64) -> &FrameMeta {
+        // silcfm-lint: allow(P1) -- diagnostics accessor used by tests; panicking on a bad frame id is the desired behaviour there
         &self.frames[f as usize]
+    }
+
+    /// Metadata of frame `f`, by value ([`FrameMeta`] is `Copy`). All frame
+    /// ids funnel through here and [`Self::meta_mut`]; they are produced by
+    /// [`Self::set_of`] / [`Self::frame_id`], both `< nm_blocks` by
+    /// construction (masked or divided by the set count).
+    fn meta(&self, f: u64) -> FrameMeta {
+        debug_assert!(
+            (f as usize) < self.frames.len(),
+            "frame id exceeds nm_blocks"
+        );
+        // silcfm-lint: allow(P1) -- single indexing funnel with the invariant documented and debug-asserted above
+        self.frames[f as usize]
+    }
+
+    /// Mutable metadata of frame `f`; see [`Self::meta`] for the invariant.
+    fn meta_mut(&mut self, f: u64) -> &mut FrameMeta {
+        debug_assert!(
+            (f as usize) < self.frames.len(),
+            "frame id exceeds nm_blocks"
+        );
+        // silcfm-lint: allow(P1) -- single indexing funnel with the invariant documented and debug-asserted above
+        &mut self.frames[f as usize]
+    }
+
+    /// Mutable remap-tag slot; slots come from [`Self::tag_slot`] or the
+    /// set-probe base (`set * associativity + way`), both in range for the
+    /// `[set][way]` mirror.
+    fn tag_mut(&mut self, slot: usize) -> &mut u64 {
+        debug_assert!(slot < self.remap_tags.len(), "tag slot exceeds the mirror");
+        // silcfm-lint: allow(P1) -- single indexing funnel with the invariant documented and debug-asserted above
+        &mut self.remap_tags[slot]
     }
 
     /// Current estimate of the NM access rate (Eq. 1) over the bypass window.
@@ -218,7 +252,7 @@ impl SilcFm {
     /// Restores frame `f` to its native contents (undoes the interleaving)
     /// and saves the tenancy bit vector to the history table.
     fn restore_frame(&mut self, f: u64, ops: &mut OpList) {
-        let meta = self.frames[f as usize];
+        let meta = self.meta(f);
         if let Some(block) = meta.remap {
             let mut bits = meta.bitvec;
             while bits != 0 {
@@ -231,31 +265,36 @@ impl SilcFm {
             }
             self.restores += 1;
         }
-        let lru = self.frames[f as usize].lru;
-        let nm_counter = self.frames[f as usize].nm_counter;
-        self.frames[f as usize] = FrameMeta {
-            lru,
-            nm_counter,
+        let m = self.meta_mut(f);
+        *m = FrameMeta {
+            lru: m.lru,
+            nm_counter: m.nm_counter,
             ..FrameMeta::empty()
         };
         let slot = self.tag_slot(f);
-        self.remap_tags[slot] = 0;
+        *self.tag_mut(slot) = 0;
     }
 
     /// Locks the remapped FM block of frame `f` into NM by completing the
     /// exchange (§III-C).
     fn lock_remap(&mut self, f: u64, ops: &mut OpList) {
-        let meta = self.frames[f as usize];
-        let block = meta.remap.expect("lock_remap requires a tenant");
-        let mut missing = !meta.bitvec & self.geom.full_mask();
+        let meta = self.meta(f);
+        let Some(block) = meta.remap else {
+            // Both callers guard on an existing tenancy, so this cannot
+            // fire; declining to lock is the safe response if it ever did.
+            debug_assert!(false, "lock_remap requires a tenant");
+            return;
+        };
+        let full = self.geom.full_mask();
+        let mut missing = !meta.bitvec & full;
         while missing != 0 {
             let off = missing.trailing_zeros();
             missing &= missing - 1;
             self.exchange(ops, f, block, off, false, MemKind::Far);
         }
-        let m = &mut self.frames[f as usize];
-        m.bitvec = self.geom.full_mask();
-        m.bitvec_history = self.geom.full_mask();
+        let m = self.meta_mut(f);
+        m.bitvec = full;
+        m.bitvec_history = full;
         m.lock = LockState::LockedRemap;
         self.locks += 1;
     }
@@ -263,7 +302,7 @@ impl SilcFm {
     /// Locks frame `f`'s native block in place by undoing any interleaving.
     fn lock_native(&mut self, f: u64, ops: &mut OpList) {
         self.restore_frame(f, ops);
-        self.frames[f as usize].lock = LockState::LockedNative;
+        self.meta_mut(f).lock = LockState::LockedNative;
         self.locks += 1;
     }
 
@@ -306,14 +345,23 @@ impl SilcFm {
         bg: &mut OpList,
     ) -> Resolution {
         let f = block.value();
-        self.frames[f as usize].lru = self.access_count;
-        let meta = self.frames[f as usize];
+        let now = self.access_count;
+        self.meta_mut(f).lru = now;
+        let meta = self.meta(f);
         let threshold = self.params.lock_threshold;
         let bg_start = bg.len();
 
-        match meta.lock {
-            LockState::LockedNative => {
-                self.frames[f as usize].bump_nm();
+        // Pairing the lock state with the tenancy makes the impossible
+        // states (a locked remap or a set bit without a tenant) explicit:
+        // both fold into the native-service row under a debug assertion
+        // instead of aborting the run.
+        match (meta.lock, meta.remap) {
+            (LockState::LockedNative, _) | (LockState::LockedRemap, None) => {
+                debug_assert!(
+                    meta.lock == LockState::LockedNative,
+                    "locked remap has a tenant"
+                );
+                self.meta_mut(f).bump_nm();
                 Resolution {
                     serviced_from: MemKind::Near,
                     data_addr: self.nm_subblock_addr(f, off),
@@ -322,11 +370,10 @@ impl SilcFm {
                     metadata_dirty: false,
                 }
             }
-            LockState::LockedRemap => {
+            (LockState::LockedRemap, Some(tenant)) => {
                 // The native block's data lives wholesale at the locked
                 // tenant's FM location; the lock forbids disturbing it.
-                let tenant = meta.remap.expect("locked remap has a tenant");
-                self.frames[f as usize].bump_nm();
+                self.meta_mut(f).bump_nm();
                 Resolution {
                     serviced_from: MemKind::Far,
                     data_addr: self.fm_subblock_addr(tenant, off),
@@ -335,35 +382,21 @@ impl SilcFm {
                     metadata_dirty: false,
                 }
             }
-            LockState::Unlocked => {
-                let count = self.frames[f as usize].bump_nm();
-                if !meta.bit(off) {
-                    // Row 4: remap mismatch, bit clear, NM address →
-                    // the native subblock is resident; service from NM.
-                    if self.params.locking
-                        && !bypassing
-                        && count >= threshold
-                        && meta.remap.is_some()
-                    {
-                        self.lock_native(f, bg);
-                    }
-                    Resolution {
-                        serviced_from: MemKind::Near,
-                        data_addr: self.nm_subblock_addr(f, off),
-                        metadata_reads: 1,
-                        way: self.way_of(f),
-                        metadata_dirty: bg.len() > bg_start,
-                    }
-                } else {
+            (LockState::Unlocked, remap) => {
+                let count = self.meta_mut(f).bump_nm();
+                debug_assert!(
+                    !meta.bit(off) || remap.is_some(),
+                    "a set bit implies a tenant"
+                );
+                if let Some(tenant) = remap.filter(|_| meta.bit(off)) {
                     // Row 3: remap mismatch, bit set, NM address → the
                     // native subblock was swapped out; it lives at the
                     // tenant's FM location. Swap it back (unless bypassing).
-                    let tenant = meta.remap.expect("a set bit implies a tenant");
                     let data_addr = self.fm_subblock_addr(tenant, off);
                     let mut metadata_dirty = false;
                     if !bypassing {
                         self.exchange(bg, f, tenant, off, true, MemKind::Far);
-                        self.frames[f as usize].clear_bit(off);
+                        self.meta_mut(f).clear_bit(off);
                         metadata_dirty = true;
                         if self.params.locking && count >= threshold {
                             self.lock_native(f, bg);
@@ -375,6 +408,19 @@ impl SilcFm {
                         metadata_reads: 1,
                         way: self.way_of(f),
                         metadata_dirty,
+                    }
+                } else {
+                    // Row 4: remap mismatch, bit clear, NM address →
+                    // the native subblock is resident; service from NM.
+                    if self.params.locking && !bypassing && count >= threshold && remap.is_some() {
+                        self.lock_native(f, bg);
+                    }
+                    Resolution {
+                        serviced_from: MemKind::Near,
+                        data_addr: self.nm_subblock_addr(f, off),
+                        metadata_reads: 1,
+                        way: self.way_of(f),
+                        metadata_dirty: bg.len() > bg_start,
                     }
                 }
             }
@@ -400,16 +446,21 @@ impl SilcFm {
         // `[set][way]` tag mirror — see `remap_tags`).
         let tag_base = (set * u64::from(assoc)) as usize;
         let want = block.value() + 1;
-        let hit_way = self.remap_tags[tag_base..tag_base + assoc as usize]
+        let hit_way = self
+            .remap_tags
             .iter()
+            .skip(tag_base)
+            .take(assoc as usize)
             .position(|&t| t == want)
             .map(|w| w as u32);
 
         if let Some(way) = hit_way {
             let f = self.frame_id(set, way);
-            self.frames[f as usize].lru = self.access_count;
-            let count = self.frames[f as usize].bump_fm();
-            let meta = self.frames[f as usize];
+            let now = self.access_count;
+            let m = self.meta_mut(f);
+            m.lru = now;
+            let count = m.bump_fm();
+            let meta = *m;
             let bg_start = bg.len();
 
             if meta.bit(off) {
@@ -436,12 +487,11 @@ impl SilcFm {
             let mut metadata_dirty = false;
             if !bypassing {
                 self.exchange(bg, f, block, off, true, MemKind::Far);
-                self.frames[f as usize].set_bit(off);
+                self.meta_mut(f).set_bit(off);
                 metadata_dirty = true;
                 if self.params.locking
                     && count >= threshold
-                    && self.frames[f as usize].bitvec_history.count_ones()
-                        >= self.params.lock_min_resident
+                    && self.meta(f).bitvec_history.count_ones() >= self.params.lock_min_resident
                 {
                     self.lock_remap(f, bg);
                 }
@@ -480,10 +530,10 @@ impl SilcFm {
         // direct-mapped structure must.
         let victim = (0..assoc)
             .filter(|&w| {
-                let m = &self.frames[self.frame_id(set, w) as usize];
+                let m = self.meta(self.frame_id(set, w));
                 !m.lock.is_locked() && (assoc == 1 || m.remap.is_none() || m.fm_counter <= 1)
             })
-            .min_by_key(|&w| self.frames[self.frame_id(set, w) as usize].lru);
+            .min_by_key(|&w| self.meta(self.frame_id(set, w)).lru);
         let Some(way) = victim else {
             // Every way is locked or actively used: service from FM in
             // place; aging reopens the set as tenants cool.
@@ -511,14 +561,15 @@ impl SilcFm {
         } else {
             0
         } | (1 << off);
+        let now = self.access_count;
         {
-            let m = &mut self.frames[f as usize];
+            let m = self.meta_mut(f);
             m.remap = Some(block);
             m.history_key = key;
             m.fm_counter = 1;
-            m.lru = self.access_count;
+            m.lru = now;
         }
-        self.remap_tags[tag_base + way as usize] = want;
+        *self.tag_mut(tag_base + way as usize) = want;
         let extra_bits = (bits & !(1u64 << off)).count_ones();
         if extra_bits > 0 {
             self.history_bulk_fetches += 1;
@@ -529,7 +580,7 @@ impl SilcFm {
             let o = remaining.trailing_zeros();
             remaining &= remaining - 1;
             self.exchange(bg, f, block, o, o == off, MemKind::Far);
-            self.frames[f as usize].set_bit(o);
+            self.meta_mut(f).set_bit(o);
         }
 
         Resolution {

@@ -130,8 +130,13 @@ impl DramModel {
             let chunk_bytes = (chunk_end.min(end) - cursor) as u32;
             let loc = walker.location();
             let burst = self.cfg.burst_cycles(chunk_bytes);
-            let acc = self.channels[loc.channel as usize]
-                .access(now_mem, loc, burst, is_write, &self.cfg);
+            // The mapper reduces every address modulo `cfg.channels`, so the
+            // probe cannot miss; breaking keeps the walk panic-free anyway.
+            let Some(channel) = self.channels.get_mut(loc.channel as usize) else {
+                debug_assert!(false, "mapper yields channel < cfg.channels");
+                break;
+            };
+            let acc = channel.access(now_mem, loc, burst, is_write, &self.cfg);
             // Row-buffer statistics describe the read stream; writes are
             // batch-drained and bypass the bank model (see `Channel`).
             if !is_write {

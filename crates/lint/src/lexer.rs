@@ -1,0 +1,417 @@
+//! A minimal Rust lexer: just enough token structure for the rule engine.
+//!
+//! The linter does not need a parser — every rule keys off token-level
+//! patterns (paths, method calls, macro bangs, bracket contexts). What it
+//! *does* need is to never misread program text inside comments, string
+//! literals or char literals, so the lexer handles those exactly: nested
+//! block comments, raw strings with arbitrary `#` fences, byte strings,
+//! escapes, and the `'a` lifetime vs `'a'` char-literal ambiguity.
+
+/// One significant (non-comment, non-whitespace) token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The token's text. Punctuation is a single character; string
+    /// literals carry their *unquoted* content.
+    pub text: String,
+}
+
+/// Token classification; only the distinctions the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the rules distinguish keywords themselves).
+    Ident,
+    /// Integer/float literal (lexed so `0xbeef` is not an identifier).
+    Number,
+    /// String or byte-string literal; `text` is the content.
+    Str,
+    /// Character literal.
+    Char,
+    /// A lifetime such as `'a` (without the quote).
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// A comment, preserved for suppression-directive parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// 1-based line the comment ends on.
+    pub end_line: usize,
+    /// Comment text without the `//` / `/* */` markers.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source`, never failing: unrecognized bytes become punctuation
+/// tokens, and unterminated literals run to end of input.
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Self {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, line: usize, kind: TokenKind, text: String) {
+        self.out.tokens.push(Token { line, kind, text });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(line),
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.bump();
+                    self.string(line);
+                }
+                b'r' | b'b' if self.raw_string_ahead() => self.raw_string(line),
+                b'\'' => self.char_or_lifetime(line),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(line),
+                b'0'..=b'9' => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(line, TokenKind::Punct, (b as char).to_string());
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Whether the cursor sits on `r"`, `r#`, `br"` or `br#`.
+    fn raw_string_ahead(&self) -> bool {
+        let after = if self.peek(0) == Some(b'b') { 1 } else { 0 };
+        self.peek(after) == Some(b'r') && matches!(self.peek(after + 1), Some(b'"') | Some(b'#'))
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        // Consume the closing `*/` if present.
+        if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+            self.bump();
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+        });
+    }
+
+    /// Lexes a `"..."` string whose opening quote is at the cursor.
+    fn string(&mut self, line: usize) {
+        self.bump(); // opening quote
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.bump(); // closing quote
+        self.push(line, TokenKind::Str, text);
+    }
+
+    /// Lexes `r"..."` / `r#"..."#` / `br#"..."#` raw strings.
+    fn raw_string(&mut self, line: usize) {
+        if self.peek(0) == Some(b'b') {
+            self.bump();
+        }
+        self.bump(); // 'r'
+        let mut fence = 0usize;
+        while self.peek(0) == Some(b'#') {
+            fence += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let start = self.pos;
+        let mut end = self.pos;
+        'scan: while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                // A quote closes the literal only when followed by `fence` #s.
+                for i in 0..fence {
+                    if self.peek(1 + i) != Some(b'#') {
+                        end = self.pos + 1;
+                        self.bump();
+                        continue 'scan;
+                    }
+                }
+                end = self.pos;
+                self.bump();
+                for _ in 0..fence {
+                    self.bump();
+                }
+                break;
+            }
+            self.bump();
+            end = self.pos;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.push(line, TokenKind::Str, text);
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self, line: usize) {
+        self.bump(); // opening quote
+        let first = self.peek(0);
+        let second = self.peek(1);
+        let is_lifetime =
+            matches!(first, Some(b'_' | b'a'..=b'z' | b'A'..=b'Z')) && second != Some(b'\'');
+        if is_lifetime {
+            let start = self.pos;
+            while matches!(
+                self.peek(0),
+                Some(b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9')
+            ) {
+                self.bump();
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push(line, TokenKind::Lifetime, text);
+            return;
+        }
+        // Char literal: consume to the closing quote, honoring escapes.
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.bump(); // closing quote
+        self.push(line, TokenKind::Char, text);
+    }
+
+    fn ident(&mut self, line: usize) {
+        let start = self.pos;
+        while matches!(
+            self.peek(0),
+            Some(b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9')
+        ) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(line, TokenKind::Ident, text);
+    }
+
+    fn number(&mut self, line: usize) {
+        let start = self.pos;
+        // Good enough for skipping: digits, hex/bin/oct letters, suffixes,
+        // underscores, and a decimal point followed by a digit. Exponent
+        // signs (`1e-9`) leave the `-` as punctuation, which no rule reads.
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'0'..=b'9'
+                | b'a'..=b'f'
+                | b'A'..=b'F'
+                | b'x'
+                | b'o'
+                | b'_'
+                | b'u'
+                | b'i'
+                | b's'
+                | b'z' => {
+                    self.bump();
+                }
+                b'.' if matches!(self.peek(1), Some(b'0'..=b'9')) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(line, TokenKind::Number, text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_do_not_leak_tokens() {
+        let l = lex("// HashMap here\nfn main() {} /* panic! */");
+        assert!(idents("// HashMap\nfn f() {}").contains(&"f".to_string()));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("HashMap"));
+        assert!(!l.tokens.iter().any(|t| t.text == "HashMap"));
+        assert!(!l.tokens.iter().any(|t| t.text == "panic"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn x() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* /* a */ b */ fn x() {}"), vec!["fn", "x"]);
+        assert!(l.tokens.iter().any(|t| t.text == "x"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "panic!(\"inner\")";"#);
+        assert!(!l.tokens.iter().any(|t| t.text == "panic"));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let l = lex(r##"let s = r#"a "quoted" HashMap"#; let t = 1;"##);
+        assert!(!l.tokens.iter().any(|t| t.text == "HashMap"));
+        assert!(l.tokens.iter().any(|t| t.text == "t"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "a"));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "x"));
+    }
+
+    #[test]
+    fn escaped_char_literal_is_not_a_lifetime() {
+        let l = lex(r"let c = '\n'; let d = '\'';");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            2
+        );
+        assert!(!l.tokens.iter().any(|t| t.kind == TokenKind::Lifetime));
+    }
+
+    #[test]
+    fn numbers_are_not_identifiers() {
+        let l = lex("let x = 0xdead_beef + 1.5e3;");
+        assert!(!idents("let x = 0xdead_beef;").contains(&"dead_beef".to_string()));
+        assert!(l.tokens.iter().any(|t| t.kind == TokenKind::Number));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("fn a() {}\n\nfn b() {}\n");
+        let b = l.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

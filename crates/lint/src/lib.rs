@@ -1,0 +1,246 @@
+//! `silcfm-lint`: in-tree static analysis for the SILC-FM workspace.
+//!
+//! The simulator's credibility rests on three implementation contracts that
+//! ordinary tests check only after the fact: **determinism** (bit-identical
+//! serial/parallel results), **hermeticity** (no external crates, fully
+//! offline builds) and **hot-path discipline** (the access path neither
+//! allocates nor panics). This crate checks those contracts *mechanically*,
+//! before the build, with a hand-rolled lexer and a token-pattern rule
+//! engine — no parser, no dependencies.
+//!
+//! See [`rules`] for the rule table, [`directives`] for the suppression
+//! syntax, and DESIGN.md § Static analysis for how to add a rule.
+
+pub mod directives;
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint finding, anchored to `path:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule ID (`D1`, `D2`, `H1`, `P1`, `A1`, `S1`, `X1`).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (shown under `--fix-hints`).
+    pub hint: String,
+}
+
+/// Result of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings that survived suppression, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of findings silenced by `allow` directives.
+    pub suppressed: usize,
+    /// Number of files scanned (sources + manifests).
+    pub files_scanned: usize,
+}
+
+/// The checked-in stat-key registry, relative to the workspace root.
+pub const STAT_KEY_REGISTRY: &str = "crates/lint/stat_keys.txt";
+
+/// Lints one Rust source under its logical workspace path, applying
+/// suppression directives. Exposed for fixture tests; [`lint_workspace`]
+/// runs the same logic per real file (plus the cross-file S1 pass).
+pub fn lint_rust_source(path: &str, source: &str) -> (Vec<Finding>, usize) {
+    let lexed = lexer::lex(source);
+    let mut findings = Vec::new();
+    let allows = directives::parse(path, &lexed.comments, &mut findings);
+    findings.extend(rules::lint_tokens(path, &lexed));
+    directives::apply(findings, &allows)
+}
+
+/// Checks collected stat keys against the registry: every key used by a
+/// stats sink must be registered, no file may register the same key twice,
+/// and the registry must not carry dead keys. `keys` maps a file path to
+/// its `(key, line)` uses; `registry_path` labels registry-side findings.
+pub fn check_stat_keys(
+    keys: &BTreeMap<String, Vec<(String, usize)>>,
+    registry: &str,
+    registry_path: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let registered: Vec<(&str, usize)> = registry
+        .lines()
+        .enumerate()
+        .map(|(idx, l)| (l.split('#').next().unwrap_or("").trim(), idx + 1))
+        .filter(|(k, _)| !k.is_empty())
+        .collect();
+
+    let mut seen_anywhere: Vec<&str> = Vec::new();
+    for (path, uses) in keys {
+        let mut seen_here: Vec<&str> = Vec::new();
+        for (key, line) in uses {
+            if seen_here.contains(&key.as_str()) {
+                findings.push(Finding {
+                    rule: "S1",
+                    path: path.clone(),
+                    line: *line,
+                    message: format!("stat key \"{key}\" is registered twice by this file"),
+                    hint: "each scheme must report a key at most once per snapshot".to_string(),
+                });
+            }
+            seen_here.push(key);
+            seen_anywhere.push(key);
+            if !registered.iter().any(|(k, _)| *k == key) {
+                findings.push(Finding {
+                    rule: "S1",
+                    path: path.clone(),
+                    line: *line,
+                    message: format!("stat key \"{key}\" is not in the registry ({registry_path})"),
+                    hint: format!("add \"{key}\" to {registry_path} so figure tooling knows it"),
+                });
+            }
+        }
+    }
+    for (key, line) in &registered {
+        if !seen_anywhere.contains(key) {
+            findings.push(Finding {
+                rule: "S1",
+                path: registry_path.to_string(),
+                line: *line,
+                message: format!("registered stat key \"{key}\" is emitted by no stats sink"),
+                hint: "remove dead keys so the registry stays the source of truth".to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Lints the workspace rooted at `root`: every `crates/*/{src,tests,
+/// examples,benches}` tree (except the linter's own), the top-level `src/`,
+/// `tests/` and `examples/`, and every `Cargo.toml`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let mut all = Vec::new();
+    let mut stat_keys: BTreeMap<String, Vec<(String, usize)>> = BTreeMap::new();
+    let mut allows_by_file: BTreeMap<String, Vec<directives::Allow>> = BTreeMap::new();
+
+    for file in workspace_rust_files(root)? {
+        let logical = logical_path(root, &file);
+        let source = fs::read_to_string(&file)?;
+        let lexed = lexer::lex(&source);
+        let mut findings = Vec::new();
+        let allows = directives::parse(&logical, &lexed.comments, &mut findings);
+        findings.extend(rules::lint_tokens(&logical, &lexed));
+        let keys = rules::collect_stat_keys(&lexed);
+        if !keys.is_empty() {
+            stat_keys.insert(logical.clone(), keys);
+        }
+        let (kept, suppressed) = directives::apply(findings, &allows);
+        report.suppressed += suppressed;
+        all.extend(kept);
+        allows_by_file.insert(logical, allows);
+        report.files_scanned += 1;
+    }
+
+    for manifest_path in workspace_manifests(root)? {
+        let logical = logical_path(root, &manifest_path);
+        let source = fs::read_to_string(&manifest_path)?;
+        let (findings, allows) = manifest::lint_manifest(&logical, &source);
+        let (kept, suppressed) = directives::apply(findings, &allows);
+        report.suppressed += suppressed;
+        all.extend(kept);
+        report.files_scanned += 1;
+    }
+
+    // S1 runs once over all collected keys; per-file directives still apply.
+    let registry = fs::read_to_string(root.join(STAT_KEY_REGISTRY)).unwrap_or_default();
+    for finding in check_stat_keys(&stat_keys, &registry, STAT_KEY_REGISTRY) {
+        let allows = allows_by_file
+            .get(&finding.path)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        if allows.iter().any(|a| a.covers(finding.rule, finding.line)) {
+            report.suppressed += 1;
+        } else {
+            all.push(finding);
+        }
+    }
+
+    all.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    report.findings = all;
+    Ok(report)
+}
+
+/// Workspace-relative forward-slash path of `file`.
+fn logical_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Every Rust source the linter scans, sorted for deterministic reports.
+fn workspace_rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["src", "tests", "examples"] {
+        collect_rs(&root.join(top), &mut files)?;
+    }
+    for krate in crate_dirs(root)? {
+        // The linter's own sources mention every forbidden token by design,
+        // and its fixtures are deliberately bad code.
+        if krate.file_name().is_some_and(|n| n == "lint") {
+            continue;
+        }
+        for sub in ["src", "tests", "examples", "benches"] {
+            collect_rs(&krate.join(sub), &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Every manifest the linter checks (including the linter's own).
+fn workspace_manifests(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut manifests = vec![root.join("Cargo.toml")];
+    for krate in crate_dirs(root)? {
+        manifests.push(krate.join("Cargo.toml"));
+    }
+    manifests.retain(|m| m.is_file());
+    Ok(manifests)
+}
+
+fn crate_dirs(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let crates = root.join("crates");
+    if !crates.is_dir() {
+        return Ok(Vec::new());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(&crates)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,192 @@
+//! H1: hermeticity of `Cargo.toml` manifests.
+//!
+//! The workspace builds fully offline; the only dependencies any manifest
+//! may declare are workspace-internal path dependencies. This module
+//! line-parses each manifest (the workspace's manifests are deliberately
+//! simple TOML — no multi-line inline tables) and flags every entry in a
+//! dependency section that is not one of:
+//!
+//! * `name.workspace = true`
+//! * `name = { workspace = true, ... }`
+//! * `name = { path = "...", ... }`  (and, under `[workspace.dependencies]`,
+//!   the `path` form is *required*)
+//!
+//! Suppression uses the same directive syntax as Rust sources, in a TOML
+//! comment: `# silcfm-lint: allow(H1) -- reason`.
+
+use crate::directives::{self};
+use crate::lexer::Comment;
+use crate::Finding;
+
+/// Sections whose entries are dependency declarations.
+const DEP_SECTIONS: &[&str] = &[
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+/// Lints one manifest. `path` labels findings; returns raw findings plus
+/// parsed allow directives (applied by the caller alongside source rules).
+pub fn lint_manifest(path: &str, source: &str) -> (Vec<Finding>, Vec<directives::Allow>) {
+    let mut findings = Vec::new();
+
+    // TOML comments, for directive parsing.
+    let comments: Vec<Comment> = source
+        .lines()
+        .enumerate()
+        .filter_map(|(idx, l)| {
+            l.find('#').map(|at| Comment {
+                line: idx + 1,
+                end_line: idx + 1,
+                text: l[at + 1..].to_string(),
+            })
+        })
+        .collect();
+    let allows = directives::parse(path, &comments, &mut findings);
+
+    let mut section = String::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_toml_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header.trim_end_matches(']').trim_matches('"').to_string();
+            // `[dependencies.foo]` declares the dependency `foo` as a
+            // section; treat the header itself as the entry to check. The
+            // workspace's style is inline entries, so just flag the form.
+            if let Some((base, dep)) = header.rsplit_once('.') {
+                if DEP_SECTIONS.contains(&base) && base != "workspace" {
+                    findings.push(non_path_dep(path, line_no, dep));
+                    section.clear();
+                    continue;
+                }
+            }
+            section = header;
+            continue;
+        }
+        if !DEP_SECTIONS.contains(&section.as_str()) {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let name = key.strip_suffix(".workspace").unwrap_or(key);
+        let inherits_workspace = key.ends_with(".workspace") && value == "true";
+        let inline_ok = value.starts_with('{')
+            && (value.contains("workspace = true") || value.contains("path = \""));
+        let needs_explicit_path = section == "workspace.dependencies";
+        let ok = if needs_explicit_path {
+            value.starts_with('{') && value.contains("path = \"")
+        } else {
+            inherits_workspace || inline_ok
+        };
+        if !ok {
+            findings.push(non_path_dep(path, line_no, name));
+        }
+    }
+
+    (findings, allows)
+}
+
+fn non_path_dep(path: &str, line: usize, name: &str) -> Finding {
+    Finding {
+        rule: "H1",
+        path: path.to_string(),
+        line,
+        message: format!(
+            "dependency `{name}` is not a workspace-internal path dependency; the build \
+             must work with no registry access"
+        ),
+        hint: "vendor the functionality in-tree (see silcfm-types::rng/check for the \
+               pattern) or declare `name = { path = \"crates/...\" }`"
+            .to_string(),
+    }
+}
+
+/// Removes a trailing TOML comment, respecting `#` inside quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directives::apply;
+
+    fn lint(src: &str) -> Vec<(usize, String)> {
+        let (findings, allows) = lint_manifest("Cargo.toml", src);
+        let (kept, _) = apply(findings, &allows);
+        kept.into_iter().map(|f| (f.line, f.message)).collect()
+    }
+
+    #[test]
+    fn workspace_and_path_deps_pass() {
+        let src = "[package]\nname = \"x\"\n\n[dependencies]\n\
+                   silcfm-types.workspace = true\n\
+                   silcfm-core = { workspace = true }\n\
+                   local = { path = \"crates/local\" }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn registry_deps_fail() {
+        let src = "[dependencies]\nserde = \"1.0\"\n";
+        let hits = lint(src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 2);
+        assert!(hits[0].1.contains("serde"));
+    }
+
+    #[test]
+    fn inline_version_without_path_fails() {
+        let src = "[dev-dependencies]\nrand = { version = \"0.8\", features = [\"std\"] }\n";
+        assert_eq!(lint(src).len(), 1);
+    }
+
+    #[test]
+    fn workspace_dependencies_require_a_path() {
+        let good = "[workspace.dependencies]\nsilcfm-types = { path = \"crates/types\" }\n";
+        assert!(lint(good).is_empty());
+        let bad = "[workspace.dependencies]\nserde = { version = \"1\" }\n";
+        assert_eq!(lint(bad).len(), 1);
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let src = "[package]\nversion = \"0.1.0\"\n[features]\ndefault = []\n\
+                   [profile.release]\nlto = \"thin\"\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn section_form_dependency_is_flagged() {
+        let src = "[dependencies.serde]\nversion = \"1\"\n";
+        assert_eq!(lint(src).len(), 1);
+    }
+
+    #[test]
+    fn toml_directive_suppresses() {
+        let src = "[dependencies]\n\
+                   # silcfm-lint: allow(H1) -- fixture demonstrating suppression\n\
+                   serde = \"1.0\"\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn empty_dep_section_passes() {
+        assert!(lint("[dependencies]\n").is_empty());
+    }
+}

@@ -1,0 +1,704 @@
+//! The rule engine: token-pattern rules over one lexed source file.
+//!
+//! | ID | Contract | What fires |
+//! |----|----------|------------|
+//! | D1 | determinism | `std::collections::{HashMap,HashSet}` (default SipHash hasher) |
+//! | D2 | determinism | `std::time::{Instant,SystemTime}`, `std::env::{var,var_os,vars}` |
+//! | H1 | hermeticity | non-workspace-path dependency in a `Cargo.toml` (see `manifest`) |
+//! | P1 | panic-safety | `.unwrap()` / `.expect(` / `panic!` / bare `[...]` indexing in hot-path modules |
+//! | A1 | allocation | `Vec::new` / `vec![` / `Box::new` / `.to_vec()` / `format!` reachable from the access hot path |
+//! | S1 | stats | duplicate or unregistered `&'static str` stat keys (see `lib.rs`) |
+//! | X1 | tooling | malformed suppression directive (see `directives`) |
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::Finding;
+
+/// Every rule ID the linter knows, in reporting order.
+pub const RULE_IDS: &[&str] = &["D1", "D2", "H1", "P1", "A1", "S1", "X1"];
+
+/// File names (not paths) of the designated hot-path modules: the files
+/// where P1 and A1 apply. These are the modules on the per-access critical
+/// path of the simulator (see DESIGN.md § Static analysis).
+pub const HOT_MODULES: &[&str] = &[
+    "controller.rs",
+    "set_assoc.rs",
+    "model.rs",
+    "oplist.rs",
+    "system.rs",
+];
+
+/// Per-module entry points of the access hot path, used as the reachability
+/// seeds for A1. Reachability is computed over the file-local call graph:
+/// a function is hot if a chain of same-file calls connects it to a seed.
+pub const HOT_SEEDS: &[(&str, &[&str])] = &[
+    ("controller.rs", &["access"]),
+    ("set_assoc.rs", &["access"]),
+    ("model.rs", &["read", "write", "stream"]),
+    ("oplist.rs", &["push", "clear", "extend"]),
+    ("system.rs", &["run", "charge"]),
+];
+
+/// Rust keywords: identifiers that never name an indexable value, a called
+/// function, or a path segment of interest.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
+    "type", "unsafe", "use", "where", "while", "yield",
+];
+
+fn is_keyword(text: &str) -> bool {
+    KEYWORDS.contains(&text)
+}
+
+/// Whether D1/D2 source rules apply to this logical path (forward slashes).
+/// Tooling crates are exempt: the benchmark harness legitimately reads the
+/// wall clock and the linter itself reads the filesystem.
+fn determinism_scope(path: &str) -> bool {
+    !path.starts_with("crates/bench/") && !path.starts_with("crates/lint/")
+}
+
+/// Whether D2 applies: the hermetic property harness (`silcfm-types::check`)
+/// is additionally exempt by design (ISSUE 3), as the replay-seed printer
+/// may grow environment hooks.
+fn d2_scope(path: &str) -> bool {
+    determinism_scope(path) && path != "crates/types/src/check.rs"
+}
+
+/// Whether this file is a designated hot-path module.
+fn hot_module(path: &str) -> Option<&'static str> {
+    let name = path.rsplit('/').next().unwrap_or(path);
+    HOT_MODULES.iter().copied().find(|m| *m == name)
+}
+
+/// Runs every source-level rule over one lexed file, returning raw
+/// (unsuppressed) findings. `path` is the workspace-relative path with
+/// forward slashes.
+pub fn lint_tokens(path: &str, lexed: &Lexed) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &lexed.tokens;
+    let test_spans = test_spans(toks);
+    let in_test = |line: usize| test_spans.iter().any(|s| s.contains(&line));
+
+    if determinism_scope(path) {
+        scan_paths(toks, |segments, line| {
+            if has_pair(segments, "collections", &["HashMap", "HashSet"]) {
+                findings.push(Finding {
+                    rule: "D1",
+                    path: path.to_string(),
+                    line,
+                    message: format!(
+                        "default-hasher `{}`: SipHash is randomly keyed and its iteration \
+                         order can leak into results",
+                        segments.join("::")
+                    ),
+                    hint: "use `silcfm_types::FxHashMap` / `FxHashSet` (deterministic, faster)"
+                        .to_string(),
+                });
+            }
+            if d2_scope(path)
+                && (has_pair(segments, "time", &["Instant", "SystemTime"])
+                    || has_pair(segments, "env", &["var", "var_os", "vars"]))
+            {
+                findings.push(Finding {
+                    rule: "D2",
+                    path: path.to_string(),
+                    line,
+                    message: format!(
+                        "environment-dependent API `{}`: wall-clock and env reads make runs \
+                         unreproducible",
+                        segments.join("::")
+                    ),
+                    hint: "derive behaviour from explicit config/seeds; timing belongs in \
+                           crates/bench"
+                        .to_string(),
+                });
+            }
+        });
+    }
+
+    if let Some(module) = hot_module(path) {
+        lint_panic_safety(path, toks, &mut findings, &in_test);
+        lint_allocations(path, module, toks, &mut findings, &in_test);
+    }
+
+    findings
+}
+
+/// Collects `&'static str` stat keys passed to `SchemeStats::detail`, i.e.
+/// the `.detail("key", ...)` sink. Returns `(key, line)` pairs.
+pub fn collect_stat_keys(lexed: &Lexed) -> Vec<(String, usize)> {
+    let toks = &lexed.tokens;
+    let mut keys = Vec::new();
+    for i in 0..toks.len() {
+        if punct(toks.get(i), '.')
+            && ident(toks.get(i + 1), "detail")
+            && punct(toks.get(i + 2), '(')
+        {
+            if let Some(t) = toks.get(i + 3) {
+                if t.kind == TokenKind::Str {
+                    keys.push((t.text.clone(), t.line));
+                }
+            }
+        }
+    }
+    keys
+}
+
+// ---- P1: panic safety ------------------------------------------------------
+
+fn lint_panic_safety(
+    path: &str,
+    toks: &[Token],
+    findings: &mut Vec<Finding>,
+    in_test: &dyn Fn(usize) -> bool,
+) {
+    let hint = "restructure infallibly (`get`, `if let`, accessor with a documented \
+                invariant) or annotate why the panic cannot fire";
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if in_test(t.line) {
+            continue;
+        }
+        // `.unwrap()` / `.expect(`
+        if punct(Some(t), '.') {
+            if let Some(name) = toks.get(i + 1) {
+                if name.kind == TokenKind::Ident
+                    && (name.text == "unwrap" || name.text == "expect")
+                    && punct(toks.get(i + 2), '(')
+                {
+                    findings.push(Finding {
+                        rule: "P1",
+                        path: path.to_string(),
+                        line: name.line,
+                        message: format!(
+                            "`.{}(` on the access hot path can abort a whole run",
+                            name.text
+                        ),
+                        hint: hint.to_string(),
+                    });
+                }
+            }
+        }
+        // `panic!`
+        if t.kind == TokenKind::Ident && t.text == "panic" && punct(toks.get(i + 1), '!') {
+            findings.push(Finding {
+                rule: "P1",
+                path: path.to_string(),
+                line: t.line,
+                message: "`panic!` on the access hot path".to_string(),
+                hint: hint.to_string(),
+            });
+        }
+        // Bare `[...]` indexing: a `[` whose previous token is a value
+        // (identifier, `)` or `]`). Type positions, attributes, slice
+        // patterns and macro brackets all have non-value predecessors.
+        if punct(Some(t), '[') && i > 0 {
+            let prev = &toks[i - 1];
+            let value_before = match prev.kind {
+                TokenKind::Ident => !is_keyword(&prev.text),
+                TokenKind::Punct => prev.text == ")" || prev.text == "]",
+                _ => false,
+            };
+            if value_before {
+                findings.push(Finding {
+                    rule: "P1",
+                    path: path.to_string(),
+                    line: t.line,
+                    message: "bare `[...]` indexing on the access hot path panics when out \
+                              of bounds"
+                        .to_string(),
+                    hint: hint.to_string(),
+                });
+            }
+        }
+    }
+}
+
+// ---- A1: allocation discipline --------------------------------------------
+
+fn lint_allocations(
+    path: &str,
+    module: &str,
+    toks: &[Token],
+    findings: &mut Vec<Finding>,
+    in_test: &dyn Fn(usize) -> bool,
+) {
+    let seeds: &[&str] = HOT_SEEDS
+        .iter()
+        .find(|(m, _)| *m == module)
+        .map(|(_, s)| *s)
+        .unwrap_or(&["access"]);
+    let fns = extract_fns(toks);
+
+    // File-local call graph: fn name -> names it mentions as calls.
+    // `Other::name(` is a *foreign* associated call, not a mention of the
+    // local `name` — only `Self::`/`self.`-qualified and bare calls count.
+    let mut calls: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for f in &fns {
+        let entry = calls.entry(f.name.as_str()).or_default();
+        for j in f.body.clone() {
+            let t = &toks[j];
+            if t.kind == TokenKind::Ident && !is_keyword(&t.text) && punct(toks.get(j + 1), '(') {
+                let qualified =
+                    j >= 2 && punct(toks.get(j - 1), ':') && punct(toks.get(j - 2), ':');
+                if qualified && !(j >= 3 && ident(toks.get(j - 3), "Self")) {
+                    continue;
+                }
+                entry.push(t.text.as_str());
+            }
+        }
+    }
+
+    // Closure from the seeds.
+    let mut hot: Vec<&str> = Vec::new();
+    let mut queue: Vec<&str> = seeds.to_vec();
+    while let Some(name) = queue.pop() {
+        if hot.contains(&name) {
+            continue;
+        }
+        hot.push(name);
+        if let Some(mentions) = calls.get(name) {
+            for m in mentions {
+                if calls.contains_key(m) && !hot.contains(m) {
+                    queue.push(m);
+                }
+            }
+        }
+    }
+
+    let hint = "keep per-access work allocation-free: reuse caller-owned buffers \
+                (see the outcome-reuse protocol) or hoist the allocation to setup";
+    for f in &fns {
+        if !hot.contains(&f.name.as_str()) || in_test(f.line) {
+            continue;
+        }
+        for j in f.body.clone() {
+            let t = &toks[j];
+            if in_test(t.line) {
+                continue;
+            }
+            let mut hit: Option<String> = None;
+            // `Vec::new` / `Box::new`
+            if t.kind == TokenKind::Ident
+                && (t.text == "Vec" || t.text == "Box")
+                && punct(toks.get(j + 1), ':')
+                && punct(toks.get(j + 2), ':')
+                && ident(toks.get(j + 3), "new")
+            {
+                hit = Some(format!("{}::new", t.text));
+            }
+            // `vec!` / `format!`
+            if t.kind == TokenKind::Ident
+                && (t.text == "vec" || t.text == "format")
+                && punct(toks.get(j + 1), '!')
+            {
+                hit = Some(format!("{}!", t.text));
+            }
+            // `.to_vec(`
+            if punct(Some(t), '.')
+                && ident(toks.get(j + 1), "to_vec")
+                && punct(toks.get(j + 2), '(')
+            {
+                hit = Some(".to_vec()".to_string());
+            }
+            if let Some(what) = hit {
+                findings.push(Finding {
+                    rule: "A1",
+                    path: path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{what}` inside `{}`, which is reachable from the access hot path \
+                         (seeds: {})",
+                        f.name,
+                        seeds.join(", ")
+                    ),
+                    hint: hint.to_string(),
+                });
+            }
+        }
+    }
+}
+
+// ---- token-pattern helpers -------------------------------------------------
+
+fn punct(t: Option<&Token>, c: char) -> bool {
+    t.is_some_and(|t| t.kind == TokenKind::Punct && t.text.len() == 1 && t.text.starts_with(c))
+}
+
+fn ident(t: Option<&Token>, name: &str) -> bool {
+    t.is_some_and(|t| t.kind == TokenKind::Ident && t.text == name)
+}
+
+/// Whether `segments` contains `qualifier` immediately followed by one of
+/// `leaves`.
+fn has_pair(segments: &[String], qualifier: &str, leaves: &[&str]) -> bool {
+    segments
+        .windows(2)
+        .any(|w| w[0] == qualifier && leaves.iter().any(|l| w[1] == *l))
+}
+
+/// Scans `::`-joined paths, including grouped `use` trees
+/// (`use std::collections::{HashMap, HashSet}`), and calls `f` with the
+/// full segment list and the leaf's line for every path leaf.
+fn scan_paths(toks: &[Token], mut f: impl FnMut(&[String], usize)) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokenKind::Ident && !is_keyword(&t.text) {
+            // Only start a path at a non-qualified position: skip idents
+            // preceded by `::` (mid-path) or `.` (field/method).
+            let qualified = i >= 2 && punct(toks.get(i - 1), ':') && punct(toks.get(i - 2), ':');
+            let after_dot = i >= 1 && punct(toks.get(i - 1), '.');
+            if !qualified && !after_dot {
+                let mut segments = vec![t.text.clone()];
+                i = walk_path(toks, i + 1, &mut segments, &mut f);
+                if segments.len() > 1 {
+                    f(
+                        &segments,
+                        toks[i.saturating_sub(1).min(toks.len() - 1)].line,
+                    );
+                }
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Continues a path after its first segment; returns the index just past
+/// the path. Recurses into `{...}` use-groups, reporting each leaf.
+fn walk_path(
+    toks: &[Token],
+    mut i: usize,
+    segments: &mut Vec<String>,
+    f: &mut impl FnMut(&[String], usize),
+) -> usize {
+    while punct(toks.get(i), ':') && punct(toks.get(i + 1), ':') {
+        match toks.get(i + 2) {
+            Some(t) if t.kind == TokenKind::Ident && !is_keyword(&t.text) => {
+                segments.push(t.text.clone());
+                i += 3;
+            }
+            Some(t) if t.kind == TokenKind::Punct && t.text == "{" => {
+                // Use-group: each element extends the current prefix.
+                i += 3;
+                let mut depth = 1usize;
+                while i < toks.len() && depth > 0 {
+                    let t = &toks[i];
+                    if t.kind == TokenKind::Punct {
+                        match t.text.as_str() {
+                            "{" => depth += 1,
+                            "}" => depth -= 1,
+                            _ => {}
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    if depth == 1 && t.kind == TokenKind::Ident && !is_keyword(&t.text) {
+                        let mut sub = segments.clone();
+                        sub.push(t.text.clone());
+                        let line = t.line;
+                        i = walk_path(toks, i + 1, &mut sub, f);
+                        f(&sub, line);
+                        continue;
+                    }
+                    i += 1;
+                }
+                return i;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// A function item found in the token stream.
+struct FnItem {
+    name: String,
+    /// Token-index range of the body (between the braces, exclusive).
+    body: Range<usize>,
+    /// Line of the `fn` keyword.
+    line: usize,
+}
+
+/// Extracts every `fn name(...) { ... }` item (free functions, methods and
+/// nested functions alike).
+fn extract_fns(toks: &[Token]) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if ident(toks.get(i), "fn") {
+            if let Some(name_tok) = toks.get(i + 1) {
+                if name_tok.kind == TokenKind::Ident {
+                    let line = toks[i].line;
+                    // Find the body's `{` at paren depth 0; a `;` first
+                    // means a bodiless declaration.
+                    let mut j = i + 2;
+                    let mut paren = 0i32;
+                    let mut body = None;
+                    while let Some(t) = toks.get(j) {
+                        if t.kind == TokenKind::Punct {
+                            match t.text.as_str() {
+                                "(" => paren += 1,
+                                ")" => paren -= 1,
+                                ";" if paren == 0 => break,
+                                "{" if paren == 0 => {
+                                    body = Some(j);
+                                    break;
+                                }
+                                _ => {}
+                            }
+                        }
+                        j += 1;
+                    }
+                    if let Some(open) = body {
+                        let close = matching_brace(toks, open);
+                        fns.push(FnItem {
+                            name: name_tok.text.clone(),
+                            body: open + 1..close,
+                            line,
+                        });
+                        // Continue scanning *inside* the body too (nested
+                        // fns); the outer loop advances one token at a time.
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Line ranges covered by `#[cfg(test)]` items (conventionally
+/// `mod tests { ... }`): P1/A1 are hot-path contracts for shipped code and
+/// do not apply to tests.
+fn test_spans(toks: &[Token]) -> Vec<Range<usize>> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < toks.len() {
+        let is_cfg_test = punct(toks.get(i), '#')
+            && punct(toks.get(i + 1), '[')
+            && ident(toks.get(i + 2), "cfg")
+            && punct(toks.get(i + 3), '(')
+            && ident(toks.get(i + 4), "test")
+            && punct(toks.get(i + 5), ')')
+            && punct(toks.get(i + 6), ']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip any further attributes, then span the item's braces.
+        let mut j = i + 7;
+        while punct(toks.get(j), '#') && punct(toks.get(j + 1), '[') {
+            let mut depth = 0i32;
+            while let Some(t) = toks.get(j) {
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+        let mut paren = 0i32;
+        while let Some(t) = toks.get(j) {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    ";" if paren == 0 => break,
+                    "{" if paren == 0 => {
+                        let close = matching_brace(toks, j);
+                        spans.push(toks[j].line..toks[close].line + 1);
+                        i = close;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn rules_of(path: &str, src: &str) -> Vec<(&'static str, usize)> {
+        lint_tokens(path, &lex(src))
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn d1_fires_on_plain_and_grouped_imports() {
+        let hits = rules_of(
+            "crates/core/src/lib.rs",
+            "use std::collections::HashMap;\nuse std::collections::{BTreeMap, HashSet};\n",
+        );
+        assert_eq!(hits, vec![("D1", 1), ("D1", 2)]);
+    }
+
+    #[test]
+    fn d1_fires_on_inline_paths_and_spares_fx() {
+        let hits = rules_of(
+            "crates/sim/src/lib.rs",
+            "fn f() { let s = std::collections::HashSet::<u64>::new(); }\n\
+             fn g() { let m = silcfm_types::FxHashMap::<u64, u64>::default(); }\n",
+        );
+        assert_eq!(hits, vec![("D1", 1)]);
+    }
+
+    #[test]
+    fn d2_fires_on_time_and_env() {
+        let hits = rules_of(
+            "crates/sim/src/lib.rs",
+            "use std::time::Instant;\nfn f() { let _ = std::env::var(\"X\"); }\n",
+        );
+        assert_eq!(hits, vec![("D2", 1), ("D2", 2)]);
+    }
+
+    #[test]
+    fn d2_spares_bench_and_check() {
+        assert!(rules_of("crates/bench/src/timing.rs", "use std::time::Instant;").is_empty());
+        assert!(rules_of("crates/types/src/check.rs", "use std::time::Instant;").is_empty());
+        // ... but check.rs is NOT exempt from D1.
+        assert_eq!(
+            rules_of(
+                "crates/types/src/check.rs",
+                "use std::collections::HashSet;"
+            ),
+            vec![("D1", 1)]
+        );
+    }
+
+    #[test]
+    fn p1_fires_only_in_hot_modules() {
+        let src = "fn f(v: &[u32]) -> u32 { v.first().unwrap() + v[0] }";
+        assert_eq!(
+            rules_of("crates/core/src/controller.rs", src),
+            vec![("P1", 1), ("P1", 1)]
+        );
+        assert!(rules_of("crates/core/src/predictor.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p1_spares_types_attrs_and_patterns() {
+        let src = "struct S { a: [u8; 4] }\n\
+                   #[derive(Clone)]\n\
+                   struct T;\n\
+                   fn f() { let [a, b] = [1, 2]; let _ = (a, b); }\n\
+                   fn g(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+        assert!(rules_of("crates/core/src/controller.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p1_skips_test_modules() {
+        let src = "fn hot(v: &[u32]) -> u32 { v.len() as u32 }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { let v = vec![1]; assert_eq!(v[0], v.first().copied().unwrap()); }\n\
+                   }\n";
+        assert!(rules_of("crates/core/src/controller.rs", src).is_empty());
+    }
+
+    #[test]
+    fn a1_uses_reachability() {
+        let src = "fn access(&mut self) { self.helper(); }\n\
+                   fn helper(&mut self) { let v = vec![1, 2]; let _ = v; }\n\
+                   fn cold_setup(&mut self) { let v = Vec::new(); let _ = v; }\n";
+        let hits = rules_of("crates/core/src/controller.rs", src);
+        // helper is reachable from access; cold_setup is not.
+        assert_eq!(
+            hits.iter().filter(|(r, _)| *r == "A1").collect::<Vec<_>>(),
+            vec![&("A1", 2)]
+        );
+    }
+
+    #[test]
+    fn a1_ignores_foreign_associated_calls() {
+        // `PhysAddr::new(` inside a hot fn must not mark the *local*
+        // constructor `new` as hot; `Self::grow(` must.
+        let src = "fn access(&mut self) { let a = PhysAddr::new(0); Self::grow(a); }\n\
+                   fn new() -> Vec<u32> { Vec::new() }\n\
+                   fn grow(_a: u64) { let v = vec![1]; let _ = v; }\n";
+        let hits = rules_of("crates/core/src/controller.rs", src);
+        let a1: Vec<usize> = hits
+            .iter()
+            .filter(|(r, _)| *r == "A1")
+            .map(|(_, l)| *l)
+            .collect();
+        assert_eq!(a1, vec![3]);
+    }
+
+    #[test]
+    fn a1_catches_every_banned_form() {
+        let src = "fn access(&mut self) {\n\
+                       let a = Vec::new();\n\
+                       let b = vec![0u8; 4];\n\
+                       let c = Box::new(1);\n\
+                       let d = b.to_vec();\n\
+                       let e = format!(\"{}\", 1);\n\
+                       let _ = (a, b, c, d, e);\n\
+                   }\n";
+        let hits = rules_of("crates/dram/src/model.rs", src);
+        // model.rs seeds are read/write/stream; `access` is not hot there.
+        assert!(hits.iter().all(|(r, _)| *r != "A1"));
+        let hits = rules_of("crates/core/src/controller.rs", src);
+        let a1: Vec<usize> = hits
+            .iter()
+            .filter(|(r, _)| *r == "A1")
+            .map(|(_, l)| *l)
+            .collect();
+        assert_eq!(a1, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn stat_keys_are_collected_across_lines() {
+        let keys = collect_stat_keys(&lex(
+            "fn stats(&self) { s.detail(\"locks\", 1.0); s.detail(\n    \"swaps\", 2.0); }",
+        ));
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0].0, "locks");
+        assert_eq!(keys[1].0, "swaps");
+        assert_eq!(keys[1].1, 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Fixture tests: every rule fires at the expected `file:line` on a
+//! known-bad snippet, every rule is silenced by a well-formed directive,
+//! and a malformed directive is itself an error (X1).
+//!
+//! Fixtures live in `tests/fixtures/` (not auto-compiled by cargo) and are
+//! linted under *logical* workspace paths so the path-scoped rules (D2's
+//! exemptions, P1/A1's hot-module list) behave exactly as in a real run.
+
+use std::collections::BTreeMap;
+
+use silcfm_lint::{lint_rust_source, manifest, rules, Finding};
+
+/// A hot-path module path: P1 and A1 apply, `access` is the A1 seed.
+const HOT: &str = "crates/core/src/controller.rs";
+/// An ordinary simulator path: D1/D2 apply, P1/A1 do not.
+const COLD: &str = "crates/sim/src/scheduler.rs";
+
+fn spots(findings: &[Finding], rule: &str) -> Vec<usize> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn d1_fires_on_default_hasher_imports_and_inline_paths() {
+    let (findings, suppressed) = lint_rust_source(COLD, include_str!("fixtures/d1_bad.rs"));
+    assert_eq!(spots(&findings, "D1"), vec![2, 3, 6], "{findings:#?}");
+    assert_eq!(findings.len(), 3, "only D1 fires: {findings:#?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn d1_is_silenced_by_an_annotated_allow() {
+    let (findings, suppressed) = lint_rust_source(COLD, include_str!("fixtures/d1_suppressed.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn d2_fires_on_wall_clock_and_env_reads() {
+    let (findings, suppressed) = lint_rust_source(COLD, include_str!("fixtures/d2_bad.rs"));
+    assert_eq!(spots(&findings, "D2"), vec![2, 5, 8, 9], "{findings:#?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn d2_is_exempt_in_the_bench_and_check_sandboxes() {
+    let src = include_str!("fixtures/d2_bad.rs");
+    for exempt in ["crates/bench/src/main.rs", "crates/types/src/check.rs"] {
+        let (findings, _) = lint_rust_source(exempt, src);
+        assert!(findings.is_empty(), "{exempt}: {findings:#?}");
+    }
+}
+
+#[test]
+fn d2_is_silenced_file_wide() {
+    let (findings, suppressed) = lint_rust_source(COLD, include_str!("fixtures/d2_suppressed.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+    assert_eq!(suppressed, 2, "both the Instant import and the env read");
+}
+
+#[test]
+fn p1_fires_on_unwrap_expect_panic_and_bare_indexing() {
+    let (findings, suppressed) = lint_rust_source(HOT, include_str!("fixtures/p1_bad.rs"));
+    assert_eq!(spots(&findings, "P1"), vec![3, 4, 6, 8], "{findings:#?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn p1_does_not_apply_outside_hot_modules() {
+    let (findings, _) = lint_rust_source(COLD, include_str!("fixtures/p1_bad.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn p1_is_silenced_by_a_directive_on_the_line_above() {
+    let (findings, suppressed) = lint_rust_source(HOT, include_str!("fixtures/p1_suppressed.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn a1_fires_only_on_allocations_reachable_from_the_seed() {
+    let (findings, suppressed) = lint_rust_source(HOT, include_str!("fixtures/a1_bad.rs"));
+    // `helper` is called from the `access` seed, so its `vec![` and
+    // `format!` fire; `cold_setup`'s `Vec::new` is unreachable and clean.
+    assert_eq!(spots(&findings, "A1"), vec![7, 8], "{findings:#?}");
+    assert_eq!(findings.len(), 2, "only A1 fires: {findings:#?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn a1_is_silenced_by_an_annotated_allow() {
+    let (findings, suppressed) = lint_rust_source(HOT, include_str!("fixtures/a1_suppressed.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn h1_fires_on_registry_dependencies_in_every_section() {
+    let (raw, allows) = manifest::lint_manifest(
+        "crates/fixture/Cargo.toml",
+        include_str!("fixtures/h1_bad.toml"),
+    );
+    let (findings, suppressed) = silcfm_lint::directives::apply(raw, &allows);
+    // serde (7), rand (9), proptest (12), and the `[dependencies.regex]`
+    // section form (14); the path dep silcfm-types (8) is clean.
+    assert_eq!(spots(&findings, "H1"), vec![7, 9, 12, 14], "{findings:#?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn h1_is_silenced_by_a_toml_comment_directive() {
+    let (raw, allows) = manifest::lint_manifest(
+        "crates/fixture/Cargo.toml",
+        include_str!("fixtures/h1_suppressed.toml"),
+    );
+    let (findings, suppressed) = silcfm_lint::directives::apply(raw, &allows);
+    assert!(findings.is_empty(), "{findings:#?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn s1_catches_duplicate_and_unregistered_keys_and_dead_registry_entries() {
+    let lexed = silcfm_lint::lexer::lex(include_str!("fixtures/s1_bad.rs"));
+    let mut keys = BTreeMap::new();
+    keys.insert(
+        "crates/sim/src/stats.rs".to_string(),
+        rules::collect_stat_keys(&lexed),
+    );
+
+    let registry = "locks\ndead_key # registered but emitted nowhere\n";
+    let findings = silcfm_lint::check_stat_keys(&keys, registry, "crates/lint/stat_keys.txt");
+
+    let dup: Vec<_> = findings
+        .iter()
+        .filter(|f| f.message.contains("twice"))
+        .map(|f| (f.path.as_str(), f.line))
+        .collect();
+    assert_eq!(dup, vec![("crates/sim/src/stats.rs", 4)], "{findings:#?}");
+
+    let unregistered: Vec<_> = findings
+        .iter()
+        .filter(|f| f.message.contains("not in the registry"))
+        .map(|f| (f.path.as_str(), f.line))
+        .collect();
+    assert_eq!(
+        unregistered,
+        vec![("crates/sim/src/stats.rs", 5)],
+        "{findings:#?}"
+    );
+
+    let dead: Vec<_> = findings
+        .iter()
+        .filter(|f| f.message.contains("emitted by no stats sink"))
+        .map(|f| (f.path.as_str(), f.line))
+        .collect();
+    assert_eq!(
+        dead,
+        vec![("crates/lint/stat_keys.txt", 2)],
+        "{findings:#?}"
+    );
+    assert!(findings.iter().all(|f| f.rule == "S1"), "{findings:#?}");
+}
+
+#[test]
+fn x1_flags_every_malformed_directive_and_is_not_suppressible() {
+    let (findings, suppressed) = lint_rust_source(COLD, include_str!("fixtures/x1_malformed.rs"));
+    // Missing reason, empty reason, unknown rule, empty rule list, and an
+    // unknown verb — one X1 per directive, none silenceable.
+    assert_eq!(spots(&findings, "X1"), vec![2, 3, 4, 5, 6], "{findings:#?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn x1_survives_a_file_wide_allow() {
+    let src = "// silcfm-lint: allow-file(D1, X1) -- trying to silence the police\n\
+               // silcfm-lint: allow(D1)\n";
+    let (findings, _) = lint_rust_source(COLD, src);
+    assert_eq!(spots(&findings, "X1"), vec![2], "{findings:#?}");
+}

@@ -1,0 +1,14 @@
+//! A1 fixture: allocation reachable from the access seed.
+fn access(n: usize) -> usize {
+    helper(n)
+}
+
+fn helper(n: usize) -> usize {
+    let v = vec![0u8; n];
+    let s = format!("{n}");
+    v.len() + s.len()
+}
+
+fn cold_setup() -> Vec<u8> {
+    Vec::new()
+}

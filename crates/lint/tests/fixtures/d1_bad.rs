@@ -1,0 +1,8 @@
+//! D1 fixture: default-hasher containers. Lines are asserted by the tests.
+use std::collections::HashMap;
+use std::collections::{BTreeMap, HashSet};
+
+fn inline_path() -> usize {
+    let s = std::collections::HashSet::<u64>::new();
+    s.len()
+}

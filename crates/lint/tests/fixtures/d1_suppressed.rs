@@ -1,0 +1,3 @@
+//! D1 fixture: the same default-hasher import, suppressed with a reason.
+// silcfm-lint: allow(D1) -- interop with an external API that demands the std hasher
+use std::collections::HashMap;

@@ -1,0 +1,10 @@
+//! D2 fixture: wall-clock and environment reads.
+use std::time::Instant;
+
+fn read_env() -> Option<String> {
+    std::env::var("SOME_KNOB").ok()
+}
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

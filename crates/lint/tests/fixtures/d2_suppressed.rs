@@ -1,0 +1,7 @@
+//! D2 fixture: a file-wide allowance for a timing demo.
+// silcfm-lint: allow-file(D2) -- demo binary whose output is the wall-clock measurement itself
+use std::time::Instant;
+
+fn read_env() -> Option<String> {
+    std::env::var("SOME_KNOB").ok()
+}

@@ -1,0 +1,9 @@
+//! P1 fixture: panics on the hot path. Linted under a hot-module path.
+fn hot(v: &[u32], o: Option<u32>) -> u32 {
+    let a = o.unwrap();
+    let b = o.expect("present");
+    if v.is_empty() {
+        panic!("empty");
+    }
+    a + b + v[0]
+}

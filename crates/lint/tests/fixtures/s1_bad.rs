@@ -1,0 +1,6 @@
+//! S1 fixture: a duplicate key and a key missing from the registry.
+fn stats(s: &mut Sink) {
+    s.detail("locks", 1.0);
+    s.detail("locks", 2.0);
+    s.detail("not_in_registry", 3.0);
+}

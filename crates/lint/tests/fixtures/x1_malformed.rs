@@ -1,0 +1,7 @@
+//! X1 fixture: malformed suppression directives (each is an error).
+// silcfm-lint: allow(D1)
+// silcfm-lint: allow(D1) --
+// silcfm-lint: allow(Z9) -- unknown rule id
+// silcfm-lint: allow() -- empty rule list
+// silcfm-lint: pardon(D1) -- unknown verb
+fn nothing() {}

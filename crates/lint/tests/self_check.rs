@@ -1,0 +1,52 @@
+//! The workspace polices itself: linting the real tree must come back
+//! clean, and the same walk over a deliberately bad tree must not.
+
+use std::fs;
+use std::path::Path;
+
+use silcfm_lint::lint_workspace;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("workspace readable");
+    assert!(
+        report.findings.is_empty(),
+        "the tree must stay lint-clean; run `cargo run -p silcfm-lint` for \
+         details:\n{:#?}",
+        report.findings
+    );
+    assert!(report.files_scanned > 50, "walker found the whole tree");
+}
+
+#[test]
+fn an_injected_bad_file_turns_the_report_red() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("bad-tree");
+    let hot = root.join("crates/core/src");
+    fs::create_dir_all(&hot).expect("tmp tree");
+    fs::write(root.join("Cargo.toml"), "[package]\nname = \"bad\"\n").expect("manifest");
+    fs::write(
+        root.join("crates/core/Cargo.toml"),
+        "[package]\nname = \"bad-core\"\n\n[dependencies]\nserde = \"1.0\"\n",
+    )
+    .expect("crate manifest");
+    fs::write(
+        hot.join("controller.rs"),
+        "use std::collections::HashMap;\nfn access(v: &[u32]) -> u32 { v[0] }\n",
+    )
+    .expect("bad source");
+
+    let report = lint_workspace(&root).expect("tmp tree readable");
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"D1"), "{:#?}", report.findings);
+    assert!(rules.contains(&"P1"), "{:#?}", report.findings);
+    assert!(rules.contains(&"H1"), "{:#?}", report.findings);
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| !f.path.contains('\\') && f.line >= 1),
+        "findings carry forward-slash paths and 1-based lines: {:#?}",
+        report.findings
+    );
+}

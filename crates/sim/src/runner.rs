@@ -159,6 +159,7 @@ impl ExperimentGrid {
 /// Number of worker threads to use by default: the `SILCFM_THREADS`
 /// environment variable if set, else the machine's available parallelism.
 pub fn default_threads() -> usize {
+    // silcfm-lint: allow(D2) -- explicit operator knob; thread count cannot change results (sharded runner is bit-identical at any width, see tests)
     std::env::var("SILCFM_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -284,7 +285,7 @@ mod tests {
         let a = grid.jobs();
         let b = grid.jobs();
         assert_eq!(a, b, "seed derivation is deterministic");
-        let seeds: std::collections::HashSet<u64> = a.iter().map(|j| j.params.seed).collect();
+        let seeds: silcfm_types::FxHashSet<u64> = a.iter().map(|j| j.params.seed).collect();
         assert_eq!(seeds.len(), a.len(), "every job gets its own seed");
     }
 

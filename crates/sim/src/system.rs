@@ -27,6 +27,23 @@ pub struct SystemOutcome {
     pub llc_misses: u64,
 }
 
+/// Per-core execution state: the core model, its workload generator, and
+/// the scheduler bookkeeping that used to live in parallel vectors. One
+/// struct per core means the run loop touches exactly one bounds-checked
+/// element per serviced access.
+struct Lane {
+    core: Core,
+    gen: WorkloadGen,
+    /// The record waiting to issue.
+    pending: TraceRecord,
+    /// Memory accesses still to issue on this lane.
+    remaining: u64,
+    /// Next issue time (`None` = lane finished).
+    next: Option<u64>,
+    /// Cycle at which this lane retired its last instruction.
+    finish_time: u64,
+}
+
 /// A complete simulated machine under one placement scheme.
 pub struct System {
     cfg: SystemConfig,
@@ -113,51 +130,57 @@ impl System {
         seed: u64,
     ) -> SystemOutcome {
         let n = usize::from(self.cfg.core.cores);
-        let mut cores: Vec<Core> = (0..n)
+        // Setup: one lane per core, primed with its first record. This is
+        // the run's only allocation; the access loop below reuses it.
+        let mut lanes: Vec<Lane> = (0..n)
             .map(|i| {
-                Core::new(
+                let mut core = Core::new(
                     CoreId::new(i as u16),
                     u64::from(self.cfg.core.rob_entries),
                     u64::from(self.cfg.core.width),
-                )
+                );
+                let mut gen = WorkloadGen::new(profile, CoreId::new(i as u16), seed);
+                let pending = gen.next_record();
+                core.execute_compute(u64::from(pending.compute));
+                let next = Some(core.issue_time(pending.dependent));
+                Lane {
+                    core,
+                    gen,
+                    pending,
+                    remaining: accesses_per_core,
+                    next,
+                    finish_time: 0,
+                }
             })
             .collect();
-        let mut gens: Vec<WorkloadGen> = (0..n)
-            .map(|i| WorkloadGen::new(profile, CoreId::new(i as u16), seed))
-            .collect();
-        let mut pending: Vec<TraceRecord> = Vec::with_capacity(n);
-        let mut remaining = vec![accesses_per_core; n];
-        let mut finish_time = vec![0u64; n];
 
         // One outcome reused for every scheme access (the reuse protocol):
         // the hot loop never allocates for ordinary misses.
         let mut out = SchemeOutcome::empty();
 
-        // Next issue time per active core (`None` = finished). Each step
-        // services the core with the smallest (time, index) pair — the same
-        // order a min-heap would give, but for the handful of cores a
-        // linear scan is cheaper than heap maintenance on every access.
-        let mut next: Vec<Option<u64>> = Vec::with_capacity(n);
-        for i in 0..n {
-            let rec = gens[i].next_record();
-            cores[i].execute_compute(u64::from(rec.compute));
-            next.push(Some(cores[i].issue_time(rec.dependent)));
-            pending.push(rec);
-        }
-
-        while let Some((t_sched, i)) = next
+        // Each step services the lane with the smallest (issue time, index)
+        // pair — the same order a min-heap would give, but for the handful
+        // of cores a linear scan is cheaper than heap maintenance on every
+        // access. The index comes from `enumerate`, so the re-borrows below
+        // cannot miss; the `else` arms keep the loop panic-free regardless.
+        while let Some((t_sched, i)) = lanes
             .iter()
             .enumerate()
-            .filter_map(|(i, t)| t.map(|t| (t, i)))
+            .filter_map(|(i, l)| l.next.map(|t| (t, i)))
             .min()
         {
-            let rec = pending[i];
+            let Some(lane) = lanes.get_mut(i) else {
+                debug_assert!(false, "scheduler picked a lane index from enumerate");
+                break;
+            };
+            let rec = lane.pending;
             // Global stalls may have moved the core's clock since scheduling.
-            let t = cores[i].issue_time(rec.dependent).max(t_sched);
-            let core_id = CoreId::new(i as u16);
+            let t = lane.core.issue_time(rec.dependent).max(t_sched);
+            let core_id = lane.core.id();
             let paddr = self
                 .mapper
                 .translate(core_id, rec.vaddr)
+                // silcfm-lint: allow(P1) -- documented `# Panics` precondition: a footprint that exceeds physical memory must abort loudly, not simulate garbage
                 .expect("workload footprint exceeds physical memory");
 
             let h = self
@@ -165,6 +188,10 @@ impl System {
                 .access_data(core_id, paddr, rec.kind.is_write());
             let issue = t + u64::from(h.latency_cycles);
 
+            // A scheme-imposed global stall, applied to every lane after the
+            // charges are computed (reading it now: the writeback loop below
+            // reuses `out`).
+            let mut stall_all_until = None;
             let completion = if h.traffic.demand_fetch {
                 // The demand fetch reaches the flat-memory scheme as a read
                 // (write-allocate: stores fetch for ownership).
@@ -181,10 +208,7 @@ impl System {
                     let _ = self.charge(op, issue + BACKGROUND_LAG);
                 }
                 if out.global_stall_cycles > 0 {
-                    let until = cursor + out.global_stall_cycles;
-                    for c in cores.iter_mut() {
-                        c.stall_until(until);
-                    }
+                    stall_all_until = Some(cursor + out.global_stall_cycles);
                 }
                 cursor
             } else {
@@ -200,22 +224,32 @@ impl System {
                 }
             }
 
-            cores[i].execute_memory(completion, rec.dependent);
-            remaining[i] -= 1;
-            if remaining[i] > 0 {
-                let rec = gens[i].next_record();
-                cores[i].execute_compute(u64::from(rec.compute));
-                next[i] = Some(cores[i].issue_time(rec.dependent));
-                pending[i] = rec;
+            if let Some(until) = stall_all_until {
+                for l in lanes.iter_mut() {
+                    l.core.stall_until(until);
+                }
+            }
+
+            let Some(lane) = lanes.get_mut(i) else {
+                debug_assert!(false, "scheduler picked a lane index from enumerate");
+                break;
+            };
+            lane.core.execute_memory(completion, rec.dependent);
+            lane.remaining -= 1;
+            if lane.remaining > 0 {
+                let rec = lane.gen.next_record();
+                lane.core.execute_compute(u64::from(rec.compute));
+                lane.next = Some(lane.core.issue_time(rec.dependent));
+                lane.pending = rec;
             } else {
-                next[i] = None;
-                finish_time[i] = cores[i].finish();
+                lane.next = None;
+                lane.finish_time = lane.core.finish();
             }
         }
 
         SystemOutcome {
-            cycles: finish_time.iter().copied().max().unwrap_or(0),
-            instructions: cores.iter().map(|c| c.instructions()).sum(),
+            cycles: lanes.iter().map(|l| l.finish_time).max().unwrap_or(0),
+            instructions: lanes.iter().map(|l| l.core.instructions()).sum(),
             llc_misses: self.hierarchy.stats().l2_misses,
         }
     }

@@ -260,7 +260,7 @@ impl Iterator for WorkloadGen {
 mod tests {
     use super::*;
     use crate::profiles;
-    use std::collections::HashSet;
+    use silcfm_types::FxHashSet;
 
     fn gen_for(name: &str) -> WorkloadGen {
         WorkloadGen::new(profiles::by_name(name).unwrap(), CoreId::new(0), 1)
@@ -326,7 +326,7 @@ mod tests {
     fn hot_pages_receive_most_accesses() {
         let p = profiles::by_name("milc").unwrap(); // 90% hot accesses
         let mut g = WorkloadGen::new(p, CoreId::new(0), 3);
-        let hot: HashSet<u64> = g.hot_pages().iter().copied().collect();
+        let hot: FxHashSet<u64> = g.hot_pages().iter().copied().collect();
         let mut hot_hits = 0;
         let total = 20_000;
         for _ in 0..total {
@@ -344,7 +344,7 @@ mod tests {
     fn clustered_hot_pages_share_residues() {
         let p = profiles::by_name("xalanc").unwrap(); // clustering 1.0
         let g = WorkloadGen::new(p, CoreId::new(0), 3);
-        let residues: HashSet<u64> = g.hot_pages().iter().map(|p| p % CLUSTER_STRIDE).collect();
+        let residues: FxHashSet<u64> = g.hot_pages().iter().map(|p| p % CLUSTER_STRIDE).collect();
         // ~307 hot pages with only 5 pages per residue → ~62 residues, far
         // fewer than 307 distinct ones an unclustered choice would give.
         assert!(

@@ -108,7 +108,7 @@ mod tests {
 
     #[test]
     fn case_seeds_differ() {
-        let firsts = std::sync::Mutex::new(std::collections::HashSet::new());
+        let firsts = std::sync::Mutex::new(crate::FxHashSet::default());
         forall_cases("distinct", 64, |rng| {
             firsts.lock().unwrap().insert(rng.next_u64());
         });

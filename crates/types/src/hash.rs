@@ -13,6 +13,7 @@
 //! depends on map ordering must impose a total order itself (as
 //! `Hma::epoch_boundary` does by sorting candidates).
 
+// silcfm-lint: allow(D1) -- this module defines the sanctioned aliases: the std containers are re-exported with the deterministic FxHasher substituted
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 

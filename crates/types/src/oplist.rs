@@ -58,8 +58,10 @@ impl OpList {
 
     /// Appends an operation, spilling to the heap past [`INLINE_OPS`].
     pub fn push(&mut self, op: MemOp) {
-        if self.len < INLINE_OPS {
-            self.inline[self.len] = op;
+        // `get_mut` misses exactly when the inline array is full (the spill
+        // invariant keeps `len` in step), so the two arms are exhaustive.
+        if let Some(slot) = self.inline.get_mut(self.len) {
+            *slot = op;
         } else {
             self.spill.push(op);
         }
@@ -75,12 +77,13 @@ impl OpList {
     /// The operation at `index`, or `None` past the end.
     pub fn get(&self, index: usize) -> Option<&MemOp> {
         if index >= self.len {
-            None
-        } else if index < INLINE_OPS {
-            Some(&self.inline[index])
-        } else {
-            Some(&self.spill[index - INLINE_OPS])
+            return None;
         }
+        // The inline probe misses only for `index >= INLINE_OPS`, so the
+        // subtraction in the spill probe cannot underflow.
+        self.inline
+            .get(index)
+            .or_else(|| self.spill.get(index - INLINE_OPS))
     }
 
     /// The most recently pushed operation.
@@ -90,9 +93,7 @@ impl OpList {
 
     /// Iterates the operations in push order.
     pub fn iter(&self) -> impl Iterator<Item = &MemOp> + '_ {
-        self.inline[..self.len.min(INLINE_OPS)]
-            .iter()
-            .chain(self.spill.iter())
+        self.inline.iter().take(self.len).chain(self.spill.iter())
     }
 
     /// Whether any operation spilled to the heap.
@@ -112,6 +113,7 @@ impl Index<usize> for OpList {
 
     fn index(&self, index: usize) -> &MemOp {
         self.get(index)
+            // silcfm-lint: allow(P1) -- the Index trait's contract *is* panic-on-out-of-bounds; hot-path code uses get()/iter(), indexing is a test convenience
             .unwrap_or_else(|| panic!("index {index} out of bounds (len {})", self.len))
     }
 }
@@ -140,12 +142,13 @@ impl From<Vec<MemOp>> for OpList {
 
 impl<'a> IntoIterator for &'a OpList {
     type Item = &'a MemOp;
-    type IntoIter = core::iter::Chain<core::slice::Iter<'a, MemOp>, core::slice::Iter<'a, MemOp>>;
+    type IntoIter = core::iter::Chain<
+        core::iter::Take<core::slice::Iter<'a, MemOp>>,
+        core::slice::Iter<'a, MemOp>,
+    >;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.inline[..self.len.min(INLINE_OPS)]
-            .iter()
-            .chain(self.spill.iter())
+        self.inline.iter().take(self.len).chain(self.spill.iter())
     }
 }
 

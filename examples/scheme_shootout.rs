@@ -9,6 +9,7 @@
 //! `SILCFM_THREADS` or the machine) — and prints both wall-clock times
 //! along with a check that the two paths produced identical results.
 
+// silcfm-lint: allow-file(D2) -- a demo binary that *reports* wall-clock speedup; timing is its output, not an input to any simulated result
 use std::time::Instant;
 
 use silc_fm::sim::{run_grid, run_grid_serial, ExperimentGrid, RunParams, SchemeKind};

@@ -9,6 +9,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The in-tree linter runs first: it needs only its own crate compiled, so
+# a determinism/hermeticity/hot-path violation fails in seconds, before
+# the full workspace builds (see DESIGN.md §8 for the rule table).
+echo "==> silcfm-lint (offline)"
+cargo run -q --offline -p silcfm-lint
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

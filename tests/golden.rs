@@ -79,6 +79,7 @@ fn golden_stats_snapshot() {
         "parallel runner digest diverged from the serial path"
     );
 
+    // silcfm-lint: allow(D2) -- BLESS is the sanctioned snapshot-regeneration switch; it rewrites the golden file, never the simulated results
     if std::env::var("BLESS").is_ok() {
         std::fs::write(GOLDEN_PATH, &actual).expect("write golden snapshot");
         return;

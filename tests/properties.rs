@@ -95,7 +95,7 @@ fn silcfm_metadata_invariants() {
         }
         // Check every frame's metadata.
         let sets = scheme.sets();
-        let mut tenants = std::collections::HashSet::new();
+        let mut tenants = silcfm_types::FxHashSet::default();
         for f in 0..NM_BLOCKS {
             let meta = *scheme.frame(f);
             if let Some(tenant) = meta.remap {
