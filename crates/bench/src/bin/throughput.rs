@@ -24,6 +24,8 @@
 //!   --out PATH    output JSON path (default results/BENCH_throughput.json)
 //!   --no-write    measure and print, but do not write the JSON
 //!   --skip-grid   skip the serial-vs-parallel grid timing
+//!   --overhead    also measure SILC-FM full-system with the ring tracers
+//!                 and epoch sampler live (tracer-on vs tracer-off acc/s)
 //!   --baseline P  JSON from a pre-change build of this binary; its rates
 //!                 are embedded as "pre_change" and a full-system SILC-FM
 //!                 speedup ratio is computed against it
@@ -36,7 +38,9 @@
 use std::time::Instant;
 
 use silcfm_sim::experiment::space_for;
-use silcfm_sim::{run, run_grid, run_grid_serial, ExperimentGrid, RunParams, SchemeKind};
+use silcfm_sim::{
+    run, run_grid, run_grid_serial, run_traced, ExperimentGrid, RunParams, SchemeKind, TraceParams,
+};
 use silcfm_trace::{profiles, PageMapper, PlacementPolicy, WorkloadGen};
 use silcfm_types::{Access, CoreId, SystemConfig};
 
@@ -49,6 +53,7 @@ struct Options {
     out: String,
     write: bool,
     grid: bool,
+    overhead: bool,
     baseline: Option<String>,
 }
 
@@ -59,6 +64,7 @@ fn parse_args() -> Options {
         out: "results/BENCH_throughput.json".to_string(),
         write: true,
         grid: true,
+        overhead: false,
         baseline: None,
     };
     let mut args = std::env::args().skip(1);
@@ -76,12 +82,13 @@ fn parse_args() -> Options {
             "--out" => opts.out = args.next().expect("--out needs a path"),
             "--no-write" => opts.write = false,
             "--skip-grid" => opts.grid = false,
+            "--overhead" => opts.overhead = true,
             "--baseline" => opts.baseline = Some(args.next().expect("--baseline needs a path")),
             other => {
                 eprintln!("unknown argument '{other}'");
                 eprintln!(
                     "usage: throughput [--budget N] [--repeats N] [--out PATH] \
-                     [--no-write] [--skip-grid] [--baseline PATH]"
+                     [--no-write] [--skip-grid] [--overhead] [--baseline PATH]"
                 );
                 std::process::exit(2);
             }
@@ -188,6 +195,40 @@ fn full_system_rate(
     best
 }
 
+/// Accesses/sec for one scheme through `System::run` with the full
+/// observability stack live: ring tracers on the controller and both DRAM
+/// devices, the demand-latency histograms, and the epoch sampler. The gap
+/// against [`full_system_rate`] is the price of turning tracing on; the
+/// NullTracer build pays nothing (the emit sites monomorphize away).
+fn full_system_traced_rate(
+    kind: SchemeKind,
+    cfg: &SystemConfig,
+    params: &RunParams,
+    per_profile: u64,
+    repeats: u32,
+) -> f64 {
+    let cores = u64::from(cfg.core.cores);
+    let p = RunParams {
+        accesses_per_core: (per_profile / cores).max(1),
+        ..*params
+    };
+    let trace = TraceParams::default_capture();
+    let mut best = 0.0f64;
+    for _ in 0..repeats {
+        let mut total = 0u64;
+        let mut elapsed = 0.0f64;
+        for profile in profiles::all() {
+            let t0 = Instant::now();
+            let (r, report) = run_traced(profile, kind, cfg, &p, &trace);
+            elapsed += t0.elapsed().as_secs_f64();
+            std::hint::black_box((r.cycles, report.event_count()));
+            total += p.accesses_per_core * cores;
+        }
+        best = best.max(total as f64 / elapsed);
+    }
+    best
+}
+
 /// Times the `scheme_shootout` grid serially and through the sharded pool.
 fn grid_times() -> (usize, usize, f64, f64) {
     let threads = silcfm_sim::runner::default_threads();
@@ -286,6 +327,25 @@ fn main() {
         full_system.push((kind.label(), fs));
     }
 
+    let overhead = if opts.overhead {
+        let kind = SchemeKind::silcfm();
+        let off = full_system
+            .iter()
+            .find(|(name, _)| *name == "silcfm")
+            .map_or(0.0, |(_, r)| *r);
+        let on = full_system_traced_rate(kind, &cfg, &params, per_profile, opts.repeats);
+        println!(
+            "\nsilcfm full-system tracing overhead: {:.0} acc/s off, {:.0} acc/s on \
+             ({:.1}% slower)",
+            off,
+            on,
+            (1.0 - on / off) * 100.0
+        );
+        Some((off, on))
+    } else {
+        None
+    };
+
     let grid = if opts.grid {
         let (jobs, threads, serial_ms, parallel_ms) = grid_times();
         println!(
@@ -320,6 +380,7 @@ fn main() {
             &scheme_only,
             &full_system,
             grid,
+            overhead,
             baseline.as_ref(),
         );
         if let Some(dir) = std::path::Path::new(&opts.out).parent() {
@@ -337,6 +398,7 @@ fn render_json(
     scheme_only: &[(&'static str, f64)],
     full_system: &[(&'static str, f64)],
     grid: Option<(usize, usize, f64, f64)>,
+    overhead: Option<(f64, f64)>,
     baseline: Option<&Baseline>,
 ) -> String {
     fn rates(pairs: &[(&'static str, f64)]) -> String {
@@ -377,6 +439,18 @@ fn render_json(
         out.push_str(&format!(
             "    \"speedup\": {:.2}\n",
             serial_ms / parallel_ms
+        ));
+        out.push_str("  }");
+    }
+    if let Some((off, on)) = overhead {
+        out.push_str(",\n  \"tracing_overhead\": {\n");
+        out.push_str("    \"scheme\": \"silcfm\",\n");
+        out.push_str("    \"layer\": \"full_system\",\n");
+        out.push_str(&format!("    \"tracer_off_acc_s\": {off:.0},\n"));
+        out.push_str(&format!("    \"tracer_on_acc_s\": {on:.0},\n"));
+        out.push_str(&format!(
+            "    \"on_over_off\": {:.3}\n",
+            if off > 0.0 { on / off } else { 0.0 }
         ));
         out.push_str("  }");
     }

@@ -1,6 +1,7 @@
 //! The SILC-FM controller: Table I's swap engine plus locking,
 //! associativity, bypassing and the way/location predictor.
 
+use silcfm_types::obs::{Event, NullTracer, TraceEvent, Tracer};
 use silcfm_types::stats::WindowedRate;
 use silcfm_types::{
     Access, AddressSpace, BlockIndex, Geometry, MemKind, MemOp, MemoryScheme, OpList, PhysAddr,
@@ -17,8 +18,13 @@ const METADATA_BYTES: u32 = 8;
 
 /// The SILC-FM flat-memory controller (see the crate-level docs and the
 /// paper's §III).
+///
+/// The tracer type parameter defaults to [`NullTracer`], whose
+/// `ENABLED = false` lets every `if T::ENABLED` emit site below compile to
+/// nothing — the untraced controller is the same machine code as before
+/// the observability layer existed.
 #[derive(Debug, Clone)]
-pub struct SilcFm {
+pub struct SilcFm<T: Tracer = NullTracer> {
     space: AddressSpace,
     geom: Geometry,
     params: SilcFmParams,
@@ -45,6 +51,13 @@ pub struct SilcFm {
     all_locked_serves: u64,
     history_bulk_bits: u64,
     history_bulk_fetches: u64,
+    // Observability (dead weight of 3 words + a ZST when T = NullTracer).
+    tracer: T,
+    /// Cycle stamp for emitted events, injected by the driver through
+    /// [`MemoryScheme::trace_clock`] before each access.
+    trace_now: u64,
+    /// Last bypass state emitted, so `BypassDecision` fires on edges only.
+    last_bypassing: bool,
 }
 
 /// Everything decided while resolving one access, before the critical path
@@ -63,13 +76,31 @@ struct Resolution {
 }
 
 impl SilcFm {
-    /// Creates a controller for the given flat address space.
+    /// Creates an untraced controller for the given flat address space.
     ///
     /// # Panics
     ///
     /// Panics if `params` fail validation or NM holds fewer blocks than the
     /// associativity requires.
     pub fn new(space: AddressSpace, geom: Geometry, params: SilcFmParams) -> Self {
+        SilcFm::with_tracer(space, geom, params, NullTracer)
+    }
+}
+
+impl<T: Tracer> SilcFm<T> {
+    /// Creates a controller that records observability events into
+    /// `tracer`; see [`SilcFm::new`] for the untraced spelling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail validation or NM holds fewer blocks than the
+    /// associativity requires.
+    pub fn with_tracer(
+        space: AddressSpace,
+        geom: Geometry,
+        params: SilcFmParams,
+        tracer: T,
+    ) -> Self {
         // silcfm-lint: allow(P1) -- documented `# Panics` constructor precondition; construction is off the access path
         params.validate().expect("invalid SILC-FM parameters");
         let nm_blocks = space.nm_blocks(geom);
@@ -103,6 +134,9 @@ impl SilcFm {
             all_locked_serves: 0,
             history_bulk_bits: 0,
             history_bulk_fetches: 0,
+            tracer,
+            trace_now: 0,
+            last_bypassing: false,
         }
     }
 
@@ -238,6 +272,15 @@ impl SilcFm {
         let nm = self.nm_subblock_addr(frame, off);
         let fm = self.fm_subblock_addr(fm_block, off);
         let sb = self.geom.subblock_bytes() as u32;
+        if T::ENABLED {
+            self.tracer.record(
+                self.trace_now,
+                Event::SwapStart {
+                    frame: frame as u32,
+                    subblock: off as u8,
+                },
+            );
+        }
         if !(demand_covers_fetch && fetch_side == MemKind::Far) {
             ops.push(MemOp::migration_read(MemKind::Far, fm, sb));
         }
@@ -247,6 +290,15 @@ impl SilcFm {
         ops.push(MemOp::migration_write(MemKind::Near, nm, sb));
         ops.push(MemOp::migration_write(MemKind::Far, fm, sb));
         self.subblock_exchanges += 1;
+        if T::ENABLED {
+            self.tracer.record(
+                self.trace_now,
+                Event::SwapDone {
+                    frame: frame as u32,
+                    subblock: off as u8,
+                },
+            );
+        }
     }
 
     /// Restores frame `f` to its native contents (undoes the interleaving)
@@ -297,6 +349,15 @@ impl SilcFm {
         m.bitvec_history = full;
         m.lock = LockState::LockedRemap;
         self.locks += 1;
+        if T::ENABLED {
+            self.tracer.record(
+                self.trace_now,
+                Event::LockPromote {
+                    frame: f as u32,
+                    native: false,
+                },
+            );
+        }
     }
 
     /// Locks frame `f`'s native block in place by undoing any interleaving.
@@ -304,6 +365,15 @@ impl SilcFm {
         self.restore_frame(f, ops);
         self.meta_mut(f).lock = LockState::LockedNative;
         self.locks += 1;
+        if T::ENABLED {
+            self.tracer.record(
+                self.trace_now,
+                Event::LockPromote {
+                    frame: f as u32,
+                    native: true,
+                },
+            );
+        }
     }
 
     // ---- aging ------------------------------------------------------------
@@ -314,7 +384,7 @@ impl SilcFm {
         }
         self.next_aging += self.params.aging_period;
         let threshold = self.params.lock_threshold;
-        for f in self.frames.iter_mut() {
+        for (i, f) in self.frames.iter_mut().enumerate() {
             f.age();
             match f.lock {
                 LockState::LockedRemap if f.fm_counter < threshold => {
@@ -322,10 +392,18 @@ impl SilcFm {
                     // behaves as an unlocked block with all bits set.
                     f.lock = LockState::Unlocked;
                     self.unlocks += 1;
+                    if T::ENABLED {
+                        self.tracer
+                            .record(self.trace_now, Event::LockDemote { frame: i as u32 });
+                    }
                 }
                 LockState::LockedNative if f.nm_counter < threshold => {
                     f.lock = LockState::Unlocked;
                     self.unlocks += 1;
+                    if T::ENABLED {
+                        self.tracer
+                            .record(self.trace_now, Event::LockDemote { frame: i as u32 });
+                    }
                 }
                 _ => {}
             }
@@ -574,6 +652,14 @@ impl SilcFm {
         if extra_bits > 0 {
             self.history_bulk_fetches += 1;
             self.history_bulk_bits += u64::from(extra_bits);
+            if T::ENABLED {
+                self.tracer.record(
+                    self.trace_now,
+                    Event::HistoryFetch {
+                        bits: extra_bits as u8,
+                    },
+                );
+            }
         }
         let mut remaining = bits;
         while remaining != 0 {
@@ -593,12 +679,17 @@ impl SilcFm {
     }
 }
 
-impl MemoryScheme for SilcFm {
+impl<T: Tracer> MemoryScheme for SilcFm<T> {
     fn access(&mut self, access: &Access, out: &mut SchemeOutcome) {
         out.clear();
         self.access_count += 1;
         self.maybe_age();
         let bypassing = self.bypassing();
+        if T::ENABLED && bypassing != self.last_bypassing {
+            self.last_bypassing = bypassing;
+            self.tracer
+                .record(self.trace_now, Event::BypassDecision { engaged: bypassing });
+        }
 
         let block = BlockIndex::containing(access.addr, self.geom);
         let off = SubblockIndex::containing(access.addr, self.geom).offset_in_block(self.geom);
@@ -681,6 +772,18 @@ impl MemoryScheme for SilcFm {
         }
 
         if self.params.predictor {
+            if T::ENABLED {
+                let correct = prediction.way == resolution.way
+                    && prediction.in_fm == (resolution.serviced_from == MemKind::Far);
+                self.tracer.record(
+                    self.trace_now,
+                    if correct {
+                        Event::PredictorHit
+                    } else {
+                        Event::PredictorMiss
+                    },
+                );
+            }
             self.predictor.update(
                 pred_key,
                 prediction,
@@ -698,6 +801,20 @@ impl MemoryScheme for SilcFm {
 
     fn name(&self) -> &'static str {
         "silcfm"
+    }
+
+    fn trace_clock(&mut self, cycle: u64) {
+        if T::ENABLED {
+            self.trace_now = cycle;
+        }
+    }
+
+    fn drain_trace(&mut self) -> Vec<TraceEvent> {
+        self.tracer.drain()
+    }
+
+    fn trace_dropped(&self) -> u64 {
+        self.tracer.dropped()
     }
 
     fn stats(&self) -> SchemeStats {
@@ -745,6 +862,8 @@ impl MemoryScheme for SilcFm {
         self.all_locked_serves = 0;
         self.history_bulk_bits = 0;
         self.history_bulk_fetches = 0;
+        self.trace_now = 0;
+        self.last_bypassing = false;
     }
 }
 

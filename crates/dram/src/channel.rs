@@ -18,6 +18,9 @@ pub struct Channel {
     write_inflight: VecDeque<u64>,
     read_cap: usize,
     write_cap: usize,
+    /// Total memory cycles the data bus has been held (for occupancy
+    /// metrics; the observability layer samples deltas of this).
+    busy_cycles: u64,
 }
 
 /// Timing result of a channel access.
@@ -41,6 +44,7 @@ impl Channel {
             write_inflight: VecDeque::new(),
             read_cap: cfg.read_queue as usize,
             write_cap: cfg.write_queue as usize,
+            busy_cycles: 0,
         }
     }
 
@@ -64,6 +68,7 @@ impl Channel {
             let data_start = admitted.max(self.bus_free_at);
             let completion = data_start + burst;
             self.bus_free_at = completion;
+            self.busy_cycles += burst;
             self.write_inflight.push_back(completion);
             return ChannelAccess {
                 completion,
@@ -78,6 +83,7 @@ impl Channel {
         let data_start = data_at.max(self.bus_free_at);
         let completion = data_start + burst;
         self.bus_free_at = completion;
+        self.busy_cycles += burst;
 
         if is_write {
             self.write_inflight.push_back(completion);
@@ -99,6 +105,18 @@ impl Channel {
     /// Number of reads currently in flight (for tests/diagnostics).
     pub fn reads_in_flight(&self) -> usize {
         self.read_inflight.len()
+    }
+
+    /// Total memory cycles the data bus has been held.
+    pub const fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Entries still outstanding (completion after `now`) in the read and
+    /// write queues, for queue-depth sampling.
+    pub fn queue_depths(&self, now: u64) -> (usize, usize) {
+        let depth = |q: &VecDeque<u64>| q.iter().filter(|&&t| t > now).count();
+        (depth(&self.read_inflight), depth(&self.write_inflight))
     }
 
     /// Queue admission: drains completed entries and, if the queue is full,

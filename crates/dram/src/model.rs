@@ -1,10 +1,21 @@
 //! The top-level DRAM device model.
 
+use silcfm_types::obs::{Event, NullTracer, RowKind, TraceEvent, Tracer};
+
 use crate::bank::RowOutcome;
 use crate::channel::Channel;
 use crate::config::DramConfig;
 use crate::mapping::{AddressMapper, ChunkWalker, CHANNEL_INTERLEAVE_BYTES};
 use crate::stats::DramStats;
+
+/// The observability spelling of a row-buffer outcome.
+const fn row_kind(outcome: RowOutcome) -> RowKind {
+    match outcome {
+        RowOutcome::Hit => RowKind::Hit,
+        RowOutcome::Miss => RowKind::Miss,
+        RowOutcome::Conflict => RowKind::Conflict,
+    }
+}
 
 /// An event-driven model of one DRAM device (the NM or the FM).
 ///
@@ -24,20 +35,36 @@ use crate::stats::DramStats;
 /// assert!(t2 - t1 < t1);
 /// ```
 #[derive(Debug, Clone)]
-pub struct DramModel {
+pub struct DramModel<T: Tracer = NullTracer> {
     cfg: DramConfig,
     mapper: AddressMapper,
     channels: Vec<Channel>,
     stats: DramStats,
+    // Observability (a ZST plus an empty Vec when T = NullTracer).
+    tracer: T,
+    /// Per-channel `busy_cycles` at the previous queue sample, so each
+    /// `QueueDepthSample` carries the busy delta of its epoch.
+    last_busy: Vec<u64>,
 }
 
 impl DramModel {
-    /// Creates a device model from a configuration.
+    /// Creates an untraced device model from a configuration.
     pub fn new(cfg: DramConfig) -> Self {
+        DramModel::with_tracer(cfg, NullTracer)
+    }
+}
+
+impl<T: Tracer> DramModel<T> {
+    /// Creates a device model that records command-issue and queue-depth
+    /// events into `tracer`; see [`DramModel::new`] for the untraced
+    /// spelling.
+    pub fn with_tracer(cfg: DramConfig, tracer: T) -> Self {
         Self {
             mapper: AddressMapper::new(&cfg),
             channels: (0..cfg.channels).map(|_| Channel::new(&cfg)).collect(),
             stats: DramStats::default(),
+            tracer,
+            last_busy: vec![0; cfg.channels as usize],
             cfg,
         }
     }
@@ -107,6 +134,58 @@ impl DramModel {
             .map(|_| Channel::new(&self.cfg))
             .collect();
         self.stats.reset();
+        self.last_busy.fill(0);
+    }
+
+    /// Emits one [`Event::QueueDepthSample`] per channel, stamped at CPU
+    /// cycle `now_cpu`: outstanding read/write queue entries plus the data
+    /// bus's busy cycles since the previous sample. A no-op when tracing
+    /// is disabled.
+    pub fn sample_queues(&mut self, now_cpu: u64) {
+        if !T::ENABLED {
+            return;
+        }
+        let now_mem = now_cpu / self.cfg.cpu_cycles_per_mem_cycle;
+        for (i, (channel, last)) in self
+            .channels
+            .iter()
+            .zip(self.last_busy.iter_mut())
+            .enumerate()
+        {
+            let busy = channel.busy_cycles();
+            let delta = busy.saturating_sub(*last);
+            *last = busy;
+            let (reads, writes) = channel.queue_depths(now_mem);
+            self.tracer.record(
+                now_cpu,
+                Event::QueueDepthSample {
+                    channel: i as u8,
+                    reads: reads.min(u16::MAX as usize) as u16,
+                    writes: writes.min(u16::MAX as usize) as u16,
+                    busy: delta.min(u64::from(u32::MAX)) as u32,
+                },
+            );
+        }
+    }
+
+    /// Summed outstanding (read, write) queue entries across channels at
+    /// CPU cycle `now_cpu`, for the epoch time series.
+    pub fn queue_depth_totals(&self, now_cpu: u64) -> (u64, u64) {
+        let now_mem = now_cpu / self.cfg.cpu_cycles_per_mem_cycle;
+        self.channels.iter().fold((0, 0), |(r, w), channel| {
+            let (cr, cw) = channel.queue_depths(now_mem);
+            (r + cr as u64, w + cw as u64)
+        })
+    }
+
+    /// Takes the buffered trace events (oldest first).
+    pub fn drain_trace(&mut self) -> Vec<TraceEvent> {
+        self.tracer.drain()
+    }
+
+    /// Events discarded because the trace buffer was full.
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.dropped()
     }
 
     fn transfer(&mut self, now_cpu: u64, addr: u64, bytes: u32, is_write: bool) -> u64 {
@@ -137,6 +216,16 @@ impl DramModel {
                 break;
             };
             let acc = channel.access(now_mem, loc, burst, is_write, &self.cfg);
+            if T::ENABLED {
+                self.tracer.record(
+                    now_cpu,
+                    Event::DramCmdIssue {
+                        channel: loc.channel as u8,
+                        write: is_write,
+                        outcome: row_kind(acc.outcome),
+                    },
+                );
+            }
             // Row-buffer statistics describe the read stream; writes are
             // batch-drained and bypass the bank model (see `Channel`).
             if !is_write {

@@ -50,6 +50,9 @@ pub struct LintReport {
 /// The checked-in stat-key registry, relative to the workspace root.
 pub const STAT_KEY_REGISTRY: &str = "crates/lint/stat_keys.txt";
 
+/// Key prefix reserved for time-series columns (the `.series` sink).
+pub const SERIES_NAMESPACE: &str = "obs.";
+
 /// Lints one Rust source under its logical workspace path, applying
 /// suppression directives. Exposed for fixture tests; [`lint_workspace`]
 /// runs the same logic per real file (plus the cross-file S1 pass).
@@ -118,6 +121,50 @@ pub fn check_stat_keys(
     findings
 }
 
+/// Checks the namespace split between the two S1 sinks: `.series` column
+/// keys must live inside [`SERIES_NAMESPACE`] (so figure tooling can tell
+/// time-series columns from per-run scheme stats at a glance), and
+/// `.detail` keys must stay out of it. Both maps are path → `(key, line)`.
+pub fn check_obs_namespace(
+    detail: &BTreeMap<String, Vec<(String, usize)>>,
+    series: &BTreeMap<String, Vec<(String, usize)>>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (path, uses) in series {
+        for (key, line) in uses {
+            if !key.starts_with(SERIES_NAMESPACE) {
+                findings.push(Finding {
+                    rule: "S1",
+                    path: path.clone(),
+                    line: *line,
+                    message: format!(
+                        "series key \"{key}\" is outside the reserved \
+                         \"{SERIES_NAMESPACE}\" namespace"
+                    ),
+                    hint: format!("name time-series columns \"{SERIES_NAMESPACE}<metric>\""),
+                });
+            }
+        }
+    }
+    for (path, uses) in detail {
+        for (key, line) in uses {
+            if key.starts_with(SERIES_NAMESPACE) {
+                findings.push(Finding {
+                    rule: "S1",
+                    path: path.clone(),
+                    line: *line,
+                    message: format!(
+                        "detail key \"{key}\" uses the \"{SERIES_NAMESPACE}\" namespace, \
+                         which is reserved for time-series columns"
+                    ),
+                    hint: "pick an un-prefixed key for per-run scheme stats".to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
 /// Lints the workspace rooted at `root`: every `crates/*/{src,tests,
 /// examples,benches}` tree (except the linter's own), the top-level `src/`,
 /// `tests/` and `examples/`, and every `Cargo.toml`.
@@ -125,6 +172,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
     let mut report = LintReport::default();
     let mut all = Vec::new();
     let mut stat_keys: BTreeMap<String, Vec<(String, usize)>> = BTreeMap::new();
+    let mut series_keys: BTreeMap<String, Vec<(String, usize)>> = BTreeMap::new();
     let mut allows_by_file: BTreeMap<String, Vec<directives::Allow>> = BTreeMap::new();
 
     for file in workspace_rust_files(root)? {
@@ -137,6 +185,10 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
         let keys = rules::collect_stat_keys(&lexed);
         if !keys.is_empty() {
             stat_keys.insert(logical.clone(), keys);
+        }
+        let series = rules::collect_series_keys(&lexed);
+        if !series.is_empty() {
+            series_keys.insert(logical.clone(), series);
         }
         let (kept, suppressed) = directives::apply(findings, &allows);
         report.suppressed += suppressed;
@@ -156,8 +208,20 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
     }
 
     // S1 runs once over all collected keys; per-file directives still apply.
+    // Both sinks share the one registry, so the merged map feeds the
+    // registered/duplicate/dead checks; the namespace split is checked on
+    // the per-sink maps.
+    let mut merged = stat_keys.clone();
+    for (path, uses) in &series_keys {
+        merged
+            .entry(path.clone())
+            .or_default()
+            .extend(uses.iter().cloned());
+    }
     let registry = fs::read_to_string(root.join(STAT_KEY_REGISTRY)).unwrap_or_default();
-    for finding in check_stat_keys(&stat_keys, &registry, STAT_KEY_REGISTRY) {
+    let mut s1 = check_stat_keys(&merged, &registry, STAT_KEY_REGISTRY);
+    s1.extend(check_obs_namespace(&stat_keys, &series_keys));
+    for finding in s1 {
         let allows = allows_by_file
             .get(&finding.path)
             .map(Vec::as_slice)

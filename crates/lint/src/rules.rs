@@ -128,16 +128,15 @@ pub fn lint_tokens(path: &str, lexed: &Lexed) -> Vec<Finding> {
     findings
 }
 
-/// Collects `&'static str` stat keys passed to `SchemeStats::detail`, i.e.
-/// the `.detail("key", ...)` sink. Returns `(key, line)` pairs.
-pub fn collect_stat_keys(lexed: &Lexed) -> Vec<(String, usize)> {
+/// Collects `&'static str` keys passed as the first argument of a named
+/// sink method, i.e. the `.sink("key", ...)` pattern. Only string literals
+/// are collected: a key passed through a `const` binding is deliberately
+/// invisible to the audit.
+fn collect_sink_keys(lexed: &Lexed, sink: &str) -> Vec<(String, usize)> {
     let toks = &lexed.tokens;
     let mut keys = Vec::new();
     for i in 0..toks.len() {
-        if punct(toks.get(i), '.')
-            && ident(toks.get(i + 1), "detail")
-            && punct(toks.get(i + 2), '(')
-        {
+        if punct(toks.get(i), '.') && ident(toks.get(i + 1), sink) && punct(toks.get(i + 2), '(') {
             if let Some(t) = toks.get(i + 3) {
                 if t.kind == TokenKind::Str {
                     keys.push((t.text.clone(), t.line));
@@ -146,6 +145,19 @@ pub fn collect_stat_keys(lexed: &Lexed) -> Vec<(String, usize)> {
         }
     }
     keys
+}
+
+/// Collects `&'static str` stat keys passed to `SchemeStats::detail`, i.e.
+/// the `.detail("key", ...)` sink. Returns `(key, line)` pairs.
+pub fn collect_stat_keys(lexed: &Lexed) -> Vec<(String, usize)> {
+    collect_sink_keys(lexed, "detail")
+}
+
+/// Collects time-series column keys passed to `SeriesSpec::series`, i.e.
+/// the `.series("key")` sink. These share the S1 registry with stat keys
+/// and must live in the reserved `obs.` namespace (see `lib.rs`).
+pub fn collect_series_keys(lexed: &Lexed) -> Vec<(String, usize)> {
+    collect_sink_keys(lexed, "series")
 }
 
 // ---- P1: panic safety ------------------------------------------------------

@@ -166,6 +166,52 @@ fn s1_catches_duplicate_and_unregistered_keys_and_dead_registry_entries() {
 }
 
 #[test]
+fn s1_audits_the_series_sink_and_the_obs_namespace() {
+    let lexed = silcfm_lint::lexer::lex(include_str!("fixtures/s1_obs_bad.rs"));
+    let path = "crates/obs/src/sampler.rs".to_string();
+    let mut detail = BTreeMap::new();
+    detail.insert(path.clone(), rules::collect_stat_keys(&lexed));
+    let mut series = BTreeMap::new();
+    series.insert(path.clone(), rules::collect_series_keys(&lexed));
+    assert_eq!(series[&path].len(), 4, "all four series literals collected");
+
+    // Registry pass over the merged keys, as `lint_workspace` runs it: the
+    // duplicate (7) and the unregistered keys (8, 9) fire; "obs.sneaky" is
+    // registered here so only the namespace pass flags it.
+    let mut merged = detail.clone();
+    merged
+        .get_mut(&path)
+        .unwrap()
+        .extend(series[&path].iter().cloned());
+    let registry = "obs.hit_rate\nobs.sneaky\n";
+    let findings = silcfm_lint::check_stat_keys(&merged, registry, "crates/lint/stat_keys.txt");
+    let dup: Vec<_> = findings
+        .iter()
+        .filter(|f| f.message.contains("twice"))
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(dup, vec![7], "{findings:#?}");
+    let unregistered: Vec<_> = findings
+        .iter()
+        .filter(|f| f.message.contains("not in the registry"))
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(unregistered, vec![8, 9], "{findings:#?}");
+
+    // Namespace pass: the bare series key (9) and the squatting detail
+    // key (12) fire.
+    let ns = silcfm_lint::check_obs_namespace(&detail, &series);
+    let lines: Vec<_> = ns.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![9, 12], "{ns:#?}");
+    assert!(ns[0].message.contains("outside the reserved"), "{ns:#?}");
+    assert!(
+        ns[1].message.contains("reserved for time-series"),
+        "{ns:#?}"
+    );
+    assert!(ns.iter().all(|f| f.rule == "S1"), "{ns:#?}");
+}
+
+#[test]
 fn x1_flags_every_malformed_directive_and_is_not_suppressible() {
     let (findings, suppressed) = lint_rust_source(COLD, include_str!("fixtures/x1_malformed.rs"));
     // Missing reason, empty reason, unknown rule, empty rule list, and an

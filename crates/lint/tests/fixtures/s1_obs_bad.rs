@@ -1,0 +1,13 @@
+//! S1 fixture for the `.series` sink: a duplicate column, an unregistered
+//! column, a column outside the reserved `obs.` namespace, and a `.detail`
+//! stat key squatting inside it.
+fn spec() -> SeriesSpec {
+    SeriesSpec::new()
+        .series("obs.hit_rate")
+        .series("obs.hit_rate")
+        .series("obs.not_registered")
+        .series("plain_name")
+}
+fn stats(s: &mut SchemeStats) {
+    s.detail("obs.sneaky", 1.0);
+}

@@ -1,0 +1,104 @@
+//! `trace_check`: validates Chrome trace-event JSON emitted by the
+//! simulator, for the CI trace smoke step.
+//!
+//! For each path argument the file must (1) parse as JSON, (2) contain a
+//! `traceEvents` array, (3) declare at least one named thread track, and
+//! (4) have at least one non-metadata event on every declared track with
+//! monotone non-negative timestamps per track.
+//!
+//! Exit code 0 when every file passes; 1 with a diagnostic otherwise.
+//!
+//! Run with: `cargo run -p silcfm-obs --bin trace_check -- trace.json`
+
+use silcfm_obs::json::{self, Value};
+
+fn check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: no `traceEvents` array"))?;
+
+    // Declared tracks: thread_name metadata records.
+    let mut declared: Vec<(u32, String)> = Vec::new();
+    for e in events {
+        if e.get("name").and_then(Value::as_str) == Some("thread_name") {
+            let tid = e
+                .get("tid")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{path}: thread_name record without tid"))?
+                as u32;
+            let label = e
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{path}: thread_name record without args.name"))?;
+            declared.push((tid, label.to_string()));
+        }
+    }
+    if declared.is_empty() {
+        return Err(format!("{path}: no thread tracks declared"));
+    }
+
+    // Count real (non-metadata) events per track; validate timestamps.
+    let mut counts: Vec<u64> = vec![0; declared.len()];
+    let mut last_ts: Vec<f64> = vec![-1.0; declared.len()];
+    let mut total = 0u64;
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).unwrap_or("");
+        if ph == "M" {
+            continue;
+        }
+        let tid = e.get("tid").and_then(Value::as_f64).unwrap_or(-1.0) as u32;
+        let ts = e
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{path}: event without ts"))?;
+        if ts < 0.0 {
+            return Err(format!("{path}: negative timestamp {ts}"));
+        }
+        total += 1;
+        let Some(slot) = declared.iter().position(|(t, _)| *t == tid) else {
+            return Err(format!("{path}: event on undeclared track tid={tid}"));
+        };
+        if ts < last_ts[slot] {
+            return Err(format!(
+                "{path}: timestamps regress on track `{}` ({ts} after {})",
+                declared[slot].1, last_ts[slot]
+            ));
+        }
+        last_ts[slot] = ts;
+        counts[slot] += 1;
+    }
+    for ((_, label), n) in declared.iter().zip(&counts) {
+        if *n == 0 {
+            return Err(format!("{path}: declared track `{label}` has no events"));
+        }
+    }
+    Ok(format!(
+        "{path}: ok ({total} events across {} tracks)",
+        declared.len()
+    ))
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check <trace.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match check(path) {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,313 @@
+//! Exporters: Chrome trace-event JSON, CSV time series, human summary.
+//!
+//! All three are deterministic functions of an [`ObsReport`]: fixed float
+//! precision, stable orderings, no wall-clock or environment input — so
+//! identical seeds yield byte-identical artifacts, which the golden tests
+//! pin across serial and parallel runs.
+
+use core::fmt::Write as _;
+use std::collections::BTreeMap;
+
+use silcfm_types::obs::Event;
+
+use crate::hist::LatencyHistogram;
+use crate::report::{ObsReport, TaggedEvent, Unit};
+use crate::table::{Align, TextTable};
+
+/// The Chrome trace `tid` hosting one event, giving one track per
+/// controller/channel unit: controller on 1, NM channels from 16, FM
+/// channels from 48.
+fn track_of(e: &TaggedEvent) -> u32 {
+    let base = match e.unit {
+        Unit::Controller => return 1,
+        Unit::Nm => 16,
+        Unit::Fm => 48,
+    };
+    match e.event {
+        Event::DramCmdIssue { channel, .. } | Event::QueueDepthSample { channel, .. } => {
+            base + u32::from(channel)
+        }
+        _ => base,
+    }
+}
+
+/// Human-readable name of a track id (inverse of [`track_of`]).
+fn track_name(tid: u32) -> String {
+    match tid {
+        1 => "controller".to_string(),
+        16..=47 => format!("nm.ch{}", tid - 16),
+        _ => format!("fm.ch{}", tid - 48),
+    }
+}
+
+/// The `"args"` object body for one event (no surrounding braces).
+fn args_of(event: &Event) -> String {
+    match event {
+        Event::SwapStart { frame, subblock } | Event::SwapDone { frame, subblock } => {
+            format!("\"frame\":{frame},\"subblock\":{subblock}")
+        }
+        Event::LockPromote { frame, native } => format!("\"frame\":{frame},\"native\":{native}"),
+        Event::LockDemote { frame } => format!("\"frame\":{frame}"),
+        Event::BypassDecision { engaged } => format!("\"engaged\":{engaged}"),
+        Event::HistoryFetch { bits } => format!("\"bits\":{bits}"),
+        Event::PredictorHit | Event::PredictorMiss => String::new(),
+        Event::DramCmdIssue {
+            channel,
+            write,
+            outcome,
+        } => format!(
+            "\"channel\":{channel},\"write\":{write},\"outcome\":\"{}\"",
+            outcome.label()
+        ),
+        Event::QueueDepthSample {
+            reads,
+            writes,
+            busy,
+            ..
+        } => format!("\"reads\":{reads},\"writes\":{writes},\"busy\":{busy}"),
+    }
+}
+
+/// Renders the report as Chrome trace-event JSON, loadable in
+/// `chrome://tracing` or <https://ui.perfetto.dev>. Timestamps are raw
+/// simulation cycles. Queue-depth samples become counter tracks; all other
+/// events are instants on their unit's thread track.
+pub fn chrome_trace(report: &ObsReport) -> String {
+    // Declare a thread-name metadata record for every track that has at
+    // least one event, in tid order (keeps output deterministic and lets
+    // the validator require every declared track to be non-empty).
+    let mut tids: Vec<u32> = report.events.iter().map(track_of).collect();
+    tids.sort_unstable();
+    tids.dedup();
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"silcfm\"}}",
+    );
+    for tid in &tids {
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            track_name(*tid)
+        );
+    }
+    for e in &report.events {
+        let tid = track_of(e);
+        let args = args_of(&e.event);
+        match e.event {
+            Event::QueueDepthSample { .. } => {
+                let _ = write!(
+                    out,
+                    ",\n{{\"name\":\"{} queues\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\
+                     \"tid\":{tid},\"args\":{{{args}}}}}",
+                    track_name(tid),
+                    e.at
+                );
+            }
+            _ => {
+                let _ = write!(
+                    out,
+                    ",\n{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\
+                     \"tid\":{tid},\"s\":\"t\"{}}}",
+                    e.event.label(),
+                    e.at,
+                    if args.is_empty() {
+                        String::new()
+                    } else {
+                        format!(",\"args\":{{{args}}}")
+                    }
+                );
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{{\
+         \"total_cycles\":{},\"dropped_events\":{}}}}}\n",
+        report.total_cycles, report.dropped
+    );
+    out
+}
+
+/// Renders the epoch time series as CSV: `epoch,cycle_start,<columns...>`
+/// with six-decimal fixed-point values.
+pub fn csv_series(report: &ObsReport) -> String {
+    let s = &report.series;
+    let mut out = String::from("epoch,cycle_start");
+    for name in s.names() {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for i in 0..s.rows() {
+        let _ = write!(out, "{i},{}", i as u64 * s.epoch());
+        for v in s.row(i) {
+            let _ = write!(out, ",{v:.6}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn histogram_row(label: &str, h: &LatencyHistogram) -> Vec<String> {
+    vec![
+        label.to_string(),
+        h.count().to_string(),
+        format!("{:.1}", h.mean()),
+        h.quantile_upper(0.5).to_string(),
+        h.quantile_upper(0.99).to_string(),
+        h.max().to_string(),
+    ]
+}
+
+/// Renders the human `--trace-summary` view: run totals, per-unit event
+/// counts, and the demand-latency histograms.
+pub fn summary(report: &ObsReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace summary: {} cycles, {} events captured, {} dropped, {} epoch rows",
+        report.total_cycles,
+        report.event_count(),
+        report.dropped,
+        report.series.rows()
+    );
+
+    let mut counts: BTreeMap<(Unit, &'static str), u64> = BTreeMap::new();
+    for e in &report.events {
+        *counts.entry((e.unit, e.event.label())).or_default() += 1;
+    }
+    if !counts.is_empty() {
+        let mut t = TextTable::new(&[
+            ("unit", Align::Left),
+            ("event", Align::Left),
+            ("count", Align::Right),
+        ]);
+        for ((unit, label), n) in &counts {
+            t.row(vec![
+                unit.label().to_string(),
+                (*label).to_string(),
+                n.to_string(),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+
+    let mut t = TextTable::new(&[
+        ("demand latency", Align::Left),
+        ("count", Align::Right),
+        ("mean", Align::Right),
+        ("p50<=", Align::Right),
+        ("p99<=", Align::Right),
+        ("max", Align::Right),
+    ]);
+    t.row(histogram_row("nm", &report.nm_latency));
+    t.row(histogram_row("fm", &report.fm_latency));
+    out.push('\n');
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{run_series, EpochSampler};
+    use silcfm_types::obs::{RowKind, TraceEvent};
+
+    fn sample_report() -> ObsReport {
+        let mut series = EpochSampler::new(run_series(), 100, 300);
+        series.seal(250, &[0.5, 0.25, 3.0, 1.0, 0.1, 0.2, 4.0, 2.0]);
+        let mut nm_latency = LatencyHistogram::new();
+        nm_latency.record(80);
+        ObsReport::assemble(
+            [
+                vec![
+                    TraceEvent {
+                        at: 10,
+                        event: Event::SwapStart {
+                            frame: 1,
+                            subblock: 2,
+                        },
+                    },
+                    TraceEvent {
+                        at: 12,
+                        event: Event::PredictorHit,
+                    },
+                ],
+                vec![
+                    TraceEvent {
+                        at: 11,
+                        event: Event::DramCmdIssue {
+                            channel: 0,
+                            write: false,
+                            outcome: RowKind::Miss,
+                        },
+                    },
+                    TraceEvent {
+                        at: 100,
+                        event: Event::QueueDepthSample {
+                            channel: 0,
+                            reads: 3,
+                            writes: 1,
+                            busy: 44,
+                        },
+                    },
+                ],
+                vec![TraceEvent {
+                    at: 15,
+                    event: Event::DramCmdIssue {
+                        channel: 2,
+                        write: true,
+                        outcome: RowKind::Hit,
+                    },
+                }],
+            ],
+            0,
+            nm_latency,
+            LatencyHistogram::new(),
+            series,
+            250,
+        )
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let json = chrome_trace(&sample_report());
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("\"name\":\"controller\""));
+        assert!(json.contains("\"name\":\"nm.ch0\""));
+        assert!(json.contains("\"name\":\"fm.ch2\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"outcome\":\"miss\""));
+        // It must parse with the in-tree JSON parser.
+        let v = crate::json::parse(&json).expect("chrome trace parses");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        assert!(events.len() >= 5);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = csv_series(&sample_report());
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "epoch,cycle_start,obs.hit_rate,obs.nm_demand_frac,obs.swaps,obs.locks,\
+             obs.nm_bus_util,obs.fm_bus_util,obs.read_queue,obs.write_queue"
+        );
+        assert_eq!(lines.count(), 3); // ceil(250/100)
+        assert!(csv.contains("0.500000"));
+    }
+
+    #[test]
+    fn summary_mentions_everything() {
+        let text = summary(&sample_report());
+        assert!(text.contains("250 cycles"));
+        assert!(text.contains("swap_start"));
+        assert!(text.contains("dram_cmd"));
+        assert!(text.contains("demand latency"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Log-bucketed latency histograms with fixed storage.
+
+/// Number of buckets: one for zero plus one per power of two up to `2^63`.
+const BUCKETS: usize = 65;
+
+/// A power-of-two-bucketed histogram of `u64` samples (latencies in CPU
+/// cycles), HdrHistogram style but radically simpler: bucket 0 holds the
+/// value 0 and bucket *i* (i ≥ 1) holds values in `[2^(i-1), 2^i - 1]`.
+///
+/// Storage is a fixed array, so recording never allocates and merging is a
+/// pointwise sum — both properties the deterministic parallel runner needs.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+/// The bucket index for `value`: 0 for 0, otherwise `64 - leading_zeros`.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The inclusive `[low, high]` value range covered by `bucket`.
+///
+/// # Panics
+///
+/// Panics if `bucket >= 65` (there are only 65 buckets).
+pub fn bucket_range(bucket: usize) -> (u64, u64) {
+    assert!(bucket < BUCKETS, "bucket {bucket} out of range");
+    match bucket {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        i => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        if let Some(c) = self.counts.get_mut(bucket_of(value)) {
+            *c += 1;
+        }
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub const fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub const fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0..=1.0`): the high edge of
+    /// the first bucket at which the cumulative count reaches `q * total`.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= threshold.max(1) {
+                let (_, high) = bucket_range(i);
+                return high.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Pointwise sum with another histogram (for merging per-job results).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The non-empty buckets as `(low, high, count)` triples, low to high.
+    pub fn occupied(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| {
+                let (lo, hi) = bucket_range(i);
+                (lo, hi, *c)
+            })
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_range(0), (0, 0));
+        assert_eq!(bucket_range(1), (1, 1));
+        assert_eq!(bucket_range(2), (2, 3));
+        assert_eq!(bucket_range(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn counts_mean_max() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.2).abs() < 1e-9);
+        let occupied: Vec<_> = h.occupied().collect();
+        assert_eq!(occupied[0], (0, 0, 1));
+        assert_eq!(occupied[1], (1, 1, 1));
+        assert_eq!(occupied[2], (2, 3, 2));
+    }
+
+    #[test]
+    fn quantiles_bound_the_data() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert!(h.quantile_upper(0.5) >= 500);
+        assert!(h.quantile_upper(1.0) >= 1000);
+        assert_eq!(h.quantile_upper(1.0), h.max());
+        assert_eq!(LatencyHistogram::new().quantile_upper(0.5), 0);
+    }
+
+    #[test]
+    fn merge_is_pointwise() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(5);
+        b.record(7);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 1000);
+    }
+}

@@ -1,0 +1,133 @@
+//! The fixed-capacity ring-buffer event tracer.
+
+use silcfm_types::obs::{Event, TraceEvent, Tracer};
+
+/// A [`Tracer`] that keeps the newest `capacity` events in a preallocated
+/// ring buffer.
+///
+/// Recording never allocates after construction: once the buffer fills,
+/// each new event overwrites the oldest one and bumps the drop counter.
+/// Long runs therefore keep the most recent window of activity — the part
+/// a debugging session actually wants — at a hard memory bound.
+#[derive(Debug, Clone)]
+pub struct RingTracer {
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the buffer has wrapped; equivalently
+    /// the slot the next overwrite lands in.
+    head: usize,
+    dropped: u64,
+}
+
+impl RingTracer {
+    /// Creates a tracer holding at most `capacity` events (must be > 0).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring tracer needs at least one slot");
+        Self {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed capacity chosen at construction.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+}
+
+impl Tracer for RingTracer {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn record(&mut self, cycle: u64, event: Event) {
+        let e = TraceEvent { at: cycle, event };
+        if self.buf.len() < self.buf.capacity() {
+            self.buf.push(e);
+        } else if let Some(slot) = self.buf.get_mut(self.head) {
+            *slot = e;
+            self.head += 1;
+            if self.head == self.buf.len() {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(self.buf.get(self.head..).unwrap_or(&[]));
+        out.extend_from_slice(self.buf.get(..self.head).unwrap_or(&[]));
+        self.buf.clear();
+        self.head = 0;
+        out
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64) -> Event {
+        let _ = at;
+        Event::PredictorHit
+    }
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut t = RingTracer::with_capacity(8);
+        for i in 0..5 {
+            t.record(i, ev(i));
+        }
+        let events = t.drain();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].at, 0);
+        assert_eq!(events[4].at, 4);
+        assert_eq!(t.dropped(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let mut t = RingTracer::with_capacity(4);
+        for i in 0..10 {
+            t.record(i, ev(i));
+        }
+        assert_eq!(t.dropped(), 6);
+        let events = t.drain();
+        let stamps: Vec<u64> = events.iter().map(|e| e.at).collect();
+        assert_eq!(stamps, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn drain_resets_the_window() {
+        let mut t = RingTracer::with_capacity(3);
+        for i in 0..7 {
+            t.record(i, ev(i));
+        }
+        let _ = t.drain();
+        t.record(100, ev(100));
+        let events = t.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].at, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        let _ = RingTracer::with_capacity(0);
+    }
+}

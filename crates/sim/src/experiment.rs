@@ -3,11 +3,14 @@
 
 use silcfm_baselines::{Cameo, CameoParams, Hma, HmaParams, Pom, PomParams, RandomStatic};
 use silcfm_core::{SilcFm, SilcFmParams};
+use silcfm_obs::{ObsReport, RingTracer};
 use silcfm_trace::{profiles, PlacementPolicy, WorkloadProfile};
+use silcfm_types::obs::Tracer;
 use silcfm_types::{AddressSpace, Geometry, MemoryScheme, SystemConfig};
 
 use crate::metrics::RunResult;
-use crate::system::System;
+use crate::observe::RunObs;
+use crate::system::{System, SystemOutcome};
 
 /// Which placement scheme to simulate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,28 +102,55 @@ impl SchemeKind {
                     ..PomParams::default()
                 },
             )),
-            Self::SilcFm(params) => {
-                let mut p = *params;
-                // The paper's published constants assume full-length runs;
-                // scale them unless the caller overrode the defaults.
-                if p.aging_period == SilcFmParams::paper().aging_period {
-                    p.aging_period = period;
-                }
-                if p.bypass_window == SilcFmParams::paper().bypass_window {
-                    p.bypass_window = (total_accesses / 64).max(500);
-                }
-                if p.lock_threshold == SilcFmParams::paper().lock_threshold {
-                    // Threshold 50 is calibrated against 1 M-access aging
-                    // periods; keep the same touches-per-period proportion.
-                    // The floor keeps locking selective: a lock fetches a
-                    // whole 2 KB block, which only pays off for blocks with
-                    // sustained reuse.
-                    p.lock_threshold =
-                        ((50.0 * p.aging_period as f64 / 1_000_000.0) as u8).clamp(16, 50);
-                }
-                Box::new(SilcFm::new(space, Geometry::paper(), p))
-            }
+            Self::SilcFm(params) => Box::new(SilcFm::new(
+                space,
+                Geometry::paper(),
+                Self::scale_silcfm(params, total_accesses),
+            )),
         }
+    }
+
+    /// Like [`SchemeKind::build`], but a SILC-FM controller records its
+    /// observability events into a ring buffer of `events_capacity`.
+    /// Baseline schemes have no controller-side emit points and build
+    /// unchanged (their trace hooks are the [`MemoryScheme`] defaults).
+    pub fn build_traced(
+        &self,
+        space: AddressSpace,
+        total_accesses: u64,
+        events_capacity: usize,
+    ) -> Box<dyn MemoryScheme> {
+        match self {
+            Self::SilcFm(params) => Box::new(SilcFm::with_tracer(
+                space,
+                Geometry::paper(),
+                Self::scale_silcfm(params, total_accesses),
+                RingTracer::with_capacity(events_capacity),
+            )),
+            _ => self.build(space, total_accesses),
+        }
+    }
+
+    /// The paper's published constants assume full-length runs; scale them
+    /// to `total_accesses` unless the caller overrode the defaults.
+    fn scale_silcfm(params: &SilcFmParams, total_accesses: u64) -> SilcFmParams {
+        let period = (total_accesses / 16).max(1_000);
+        let mut p = *params;
+        if p.aging_period == SilcFmParams::paper().aging_period {
+            p.aging_period = period;
+        }
+        if p.bypass_window == SilcFmParams::paper().bypass_window {
+            p.bypass_window = (total_accesses / 64).max(500);
+        }
+        if p.lock_threshold == SilcFmParams::paper().lock_threshold {
+            // Threshold 50 is calibrated against 1 M-access aging
+            // periods; keep the same touches-per-period proportion.
+            // The floor keeps locking selective: a lock fetches a
+            // whole 2 KB block, which only pays off for blocks with
+            // sustained reuse.
+            p.lock_threshold = ((50.0 * p.aging_period as f64 / 1_000_000.0) as u8).clamp(16, 50);
+        }
+        p
     }
 
     /// The six schemes of Fig. 7, in the paper's order.
@@ -215,24 +245,41 @@ pub fn space_for(
     AddressSpace::new(nm_blocks * 2048, fm_blocks * 2048)
 }
 
-/// Simulates `scheme` on `profile` (rate mode: one copy per core) and
-/// returns the measured metrics.
-pub fn run(
+/// Observability knobs for [`run_traced`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceParams {
+    /// Ring-buffer capacity (events) of each tracer: one for the
+    /// controller and one per DRAM device. Oldest events are overwritten
+    /// once full; the report counts the drops.
+    pub events_capacity: usize,
+    /// CPU cycles between time-series samples (and queue-depth events).
+    pub epoch_cycles: u64,
+}
+
+impl TraceParams {
+    /// Defaults sized for a full workload capture: 1 Mi events per tracer,
+    /// a sample every 100 k cycles.
+    pub const fn default_capture() -> Self {
+        Self {
+            events_capacity: 1 << 20,
+            epoch_cycles: 100_000,
+        }
+    }
+}
+
+impl Default for TraceParams {
+    fn default() -> Self {
+        Self::default_capture()
+    }
+}
+
+/// Folds one finished system + outcome into the figure-level metrics.
+fn collect<T: Tracer>(
     profile: &WorkloadProfile,
     scheme: SchemeKind,
-    cfg: &SystemConfig,
-    params: &RunParams,
+    system: &System<T>,
+    outcome: SystemOutcome,
 ) -> RunResult {
-    let scaled = profiles::scaled(profile, params.footprint_scale);
-    let space = space_for(&scaled, cfg, params);
-    let total_accesses = params.accesses_per_core * u64::from(cfg.core.cores);
-    let mut system = System::new(
-        *cfg,
-        space,
-        scheme.placement(params.seed),
-        scheme.build(space, total_accesses),
-    );
-    let outcome = system.run(&scaled, params.accesses_per_core, params.seed);
     let scheme_stats = system.scheme().stats();
     let mpki = if outcome.instructions == 0 {
         0.0
@@ -254,6 +301,60 @@ pub fn run(
         mpki,
         footprint_bytes: system.footprint_bytes(),
     }
+}
+
+/// Simulates `scheme` on `profile` (rate mode: one copy per core) and
+/// returns the measured metrics.
+pub fn run(
+    profile: &WorkloadProfile,
+    scheme: SchemeKind,
+    cfg: &SystemConfig,
+    params: &RunParams,
+) -> RunResult {
+    let scaled = profiles::scaled(profile, params.footprint_scale);
+    let space = space_for(&scaled, cfg, params);
+    let total_accesses = params.accesses_per_core * u64::from(cfg.core.cores);
+    let mut system = System::new(
+        *cfg,
+        space,
+        scheme.placement(params.seed),
+        scheme.build(space, total_accesses),
+    );
+    let outcome = system.run(&scaled, params.accesses_per_core, params.seed);
+    collect(profile, scheme, &system, outcome)
+}
+
+/// Like [`run`], but with full observability: ring-buffer tracers on the
+/// controller and both DRAM devices, demand-latency histograms and the
+/// epoch time series. Returns the (bit-identical to [`run`]) metrics plus
+/// the assembled [`ObsReport`].
+pub fn run_traced(
+    profile: &WorkloadProfile,
+    scheme: SchemeKind,
+    cfg: &SystemConfig,
+    params: &RunParams,
+    trace: &TraceParams,
+) -> (RunResult, ObsReport) {
+    let scaled = profiles::scaled(profile, params.footprint_scale);
+    let space = space_for(&scaled, cfg, params);
+    let total_accesses = params.accesses_per_core * u64::from(cfg.core.cores);
+    // Preallocation hint only; the sampler grows if the run overshoots.
+    let expected_cycles = params.accesses_per_core.saturating_mul(64);
+    let mut system = System::with_observability(
+        *cfg,
+        space,
+        scheme.placement(params.seed),
+        scheme.build_traced(space, total_accesses, trace.events_capacity),
+        RingTracer::with_capacity(trace.events_capacity),
+        RingTracer::with_capacity(trace.events_capacity),
+        Some(RunObs::new(trace.epoch_cycles, expected_cycles)),
+    );
+    let outcome = system.run(&scaled, params.accesses_per_core, params.seed);
+    let result = collect(profile, scheme, &system, outcome);
+    let report = system
+        .finish_observation(outcome.cycles)
+        .expect("the system above is always built with observability");
+    (result, report)
 }
 
 #[cfg(test)]

@@ -25,12 +25,14 @@
 
 pub mod experiment;
 pub mod metrics;
+pub mod observe;
 pub mod report;
 pub mod runner;
 pub mod system;
 
-pub use experiment::{run, RunParams, SchemeKind};
+pub use experiment::{run, run_traced, RunParams, SchemeKind, TraceParams};
 pub use metrics::{RunResult, TrafficTally};
+pub use observe::RunObs;
 pub use report::{format_table, Row};
-pub use runner::{run_grid, run_grid_serial, ExperimentGrid, Job};
+pub use runner::{run_grid, run_grid_serial, run_grid_traced, ExperimentGrid, Job};
 pub use system::System;

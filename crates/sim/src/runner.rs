@@ -43,7 +43,9 @@ use silcfm_trace::profiles::WorkloadProfile;
 use silcfm_types::rng::SplitMix64;
 use silcfm_types::SystemConfig;
 
-use crate::experiment::{run, RunParams, SchemeKind};
+use silcfm_obs::ObsReport;
+
+use crate::experiment::{run, run_traced, RunParams, SchemeKind, TraceParams};
 use crate::metrics::RunResult;
 
 /// One self-contained simulation: everything [`run`] needs, by value, so the
@@ -177,8 +179,9 @@ pub fn run_grid_serial(jobs: &[Job]) -> Vec<RunResult> {
     jobs.iter().map(Job::execute).collect()
 }
 
-/// Runs `jobs` across `threads` workers with work stealing and returns the
-/// results in job order.
+/// The work-stealing core shared by [`run_grid`] and [`run_grid_traced`]:
+/// runs `execute` over every job across `threads` workers and reassembles
+/// the outputs in job order.
 ///
 /// Jobs are dealt round-robin into per-worker deques. Each worker drains its
 /// own deque from the front and, when empty, steals from the *back* of the
@@ -187,13 +190,17 @@ pub fn run_grid_serial(jobs: &[Job]) -> Vec<RunResult> {
 /// baseline) therefore cannot serialize the tail of the grid behind one
 /// unlucky worker.
 ///
-/// Results are tagged with the job index and reassembled in order, so the
-/// output is bit-identical to [`run_grid_serial`] regardless of thread
-/// count, scheduling, or steal pattern.
-pub fn run_grid(jobs: &[Job], threads: usize) -> Vec<RunResult> {
+/// Outputs are tagged with the job index and reassembled in order, so the
+/// result is bit-identical to a serial loop regardless of thread count,
+/// scheduling, or steal pattern.
+fn run_grid_with<R, F>(jobs: &[Job], threads: usize, execute: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Job) -> R + Sync,
+{
     let threads = threads.max(1).min(jobs.len().max(1));
     if threads <= 1 || jobs.len() <= 1 {
-        return run_grid_serial(jobs);
+        return jobs.iter().map(execute).collect();
     }
 
     // Round-robin deal into per-worker deques.
@@ -207,8 +214,9 @@ pub fn run_grid(jobs: &[Job], threads: usize) -> Vec<RunResult> {
         })
         .collect();
     let queues = &queues;
+    let execute = &execute;
 
-    let (tx, rx) = mpsc::channel::<(usize, RunResult)>();
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
         for me in 0..threads {
             let tx = tx.clone();
@@ -222,7 +230,7 @@ pub fn run_grid(jobs: &[Job], threads: usize) -> Vec<RunResult> {
                             .and_then(|w| queues[w].lock().unwrap().pop_back())
                     });
                     let Some(idx) = next else { break };
-                    let result = jobs[idx].execute();
+                    let result = execute(&jobs[idx]);
                     if tx.send((idx, result)).is_err() {
                         break;
                     }
@@ -232,7 +240,8 @@ pub fn run_grid(jobs: &[Job], threads: usize) -> Vec<RunResult> {
         drop(tx);
     });
 
-    let mut slots: Vec<Option<RunResult>> = vec![None; jobs.len()];
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
     for (idx, result) in rx {
         slots[idx] = Some(result);
     }
@@ -240,6 +249,28 @@ pub fn run_grid(jobs: &[Job], threads: usize) -> Vec<RunResult> {
         .into_iter()
         .map(|r| r.expect("every job produces exactly one result"))
         .collect()
+}
+
+/// Runs `jobs` across `threads` workers with work stealing and returns the
+/// results in job order, bit-identical to [`run_grid_serial`]; see
+/// [`run_grid_with`] for the scheduling details.
+pub fn run_grid(jobs: &[Job], threads: usize) -> Vec<RunResult> {
+    run_grid_with(jobs, threads, Job::execute)
+}
+
+/// Runs `jobs` with full observability (see
+/// [`run_traced`](crate::experiment::run_traced)) across `threads` workers.
+/// Results and reports come back in job order — each job's tracers are its
+/// own, so the traces (and their exports) are byte-identical to a serial
+/// `run_traced` loop at any thread count.
+pub fn run_grid_traced(
+    jobs: &[Job],
+    trace: &TraceParams,
+    threads: usize,
+) -> Vec<(RunResult, ObsReport)> {
+    run_grid_with(jobs, threads, |job| {
+        run_traced(&job.profile, job.scheme, &job.cfg, &job.params, trace)
+    })
 }
 
 #[cfg(test)]

@@ -3,13 +3,16 @@
 use silcfm_cache::CacheHierarchy;
 use silcfm_cpu::Core;
 use silcfm_dram::{DramConfig, DramModel};
+use silcfm_obs::ObsReport;
 use silcfm_trace::{PageMapper, PlacementPolicy, WorkloadGen, WorkloadProfile};
+use silcfm_types::obs::{NullTracer, Tracer};
 use silcfm_types::{
     Access, AddressSpace, CoreId, MemKind, MemOp, MemoryScheme, SchemeOutcome, SystemConfig,
     TraceRecord,
 };
 
 use crate::metrics::TrafficTally;
+use crate::observe::RunObs;
 
 /// CPU cycles by which background (migration/prefetch) operations trail the
 /// demand access that caused them, modelling demand-first scheduling in the
@@ -45,36 +48,75 @@ struct Lane {
 }
 
 /// A complete simulated machine under one placement scheme.
-pub struct System {
+///
+/// The tracer type parameter defaults to [`NullTracer`]: the untraced
+/// system carries no observability state and every `if T::ENABLED` hook in
+/// [`System::run`] compiles to nothing.
+pub struct System<T: Tracer = NullTracer> {
     cfg: SystemConfig,
     space: AddressSpace,
     hierarchy: CacheHierarchy,
     mapper: PageMapper,
     scheme: Box<dyn MemoryScheme>,
-    nm: DramModel,
-    fm: DramModel,
+    nm: DramModel<T>,
+    fm: DramModel<T>,
     tally: TrafficTally,
+    obs: Option<RunObs>,
 }
 
 impl System {
-    /// Builds a system over `space` with the given page placement and
-    /// memory scheme.
+    /// Builds an untraced system over `space` with the given page placement
+    /// and memory scheme.
     pub fn new(
         cfg: SystemConfig,
         space: AddressSpace,
         placement: PlacementPolicy,
         scheme: Box<dyn MemoryScheme>,
     ) -> Self {
+        System::with_observability(cfg, space, placement, scheme, NullTracer, NullTracer, None)
+    }
+}
+
+impl<T: Tracer> System<T> {
+    /// Builds a system whose DRAM devices record into the given tracers and
+    /// whose run maintains `obs` (when `Some`); controller-side tracing
+    /// travels inside `scheme` itself. See [`System::new`] for the untraced
+    /// spelling.
+    pub fn with_observability(
+        cfg: SystemConfig,
+        space: AddressSpace,
+        placement: PlacementPolicy,
+        scheme: Box<dyn MemoryScheme>,
+        nm_tracer: T,
+        fm_tracer: T,
+        obs: Option<RunObs>,
+    ) -> Self {
         Self {
             hierarchy: CacheHierarchy::new(&cfg),
             mapper: PageMapper::new(space, placement),
             scheme,
-            nm: DramModel::new(DramConfig::hbm2()),
-            fm: DramModel::new(DramConfig::ddr3()),
+            nm: DramModel::with_tracer(DramConfig::hbm2(), nm_tracer),
+            fm: DramModel::with_tracer(DramConfig::ddr3(), fm_tracer),
             tally: TrafficTally::default(),
             cfg,
             space,
+            obs,
         }
+    }
+
+    /// Finalizes the run's observability state into an [`ObsReport`]
+    /// (draining every tracer), or `None` if the system was built without
+    /// one. `total_cycles` is the [`SystemOutcome::cycles`] of the run.
+    pub fn finish_observation(&mut self, total_cycles: u64) -> Option<ObsReport> {
+        self.obs.take().map(|o| {
+            o.finish(
+                total_cycles,
+                self.scheme.as_mut(),
+                &self.tally,
+                &mut self.nm,
+                &mut self.fm,
+            )
+        })
     }
 
     /// The flat address space being simulated.
@@ -187,6 +229,10 @@ impl System {
                 .hierarchy
                 .access_data(core_id, paddr, rec.kind.is_write());
             let issue = t + u64::from(h.latency_cycles);
+            if T::ENABLED {
+                // Stamp scheme-side events with the access's issue cycle.
+                self.scheme.trace_clock(issue);
+            }
 
             // A scheme-imposed global stall, applied to every lane after the
             // charges are computed (reading it now: the writeback loop below
@@ -210,6 +256,11 @@ impl System {
                 if out.global_stall_cycles > 0 {
                     stall_all_until = Some(cursor + out.global_stall_cycles);
                 }
+                if T::ENABLED {
+                    if let Some(o) = self.obs.as_mut() {
+                        o.on_demand(out.serviced_from, cursor.saturating_sub(issue));
+                    }
+                }
                 cursor
             } else {
                 issue
@@ -227,6 +278,20 @@ impl System {
             if let Some(until) = stall_all_until {
                 for l in lanes.iter_mut() {
                     l.core.stall_until(until);
+                }
+            }
+
+            if T::ENABLED {
+                if let Some(o) = self.obs.as_mut() {
+                    if o.due(completion) {
+                        o.epoch_tick(
+                            completion,
+                            self.scheme.as_ref(),
+                            &self.tally,
+                            &mut self.nm,
+                            &mut self.fm,
+                        );
+                    }
                 }
             }
 

@@ -20,7 +20,10 @@
 //!   seeding, xoshiro256\*\* streams) used by workload generation, placement
 //!   and the experiment runner;
 //! * [`check`] — a minimal fixed-seed property-testing harness;
-//! * [`stats`] — small counter/ratio helpers used across crates.
+//! * [`stats`] — small counter/ratio helpers used across crates;
+//! * [`obs`] — the tracing vocabulary ([`obs::Event`], [`obs::Tracer`],
+//!   [`obs::NullTracer`]) that lets components be instrumented with zero
+//!   cost when tracing is off (sinks live in `silcfm-obs`).
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@ pub mod geometry;
 pub mod hash;
 pub mod layout;
 pub mod mem;
+pub mod obs;
 pub mod oplist;
 pub mod record;
 pub mod rng;
@@ -57,6 +61,7 @@ pub use geometry::Geometry;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use layout::AddressSpace;
 pub use mem::{MemKind, MemOp, OpKind, TrafficClass};
+pub use obs::{Event, NullTracer, RowKind, TraceEvent, Tracer};
 pub use oplist::OpList;
 pub use record::TraceRecord;
 pub use scheme::{MemoryScheme, SchemeOutcome, SchemeStats};

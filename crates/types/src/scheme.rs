@@ -22,6 +22,7 @@ use core::fmt;
 
 use crate::access::Access;
 use crate::mem::{MemKind, MemOp};
+use crate::obs::TraceEvent;
 use crate::oplist::OpList;
 
 /// What a scheme decided for one demand access.
@@ -168,6 +169,25 @@ pub trait MemoryScheme {
 
     /// Resets all internal state and statistics, as if freshly constructed.
     fn reset(&mut self);
+
+    /// Informs a tracing scheme of the simulation cycle the *next*
+    /// [`access`](MemoryScheme::access) will be stamped with. Schemes have
+    /// no clock of their own (the simulator owns time), so the driving loop
+    /// injects it just before each access — and only when tracing is
+    /// enabled, so the untraced path never pays the virtual call.
+    fn trace_clock(&mut self, _cycle: u64) {}
+
+    /// Removes and returns the scheme's buffered trace events, oldest
+    /// first. Untraced schemes return nothing (and do not allocate: an
+    /// empty `Vec` holds no heap memory).
+    fn drain_trace(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// Number of trace events the scheme's sink dropped to capacity limits.
+    fn trace_dropped(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 // silcfm-lint: allow-file(D2) -- a demo binary that *reports* wall-clock speedup; timing is its output, not an input to any simulated result
 use std::time::Instant;
 
+use silc_fm::obs::{Align, TextTable};
 use silc_fm::sim::{run_grid, run_grid_serial, ExperimentGrid, RunParams, SchemeKind};
 use silc_fm::trace::profiles;
 use silc_fm::types::SystemConfig;
@@ -47,27 +48,29 @@ fn main() {
         .all(|(s, p)| s.cycles == p.cycles && s.traffic == p.traffic);
 
     println!("{workload}\n");
-    println!(
-        "{:8} {:>9} {:>8} {:>12} {:>12} {:>14}",
-        "scheme", "speedup", "access", "NM demand", "migration", "blocks"
-    );
-    println!(
-        "{:8} {:>9} {:>8} {:>12} {:>12} {:>14}",
-        "", "(vs base)", "rate", "fraction", "bytes (MiB)", "migrated"
-    );
-
+    let mut table = TextTable::new(&[
+        ("scheme", Align::Left),
+        ("speedup (vs base)", Align::Right),
+        ("access rate", Align::Right),
+        ("NM demand frac", Align::Right),
+        ("migration MiB", Align::Right),
+        ("blocks migrated", Align::Right),
+    ]);
     let base = &parallel[0];
     for r in &parallel[1..] {
-        println!(
-            "{:8} {:>8.2}x {:>8.2} {:>12.2} {:>12.1} {:>14}",
-            r.scheme,
-            r.speedup_over(base),
-            r.access_rate,
-            r.traffic.nm_demand_fraction(),
-            r.traffic.overhead_bytes() as f64 / (1 << 20) as f64,
-            r.scheme_stats.blocks_migrated,
-        );
+        table.row(vec![
+            r.scheme.clone(),
+            format!("{:.2}x", r.speedup_over(base)),
+            format!("{:.2}", r.access_rate),
+            format!("{:.2}", r.traffic.nm_demand_fraction()),
+            format!(
+                "{:.1}",
+                r.traffic.overhead_bytes() as f64 / (1 << 20) as f64
+            ),
+            r.scheme_stats.blocks_migrated.to_string(),
+        ]);
     }
+    print!("{}", table.render());
     println!("\nThe paper's Fig. 7 ordering: SILC-FM first, CAMEO the best prior scheme.");
     println!(
         "grid of {} runs: serial {serial_ms:.0} ms, parallel ({threads} threads) \

@@ -29,9 +29,25 @@ cargo test -q --workspace --offline
 
 # Smoke-run the throughput benchmark: a tiny budget exercises the whole
 # measurement path (stream generation, both layers, every scheme) in a few
-# seconds without writing an artifact or timing the grid.
-echo "==> throughput benchmark (smoke budget)"
+# seconds without writing an artifact or timing the grid. `--overhead`
+# additionally runs SILC-FM with the ring tracers and epoch sampler live
+# and reports tracer-on vs tracer-off acc/s (the full-budget numbers live
+# in results/BENCH_throughput.json).
+echo "==> throughput benchmark (smoke budget, with tracing overhead)"
 cargo run --release --offline -p silcfm-bench --bin throughput -- \
-  --budget 2000 --repeats 1 --no-write --skip-grid
+  --budget 2000 --repeats 1 --no-write --skip-grid --overhead
+
+# Trace smoke: capture one fully traced smoke run, then validate the
+# Chrome trace with the in-tree checker — the JSON must parse, every
+# declared track must carry at least one event, and per-track timestamps
+# must be monotone (see DESIGN.md §9).
+echo "==> trace capture + validation (smoke)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run --release --offline -p silcfm-bench --bin trace_capture -- \
+  --smoke --trace "$trace_dir/trace.json" --metrics-out "$trace_dir/series.csv" \
+  --summary
+cargo run --release --offline -p silcfm-obs --bin trace_check -- \
+  "$trace_dir/trace.json"
 
 echo "ok: tier-1 green"

@@ -161,3 +161,47 @@ fn outcome_reuse_matches_fresh_outcomes() {
         );
     }
 }
+
+/// Tracing is observation only. Running the whole snapshot grid with the
+/// ring tracers, demand-latency histograms and epoch sampler live must
+/// reproduce the untraced stats digest bit for bit — the `T::ENABLED` emit
+/// sites never touch simulation state. And the exported artifacts are
+/// themselves deterministic: a serial re-run of a cell produces Chrome
+/// traces and CSV time series byte-identical to the parallel run's.
+#[test]
+fn tracing_is_behavior_neutral_and_deterministic() {
+    use silc_fm::obs::export;
+    use silc_fm::sim::{run_grid_traced, run_traced, TraceParams};
+
+    let jobs = snapshot_jobs();
+    let untraced = digest(&run_grid_serial(&jobs));
+
+    let trace = TraceParams {
+        events_capacity: 1 << 14,
+        epoch_cycles: 50_000,
+    };
+    let traced = run_grid_traced(&jobs, &trace, 4);
+    let results: Vec<_> = traced.iter().map(|(r, _)| r.clone()).collect();
+    assert_eq!(
+        digest(&results),
+        untraced,
+        "turning tracing on changed simulated behavior"
+    );
+
+    // Byte-identical exports, serial vs parallel, spot-checked on a few
+    // cells (the full grid above already pins the numeric digest).
+    for (job, (_, parallel_report)) in jobs.iter().zip(&traced).take(3) {
+        let (_, serial_report) =
+            run_traced(&job.profile, job.scheme, &job.cfg, &job.params, &trace);
+        assert_eq!(
+            export::chrome_trace(&serial_report),
+            export::chrome_trace(parallel_report),
+            "chrome trace diverged between serial and parallel runs"
+        );
+        assert_eq!(
+            export::csv_series(&serial_report),
+            export::csv_series(parallel_report),
+            "CSV time series diverged between serial and parallel runs"
+        );
+    }
+}

@@ -294,3 +294,88 @@ fn geometry_round_trip() {
         assert_eq!(reconstructed, addr);
     });
 }
+
+// ---- observability invariants ---------------------------------------------
+
+/// Histogram bucketing round-trips: every value lands inside the bucket
+/// reported for it, and adjacent buckets tile the `u64` line with no gap
+/// or overlap.
+#[test]
+fn histogram_buckets_round_trip() {
+    use silc_fm::obs::hist::{bucket_of, bucket_range};
+    forall("histogram_buckets_round_trip", |rng| {
+        // Stress the power-of-two boundaries plus a uniform draw.
+        let exp = rng.gen_range(0u64..64);
+        let base = 1u64 << exp;
+        for v in [
+            0,
+            base,
+            base - 1,
+            base.saturating_add(1),
+            rng.gen_range(0u64..u64::MAX),
+        ] {
+            let b = bucket_of(v);
+            let (lo, hi) = bucket_range(b);
+            assert!(lo <= v && v <= hi, "{v} outside bucket {b} [{lo}, {hi}]");
+            if b > 0 {
+                let (_, below) = bucket_range(b - 1);
+                assert_eq!(lo, below + 1, "gap or overlap below bucket {b}");
+            }
+        }
+    });
+}
+
+/// A ring tracer driven past capacity keeps exactly the newest
+/// `capacity` events, in recording order, and counts each overwrite
+/// as one drop.
+#[test]
+fn ring_wraparound_keeps_newest_events() {
+    use silc_fm::obs::{Event, RingTracer, Tracer};
+    forall("ring_wraparound_keeps_newest_events", |rng| {
+        let capacity = rng.gen_range(1u64..48);
+        let n = rng.gen_range(1u64..160);
+        let mut t = RingTracer::with_capacity(capacity as usize);
+        for i in 0..n {
+            t.record(i, Event::PredictorHit);
+        }
+        let kept = n.min(capacity);
+        assert_eq!(t.dropped(), n - kept);
+        let events = t.drain();
+        assert_eq!(events.len() as u64, kept);
+        let oldest_kept = n - kept;
+        for (k, e) in events.iter().enumerate() {
+            assert_eq!(
+                e.at,
+                oldest_kept + k as u64,
+                "drain must return the newest {kept} events oldest-first"
+            );
+        }
+    });
+}
+
+/// However sparsely the driving loop notices epoch boundaries in-run, a
+/// sealed sampler holds exactly `ceil(total_cycles / epoch)` rows.
+#[test]
+fn sampler_seals_to_exact_row_count() {
+    use silc_fm::obs::{EpochSampler, SeriesSpec};
+    forall("sampler_seals_to_exact_row_count", |rng| {
+        let epoch = rng.gen_range(1u64..1_000);
+        let total = rng.gen_range(0u64..50_000);
+        let spec = SeriesSpec::new().series("obs.hit_rate");
+        let mut s = EpochSampler::new(spec, epoch, total);
+        // Advance in random strides, recording only when the sampler says a
+        // row is due — exactly the `System::run` protocol.
+        let mut cycle = 0u64;
+        while cycle < total {
+            cycle = (cycle + rng.gen_range(1u64..=3 * epoch)).min(total);
+            if s.due(cycle) {
+                s.record(&[cycle as f64]);
+            }
+        }
+        s.seal(total, &[-1.0]);
+        assert_eq!(s.rows() as u64, total.div_ceil(epoch));
+        for i in 0..s.rows() {
+            assert_eq!(s.row(i).len(), 1, "row arity survives sealing");
+        }
+    });
+}
