@@ -213,7 +213,8 @@ impl MemoryScheme for Hma {
         self.accesses += 1;
         let logical = access.addr.value() / BLOCK;
         let offset = access.addr.value() % BLOCK;
-        *self.counts.entry(logical).or_insert(0) += 1;
+        let count = self.counts.entry(logical).or_insert(0);
+        *count = count.saturating_add(1);
 
         let phys = self.loc(logical);
         let addr = PhysAddr::new(phys * BLOCK + offset);

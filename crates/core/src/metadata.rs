@@ -82,15 +82,18 @@ impl FrameMeta {
         self.bitvec &= !(1 << off);
     }
 
-    /// Saturating increment of the NM-native activity counter.
+    /// Saturating increment of the NM-native activity counter. The add
+    /// itself saturates before the clamp: the fields are public, so a
+    /// counter poked past `COUNTER_MAX` must clamp back down rather than
+    /// wrap (or panic in debug builds) at 255.
     pub fn bump_nm(&mut self) -> u8 {
-        self.nm_counter = (self.nm_counter + 1).min(COUNTER_MAX);
+        self.nm_counter = self.nm_counter.saturating_add(1).min(COUNTER_MAX);
         self.nm_counter
     }
 
     /// Saturating increment of the remapped-block activity counter.
     pub fn bump_fm(&mut self) -> u8 {
-        self.fm_counter = (self.fm_counter + 1).min(COUNTER_MAX);
+        self.fm_counter = self.fm_counter.saturating_add(1).min(COUNTER_MAX);
         self.fm_counter
     }
 
@@ -143,6 +146,17 @@ mod tests {
         }
         assert_eq!(f.nm_counter, COUNTER_MAX);
         assert_eq!(f.fm_counter, COUNTER_MAX);
+    }
+
+    #[test]
+    fn counters_never_wrap_even_from_out_of_range_state() {
+        // The fields are public; a counter forced past its width (by a
+        // metadata fault, or simply a buggy caller) must clamp, not wrap.
+        let mut f = FrameMeta::empty();
+        f.nm_counter = u8::MAX;
+        f.fm_counter = u8::MAX;
+        assert_eq!(f.bump_nm(), COUNTER_MAX);
+        assert_eq!(f.bump_fm(), COUNTER_MAX);
     }
 
     #[test]

@@ -155,6 +155,12 @@ impl fmt::Display for ParamsError {
 
 impl std::error::Error for ParamsError {}
 
+impl From<ParamsError> for silcfm_types::SilcFmError {
+    fn from(e: ParamsError) -> Self {
+        silcfm_types::SilcFmError::params(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +214,13 @@ mod tests {
         let mut p = SilcFmParams::paper();
         p.history_entries = 0;
         assert_eq!(p.validate(), Err(ParamsError::EmptyTable));
+    }
+
+    #[test]
+    fn params_error_converts_to_typed_workspace_error() {
+        let e: silcfm_types::SilcFmError = ParamsError::BadAssociativity(3).into();
+        assert!(matches!(e, silcfm_types::SilcFmError::Params { .. }));
+        assert!(e.to_string().contains("associativity 3"));
     }
 
     #[test]

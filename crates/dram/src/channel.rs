@@ -6,6 +6,28 @@ use crate::bank::{Bank, RowOutcome};
 use crate::config::DramConfig;
 use crate::mapping::Location;
 
+/// Health of one channel under fault injection (DESIGN.md §10).
+///
+/// A healthy channel serves accesses normally. A stalled channel holds
+/// arrivals until a known memory cycle and then heals itself (a recoverable
+/// glitch: retraining, refresh storm, thermal throttle). A failed channel
+/// NACKs every access after a fixed penalty until an explicit repair fault
+/// restores it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChannelHealth {
+    /// Normal service.
+    #[default]
+    Healthy,
+    /// Transiently stalled: arrivals are delayed to `until`, after which
+    /// the channel heals itself.
+    Stalled {
+        /// Memory cycle at which service resumes.
+        until: u64,
+    },
+    /// Hard-failed: every access is NACKed until an explicit repair.
+    Failed,
+}
+
 /// One DRAM channel: a set of banks behind a shared command/data bus, with
 /// finite read and write queues providing back-pressure.
 ///
@@ -21,6 +43,9 @@ pub struct Channel {
     /// Total memory cycles the data bus has been held (for occupancy
     /// metrics; the observability layer samples deltas of this).
     busy_cycles: u64,
+    /// Fault-injection health state; `Healthy` unless a fault plane says
+    /// otherwise, so the faults-off path is untouched.
+    health: ChannelHealth,
 }
 
 /// Timing result of a channel access.
@@ -32,6 +57,10 @@ pub struct ChannelAccess {
     pub outcome: RowOutcome,
     /// Memory cycles the data bus was held.
     pub burst: u64,
+    /// The access was NACKed by a hard-failed channel (no data moved).
+    pub nacked: bool,
+    /// The access's arrival was delayed by a transient channel stall.
+    pub stalled: bool,
 }
 
 impl Channel {
@@ -45,6 +74,7 @@ impl Channel {
             read_cap: cfg.read_queue as usize,
             write_cap: cfg.write_queue as usize,
             busy_cycles: 0,
+            health: ChannelHealth::Healthy,
         }
     }
 
@@ -58,6 +88,30 @@ impl Channel {
         is_write: bool,
         cfg: &DramConfig,
     ) -> ChannelAccess {
+        let (at, stalled) = match self.health {
+            ChannelHealth::Healthy => (at, false),
+            ChannelHealth::Stalled { until } => {
+                if at >= until {
+                    // The stall window has passed: self-heal.
+                    self.health = ChannelHealth::Healthy;
+                    (at, false)
+                } else {
+                    (until, true)
+                }
+            }
+            ChannelHealth::Failed => {
+                // NACK: the access bounces after a fixed penalty (roughly a
+                // worst-case bank turnaround) without touching bus, banks or
+                // queues. The retry goes elsewhere or waits for repair.
+                return ChannelAccess {
+                    completion: at + 2 * cfg.timings.row_conflict_latency(),
+                    outcome: RowOutcome::Conflict,
+                    burst: 0,
+                    nacked: true,
+                    stalled: false,
+                };
+            }
+        };
         if is_write {
             // Writes are buffered and drained in row-sorted batches by real
             // controllers (write-combining), so they are modelled as pure
@@ -74,6 +128,8 @@ impl Channel {
                 completion,
                 outcome: RowOutcome::Hit,
                 burst,
+                nacked: false,
+                stalled,
             };
         }
 
@@ -84,17 +140,24 @@ impl Channel {
         let completion = data_start + burst;
         self.bus_free_at = completion;
         self.busy_cycles += burst;
-
-        if is_write {
-            self.write_inflight.push_back(completion);
-        } else {
-            self.read_inflight.push_back(completion);
-        }
+        self.read_inflight.push_back(completion);
         ChannelAccess {
             completion,
             outcome,
             burst,
+            nacked: false,
+            stalled,
         }
+    }
+
+    /// Current fault-injection health state.
+    pub const fn health(&self) -> ChannelHealth {
+        self.health
+    }
+
+    /// Sets the health state (called by the fault plane).
+    pub fn set_health(&mut self, health: ChannelHealth) {
+        self.health = health;
     }
 
     /// Earliest time the shared data bus is free.
@@ -208,6 +271,38 @@ mod tests {
         let admitted = Channel::admit(&mut q, 8, 12);
         assert_eq!(admitted, 12);
         assert_eq!(q.len(), 1); // only the 15 remains
+    }
+
+    #[test]
+    fn failed_channel_nacks_without_bus_activity() {
+        let (mut ch, cfg, m) = setup();
+        let loc = m.decode(0);
+        ch.set_health(ChannelHealth::Failed);
+        let a = ch.access(100, loc, 4, false, &cfg);
+        assert!(a.nacked);
+        assert_eq!(a.burst, 0);
+        assert_eq!(a.completion, 100 + 2 * cfg.timings.row_conflict_latency());
+        assert_eq!(ch.busy_cycles(), 0);
+        assert_eq!(ch.reads_in_flight(), 0);
+        // Failure persists until an explicit repair.
+        assert!(ch.access(1_000_000, loc, 4, false, &cfg).nacked);
+        ch.set_health(ChannelHealth::Healthy);
+        assert!(!ch.access(1_000_001, loc, 4, false, &cfg).nacked);
+    }
+
+    #[test]
+    fn stalled_channel_delays_arrivals_then_self_heals() {
+        let (mut ch, cfg, m) = setup();
+        let loc = m.decode(0);
+        ch.set_health(ChannelHealth::Stalled { until: 500 });
+        let a = ch.access(0, loc, 4, false, &cfg);
+        assert!(a.stalled && !a.nacked);
+        // Arrival was pushed to the end of the stall window.
+        assert!(a.completion >= 500 + cfg.timings.row_miss_latency() + 4);
+        // An arrival past the window heals the channel in place.
+        let b = ch.access(5_000, loc, 4, false, &cfg);
+        assert!(!b.stalled);
+        assert_eq!(ch.health(), ChannelHealth::Healthy);
     }
 
     #[test]

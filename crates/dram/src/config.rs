@@ -2,6 +2,8 @@
 
 use core::fmt;
 
+use silcfm_types::SilcFmError;
+
 use crate::energy::EnergyParams;
 
 /// Core DRAM timing constraints, in memory-controller cycles.
@@ -155,6 +157,51 @@ impl DramConfig {
     pub const fn total_banks(&self) -> u32 {
         self.channels * self.ranks * self.banks
     }
+
+    /// Validates the structural invariants the address mapper and channel
+    /// model rely on. The Table II presets always pass; hand-built
+    /// configurations go through here before a model is constructed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SilcFmError::DramConfig`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), SilcFmError> {
+        if self.channels == 0 {
+            return Err(SilcFmError::dram_config("channel count must be non-zero"));
+        }
+        if self.ranks == 0 || self.banks == 0 {
+            return Err(SilcFmError::dram_config(
+                "ranks and banks per channel must be non-zero",
+            ));
+        }
+        if self.row_bytes == 0 || !self.row_bytes.is_power_of_two() {
+            return Err(SilcFmError::dram_config(format!(
+                "row size must be a non-zero power of two, got {}",
+                self.row_bytes
+            )));
+        }
+        if self.bus_bits == 0 || !self.bus_bits.is_multiple_of(8) {
+            return Err(SilcFmError::dram_config(format!(
+                "bus width must be a non-zero multiple of 8 bits, got {}",
+                self.bus_bits
+            )));
+        }
+        if self.bus_mhz == 0 {
+            return Err(SilcFmError::dram_config("bus clock must be non-zero"));
+        }
+        if self.read_queue == 0 || self.write_queue == 0 {
+            return Err(SilcFmError::dram_config(
+                "read and write queue capacities must be non-zero",
+            ));
+        }
+        if self.cpu_cycles_per_mem_cycle == 0 {
+            return Err(SilcFmError::dram_config(
+                "CPU:memory clock ratio must be non-zero",
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for DramConfig {
@@ -208,6 +255,36 @@ mod tests {
     fn bank_counts_match_table2() {
         assert_eq!(DramConfig::hbm2().total_banks(), 64);
         assert_eq!(DramConfig::ddr3().total_banks(), 32);
+    }
+
+    #[test]
+    fn presets_validate() {
+        assert!(DramConfig::hbm2().validate().is_ok());
+        assert!(DramConfig::ddr3().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        type Breakage = (&'static str, fn(&mut DramConfig));
+        let breakages: [Breakage; 7] = [
+            ("channel", |c| c.channels = 0),
+            ("banks", |c| c.banks = 0),
+            ("row", |c| c.row_bytes = 3000),
+            ("bus width", |c| c.bus_bits = 12),
+            ("bus clock", |c| c.bus_mhz = 0),
+            ("queue", |c| c.read_queue = 0),
+            ("clock ratio", |c| c.cpu_cycles_per_mem_cycle = 0),
+        ];
+        for (what, breakage) in breakages {
+            let mut cfg = DramConfig::ddr3();
+            breakage(&mut cfg);
+            let err = cfg.validate().expect_err(what);
+            assert!(
+                matches!(err, SilcFmError::DramConfig { .. }),
+                "{what}: {err}"
+            );
+            assert!(!err.to_string().is_empty());
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod mapping;
 pub mod model;
 pub mod stats;
 
+pub use channel::ChannelHealth;
 pub use config::{DramConfig, DramTimings};
 pub use energy::EnergyParams;
 pub use mapping::{AddressMapper, ChunkWalker, Location};

@@ -1,9 +1,10 @@
 //! The top-level DRAM device model.
 
-use silcfm_types::obs::{Event, NullTracer, RowKind, TraceEvent, Tracer};
+use silcfm_types::fault::{ChannelFault, FaultEffect};
+use silcfm_types::obs::{Event, FaultClass, NullTracer, RowKind, TraceEvent, Tracer};
 
 use crate::bank::RowOutcome;
-use crate::channel::Channel;
+use crate::channel::{Channel, ChannelHealth};
 use crate::config::DramConfig;
 use crate::mapping::{AddressMapper, ChunkWalker, CHANNEL_INTERLEAVE_BYTES};
 use crate::stats::DramStats;
@@ -178,6 +179,61 @@ impl<T: Tracer> DramModel<T> {
         })
     }
 
+    /// Applies a channel fault arriving at CPU cycle `now_cpu` and returns
+    /// its effect classification (DESIGN.md §10).
+    ///
+    /// Stall durations in the fault are CPU cycles and are converted to the
+    /// memory clock here. Faults naming a channel the device does not have
+    /// are absorbed as [`FaultEffect::Masked`].
+    pub fn inject_channel_fault(&mut self, fault: ChannelFault, now_cpu: u64) -> FaultEffect {
+        let ratio = self.cfg.cpu_cycles_per_mem_cycle;
+        let now_mem = now_cpu / ratio;
+        let Some(channel) = self.channels.get_mut(fault.channel() as usize) else {
+            return FaultEffect::Masked;
+        };
+        let (class, effect) = match fault {
+            ChannelFault::Stall {
+                duration_cycles, ..
+            } => {
+                let until = now_mem + duration_cycles.div_ceil(ratio).max(1);
+                channel.set_health(ChannelHealth::Stalled { until });
+                // Timing-only: every access still completes, just later.
+                (FaultClass::ChannelStall, FaultEffect::Corrected)
+            }
+            ChannelFault::Fail { .. } => {
+                channel.set_health(ChannelHealth::Failed);
+                // Service survives through the NACK-and-retry path; no data
+                // is lost, so the failure is recovered rather than corrected.
+                (FaultClass::ChannelFail, FaultEffect::Recovered)
+            }
+            ChannelFault::Repair { .. } => {
+                let effect = if channel.health() == ChannelHealth::Healthy {
+                    FaultEffect::Masked
+                } else {
+                    channel.set_health(ChannelHealth::Healthy);
+                    FaultEffect::Corrected
+                };
+                (FaultClass::ChannelRepair, effect)
+            }
+        };
+        if T::ENABLED {
+            self.tracer.record(
+                now_cpu,
+                Event::FaultInjected {
+                    kind: class,
+                    target: u32::from(fault.channel()),
+                },
+            );
+        }
+        effect
+    }
+
+    /// Health of channel `ch`, or `None` for a channel the device lacks
+    /// (diagnostics and the chaos harness).
+    pub fn channel_health(&self, ch: u32) -> Option<ChannelHealth> {
+        self.channels.get(ch as usize).map(Channel::health)
+    }
+
     /// Takes the buffered trace events (oldest first).
     pub fn drain_trace(&mut self) -> Vec<TraceEvent> {
         self.tracer.drain()
@@ -227,13 +283,19 @@ impl<T: Tracer> DramModel<T> {
                 );
             }
             // Row-buffer statistics describe the read stream; writes are
-            // batch-drained and bypass the bank model (see `Channel`).
-            if !is_write {
+            // batch-drained and bypass the bank model (see `Channel`), and a
+            // NACKed beat never reached a bank at all.
+            if acc.nacked {
+                self.stats.nacks += 1;
+            } else if !is_write {
                 match acc.outcome {
                     RowOutcome::Hit => self.stats.row_hits += 1,
                     RowOutcome::Miss => self.stats.row_misses += 1,
                     RowOutcome::Conflict => self.stats.row_conflicts += 1,
                 }
+            }
+            if acc.stalled {
+                self.stats.stall_delays += 1;
             }
             self.stats.bus_busy_cycles += acc.burst;
             last_completion = last_completion.max(acc.completion);
@@ -347,5 +409,77 @@ mod tests {
         let mut m = DramModel::new(DramConfig::ddr3());
         let done = m.read(10_000, 0, 64);
         assert!(done > 10_000);
+    }
+
+    #[test]
+    fn failed_channel_nacks_reads_until_repaired() {
+        let cfg = DramConfig::ddr3();
+        let mut m = DramModel::new(cfg);
+        let healthy = m.read(0, 0, 64);
+        m.reset();
+        assert_eq!(
+            m.inject_channel_fault(ChannelFault::Fail { channel: 0 }, 0),
+            FaultEffect::Recovered
+        );
+        assert_eq!(m.channel_health(0), Some(ChannelHealth::Failed));
+        // Address 0 maps to channel 0: the read bounces with the penalty.
+        let nacked = m.read(0, 0, 64);
+        assert_eq!(m.stats().nacks, 1);
+        assert_eq!(m.stats().row_hits + m.stats().row_misses, 0);
+        assert_eq!(
+            nacked,
+            2 * cfg.timings.row_conflict_latency() * cfg.cpu_cycles_per_mem_cycle
+        );
+        // Other channels are unaffected.
+        let other = m.read(0, 64, 64);
+        assert!(!matches!(m.channel_health(1), Some(ChannelHealth::Failed)));
+        assert!(other >= healthy);
+        assert_eq!(
+            m.inject_channel_fault(ChannelFault::Repair { channel: 0 }, 0),
+            FaultEffect::Corrected
+        );
+        m.reset();
+        assert_eq!(m.read(0, 0, 64), healthy);
+    }
+
+    #[test]
+    fn stalled_channel_delays_and_self_heals() {
+        let cfg = DramConfig::ddr3();
+        let mut m = DramModel::new(cfg);
+        let healthy = m.read(0, 0, 64);
+        m.reset();
+        assert_eq!(
+            m.inject_channel_fault(
+                ChannelFault::Stall {
+                    channel: 0,
+                    duration_cycles: 4_000,
+                },
+                0,
+            ),
+            FaultEffect::Corrected
+        );
+        // The beat arrives at CPU cycle 0 but is held to the stall horizon.
+        let delayed = m.read(0, 0, 64);
+        assert!(delayed >= 4_000, "stall must delay completion: {delayed}");
+        assert_eq!(m.stats().stall_delays, 1);
+        // A later arrival finds the channel healed.
+        let after = m.read(40_000, 0, 64);
+        assert_eq!(m.channel_health(0), Some(ChannelHealth::Healthy));
+        assert!(after - 40_000 <= healthy);
+    }
+
+    #[test]
+    fn faults_on_absent_channels_are_masked() {
+        let mut m = DramModel::new(DramConfig::ddr3());
+        assert_eq!(
+            m.inject_channel_fault(ChannelFault::Fail { channel: 200 }, 0),
+            FaultEffect::Masked
+        );
+        // Repairing an already-healthy channel has no observable target.
+        assert_eq!(
+            m.inject_channel_fault(ChannelFault::Repair { channel: 0 }, 0),
+            FaultEffect::Masked
+        );
+        assert_eq!(m.channel_health(200), None);
     }
 }

@@ -23,6 +23,11 @@ pub struct DramStats {
     pub row_conflicts: u64,
     /// Memory cycles the data buses were occupied (summed over channels).
     pub bus_busy_cycles: u64,
+    /// Beats NACKed by a hard-failed channel (fault injection; the data
+    /// never moved, only the penalty was charged).
+    pub nacks: u64,
+    /// Beats whose arrival was delayed by a transient channel stall.
+    pub stall_delays: u64,
 }
 
 impl DramStats {
@@ -88,6 +93,8 @@ mod tests {
             row_misses: 3,
             row_conflicts: 3,
             bus_busy_cycles: 50,
+            nacks: 0,
+            stall_delays: 0,
         };
         assert_eq!(s.total_bytes(), 960);
         assert_eq!(s.activations(), 6);

@@ -4,6 +4,7 @@
 //! |----|----------|------------|
 //! | D1 | determinism | `std::collections::{HashMap,HashSet}` (default SipHash hasher) |
 //! | D2 | determinism | `std::time::{Instant,SystemTime}`, `std::env::{var,var_os,vars}` |
+//! | E1 | fallibility | `.unwrap()` / `.expect(` / `panic!` outside tests in setup/config modules |
 //! | H1 | hermeticity | non-workspace-path dependency in a `Cargo.toml` (see `manifest`) |
 //! | P1 | panic-safety | `.unwrap()` / `.expect(` / `panic!` / bare `[...]` indexing in hot-path modules |
 //! | A1 | allocation | `Vec::new` / `vec![` / `Box::new` / `.to_vec()` / `format!` reachable from the access hot path |
@@ -17,7 +18,7 @@ use crate::lexer::{Lexed, Token, TokenKind};
 use crate::Finding;
 
 /// Every rule ID the linter knows, in reporting order.
-pub const RULE_IDS: &[&str] = &["D1", "D2", "H1", "P1", "A1", "S1", "X1"];
+pub const RULE_IDS: &[&str] = &["D1", "D2", "E1", "H1", "P1", "A1", "S1", "X1"];
 
 /// File names (not paths) of the designated hot-path modules: the files
 /// where P1 and A1 apply. These are the modules on the per-access critical
@@ -40,6 +41,26 @@ pub const HOT_SEEDS: &[(&str, &[&str])] = &[
     ("oplist.rs", &["push", "clear", "extend"]),
     ("system.rs", &["run", "charge"]),
 ];
+
+/// Setup/configuration modules where E1 applies: validation and
+/// construction code that callers invoke before a run starts. A bad knob
+/// must surface as a typed [`SilcFmError`], not a panic, so experiment
+/// drivers (and the crash-safe journaled runner in particular) can report
+/// it and carry on with the rest of a grid.
+pub const SETUP_MODULES: &[&str] = &[
+    "crates/dram/src/config.rs",
+    "crates/core/src/params.rs",
+    "crates/sim/src/experiment.rs",
+];
+
+/// Path prefixes (entire crates) in E1 scope. The fault plane is pure
+/// setup-and-schedule code: nothing in it runs on the access hot path.
+pub const SETUP_PREFIXES: &[&str] = &["crates/fault/src/"];
+
+/// Whether E1 applies to this logical path.
+fn setup_scope(path: &str) -> bool {
+    SETUP_MODULES.contains(&path) || SETUP_PREFIXES.iter().any(|p| path.starts_with(p))
+}
 
 /// Rust keywords: identifiers that never name an indexable value, a called
 /// function, or a path segment of interest.
@@ -123,6 +144,10 @@ pub fn lint_tokens(path: &str, lexed: &Lexed) -> Vec<Finding> {
     if let Some(module) = hot_module(path) {
         lint_panic_safety(path, toks, &mut findings, &in_test);
         lint_allocations(path, module, toks, &mut findings, &in_test);
+    }
+
+    if setup_scope(path) {
+        lint_setup_fallibility(path, toks, &mut findings, &in_test);
     }
 
     findings
@@ -226,6 +251,53 @@ fn lint_panic_safety(
                     hint: hint.to_string(),
                 });
             }
+        }
+    }
+}
+
+// ---- E1: setup fallibility -------------------------------------------------
+
+fn lint_setup_fallibility(
+    path: &str,
+    toks: &[Token],
+    findings: &mut Vec<Finding>,
+    in_test: &dyn Fn(usize) -> bool,
+) {
+    let hint = "return `Result<_, SilcFmError>` so experiment drivers can report the bad \
+                knob and continue the rest of the grid";
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if in_test(t.line) {
+            continue;
+        }
+        if punct(Some(t), '.') {
+            if let Some(name) = toks.get(i + 1) {
+                if name.kind == TokenKind::Ident
+                    && (name.text == "unwrap" || name.text == "expect")
+                    && punct(toks.get(i + 2), '(')
+                {
+                    findings.push(Finding {
+                        rule: "E1",
+                        path: path.to_string(),
+                        line: name.line,
+                        message: format!(
+                            "`.{}(` in setup code turns a bad configuration into a crash",
+                            name.text
+                        ),
+                        hint: hint.to_string(),
+                    });
+                }
+            }
+        }
+        if t.kind == TokenKind::Ident && t.text == "panic" && punct(toks.get(i + 1), '!') {
+            findings.push(Finding {
+                rule: "E1",
+                path: path.to_string(),
+                line: t.line,
+                message: "`panic!` in setup code turns a bad configuration into a crash"
+                    .to_string(),
+                hint: hint.to_string(),
+            });
         }
     }
 }
@@ -701,6 +773,33 @@ mod tests {
             .map(|(_, l)| *l)
             .collect();
         assert_eq!(a1, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn e1_fires_in_setup_modules_and_crates() {
+        let src = "fn build(v: Option<u32>) -> u32 { v.unwrap() }\n\
+                   fn check(ok: bool) { if !ok { panic!(\"bad\"); } }\n";
+        assert_eq!(
+            rules_of("crates/dram/src/config.rs", src),
+            vec![("E1", 1), ("E1", 2)]
+        );
+        assert_eq!(
+            rules_of("crates/fault/src/schedule.rs", src),
+            vec![("E1", 1), ("E1", 2)]
+        );
+        // Ordinary simulator code is out of E1 scope.
+        assert!(rules_of("crates/sim/src/runner.rs", src).is_empty());
+    }
+
+    #[test]
+    fn e1_skips_test_modules() {
+        let src = "fn build(v: Option<u32>) -> u32 { v.unwrap_or(0) }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { assert_eq!(super::build(Some(1)), Some(1).unwrap()); }\n\
+                   }\n";
+        assert!(rules_of("crates/core/src/params.rs", src).is_empty());
     }
 
     #[test]

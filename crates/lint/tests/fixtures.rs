@@ -82,6 +82,33 @@ fn p1_is_silenced_by_a_directive_on_the_line_above() {
 }
 
 #[test]
+fn e1_fires_on_panicking_setup_code() {
+    let (findings, suppressed) = lint_rust_source(
+        "crates/dram/src/config.rs",
+        include_str!("fixtures/e1_bad.rs"),
+    );
+    assert_eq!(spots(&findings, "E1"), vec![3, 4, 6], "{findings:#?}");
+    assert_eq!(findings.len(), 3, "only E1 fires: {findings:#?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn e1_does_not_apply_outside_setup_modules() {
+    let (findings, _) = lint_rust_source(COLD, include_str!("fixtures/e1_bad.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn e1_is_silenced_by_an_annotated_allow() {
+    let (findings, suppressed) = lint_rust_source(
+        "crates/fault/src/schedule.rs",
+        include_str!("fixtures/e1_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
 fn a1_fires_only_on_allocations_reachable_from_the_seed() {
     let (findings, suppressed) = lint_rust_source(HOT, include_str!("fixtures/a1_bad.rs"));
     // `helper` is called from the `access` seed, so its `vec![` and

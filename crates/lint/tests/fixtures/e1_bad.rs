@@ -1,0 +1,9 @@
+//! E1 fixture: panicking setup code. Linted under a setup-module path.
+fn validate(channels: Option<u32>) -> u32 {
+    let n = channels.unwrap();
+    let m = channels.expect("set");
+    if n == 0 {
+        panic!("no channels");
+    }
+    n + m
+}

@@ -1,0 +1,5 @@
+//! E1 fixture: a documented local invariant makes the expect acceptable.
+fn validate(channels: Option<u32>) -> u32 {
+    // silcfm-lint: allow(E1) -- the caller above always sets channels; the invariant is one line away
+    channels.expect("always set by the constructor")
+}

@@ -47,8 +47,15 @@ fn args_of(event: &Event) -> String {
             format!("\"frame\":{frame},\"subblock\":{subblock}")
         }
         Event::LockPromote { frame, native } => format!("\"frame\":{frame},\"native\":{native}"),
-        Event::LockDemote { frame } => format!("\"frame\":{frame}"),
-        Event::BypassDecision { engaged } => format!("\"engaged\":{engaged}"),
+        Event::LockDemote { frame } | Event::Recovered { frame } | Event::Poisoned { frame } => {
+            format!("\"frame\":{frame}")
+        }
+        Event::BypassDecision { engaged } | Event::Failover { engaged } => {
+            format!("\"engaged\":{engaged}")
+        }
+        Event::FaultInjected { kind, target } => {
+            format!("\"kind\":\"{}\",\"target\":{target}", kind.label())
+        }
         Event::HistoryFetch { bits } => format!("\"bits\":{bits}"),
         Event::PredictorHit | Event::PredictorMiss => String::new(),
         Event::DramCmdIssue {

@@ -3,10 +3,12 @@
 
 use silcfm_baselines::{Cameo, CameoParams, Hma, HmaParams, Pom, PomParams, RandomStatic};
 use silcfm_core::{SilcFm, SilcFmParams};
+use silcfm_dram::DramConfig;
+use silcfm_fault::{FaultDriver, FaultRates, FaultSchedule, FaultStats, FaultTopology};
 use silcfm_obs::{ObsReport, RingTracer};
 use silcfm_trace::{profiles, PlacementPolicy, WorkloadProfile};
 use silcfm_types::obs::Tracer;
-use silcfm_types::{AddressSpace, Geometry, MemoryScheme, SystemConfig};
+use silcfm_types::{AddressSpace, Geometry, MemoryScheme, SilcFmError, SystemConfig};
 
 use crate::metrics::RunResult;
 use crate::observe::RunObs;
@@ -245,6 +247,57 @@ pub fn space_for(
     AddressSpace::new(nm_blocks * 2048, fm_blocks * 2048)
 }
 
+/// Fault-injection knobs for [`run_faulted`]: an independent seed (so the
+/// fault plane never perturbs workload or placement randomness), a schedule
+/// horizon in CPU cycles, and the per-class rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultParams {
+    /// Seed of the fault plane, decorrelated from [`RunParams::seed`].
+    pub fault_seed: u64,
+    /// CPU-cycle horizon the schedule covers; faults past the run's actual
+    /// length are simply never delivered.
+    pub horizon_cycles: u64,
+    /// Per-class injection rates.
+    pub rates: FaultRates,
+}
+
+impl FaultParams {
+    /// The fault topology `scheme` exposes over `space`: the controller's
+    /// way count, NM frame and subblock geometry, and the Table II channel
+    /// counts.
+    pub fn topology_for(scheme: &SchemeKind, space: AddressSpace) -> FaultTopology {
+        let ways = match scheme {
+            SchemeKind::SilcFm(p) => p.associativity,
+            _ => 1,
+        };
+        FaultTopology {
+            nm_ways: ways.min(u32::from(u8::MAX)) as u8,
+            nm_frames: (space.nm_bytes() / 2048).min(u64::from(u32::MAX)) as u32,
+            subblocks: 32,
+            nm_channels: DramConfig::hbm2().channels.min(u32::from(u8::MAX)) as u8,
+            fm_channels: DramConfig::ddr3().channels.min(u32::from(u8::MAX)) as u8,
+        }
+    }
+
+    /// Generates this configuration's schedule for `scheme` over `space`
+    /// and wraps it in a delivery cursor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SilcFmError::FaultConfig`] when the rates or derived
+    /// topology are invalid.
+    pub fn driver_for(
+        &self,
+        scheme: &SchemeKind,
+        space: AddressSpace,
+    ) -> Result<FaultDriver, SilcFmError> {
+        let topo = Self::topology_for(scheme, space);
+        let schedule =
+            FaultSchedule::generate(self.fault_seed, self.horizon_cycles, &self.rates, &topo)?;
+        Ok(FaultDriver::new(schedule))
+    }
+}
+
 /// Observability knobs for [`run_traced`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceParams {
@@ -353,8 +406,77 @@ pub fn run_traced(
     let result = collect(profile, scheme, &system, outcome);
     let report = system
         .finish_observation(outcome.cycles)
+        // silcfm-lint: allow(E1) -- with_observability ten lines up always installs RunObs; the invariant is local
         .expect("the system above is always built with observability");
     (result, report)
+}
+
+/// Like [`run`], but with a deterministic fault schedule armed: faults are
+/// delivered before the demand access that first reaches their cycle, the
+/// scheme and DRAM devices absorb or recover from them, and the returned
+/// ledger accounts every delivery.
+///
+/// # Errors
+///
+/// Returns [`SilcFmError::FaultConfig`] when `faults` is invalid.
+pub fn run_faulted(
+    profile: &WorkloadProfile,
+    scheme: SchemeKind,
+    cfg: &SystemConfig,
+    params: &RunParams,
+    faults: &FaultParams,
+) -> Result<(RunResult, FaultStats), SilcFmError> {
+    let scaled = profiles::scaled(profile, params.footprint_scale);
+    let space = space_for(&scaled, cfg, params);
+    let total_accesses = params.accesses_per_core * u64::from(cfg.core.cores);
+    let mut system = System::new(
+        *cfg,
+        space,
+        scheme.placement(params.seed),
+        scheme.build(space, total_accesses),
+    );
+    system.set_fault_driver(faults.driver_for(&scheme, space)?);
+    let outcome = system.run(&scaled, params.accesses_per_core, params.seed);
+    let result = collect(profile, scheme, &system, outcome);
+    Ok((result, *system.fault_stats()))
+}
+
+/// [`run_faulted`] with full observability, for harnesses that audit the
+/// fault plane's trace events (`fault_injected`, `recovered`, `poisoned`,
+/// `failover`) against the stats ledger.
+///
+/// # Errors
+///
+/// Returns [`SilcFmError::FaultConfig`] when `faults` is invalid.
+pub fn run_faulted_traced(
+    profile: &WorkloadProfile,
+    scheme: SchemeKind,
+    cfg: &SystemConfig,
+    params: &RunParams,
+    faults: &FaultParams,
+    trace: &TraceParams,
+) -> Result<(RunResult, FaultStats, ObsReport), SilcFmError> {
+    let scaled = profiles::scaled(profile, params.footprint_scale);
+    let space = space_for(&scaled, cfg, params);
+    let total_accesses = params.accesses_per_core * u64::from(cfg.core.cores);
+    let expected_cycles = params.accesses_per_core.saturating_mul(64);
+    let mut system = System::with_observability(
+        *cfg,
+        space,
+        scheme.placement(params.seed),
+        scheme.build_traced(space, total_accesses, trace.events_capacity),
+        RingTracer::with_capacity(trace.events_capacity),
+        RingTracer::with_capacity(trace.events_capacity),
+        Some(RunObs::new(trace.epoch_cycles, expected_cycles)),
+    );
+    system.set_fault_driver(faults.driver_for(&scheme, space)?);
+    let outcome = system.run(&scaled, params.accesses_per_core, params.seed);
+    let result = collect(profile, scheme, &system, outcome);
+    let fault_stats = *system.fault_stats();
+    let report = system
+        .finish_observation(outcome.cycles)
+        .ok_or_else(|| SilcFmError::experiment("traced run lost its observability state"))?;
+    Ok((result, fault_stats, report))
 }
 
 #[cfg(test)]
@@ -424,6 +546,60 @@ mod tests {
             .map(|k| k.label())
             .collect();
         assert_eq!(labels, vec!["rand", "hma", "cam", "camp", "pom", "silcfm"]);
+    }
+
+    #[test]
+    fn faulted_run_with_empty_schedule_matches_the_plain_run() {
+        let cfg = SystemConfig::small();
+        let params = RunParams::smoke();
+        let faults = FaultParams {
+            fault_seed: 1,
+            horizon_cycles: 1_000_000,
+            rates: FaultRates::none(),
+        };
+        let plain = run(profile(), SchemeKind::silcfm(), &cfg, &params);
+        let (faulted, stats) =
+            run_faulted(profile(), SchemeKind::silcfm(), &cfg, &params, &faults).unwrap();
+        assert_eq!(stats.injected, 0);
+        assert_eq!(plain.cycles, faulted.cycles);
+        assert_eq!(plain.traffic, faulted.traffic);
+        assert_eq!(plain.scheme_stats, faulted.scheme_stats);
+    }
+
+    #[test]
+    fn faulted_runs_conserve_and_are_deterministic() {
+        let cfg = SystemConfig::small();
+        let params = RunParams::smoke();
+        let faults = FaultParams {
+            fault_seed: 7,
+            horizon_cycles: 4_000_000,
+            rates: FaultRates::harsh(),
+        };
+        let (a, sa) = run_faulted(profile(), SchemeKind::silcfm(), &cfg, &params, &faults).unwrap();
+        let (b, sb) = run_faulted(profile(), SchemeKind::silcfm(), &cfg, &params, &faults).unwrap();
+        assert!(sa.injected > 0, "harsh rates must inject something");
+        assert!(sa.conserved());
+        assert_eq!(sa, sb);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.scheme_stats, b.scheme_stats);
+    }
+
+    #[test]
+    fn baselines_mask_scheme_faults_but_feel_channel_faults() {
+        let cfg = SystemConfig::small();
+        let params = RunParams::smoke();
+        let faults = FaultParams {
+            fault_seed: 3,
+            horizon_cycles: 4_000_000,
+            rates: FaultRates::harsh(),
+        };
+        let (r, stats) = run_faulted(profile(), SchemeKind::Hma, &cfg, &params, &faults).unwrap();
+        assert!(r.cycles > 0);
+        assert!(stats.conserved());
+        // The default `apply_fault` masks every scheme-side fault; nothing
+        // may be lost by a scheme that holds no interleaved state.
+        assert_eq!(stats.poisoned, 0);
     }
 
     #[test]

@@ -24,15 +24,21 @@
 //! ```
 
 pub mod experiment;
+pub mod journal;
 pub mod metrics;
 pub mod observe;
 pub mod report;
 pub mod runner;
 pub mod system;
 
-pub use experiment::{run, run_traced, RunParams, SchemeKind, TraceParams};
+pub use experiment::{
+    run, run_faulted, run_faulted_traced, run_traced, FaultParams, RunParams, SchemeKind,
+    TraceParams,
+};
 pub use metrics::{RunResult, TrafficTally};
 pub use observe::RunObs;
 pub use report::{format_table, Row};
-pub use runner::{run_grid, run_grid_serial, run_grid_traced, ExperimentGrid, Job};
+pub use runner::{
+    run_grid, run_grid_journaled, run_grid_serial, run_grid_traced, ExperimentGrid, Job,
+};
 pub use system::System;

@@ -36,16 +36,18 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::path::Path;
 use std::sync::mpsc;
 use std::sync::Mutex;
 
 use silcfm_trace::profiles::WorkloadProfile;
 use silcfm_types::rng::SplitMix64;
-use silcfm_types::SystemConfig;
+use silcfm_types::{SilcFmError, SystemConfig};
 
 use silcfm_obs::ObsReport;
 
 use crate::experiment::{run, run_traced, RunParams, SchemeKind, TraceParams};
+use crate::journal;
 use crate::metrics::RunResult;
 
 /// One self-contained simulation: everything [`run`] needs, by value, so the
@@ -258,6 +260,119 @@ pub fn run_grid(jobs: &[Job], threads: usize) -> Vec<RunResult> {
     run_grid_with(jobs, threads, Job::execute)
 }
 
+/// Runs `jobs` with a crash-safe journal at `path`: every finished job is
+/// appended (and flushed) the moment its worker reports it, and with
+/// `resume == true` an existing journal's completed jobs are loaded instead
+/// of re-run. Results come back in job order and — because each job is
+/// hermetic and the journal stores full bit-exact records — the aggregate
+/// is identical whether the grid ran uninterrupted, was killed and resumed,
+/// or was resumed with nothing left to do.
+///
+/// `on_done(index, result)` fires once per *newly executed* job, in
+/// completion order (not job order), for progress reporting and
+/// kill-window testing.
+///
+/// # Errors
+///
+/// Returns [`SilcFmError::Journal`] when the journal cannot be written, is
+/// corrupt, or belongs to a different grid.
+pub fn run_grid_journaled(
+    jobs: &[Job],
+    threads: usize,
+    path: &Path,
+    resume: bool,
+    mut on_done: impl FnMut(usize, &RunResult),
+) -> Result<Vec<RunResult>, SilcFmError> {
+    let digest = journal::grid_digest(jobs);
+    let (mut writer, done) = if resume && path.exists() {
+        journal::resume(path, digest)?
+    } else {
+        (
+            journal::JournalWriter::create(path, digest)?,
+            std::collections::BTreeMap::new(),
+        )
+    };
+
+    let mut slots: Vec<Option<RunResult>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+    for (index, result) in done {
+        if let Some(slot) = slots.get_mut(index) {
+            *slot = Some(result);
+        }
+        // Indices past the grid cannot occur for a digest-matched journal;
+        // ignoring them beats panicking on a hand-edited file.
+    }
+    let todo: Vec<usize> = (0..jobs.len()).filter(|&i| slots[i].is_none()).collect();
+
+    let threads = threads.max(1).min(todo.len().max(1));
+    if threads <= 1 || todo.len() <= 1 {
+        for &i in &todo {
+            let result = jobs[i].execute();
+            writer.append(i, &result)?;
+            on_done(i, &result);
+            slots[i] = Some(result);
+        }
+    } else {
+        // Same deal/steal scheduling as `run_grid_with`, but the receiver
+        // drains *inside* the scope so records hit the journal as workers
+        // finish, not after the whole grid completes — a kill at any moment
+        // loses at most the jobs still in flight.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+            .map(|w| {
+                Mutex::new(
+                    (w..todo.len())
+                        .step_by(threads)
+                        .map(|k| todo[k])
+                        .collect::<VecDeque<usize>>(),
+                )
+            })
+            .collect();
+        let queues = &queues;
+
+        let (tx, rx) = mpsc::channel::<(usize, RunResult)>();
+        let mut append_error = None;
+        std::thread::scope(|scope| {
+            for me in 0..threads {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let next = queues[me].lock().unwrap().pop_front().or_else(|| {
+                        (0..queues.len())
+                            .filter(|&w| w != me)
+                            .max_by_key(|&w| queues[w].lock().unwrap().len())
+                            .and_then(|w| queues[w].lock().unwrap().pop_back())
+                    });
+                    let Some(idx) = next else { break };
+                    let result = jobs[idx].execute();
+                    if tx.send((idx, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (idx, result) in rx {
+                if append_error.is_none() {
+                    if let Err(e) = writer.append(idx, &result) {
+                        append_error = Some(e);
+                    }
+                }
+                on_done(idx, &result);
+                if let Some(slot) = slots.get_mut(idx) {
+                    *slot = Some(result);
+                }
+            }
+        });
+        if let Some(e) = append_error {
+            return Err(e);
+        }
+    }
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.ok_or_else(|| SilcFmError::journal(format!("job {i} produced no result"))))
+        .collect()
+}
+
 /// Runs `jobs` with full observability (see
 /// [`run_traced`](crate::experiment::run_traced)) across `threads` workers.
 /// Results and reports come back in job order — each job's tracers are its
@@ -347,5 +462,59 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = option_env!("CARGO_TARGET_TMPDIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir)
+            .join("silcfm-runner-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn journaled_grid_matches_serial_bit_for_bit() {
+        let jobs = small_grid();
+        let path = tmp("full.journal");
+        let serial = run_grid_serial(&jobs);
+        let journaled = run_grid_journaled(&jobs, 3, &path, false, |_, _| {}).unwrap();
+        assert_eq!(serial, journaled);
+        // A resume with everything already done re-runs nothing and still
+        // returns the identical aggregate.
+        let mut reran = 0;
+        let resumed = run_grid_journaled(&jobs, 3, &path, true, |_, _| reran += 1).unwrap();
+        assert_eq!(reran, 0);
+        assert_eq!(serial, resumed);
+    }
+
+    #[test]
+    fn interrupted_journal_resumes_without_repeating_work() {
+        let jobs = small_grid();
+        let path = tmp("partial.journal");
+        let serial = run_grid_serial(&jobs);
+
+        // Simulate a run killed after three jobs: journal only a prefix.
+        let digest = journal::grid_digest(&jobs);
+        let mut w = journal::JournalWriter::create(&path, digest).unwrap();
+        for (i, r) in serial.iter().enumerate().take(3) {
+            w.append(i, r).unwrap();
+        }
+        drop(w);
+
+        let mut executed = Vec::new();
+        let resumed = run_grid_journaled(&jobs, 2, &path, true, |i, _| executed.push(i)).unwrap();
+        executed.sort_unstable();
+        assert_eq!(executed, vec![3, 4, 5], "only the missing jobs run");
+        assert_eq!(serial, resumed, "resumed aggregate is bit-identical");
+    }
+
+    #[test]
+    fn journal_from_a_different_grid_is_refused() {
+        let jobs = small_grid();
+        let path = tmp("foreign.journal");
+        let _ = run_grid_journaled(&jobs[..2], 1, &path, false, |_, _| {}).unwrap();
+        let err = run_grid_journaled(&jobs, 2, &path, true, |_, _| {}).unwrap_err();
+        assert!(err.to_string().contains("different grid"), "{err}");
     }
 }

@@ -3,8 +3,10 @@
 use silcfm_cache::CacheHierarchy;
 use silcfm_cpu::Core;
 use silcfm_dram::{DramConfig, DramModel};
+use silcfm_fault::{FaultDriver, FaultStats};
 use silcfm_obs::ObsReport;
 use silcfm_trace::{PageMapper, PlacementPolicy, WorkloadGen, WorkloadProfile};
+use silcfm_types::fault::{FaultKind, ScheduledFault};
 use silcfm_types::obs::{NullTracer, Tracer};
 use silcfm_types::{
     Access, AddressSpace, CoreId, MemKind, MemOp, MemoryScheme, SchemeOutcome, SystemConfig,
@@ -62,6 +64,10 @@ pub struct System<T: Tracer = NullTracer> {
     fm: DramModel<T>,
     tally: TrafficTally,
     obs: Option<RunObs>,
+    /// Scheduled fault injection (DESIGN.md §10); `None` — the default —
+    /// keeps the run loop's fault hook to a single branch per access.
+    faults: Option<FaultDriver>,
+    fault_stats: FaultStats,
 }
 
 impl System {
@@ -101,7 +107,25 @@ impl<T: Tracer> System<T> {
             cfg,
             space,
             obs,
+            faults: None,
+            fault_stats: FaultStats::default(),
         }
+    }
+
+    /// Arms the system with a fault schedule: faults whose delivery cycle
+    /// has passed are applied immediately before each demand access.
+    pub fn set_fault_driver(&mut self, driver: FaultDriver) {
+        self.faults = Some(driver);
+    }
+
+    /// The fault-effect ledger accumulated so far.
+    pub const fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// Scheduled faults not yet delivered (0 when no driver is armed).
+    pub fn faults_remaining(&self) -> usize {
+        self.faults.as_ref().map_or(0, FaultDriver::remaining)
     }
 
     /// Finalizes the run's observability state into an [`ObsReport`]
@@ -234,6 +258,16 @@ impl<T: Tracer> System<T> {
                 self.scheme.trace_clock(issue);
             }
 
+            // Deliver any faults that have come due, before the demand
+            // access observes the machine (one branch when no driver is
+            // armed). Each delivery reuses `out`; the demand path below
+            // clears it again.
+            if self.faults.is_some() {
+                while let Some(f) = self.faults.as_mut().and_then(|d| d.pop_due(issue)) {
+                    self.deliver_fault(f, issue, &mut out);
+                }
+            }
+
             // A scheme-imposed global stall, applied to every lane after the
             // charges are computed (reading it now: the writeback loop below
             // reuses `out`).
@@ -317,6 +351,31 @@ impl<T: Tracer> System<T> {
             instructions: lanes.iter().map(|l| l.core.instructions()).sum(),
             llc_misses: self.hierarchy.stats().l2_misses,
         }
+    }
+
+    /// Applies one scheduled fault at CPU cycle `now` and records its
+    /// effect. Scheme faults may emit recovery traffic (restore streams,
+    /// metadata rewrites) into `out`; that traffic is charged like any
+    /// other background work.
+    fn deliver_fault(&mut self, f: ScheduledFault, now: u64, out: &mut SchemeOutcome) {
+        let effect = match f.kind {
+            FaultKind::Scheme(sf) => {
+                // The default `apply_fault` leaves `out` untouched, so clear
+                // the reused outcome here lest a baseline recharge the
+                // previous access's operations.
+                out.clear();
+                let effect = self.scheme.apply_fault(&sf, out);
+                for op in out.critical.iter().chain(out.background.iter()) {
+                    let _ = self.charge(op, now + BACKGROUND_LAG);
+                }
+                effect
+            }
+            FaultKind::Dram { device, fault } => match device {
+                MemKind::Near => self.nm.inject_channel_fault(fault, now),
+                MemKind::Far => self.fm.inject_channel_fault(fault, now),
+            },
+        };
+        self.fault_stats.record(effect);
     }
 
     /// Charges one memory operation against the owning DRAM device at CPU

@@ -1,0 +1,143 @@
+//! The typed error used by every fallible configuration / setup path.
+//!
+//! Hot-path code (the per-access simulation loop) never returns errors —
+//! the P1 lint keeps panics out of it and invariants are enforced by
+//! construction. Setup code is different: a bad DRAM geometry, an invalid
+//! parameter ladder, a malformed fault schedule or a corrupt resume journal
+//! are *user input* problems, and crashing an hours-long grid with a panic
+//! is the wrong failure mode. Those paths return [`SilcFmError`] instead,
+//! so drivers (the bench binaries, the journaled runner) can report the
+//! problem and exit cleanly — or, for the runner, resume past it.
+
+use core::fmt;
+
+/// Everything that can go wrong while *setting up* or *persisting* a run.
+///
+/// Variants carry a human-readable reason rather than deep structure: these
+/// errors terminate in a message to the operator, not in programmatic
+/// recovery, so a string keeps the type stable as validations grow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SilcFmError {
+    /// A `SilcFmParams` ladder failed validation (see `ParamsError` in
+    /// `silcfm-core` for the structured form this wraps).
+    Params {
+        /// What was wrong with the parameters.
+        reason: String,
+    },
+    /// A `DramConfig` described an impossible device.
+    DramConfig {
+        /// What was wrong with the configuration.
+        reason: String,
+    },
+    /// A fault schedule or fault-rate configuration was invalid.
+    FaultConfig {
+        /// What was wrong with the fault configuration.
+        reason: String,
+    },
+    /// The experiment setup (grid, workload, system wiring) was invalid.
+    Experiment {
+        /// What was wrong with the experiment.
+        reason: String,
+    },
+    /// The crash-safe result journal could not be read, written or matched
+    /// against the grid being run.
+    Journal {
+        /// What went wrong with the journal.
+        reason: String,
+    },
+}
+
+impl SilcFmError {
+    /// Builds a [`SilcFmError::Params`] from anything displayable.
+    pub fn params(reason: impl fmt::Display) -> Self {
+        Self::Params {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Builds a [`SilcFmError::DramConfig`] from anything displayable.
+    pub fn dram_config(reason: impl fmt::Display) -> Self {
+        Self::DramConfig {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Builds a [`SilcFmError::FaultConfig`] from anything displayable.
+    pub fn fault_config(reason: impl fmt::Display) -> Self {
+        Self::FaultConfig {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Builds a [`SilcFmError::Experiment`] from anything displayable.
+    pub fn experiment(reason: impl fmt::Display) -> Self {
+        Self::Experiment {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Builds a [`SilcFmError::Journal`] from anything displayable.
+    pub fn journal(reason: impl fmt::Display) -> Self {
+        Self::Journal {
+            reason: reason.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SilcFmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SilcFmError::Params { reason } => write!(f, "invalid SILC-FM parameters: {reason}"),
+            SilcFmError::DramConfig { reason } => write!(f, "invalid DRAM config: {reason}"),
+            SilcFmError::FaultConfig { reason } => write!(f, "invalid fault config: {reason}"),
+            SilcFmError::Experiment { reason } => write!(f, "invalid experiment: {reason}"),
+            SilcFmError::Journal { reason } => write!(f, "journal error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SilcFmError {}
+
+impl From<std::io::Error> for SilcFmError {
+    fn from(e: std::io::Error) -> Self {
+        Self::journal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_category() {
+        assert_eq!(
+            SilcFmError::params("associativity must be a power of two").to_string(),
+            "invalid SILC-FM parameters: associativity must be a power of two"
+        );
+        assert!(SilcFmError::dram_config("0 channels")
+            .to_string()
+            .starts_with("invalid DRAM config"));
+        assert!(SilcFmError::fault_config("rate > 1")
+            .to_string()
+            .starts_with("invalid fault config"));
+        assert!(SilcFmError::journal("truncated header")
+            .to_string()
+            .starts_with("journal error"));
+        assert!(SilcFmError::experiment("no jobs")
+            .to_string()
+            .starts_with("invalid experiment"));
+    }
+
+    #[test]
+    fn io_errors_become_journal_errors() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SilcFmError = io.into();
+        assert!(matches!(e, SilcFmError::Journal { .. }));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&SilcFmError::params("x"));
+    }
+}

@@ -23,7 +23,13 @@
 //! * [`stats`] — small counter/ratio helpers used across crates;
 //! * [`obs`] — the tracing vocabulary ([`obs::Event`], [`obs::Tracer`],
 //!   [`obs::NullTracer`]) that lets components be instrumented with zero
-//!   cost when tracing is off (sinks live in `silcfm-obs`).
+//!   cost when tracing is off (sinks live in `silcfm-obs`);
+//! * [`fault`] — the fault-injection vocabulary ([`fault::ScheduledFault`],
+//!   [`fault::SchemeFault`], [`fault::ChannelFault`], [`fault::FaultEffect`])
+//!   shared by the `silcfm-fault` injector and the components that recover
+//!   from faults;
+//! * [`error`] — the typed [`error::SilcFmError`] returned by every fallible
+//!   configuration/setup path (hot paths never error).
 //!
 //! # Example
 //!
@@ -43,6 +49,8 @@ pub mod access;
 pub mod addr;
 pub mod check;
 pub mod config;
+pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod hash;
 pub mod layout;
@@ -57,11 +65,13 @@ pub mod stats;
 pub use access::{Access, CoreId};
 pub use addr::{BlockIndex, PhysAddr, SubblockIndex, VirtAddr};
 pub use config::{CacheParams, CoreParams, SystemConfig};
+pub use error::SilcFmError;
+pub use fault::{ChannelFault, EccOutcome, FaultEffect, FaultKind, ScheduledFault, SchemeFault};
 pub use geometry::Geometry;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use layout::AddressSpace;
 pub use mem::{MemKind, MemOp, OpKind, TrafficClass};
-pub use obs::{Event, NullTracer, RowKind, TraceEvent, Tracer};
+pub use obs::{Event, FaultClass, NullTracer, RowKind, TraceEvent, Tracer};
 pub use oplist::OpList;
 pub use record::TraceRecord;
 pub use scheme::{MemoryScheme, SchemeOutcome, SchemeStats};

@@ -42,6 +42,42 @@ impl RowKind {
     }
 }
 
+/// Coarse classification of an injected fault, carried by
+/// [`Event::FaultInjected`] so traces can distinguish fault classes without
+/// paying for the full `FaultKind` payload (events must stay two words).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// An NM associative way was degraded and masked out.
+    DegradedWay,
+    /// A previously degraded NM way was repaired.
+    RestoredWay,
+    /// A transient bit flip in a resident subblock (any ECC outcome).
+    BitFlip,
+    /// A parity error in a frame's remap/metadata entry.
+    MetadataParity,
+    /// A DRAM channel entered a stall window.
+    ChannelStall,
+    /// A DRAM channel hard-failed (commands NACK until repair).
+    ChannelFail,
+    /// A failed or stalled DRAM channel was repaired.
+    ChannelRepair,
+}
+
+impl FaultClass {
+    /// Short lowercase label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::DegradedWay => "degraded_way",
+            FaultClass::RestoredWay => "restored_way",
+            FaultClass::BitFlip => "bit_flip",
+            FaultClass::MetadataParity => "metadata_parity",
+            FaultClass::ChannelStall => "channel_stall",
+            FaultClass::ChannelFail => "channel_fail",
+            FaultClass::ChannelRepair => "channel_repair",
+        }
+    }
+}
+
 /// One traceable occurrence inside the simulator, in compact binary form.
 ///
 /// Variants carry only small fixed-width payloads so a [`TraceEvent`] stays
@@ -114,6 +150,32 @@ pub enum Event {
         /// sample (saturating).
         busy: u32,
     },
+    /// The fault plane delivered a fault to a component.
+    FaultInjected {
+        /// Which class of fault fired.
+        kind: FaultClass,
+        /// Class-dependent target: frame index for scheme faults, way index
+        /// for way degradation/repair, channel index for DRAM faults.
+        target: u32,
+    },
+    /// A recovery path ran and preserved all data (entry invalidated with
+    /// the FM home intact, tenant evacuated from a degraded way, …).
+    Recovered {
+        /// NM frame index that was recovered.
+        frame: u32,
+    },
+    /// A frame lost the only valid copy of resident data: poisoned and
+    /// reported (the flat organization has nothing to restore from).
+    Poisoned {
+        /// NM frame index that was poisoned.
+        frame: u32,
+    },
+    /// The controller crossed the NM-unhealthy threshold and switched the
+    /// bypass-all failover mode (with hysteresis; see DESIGN.md §10).
+    Failover {
+        /// `true` when failover engaged, `false` when it disengaged.
+        engaged: bool,
+    },
 }
 
 impl Event {
@@ -131,6 +193,10 @@ impl Event {
             Event::PredictorMiss => "predictor_miss",
             Event::DramCmdIssue { .. } => "dram_cmd",
             Event::QueueDepthSample { .. } => "queue_depth",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::Recovered { .. } => "recovered",
+            Event::Poisoned { .. } => "poisoned",
+            Event::Failover { .. } => "failover",
         }
     }
 }
@@ -215,6 +281,18 @@ mod tests {
             "swap_start"
         );
         assert_eq!(RowKind::Conflict.label(), "conflict");
+        assert_eq!(
+            Event::FaultInjected {
+                kind: FaultClass::BitFlip,
+                target: 9
+            }
+            .label(),
+            "fault_injected"
+        );
+        assert_eq!(Event::Poisoned { frame: 2 }.label(), "poisoned");
+        assert_eq!(Event::Recovered { frame: 2 }.label(), "recovered");
+        assert_eq!(Event::Failover { engaged: true }.label(), "failover");
+        assert_eq!(FaultClass::ChannelFail.label(), "channel_fail");
     }
 
     #[test]

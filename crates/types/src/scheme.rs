@@ -21,6 +21,7 @@
 use core::fmt;
 
 use crate::access::Access;
+use crate::fault::{FaultEffect, SchemeFault};
 use crate::mem::{MemKind, MemOp};
 use crate::obs::TraceEvent;
 use crate::oplist::OpList;
@@ -169,6 +170,19 @@ pub trait MemoryScheme {
 
     /// Resets all internal state and statistics, as if freshly constructed.
     fn reset(&mut self);
+
+    /// Delivers one scheme-level fault, writing any recovery traffic
+    /// (evacuation swaps, restored subblocks) into `out` and returning what
+    /// the fault did to the data.
+    ///
+    /// Schemes without fault-plane support — all the baselines — keep this
+    /// default: the fault has no modeled target, so it is [`Masked`]
+    /// (`FaultEffect::Masked`) and generates no traffic. The default leaves
+    /// `out` untouched; implementations clear it before filling it, exactly
+    /// like [`access`](MemoryScheme::access).
+    fn apply_fault(&mut self, _fault: &SchemeFault, _out: &mut SchemeOutcome) -> FaultEffect {
+        FaultEffect::Masked
+    }
 
     /// Informs a tracing scheme of the simulation cycle the *next*
     /// [`access`](MemoryScheme::access) will be stamped with. Schemes have

@@ -50,4 +50,30 @@ cargo run --release --offline -p silcfm-bench --bin trace_capture -- \
 cargo run --release --offline -p silcfm-obs --bin trace_check -- \
   "$trace_dir/trace.json"
 
+# Chaos smoke: soak the fault plane (conservation, replay bit-identity,
+# ledger-vs-trace agreement, the failover oracle) at CI size. Any
+# invariant violation prints a VIOLATION line and exits non-zero
+# (see DESIGN.md §10).
+echo "==> chaos soak (smoke)"
+cargo run --release --offline -p silcfm-bench --bin chaos -- --smoke
+
+# Kill-and-resume smoke: run a journaled fault grid, crash it mid-write
+# after 2 of 4 jobs (exit 3, torn tail on the journal), resume it, and
+# demand the byte-identical aggregate an uninterrupted run produces.
+echo "==> journaled grid kill-and-resume (smoke)"
+chaos_bin="target/release/chaos"
+journal_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$journal_dir"' EXIT
+rc=0
+"$chaos_bin" --skip-soak --journal "$journal_dir/crash.journal" \
+  --die-after-jobs 2 || rc=$?
+[ "$rc" -eq 3 ] || { echo "expected simulated crash (exit 3), got $rc"; exit 1; }
+resumed="$("$chaos_bin" --skip-soak --journal "$journal_dir/crash.journal" \
+  --resume | grep -o 'aggregate=[0-9a-f]*')"
+fresh="$("$chaos_bin" --skip-soak --journal "$journal_dir/fresh.journal" \
+  | grep -o 'aggregate=[0-9a-f]*')"
+[ -n "$resumed" ] && [ "$resumed" = "$fresh" ] || {
+  echo "resume aggregate mismatch: resumed='$resumed' fresh='$fresh'"; exit 1; }
+echo "    resumed $resumed == fresh $fresh"
+
 echo "ok: tier-1 green"

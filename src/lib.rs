@@ -19,6 +19,7 @@
 //! * [`trace`] — synthetic SPEC-like workloads (Table III);
 //! * [`core`] — the SILC-FM controller (the paper's contribution);
 //! * [`baselines`] — Random / HMA / CAMEO / CAMEO+P / PoM;
+//! * [`fault`] — deterministic fault schedules and the effect ledger;
 //! * [`obs`] — tracing sinks, cycle-domain metrics and trace exporters;
 //! * [`sim`] — full-system simulation and experiment runners.
 
@@ -27,6 +28,7 @@ pub use silcfm_cache as cache;
 pub use silcfm_core as core;
 pub use silcfm_cpu as cpu;
 pub use silcfm_dram as dram;
+pub use silcfm_fault as fault;
 pub use silcfm_obs as obs;
 pub use silcfm_sim as sim;
 pub use silcfm_trace as trace;

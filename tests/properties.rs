@@ -379,3 +379,326 @@ fn sampler_seals_to_exact_row_count() {
         }
     });
 }
+
+/// Fault schedules replay bit-identically from their seed and every drawn
+/// payload stays inside the declared topology — the precondition for
+/// delivering them into a controller without bounds checks downstream.
+#[test]
+fn fault_schedules_replay_and_respect_topology() {
+    use silc_fm::fault::{FaultRates, FaultSchedule, FaultTopology};
+    use silc_fm::types::fault::{FaultKind, SchemeFault};
+
+    forall("fault_schedules_replay_and_respect_topology", |rng| {
+        let topo = FaultTopology {
+            nm_ways: rng.gen_range(1u64..8) as u8,
+            nm_frames: rng.gen_range(1u64..4096) as u32,
+            subblocks: 32,
+            nm_channels: rng.gen_range(1u64..16) as u8,
+            fm_channels: rng.gen_range(1u64..8) as u8,
+        };
+        let scale = rng.gen_range(0u64..40) as f64 / 10.0;
+        let base = FaultRates::harsh();
+        let rates = FaultRates {
+            way_degrade_per_m: base.way_degrade_per_m * scale,
+            bit_flip_per_m: base.bit_flip_per_m * scale,
+            metadata_parity_per_m: base.metadata_parity_per_m * scale,
+            channel_stall_per_m: base.channel_stall_per_m * scale,
+            channel_fail_per_m: base.channel_fail_per_m * scale,
+            ..base
+        };
+        let seed = rng.gen_range(0u64..1 << 60);
+        let horizon = rng.gen_range(100_000u64..4_000_000);
+        let a = FaultSchedule::generate(seed, horizon, &rates, &topo).unwrap();
+        let b = FaultSchedule::generate(seed, horizon, &rates, &topo).unwrap();
+        assert_eq!(a.faults(), b.faults(), "same seed, same schedule");
+
+        let mut prev = 0;
+        for f in a.faults() {
+            assert!(f.at >= prev, "schedule sorted by delivery cycle");
+            prev = f.at;
+            match f.kind {
+                FaultKind::Scheme(SchemeFault::DegradeWay { way })
+                | FaultKind::Scheme(SchemeFault::RestoreWay { way }) => {
+                    assert!(way < topo.nm_ways);
+                }
+                FaultKind::Scheme(SchemeFault::BitFlip {
+                    frame, subblock, ..
+                }) => {
+                    assert!(frame < topo.nm_frames);
+                    assert!(subblock < topo.subblocks);
+                }
+                FaultKind::Scheme(SchemeFault::MetadataParity { frame }) => {
+                    assert!(frame < topo.nm_frames);
+                }
+                FaultKind::Dram { device, fault } => {
+                    let channels = match device {
+                        MemKind::Near => topo.nm_channels,
+                        MemKind::Far => topo.fm_channels,
+                    };
+                    assert!(fault.channel() < channels);
+                }
+            }
+        }
+    });
+}
+
+/// Applying a schedule's scheme faults to a warmed-up controller is
+/// deterministic (same effects, same stats on replay), conserves every
+/// delivery in the effect ledger, and reports exactly the failover
+/// transitions the schedule-only oracle derives.
+#[test]
+fn controller_fault_effects_replay_and_conserve() {
+    use silc_fm::fault::{
+        expected_failover_transitions, FaultRates, FaultSchedule, FaultStats, FaultTopology,
+    };
+    use silc_fm::types::fault::{FaultEffect, FaultKind, ScheduledFault};
+    use silc_fm::types::{SchemeOutcome, SchemeStats};
+
+    fn detail(stats: &SchemeStats, key: &str) -> f64 {
+        stats
+            .details
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0.0, |(_, v)| *v)
+    }
+
+    forall_cases("controller_fault_effects_replay_and_conserve", 64, |rng| {
+        let topo = FaultTopology {
+            nm_ways: 4,
+            nm_frames: NM_BLOCKS as u32,
+            subblocks: 32,
+            nm_channels: 8,
+            fm_channels: 4,
+        };
+        let accesses = arb_accesses(rng, 300);
+        let seed = rng.gen_range(0u64..1 << 48);
+        let schedule =
+            FaultSchedule::generate(seed, 2_000_000, &FaultRates::harsh(), &topo).unwrap();
+        let scheme_faults: Vec<ScheduledFault> = schedule
+            .faults()
+            .iter()
+            .filter(|f| matches!(f.kind, FaultKind::Scheme(_)))
+            .copied()
+            .collect();
+
+        let drive = |acc: &[Access],
+                     faults: &[ScheduledFault]|
+         -> (Vec<FaultEffect>, FaultStats, SchemeStats) {
+            let mut scheme = SilcFm::new(
+                space(),
+                Geometry::paper(),
+                SilcFmParams {
+                    aging_period: 100,
+                    bypass_window: 50,
+                    ..SilcFmParams::paper()
+                },
+            );
+            for a in acc {
+                let _ = scheme.access_fresh(a);
+            }
+            let mut out = SchemeOutcome::empty();
+            let mut effects = Vec::new();
+            let mut ledger = FaultStats::default();
+            for f in faults {
+                let FaultKind::Scheme(sf) = f.kind else {
+                    continue;
+                };
+                let e = scheme.apply_fault(&sf, &mut out);
+                ledger.record(e);
+                effects.push(e);
+            }
+            (effects, ledger, scheme.stats())
+        };
+
+        let (e1, l1, s1) = drive(&accesses, &scheme_faults);
+        let (e2, l2, s2) = drive(&accesses, &scheme_faults);
+        assert_eq!(e1, e2, "effects replay bit-identically");
+        assert_eq!(l1, l2);
+        assert_eq!(s1, s2);
+        assert!(l1.conserved(), "every delivery has one accounted effect");
+        assert_eq!(l1.injected as usize, scheme_faults.len());
+
+        // The controller's own counters agree with the external ledger.
+        assert_eq!(detail(&s1, "faults_injected") as u64, l1.injected);
+        assert_eq!(detail(&s1, "fault_corrected") as u64, l1.corrected);
+        assert_eq!(detail(&s1, "fault_recovered") as u64, l1.recovered);
+        assert_eq!(detail(&s1, "fault_poisoned") as u64, l1.poisoned);
+        assert_eq!(detail(&s1, "fault_masked") as u64, l1.masked);
+
+        // Failover transitions match the schedule-only oracle exactly.
+        let oracle = expected_failover_transitions(&scheme_faults, 4);
+        assert_eq!(detail(&s1, "failover_transitions") as usize, oracle.len());
+    });
+}
+
+/// The ECC outcome mix of generated bit flips tracks the configured
+/// probabilities (within binomial noise): the fault plane's randomness is
+/// calibrated, not just reproducible.
+#[test]
+fn ecc_outcomes_track_configured_probabilities() {
+    use silc_fm::fault::{FaultRates, FaultSchedule, FaultTopology};
+
+    forall_cases("ecc_outcomes_track_configured_probabilities", 64, |rng| {
+        let correct_pct = rng.gen_range(0u64..=90);
+        let due_pct = rng.gen_range(0u64..=(100 - correct_pct));
+        let rates = FaultRates {
+            bit_flip_per_m: 200.0,
+            ecc_correct_p: correct_pct as f64 / 100.0,
+            ecc_due_p: due_pct as f64 / 100.0,
+            ..FaultRates::none()
+        };
+        let topo = FaultTopology {
+            nm_ways: 4,
+            nm_frames: 1024,
+            subblocks: 32,
+            nm_channels: 8,
+            fm_channels: 4,
+        };
+        let seed = rng.gen_range(0u64..1 << 60);
+        let s = FaultSchedule::generate(seed, 10_000_000, &rates, &topo).unwrap();
+        let (c, d, u) = s.ecc_histogram();
+        let n = c + d + u;
+        assert!(n > 1_000, "expected ~2000 flips, got {n}");
+
+        let expect = [
+            rates.ecc_correct_p,
+            rates.ecc_due_p,
+            1.0 - rates.ecc_correct_p - rates.ecc_due_p,
+        ];
+        for (label, (got, p)) in ["corrected", "due", "undetected"]
+            .iter()
+            .zip([c, d, u].into_iter().zip(expect))
+        {
+            let frac = got as f64 / n as f64;
+            let tol = (5.0 * (p * (1.0 - p) / n as f64).sqrt()).max(0.02);
+            assert!(
+                (frac - p).abs() <= tol,
+                "{label}: observed {frac:.3} vs configured {p:.3} (tol {tol:.3}, n={n})"
+            );
+        }
+    });
+}
+
+/// Cutting a journal at an arbitrary byte (the crash model) and resuming
+/// recovers exactly the records whose lines completed; re-appending the
+/// missing ones reproduces the uninterrupted journal byte for byte.
+#[test]
+fn journal_resume_recovers_exactly_the_complete_prefix() {
+    use silc_fm::sim::journal::{resume, JournalWriter};
+    use silc_fm::sim::{RunResult, TrafficTally};
+    use silc_fm::types::SchemeStats;
+
+    fn arb_result(rng: &mut Xoshiro256StarStar, i: usize) -> RunResult {
+        const KEYS: &[&str] = &["locks", "swaps", "epochs", "migrations"];
+        let access_rate = rng.gen_range(0u64..1 << 52) as f64 / 1e18 - 1.0;
+        let energy_pj = rng.gen_range(0u64..1 << 52) as f64 / 3.0 - 1.0;
+        let mpki = rng.gen_range(0u64..1 << 52) as f64 / 1e6 - 1.0;
+        let mut stats = SchemeStats {
+            accesses: rng.gen_range(0u64..1 << 40),
+            serviced_from_nm: rng.gen_range(0u64..1 << 40),
+            subblocks_moved: rng.gen_range(0u64..1 << 40),
+            blocks_migrated: rng.gen_range(0u64..1 << 20),
+            details: Vec::new(),
+        };
+        for key in KEYS.iter().take(rng.gen_range(0usize..=KEYS.len())) {
+            let v = rng.gen_range(0u64..1 << 52) as f64 / 7.0;
+            stats.detail(key, v);
+        }
+        RunResult {
+            scheme: ["silcfm", "hma", "cam"][i % 3].to_string(),
+            workload: ["mcf", "milc"][i % 2].to_string(),
+            cycles: rng.gen_range(1u64..u64::MAX),
+            instructions: rng.gen_range(1u64..u64::MAX),
+            llc_misses: rng.gen_range(0u64..1 << 40),
+            access_rate,
+            traffic: TrafficTally {
+                nm_demand: rng.gen_range(0u64..1 << 40),
+                fm_demand: rng.gen_range(0u64..1 << 40),
+                nm_other: rng.gen_range(0u64..1 << 40),
+                fm_other: rng.gen_range(0u64..1 << 40),
+            },
+            energy_pj,
+            scheme_stats: stats,
+            mpki,
+            footprint_bytes: rng.gen_range(0u64..1 << 48),
+        }
+    }
+
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("silcfm-prop-journal");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    forall_cases(
+        "journal_resume_recovers_exactly_the_complete_prefix",
+        64,
+        |rng| {
+            let digest = rng.gen_range(0u64..u64::MAX);
+            let n = rng.gen_range(1usize..6);
+            let results: Vec<RunResult> = (0..n).map(|i| arb_result(rng, i)).collect();
+            let path = dir.join(format!(
+                "case-{:016x}.journal",
+                rng.gen_range(0u64..u64::MAX)
+            ));
+
+            let mut w = JournalWriter::create(&path, digest).unwrap();
+            for (i, r) in results.iter().enumerate() {
+                w.append(i, r).unwrap();
+            }
+            drop(w);
+            let full = std::fs::read(&path).unwrap();
+
+            // Crash model: the file survives only up to an arbitrary byte.
+            let header_end = full.iter().position(|b| *b == b'\n').unwrap() + 1;
+            let cut = rng.gen_range(header_end..=full.len());
+            std::fs::write(&path, &full[..cut]).unwrap();
+
+            let (mut w2, done) = resume(&path, digest).unwrap();
+            let ends: Vec<usize> = full
+                .iter()
+                .enumerate()
+                .skip(header_end)
+                .filter(|(_, b)| **b == b'\n')
+                .map(|(i, _)| i + 1)
+                .collect();
+            let survived = ends.iter().filter(|e| **e <= cut).count();
+            assert_eq!(done.len(), survived, "exactly the complete lines survive");
+            for (i, r) in &done {
+                assert_eq!(&results[*i], r, "record {i} round-trips bit-exactly");
+            }
+
+            // Finishing the interrupted run reproduces the uninterrupted file.
+            for (i, r) in results.iter().enumerate().skip(survived) {
+                w2.append(i, r).unwrap();
+            }
+            drop(w2);
+            assert_eq!(std::fs::read(&path).unwrap(), full);
+            std::fs::remove_file(&path).ok();
+        },
+    );
+}
+
+/// The 6-bit frame aging counters clamp at the field width from any
+/// starting state — including a corrupt past-the-width one — instead of
+/// wrapping or panicking.
+#[test]
+fn frame_counters_saturate_at_the_field_width() {
+    use silc_fm::core::metadata::COUNTER_MAX;
+    use silc_fm::core::FrameMeta;
+
+    forall("frame_counters_saturate_at_the_field_width", |rng| {
+        let mut m = FrameMeta::empty();
+        m.nm_counter = rng.gen_range(0u64..256) as u8;
+        m.fm_counter = rng.gen_range(0u64..256) as u8;
+        let bumps = rng.gen_range(1usize..200);
+        for _ in 0..bumps {
+            let v = if rng.gen_bool(0.5) {
+                m.bump_nm()
+            } else {
+                m.bump_fm()
+            };
+            assert!(v <= COUNTER_MAX, "counter escaped its width: {v}");
+        }
+        if bumps >= 2 * usize::from(COUNTER_MAX) {
+            assert_eq!(m.nm_counter.max(m.fm_counter), COUNTER_MAX);
+        }
+    });
+}
