@@ -29,8 +29,8 @@ use silcfm_fault::{expected_failover_transitions, FaultRates, FaultSchedule, Fau
 use silcfm_sim::experiment::space_for;
 use silcfm_sim::runner::ExperimentGrid;
 use silcfm_sim::{
-    run_faulted, run_faulted_traced, run_grid_journaled, FaultParams, RunParams, RunResult,
-    SchemeKind, TraceParams,
+    run_faulted, run_faulted_traced, run_grid_journaled, run_grid_journaled_sharded, FaultParams,
+    RunParams, RunResult, SchemeKind, ShardParams, TraceParams,
 };
 use silcfm_trace::profiles;
 use silcfm_types::obs::Event;
@@ -43,6 +43,10 @@ struct Opts {
     journal: Option<PathBuf>,
     resume: bool,
     die_after_jobs: Option<u64>,
+    /// Run each journaled job on the sharded runner with this many threads
+    /// inside the simulation (results stay bit-identical, so sharded and
+    /// serial invocations share journals).
+    sharded: Option<usize>,
 }
 
 impl Opts {
@@ -54,6 +58,7 @@ impl Opts {
             journal: None,
             resume: false,
             die_after_jobs: None,
+            sharded: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -78,6 +83,13 @@ impl Opts {
                             .unwrap_or_else(|_| die("bad --die-after-jobs")),
                     );
                 }
+                "--sharded" => {
+                    opts.sharded = Some(
+                        value("--sharded")
+                            .parse()
+                            .unwrap_or_else(|_| die("bad --sharded")),
+                    );
+                }
                 other => die(&format!("unknown option {other}")),
             }
         }
@@ -89,7 +101,7 @@ fn die(msg: &str) -> ! {
     eprintln!("chaos: {msg}");
     eprintln!(
         "usage: chaos [--smoke] [--seed N] [--skip-soak] \
-         [--journal PATH [--resume] [--die-after-jobs N]]"
+         [--journal PATH [--resume] [--die-after-jobs N] [--sharded THREADS]]"
     );
     std::process::exit(2);
 }
@@ -335,7 +347,7 @@ fn journaled_grid(opts: &Opts, path: &PathBuf, violations: &mut Vec<String>) {
 
     let die_after = opts.die_after_jobs;
     let mut appended = 0u64;
-    let results = run_grid_journaled(&jobs, 2, path, opts.resume, |index, _| {
+    let on_done = |index: usize, _: &RunResult| {
         appended += 1;
         println!("journal: job {index} done ({appended} this process)");
         if Some(appended) == die_after {
@@ -347,7 +359,14 @@ fn journaled_grid(opts: &Opts, path: &PathBuf, violations: &mut Vec<String>) {
             println!("journal: simulating a crash after {appended} jobs");
             std::process::exit(3);
         }
-    });
+    };
+    let results = match opts.sharded {
+        Some(threads) => {
+            let shard = ShardParams::with_threads(threads.max(1));
+            run_grid_journaled_sharded(&jobs, 2, path, opts.resume, &shard, on_done)
+        }
+        None => run_grid_journaled(&jobs, 2, path, opts.resume, on_done),
+    };
     match results {
         Ok(results) => {
             println!(

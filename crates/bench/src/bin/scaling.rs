@@ -1,0 +1,372 @@
+//! Thread-sweep scaling benchmark for the sharded single-run simulator.
+//!
+//! The grid runner already scales *across* independent runs; this binary
+//! measures how one large simulation scales when sharded across threads
+//! (DESIGN.md §11): workload generation on producer threads, the
+//! shared-state commit loop on the consumer. Every sharded run's result is
+//! asserted bit-identical to the serial baseline before its time is
+//! recorded — a measurement that changed the answer would be worthless.
+//!
+//! Methodology (per thread count): one warmup run at a fraction of the
+//! budget to heat caches and the allocator, then `--repeats` timed runs of
+//! the full budget with the best (minimum-time) rate reported, matching the
+//! `throughput` binary's minimum-time estimation. Speedup is defined
+//! against the *serial* `run` path — the un-sharded code the repo shipped
+//! with — not against sharded-at-1-thread.
+//!
+//! Results are spliced into `results/BENCH_throughput.json` as a
+//! `"scaling"` section (replacing any previous one). The host's core count
+//! is recorded alongside: on a 1-core host the sweep still runs and the
+//! numbers are still honest, but thread counts above 1 time-slice one CPU
+//! and any speedup comes from chunked generation's cache locality, not
+//! parallelism.
+//!
+//! Run with: `cargo run --release -p silcfm-bench --bin scaling`
+//! Options:
+//!   --smoke         fast determinism gate: serial vs sharded digests on a
+//!                   smoke-sized run; exits 1 on divergence, writes nothing
+//!   --workload W    Table III profile to run (default milc)
+//!   --accesses N    accesses per core for the timed runs (default 600000)
+//!   --repeats N     timed repetitions per thread count (default 2)
+//!   --max-threads N sweep ceiling (default max(4, 2 x host cores))
+//!   --epoch N       records per lane per epoch barrier (default 4096)
+//!   --out PATH      JSON to splice into (default results/BENCH_throughput.json)
+//!   --no-write      measure and print, but do not touch the JSON
+
+use std::hash::Hasher as _;
+use std::time::Instant;
+
+use silcfm_sim::{run, run_sharded, RunParams, SchemeKind, ShardParams};
+use silcfm_trace::profiles;
+use silcfm_types::{FxHasher, SystemConfig};
+
+struct Options {
+    smoke: bool,
+    workload: String,
+    accesses: u64,
+    repeats: u32,
+    max_threads: Option<usize>,
+    epoch: u64,
+    out: String,
+    write: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        smoke: false,
+        workload: "milc".to_string(),
+        accesses: 600_000,
+        repeats: 2,
+        max_threads: None,
+        epoch: 4096,
+        out: "results/BENCH_throughput.json".to_string(),
+        write: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--workload" => opts.workload = args.next().expect("--workload needs a name"),
+            "--accesses" => {
+                let v = args.next().expect("--accesses needs a value");
+                opts.accesses = v.parse().expect("--accesses must be an integer");
+            }
+            "--repeats" => {
+                let v = args.next().expect("--repeats needs a value");
+                opts.repeats = v.parse().expect("--repeats must be an integer");
+                assert!(opts.repeats > 0, "--repeats must be positive");
+            }
+            "--max-threads" => {
+                let v = args.next().expect("--max-threads needs a value");
+                opts.max_threads = Some(v.parse().expect("--max-threads must be an integer"));
+            }
+            "--epoch" => {
+                let v = args.next().expect("--epoch needs a value");
+                opts.epoch = v.parse().expect("--epoch must be an integer");
+            }
+            "--out" => opts.out = args.next().expect("--out needs a path"),
+            "--no-write" => opts.write = false,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!(
+                    "usage: scaling [--smoke] [--workload W] [--accesses N] [--repeats N] \
+                     [--max-threads N] [--epoch N] [--out PATH] [--no-write]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Full bit-level digest of a run's result (every field, via Debug).
+fn digest(r: &silcfm_sim::RunResult) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(format!("{r:?}").as_bytes());
+    h.finish()
+}
+
+/// The determinism gate: a smoke-sized run, serial vs sharded at 2 and 4
+/// threads (traced paths are covered by the test suite; this is the cheap
+/// CI-facing check). Exits nonzero on any divergence.
+fn smoke(cfg: &SystemConfig, opts: &Options) -> ! {
+    let profile = profiles::by_name(&opts.workload)
+        .unwrap_or_else(|| panic!("unknown workload '{}'", opts.workload));
+    let params = RunParams {
+        accesses_per_core: 8_000,
+        ..RunParams::smoke()
+    };
+    let serial = run(profile, SchemeKind::silcfm(), cfg, &params);
+    let want = digest(&serial);
+    let mut failed = false;
+    for threads in [1usize, 2, 4] {
+        let shard = ShardParams {
+            threads,
+            epoch_records: 512,
+            lookahead_epochs: 4,
+        };
+        let (sharded, report) = run_sharded(profile, SchemeKind::silcfm(), cfg, &params, &shard);
+        let got = digest(&sharded);
+        let ok = got == want && report.delta_mismatches == 0;
+        println!(
+            "smoke {} threads={threads}: serial={want:016x} sharded={got:016x} \
+             merge_checksum={:016x} mismatches={} [{}]",
+            opts.workload,
+            report.checksum,
+            report.delta_mismatches,
+            if ok { "ok" } else { "DIVERGED" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!("scaling smoke FAILED: sharded run diverged from the serial digest");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// One timed configuration: warmup at an eighth of the budget, then the
+/// best (minimum) wall time over `repeats` full runs. Every timed run's
+/// digest is checked against `want`.
+fn timed_sharded(
+    profile: &profiles::WorkloadProfile,
+    cfg: &SystemConfig,
+    params: &RunParams,
+    shard: &ShardParams,
+    repeats: u32,
+    want: u64,
+) -> f64 {
+    let warm = RunParams {
+        accesses_per_core: (params.accesses_per_core / 8).max(1),
+        ..*params
+    };
+    let _ = run_sharded(profile, SchemeKind::silcfm(), cfg, &warm, shard);
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let (r, report) = run_sharded(profile, SchemeKind::silcfm(), cfg, params, shard);
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            digest(&r),
+            want,
+            "sharded run at {} threads diverged from the serial digest",
+            shard.threads
+        );
+        assert_eq!(report.delta_mismatches, 0, "epoch merge tore a handoff");
+        best = best.min(dt);
+    }
+    best
+}
+
+fn main() {
+    let opts = parse_args();
+    let cores = host_cores();
+
+    if opts.smoke {
+        smoke(&SystemConfig::small(), &opts);
+    }
+
+    // The full sweep runs a single large simulation on the experiment
+    // config (16 cores = 16 lanes, so producer threads have work to own).
+    let cfg = SystemConfig::experiment();
+    let profile = profiles::by_name(&opts.workload)
+        .unwrap_or_else(|| panic!("unknown workload '{}'", opts.workload));
+    let params = RunParams {
+        accesses_per_core: opts.accesses,
+        ..RunParams::full()
+    };
+    let total = params.accesses_per_core * u64::from(cfg.core.cores);
+    let max_threads = opts.max_threads.unwrap_or_else(|| (2 * cores).max(4));
+
+    println!(
+        "scaling: {} x {} accesses/core ({} total), epoch={}, host_cores={}, sweep 1..={}",
+        opts.workload, params.accesses_per_core, total, opts.epoch, cores, max_threads
+    );
+    if cores == 1 {
+        eprintln!(
+            "warning: host exposes 1 core; threads time-slice one CPU, so any speedup \
+             reflects chunked generation's cache locality, not parallel execution"
+        );
+    }
+
+    // Serial baseline: the un-sharded path every speedup is defined against.
+    let warm = RunParams {
+        accesses_per_core: (params.accesses_per_core / 8).max(1),
+        ..params
+    };
+    let _ = run(profile, SchemeKind::silcfm(), &cfg, &warm);
+    let mut serial_best = f64::INFINITY;
+    let mut want = 0u64;
+    for _ in 0..opts.repeats {
+        let t0 = Instant::now();
+        let r = run(profile, SchemeKind::silcfm(), &cfg, &params);
+        serial_best = serial_best.min(t0.elapsed().as_secs_f64());
+        want = digest(&r);
+    }
+    println!(
+        "{:>8} {:>10} {:>14} {:>8}",
+        "threads", "ms", "acc/s", "speedup"
+    );
+    println!(
+        "{:>8} {:>10.1} {:>14.0} {:>8}",
+        "serial",
+        serial_best * 1e3,
+        total as f64 / serial_best,
+        "1.00"
+    );
+
+    let mut sweep: Vec<(usize, f64, f64, f64)> = Vec::new();
+    for threads in 1..=max_threads {
+        let shard = ShardParams {
+            threads,
+            epoch_records: opts.epoch,
+            lookahead_epochs: 4,
+        };
+        let best = timed_sharded(profile, &cfg, &params, &shard, opts.repeats, want);
+        let rate = total as f64 / best;
+        let speedup = serial_best / best;
+        println!(
+            "{threads:>8} {:>10.1} {rate:>14.0} {speedup:>8.2}",
+            best * 1e3
+        );
+        sweep.push((threads, best * 1e3, rate, speedup));
+    }
+
+    let peak = sweep
+        .iter()
+        .filter(|(t, ..)| *t >= 2)
+        .map(|&(_, _, _, s)| s)
+        .fold(0.0f64, f64::max);
+    if peak <= 1.0 {
+        eprintln!(
+            "warning: no sharded configuration beat the serial path (peak {peak:.2}x at >=2 \
+             threads on a {cores}-core host); numbers recorded as measured"
+        );
+    }
+
+    if opts.write {
+        let section = render_section(&opts, &cfg, total, cores, serial_best, &sweep);
+        let json = match std::fs::read_to_string(&opts.out) {
+            Ok(existing) => splice(&existing, &section),
+            Err(_) => format!("{{\n{section}\n}}\n"),
+        };
+        if let Some(dir) = std::path::Path::new(&opts.out).parent() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+        std::fs::write(&opts.out, json).expect("write results JSON");
+        println!("\nwrote {}", opts.out);
+    }
+}
+
+/// Renders the `"scaling"` object body (no surrounding comma).
+fn render_section(
+    opts: &Options,
+    cfg: &SystemConfig,
+    total: u64,
+    cores: usize,
+    serial_best: f64,
+    sweep: &[(usize, f64, f64, f64)],
+) -> String {
+    let mut out = String::new();
+    out.push_str("  \"scaling\": {\n");
+    out.push_str(&format!("    \"workload\": \"{}\",\n", opts.workload));
+    out.push_str("    \"config\": \"experiment\",\n");
+    out.push_str(&format!("    \"cores_simulated\": {},\n", cfg.core.cores));
+    out.push_str(&format!("    \"accesses_per_core\": {},\n", opts.accesses));
+    out.push_str(&format!("    \"total_accesses\": {total},\n"));
+    out.push_str(&format!("    \"epoch_records\": {},\n", opts.epoch));
+    out.push_str(&format!("    \"host_cores\": {cores},\n"));
+    if cores == 1 {
+        out.push_str(
+            "    \"warning\": \"host exposes 1 core; speedup reflects chunked generation \
+             locality, not parallel execution\",\n",
+        );
+    }
+    out.push_str(&format!("    \"serial_ms\": {:.1},\n", serial_best * 1e3));
+    out.push_str(&format!(
+        "    \"serial_acc_s\": {:.0},\n",
+        total as f64 / serial_best
+    ));
+    out.push_str("    \"sweep\": [\n");
+    let rows: Vec<String> = sweep
+        .iter()
+        .map(|(t, ms, rate, speedup)| {
+            format!(
+                "      {{\"threads\": {t}, \"ms\": {ms:.1}, \"acc_per_s\": {rate:.0}, \
+                 \"speedup\": {speedup:.3}}}"
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n    ]\n  }");
+    out
+}
+
+/// Splices `section` into an existing top-level JSON object, replacing any
+/// previous `"scaling"` section. The input is this repo's own hand-rolled
+/// benchmark JSON (flat, trailing `}\n`), so brace counting suffices.
+fn splice(existing: &str, section: &str) -> String {
+    let without = remove_scaling(existing);
+    let trimmed = without.trim_end();
+    let body = trimmed
+        .strip_suffix('}')
+        .expect("benchmark JSON must end with a closing brace");
+    format!("{},\n{section}\n}}\n", body.trim_end())
+}
+
+/// Removes a previously spliced `"scaling": { ... }` section (and the comma
+/// that introduced it), if present.
+fn remove_scaling(json: &str) -> String {
+    let tag = "\"scaling\": {";
+    let Some(key) = json.find(tag) else {
+        return json.to_string();
+    };
+    // Walk back over the separator (`,` plus whitespace) that precedes it.
+    let start = json[..key]
+        .rfind(',')
+        .unwrap_or_else(|| json[..key].trim_end().len());
+    // Walk forward to the matching close brace.
+    let open = key + tag.len() - 1;
+    let mut depth = 0usize;
+    let mut end = json.len();
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + i + 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    format!("{}{}", &json[..start], &json[end..])
+}

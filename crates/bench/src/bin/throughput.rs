@@ -352,6 +352,12 @@ fn main() {
             "\ngrid of {jobs} runs: serial {serial_ms:.0} ms, \
              parallel ({threads} threads) {parallel_ms:.0} ms"
         );
+        if threads == 1 {
+            eprintln!(
+                "warning: grid timed with 1 thread (host parallelism or SILCFM_THREADS); \
+                 serial vs \"parallel\" measures pool overhead, not speedup — recording null"
+            );
+        }
         Some((jobs, threads, serial_ms, parallel_ms))
     } else {
         None
@@ -436,10 +442,17 @@ fn render_json(
         out.push_str(&format!("    \"threads\": {threads},\n"));
         out.push_str(&format!("    \"serial_ms\": {serial_ms:.1},\n"));
         out.push_str(&format!("    \"parallel_ms\": {parallel_ms:.1},\n"));
-        out.push_str(&format!(
-            "    \"speedup\": {:.2}\n",
-            serial_ms / parallel_ms
-        ));
+        // A 1-thread "parallel" run measures pool overhead, not speedup;
+        // recording 1.00x would misrepresent an unmeasurable quantity.
+        if threads == 1 {
+            out.push_str("    \"speedup\": null,\n");
+            out.push_str("    \"warning\": \"measured with 1 thread; speedup is not defined\"\n");
+        } else {
+            out.push_str(&format!(
+                "    \"speedup\": {:.2}\n",
+                serial_ms / parallel_ms
+            ));
+        }
         out.push_str("  }");
     }
     if let Some((off, on)) = overhead {

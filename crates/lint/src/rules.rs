@@ -29,6 +29,7 @@ pub const HOT_MODULES: &[&str] = &[
     "model.rs",
     "oplist.rs",
     "system.rs",
+    "shard.rs",
 ];
 
 /// Per-module entry points of the access hot path, used as the reachability
@@ -40,6 +41,9 @@ pub const HOT_SEEDS: &[(&str, &[&str])] = &[
     ("model.rs", &["read", "write", "stream"]),
     ("oplist.rs", &["push", "clear", "extend"]),
     ("system.rs", &["run", "charge"]),
+    // The sharded feed's record pull and the epoch-barrier merge it drives
+    // run once per serviced access (DESIGN.md §11).
+    ("shard.rs", &["next"]),
 ];
 
 /// Setup/configuration modules where E1 applies: validation and

@@ -46,9 +46,10 @@ use silcfm_types::{SilcFmError, SystemConfig};
 
 use silcfm_obs::ObsReport;
 
-use crate::experiment::{run, run_traced, RunParams, SchemeKind, TraceParams};
+use crate::experiment::{run, run_sharded, run_traced, RunParams, SchemeKind, TraceParams};
 use crate::journal;
 use crate::metrics::RunResult;
+use crate::shard::ShardParams;
 
 /// One self-contained simulation: everything [`run`] needs, by value, so the
 /// job can execute on any worker in any order.
@@ -70,6 +71,14 @@ impl Job {
     /// outputs comparable bit for bit.
     pub fn execute(&self) -> RunResult {
         run(&self.profile, self.scheme, &self.cfg, &self.params)
+    }
+
+    /// Executes the job on the sharded runner: `shard.threads` threads
+    /// *inside* this one simulation (DESIGN.md §11). The result is
+    /// bit-identical to [`Job::execute`] at any thread count, so sharded
+    /// and serial grids — and their journals — interoperate freely.
+    pub fn execute_sharded(&self, shard: &ShardParams) -> RunResult {
+        run_sharded(&self.profile, self.scheme, &self.cfg, &self.params, shard).0
     }
 }
 
@@ -260,6 +269,14 @@ pub fn run_grid(jobs: &[Job], threads: usize) -> Vec<RunResult> {
     run_grid_with(jobs, threads, Job::execute)
 }
 
+/// Runs `jobs` one at a time in grid order, with each simulation itself
+/// sharded across `shard.threads` threads. This is the shape a *single
+/// large run* wants — all threads inside the run rather than across runs —
+/// and it returns results bit-identical to [`run_grid_serial`].
+pub fn run_grid_sharded(jobs: &[Job], shard: &ShardParams) -> Vec<RunResult> {
+    jobs.iter().map(|j| j.execute_sharded(shard)).collect()
+}
+
 /// Runs `jobs` with a crash-safe journal at `path`: every finished job is
 /// appended (and flushed) the moment its worker reports it, and with
 /// `resume == true` an existing journal's completed jobs are loaded instead
@@ -281,8 +298,42 @@ pub fn run_grid_journaled(
     threads: usize,
     path: &Path,
     resume: bool,
-    mut on_done: impl FnMut(usize, &RunResult),
+    on_done: impl FnMut(usize, &RunResult),
 ) -> Result<Vec<RunResult>, SilcFmError> {
+    run_grid_journaled_with(jobs, threads, path, resume, on_done, Job::execute)
+}
+
+/// [`run_grid_journaled`] with every job executed on the sharded runner
+/// (`shard.threads` threads inside each simulation). Because sharded
+/// results are bit-identical to serial ones, the journal format and grid
+/// digest are shared: a grid journaled serially can be resumed sharded and
+/// vice versa, and the aggregate never changes.
+pub fn run_grid_journaled_sharded(
+    jobs: &[Job],
+    threads: usize,
+    path: &Path,
+    resume: bool,
+    shard: &ShardParams,
+    on_done: impl FnMut(usize, &RunResult),
+) -> Result<Vec<RunResult>, SilcFmError> {
+    run_grid_journaled_with(jobs, threads, path, resume, on_done, |job: &Job| {
+        job.execute_sharded(shard)
+    })
+}
+
+/// The crash-safe core behind [`run_grid_journaled`] and
+/// [`run_grid_journaled_sharded`], generic over how one job executes.
+fn run_grid_journaled_with<F>(
+    jobs: &[Job],
+    threads: usize,
+    path: &Path,
+    resume: bool,
+    mut on_done: impl FnMut(usize, &RunResult),
+    execute: F,
+) -> Result<Vec<RunResult>, SilcFmError>
+where
+    F: Fn(&Job) -> RunResult + Sync,
+{
     let digest = journal::grid_digest(jobs);
     let (mut writer, done) = if resume && path.exists() {
         journal::resume(path, digest)?
@@ -307,7 +358,7 @@ pub fn run_grid_journaled(
     let threads = threads.max(1).min(todo.len().max(1));
     if threads <= 1 || todo.len() <= 1 {
         for &i in &todo {
-            let result = jobs[i].execute();
+            let result = execute(&jobs[i]);
             writer.append(i, &result)?;
             on_done(i, &result);
             slots[i] = Some(result);
@@ -328,6 +379,7 @@ pub fn run_grid_journaled(
             })
             .collect();
         let queues = &queues;
+        let execute = &execute;
 
         let (tx, rx) = mpsc::channel::<(usize, RunResult)>();
         let mut append_error = None;
@@ -342,7 +394,7 @@ pub fn run_grid_journaled(
                             .and_then(|w| queues[w].lock().unwrap().pop_back())
                     });
                     let Some(idx) = next else { break };
-                    let result = jobs[idx].execute();
+                    let result = execute(&jobs[idx]);
                     if tx.send((idx, result)).is_err() {
                         break;
                     }
@@ -507,6 +559,55 @@ mod tests {
         executed.sort_unstable();
         assert_eq!(executed, vec![3, 4, 5], "only the missing jobs run");
         assert_eq!(serial, resumed, "resumed aggregate is bit-identical");
+    }
+
+    #[test]
+    fn sharded_grid_matches_serial_bit_for_bit() {
+        let jobs = small_grid();
+        let serial = run_grid_serial(&jobs);
+        let sharded = run_grid_sharded(&jobs, &ShardParams::with_threads(2));
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn journal_written_serially_resumes_sharded_and_vice_versa() {
+        let jobs = small_grid();
+        let serial = run_grid_serial(&jobs);
+
+        // Serial prefix, sharded resume.
+        let path = tmp("crossmode.journal");
+        let digest = journal::grid_digest(&jobs);
+        let mut w = journal::JournalWriter::create(&path, digest).unwrap();
+        for (i, r) in serial.iter().enumerate().take(2) {
+            w.append(i, r).unwrap();
+        }
+        drop(w);
+        let shard = ShardParams::with_threads(3);
+        let mut executed = Vec::new();
+        let resumed =
+            run_grid_journaled_sharded(&jobs, 1, &path, true, &shard, |i, _| executed.push(i))
+                .unwrap();
+        executed.sort_unstable();
+        assert_eq!(executed, vec![2, 3, 4, 5]);
+        assert_eq!(serial, resumed);
+
+        // Sharded prefix, serial resume: the journal carries no trace of
+        // which mode wrote it, because the records are bit-identical.
+        let path = tmp("crossmode-back.journal");
+        let _ = run_grid_journaled_sharded(
+            &jobs[..3],
+            1,
+            &path,
+            false,
+            &ShardParams::with_threads(2),
+            |_, _| {},
+        )
+        .unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        let path2 = tmp("crossmode-serial.journal");
+        let _ = run_grid_journaled(&jobs[..3], 1, &path2, false, |_, _| {}).unwrap();
+        let second = std::fs::read_to_string(&path2).unwrap();
+        assert_eq!(first, second, "journal bytes are mode-invariant");
     }
 
     #[test]

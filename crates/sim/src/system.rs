@@ -10,7 +10,7 @@ use silcfm_types::fault::{FaultKind, ScheduledFault};
 use silcfm_types::obs::{NullTracer, Tracer};
 use silcfm_types::{
     Access, AddressSpace, CoreId, MemKind, MemOp, MemoryScheme, SchemeOutcome, SystemConfig,
-    TraceRecord,
+    TraceRecord, VirtAddr,
 };
 
 use crate::metrics::TrafficTally;
@@ -32,13 +32,11 @@ pub struct SystemOutcome {
     pub llc_misses: u64,
 }
 
-/// Per-core execution state: the core model, its workload generator, and
-/// the scheduler bookkeeping that used to live in parallel vectors. One
-/// struct per core means the run loop touches exactly one bounds-checked
-/// element per serviced access.
+/// Per-core execution state: the core model plus the scheduler bookkeeping
+/// that used to live in parallel vectors. One struct per core means the run
+/// loop touches exactly one bounds-checked element per serviced access.
 struct Lane {
     core: Core,
-    gen: WorkloadGen,
     /// The record waiting to issue.
     pending: TraceRecord,
     /// Memory accesses still to issue on this lane.
@@ -47,6 +45,50 @@ struct Lane {
     next: Option<u64>,
     /// Cycle at which this lane retired its last instruction.
     finish_time: u64,
+}
+
+/// A per-lane source of trace records: the contract between the run loop
+/// and whatever generates the workload stream.
+///
+/// [`System::run_with_feed`] pulls every record through this interface in
+/// the scheduler's (timing-driven) order; each lane's sub-stream must come
+/// back in generation order. The serial path wires lanes straight to their
+/// generators; the sharded path ([`crate::shard`]) feeds pre-generated
+/// epoch chunks from producer threads. Because the per-lane streams are
+/// pure functions of (profile, lane, seed), identical records reach an
+/// identical run loop — which is why sharded results are bit-identical to
+/// serial ones at any thread count.
+pub trait RecordFeed {
+    /// Returns lane `lane`'s next record. The run loop calls this once per
+    /// lane to prime the pipeline and then once per serviced access.
+    fn next(&mut self, lane: usize) -> TraceRecord;
+}
+
+/// The serial feed: one generator per lane, called inline from the run loop.
+struct GenFeed {
+    gens: Vec<WorkloadGen>,
+}
+
+impl GenFeed {
+    fn new(profile: &WorkloadProfile, lanes: usize, seed: u64) -> Self {
+        Self {
+            gens: (0..lanes)
+                .map(|i| WorkloadGen::new(profile, CoreId::new(i as u16), seed))
+                .collect(),
+        }
+    }
+}
+
+impl RecordFeed for GenFeed {
+    fn next(&mut self, lane: usize) -> TraceRecord {
+        match self.gens.get_mut(lane) {
+            Some(g) => g.next_record(),
+            None => {
+                debug_assert!(false, "feed polled for a lane it does not own");
+                TraceRecord::load(0, VirtAddr::new(0), 0)
+            }
+        }
+    }
 }
 
 /// A complete simulated machine under one placement scheme.
@@ -183,6 +225,11 @@ impl<T: Tracer> System<T> {
         self.nm.energy_pj(cycles) + self.fm.energy_pj(cycles)
     }
 
+    /// Number of cores (= workload lanes) this system simulates.
+    pub fn core_count(&self) -> usize {
+        usize::from(self.cfg.core.cores)
+    }
+
     /// Runs one copy of `profile` on every core (the paper's rate mode)
     /// until each core has issued `accesses_per_core` memory accesses.
     ///
@@ -195,7 +242,22 @@ impl<T: Tracer> System<T> {
         accesses_per_core: u64,
         seed: u64,
     ) -> SystemOutcome {
-        let n = usize::from(self.cfg.core.cores);
+        let mut feed = GenFeed::new(profile, self.core_count(), seed);
+        self.run_with_feed(&mut feed, accesses_per_core)
+    }
+
+    /// The run loop behind [`System::run`], generic over where the workload
+    /// records come from. Every path into the simulator — serial, traced,
+    /// faulted, sharded — executes this exact loop; feeds differ only in
+    /// how lane sub-streams are produced, never in what reaches the shared
+    /// machine state (caches, page pool, scheme, DRAM), so results are a
+    /// pure function of the record streams.
+    pub fn run_with_feed<F: RecordFeed>(
+        &mut self,
+        feed: &mut F,
+        accesses_per_core: u64,
+    ) -> SystemOutcome {
+        let n = self.core_count();
         // Setup: one lane per core, primed with its first record. This is
         // the run's only allocation; the access loop below reuses it.
         let mut lanes: Vec<Lane> = (0..n)
@@ -205,13 +267,11 @@ impl<T: Tracer> System<T> {
                     u64::from(self.cfg.core.rob_entries),
                     u64::from(self.cfg.core.width),
                 );
-                let mut gen = WorkloadGen::new(profile, CoreId::new(i as u16), seed);
-                let pending = gen.next_record();
+                let pending = feed.next(i);
                 core.execute_compute(u64::from(pending.compute));
                 let next = Some(core.issue_time(pending.dependent));
                 Lane {
                     core,
-                    gen,
                     pending,
                     remaining: accesses_per_core,
                     next,
@@ -336,7 +396,7 @@ impl<T: Tracer> System<T> {
             lane.core.execute_memory(completion, rec.dependent);
             lane.remaining -= 1;
             if lane.remaining > 0 {
-                let rec = lane.gen.next_record();
+                let rec = feed.next(i);
                 lane.core.execute_compute(u64::from(rec.compute));
                 lane.next = Some(lane.core.issue_time(rec.dependent));
                 lane.pending = rec;

@@ -123,6 +123,25 @@ impl SchemeStats {
     pub fn detail(&mut self, name: &'static str, value: f64) {
         self.details.push((name, value));
     }
+
+    /// Folds another snapshot into this one: counters add, and detail
+    /// metrics with the same key add as well (a key present in only one
+    /// side is carried over). Merging preserves the access-rate identity —
+    /// the merged rate is the access-weighted mean of the inputs — so
+    /// deterministic lane/epoch aggregation (see `silcfm-sim`'s sharded
+    /// runner) loses nothing relative to a single serial tally.
+    pub fn merge(&mut self, other: &SchemeStats) {
+        self.accesses += other.accesses;
+        self.serviced_from_nm += other.serviced_from_nm;
+        self.subblocks_moved += other.subblocks_moved;
+        self.blocks_migrated += other.blocks_migrated;
+        for (key, value) in &other.details {
+            match self.details.iter_mut().find(|(k, _)| k == key) {
+                Some((_, v)) => *v += value,
+                None => self.details.push((key, *value)),
+            }
+        }
+    }
 }
 
 impl fmt::Display for SchemeStats {
@@ -266,5 +285,45 @@ mod tests {
     fn stats_display_is_nonempty() {
         let s = SchemeStats::default();
         assert!(s.to_string().contains("accesses=0"));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_unions_details() {
+        let mut a = SchemeStats {
+            accesses: 10,
+            serviced_from_nm: 8,
+            subblocks_moved: 3,
+            blocks_migrated: 1,
+            ..Default::default()
+        };
+        a.detail("locks", 2.0);
+        let b = SchemeStats {
+            accesses: 30,
+            serviced_from_nm: 6,
+            subblocks_moved: 4,
+            blocks_migrated: 0,
+            details: vec![("locks", 5.0), ("epochs", 7.0)],
+        };
+        a.merge(&b);
+        assert_eq!(a.accesses, 40);
+        assert_eq!(a.serviced_from_nm, 14);
+        assert_eq!(a.subblocks_moved, 7);
+        assert_eq!(a.blocks_migrated, 1);
+        assert_eq!(a.details, vec![("locks", 7.0), ("epochs", 7.0)]);
+        // The merged rate is the access-weighted mean: 14/40.
+        assert!((a.access_rate() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = SchemeStats {
+            accesses: 5,
+            serviced_from_nm: 2,
+            ..Default::default()
+        };
+        a.detail("swaps", 1.0);
+        let before = a.clone();
+        a.merge(&SchemeStats::default());
+        assert_eq!(a, before);
     }
 }

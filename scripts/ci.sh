@@ -37,6 +37,13 @@ echo "==> throughput benchmark (smoke budget, with tracing overhead)"
 cargo run --release --offline -p silcfm-bench --bin throughput -- \
   --budget 2000 --repeats 1 --no-write --skip-grid --overhead
 
+# Scaling smoke: run one small simulation serially and sharded at 1, 2
+# and 4 threads and demand bit-identical results — the epoch-barrier
+# merge determinism guarantee (DESIGN.md §11), checked end to end
+# through the real bench binary rather than only in unit tests.
+echo "==> sharded-run determinism (smoke)"
+cargo run --release --offline -p silcfm-bench --bin scaling -- --smoke
+
 # Trace smoke: capture one fully traced smoke run, then validate the
 # Chrome trace with the in-tree checker — the JSON must parse, every
 # declared track must carry at least one event, and per-track timestamps
@@ -57,23 +64,27 @@ cargo run --release --offline -p silcfm-obs --bin trace_check -- \
 echo "==> chaos soak (smoke)"
 cargo run --release --offline -p silcfm-bench --bin chaos -- --smoke
 
-# Kill-and-resume smoke: run a journaled fault grid, crash it mid-write
-# after 2 of 4 jobs (exit 3, torn tail on the journal), resume it, and
-# demand the byte-identical aggregate an uninterrupted run produces.
-echo "==> journaled grid kill-and-resume (smoke)"
+# Kill-and-resume smoke: run a journaled fault grid with each cell
+# sharded across 2 threads, crash it mid-write after 2 of 4 jobs
+# (exit 3, torn tail on the journal), resume it — still sharded — and
+# demand the byte-identical aggregate an uninterrupted *serial* run
+# produces. Passing proves both crash-safety and that sharded execution
+# is mode-invariant (DESIGN.md §11): the journal cannot tell which
+# engine wrote it.
+echo "==> journaled grid kill-and-resume (smoke, sharded cells)"
 chaos_bin="target/release/chaos"
 journal_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir" "$journal_dir"' EXIT
 rc=0
 "$chaos_bin" --skip-soak --journal "$journal_dir/crash.journal" \
-  --die-after-jobs 2 || rc=$?
+  --die-after-jobs 2 --sharded 2 || rc=$?
 [ "$rc" -eq 3 ] || { echo "expected simulated crash (exit 3), got $rc"; exit 1; }
 resumed="$("$chaos_bin" --skip-soak --journal "$journal_dir/crash.journal" \
-  --resume | grep -o 'aggregate=[0-9a-f]*')"
+  --resume --sharded 2 | grep -o 'aggregate=[0-9a-f]*')"
 fresh="$("$chaos_bin" --skip-soak --journal "$journal_dir/fresh.journal" \
   | grep -o 'aggregate=[0-9a-f]*')"
 [ -n "$resumed" ] && [ "$resumed" = "$fresh" ] || {
   echo "resume aggregate mismatch: resumed='$resumed' fresh='$fresh'"; exit 1; }
-echo "    resumed $resumed == fresh $fresh"
+echo "    resumed (sharded) $resumed == fresh (serial) $fresh"
 
 echo "ok: tier-1 green"

@@ -103,6 +103,56 @@ fn golden_stats_snapshot() {
     }
 }
 
+/// Thread-invariance of the *sharded single-run* engine against the same
+/// committed snapshot: executing every workload × scheme row with the
+/// simulation itself sharded at 2 and at 4 threads must reproduce the
+/// serial digest bit for bit, with zero epoch-merge handoff mismatches —
+/// and the per-job lane-delta checksums must be identical across thread
+/// counts, because they are a pure function of the workload streams.
+#[test]
+fn sharded_digests_match_the_committed_snapshot_at_any_thread_count() {
+    use silc_fm::sim::{run_sharded, ShardParams};
+
+    // silcfm-lint: allow(D2) -- during a BLESS re-snapshot the committed file is mid-rewrite by the snapshot test; this check reruns on the next ordinary test pass
+    if std::env::var("BLESS").is_ok() {
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("tests/golden_stats.txt missing; regenerate with BLESS=1 cargo test --test golden");
+
+    let jobs = snapshot_jobs();
+    let mut checksum_rows: Vec<Vec<u64>> = Vec::new();
+    for threads in [2usize, 4] {
+        let shard = ShardParams {
+            threads,
+            epoch_records: 1024,
+            lookahead_epochs: 4,
+        };
+        let mut results = Vec::new();
+        let mut checksums = Vec::new();
+        for job in &jobs {
+            let (r, report) = run_sharded(&job.profile, job.scheme, &job.cfg, &job.params, &shard);
+            assert_eq!(
+                report.delta_mismatches, 0,
+                "{}/{} tore an epoch handoff at {threads} threads",
+                r.workload, r.scheme
+            );
+            checksums.push(report.checksum);
+            results.push(r);
+        }
+        assert_eq!(
+            digest(&results),
+            expected,
+            "sharded digest at {threads} threads diverged from the committed snapshot"
+        );
+        checksum_rows.push(checksums);
+    }
+    assert_eq!(
+        checksum_rows[0], checksum_rows[1],
+        "lane-delta checksums must be thread-count invariant"
+    );
+}
+
 /// The outcome-reuse protocol is behavior-neutral: driving every scheme with
 /// one reused `SchemeOutcome` produces exactly the op sequences, servicing
 /// decisions and tallies of a fresh outcome per access. This is the
