@@ -17,15 +17,25 @@
 //! (serial vs sharded-parallel) so whole-grid speed is tracked alongside
 //! per-access speed. Results land in `results/BENCH_throughput.json`.
 //!
+//! The scheme-only layer is measured twice: access-at-a-time through
+//! [`MemoryScheme::access`], and in chunks of `--batch` accesses through
+//! [`MemoryScheme::access_batch`]. Before the batched layer is timed, a
+//! digest gate replays every stream both ways and asserts the op streams,
+//! service decisions, stalls, and end-of-run stats are byte-identical —
+//! a batched rate that changed the answer would be worthless.
+//!
 //! Run with: `cargo run --release -p silcfm-bench --bin throughput`
 //! Options:
 //!   --budget N    accesses per scheme per layer (default 560000)
+//!   --batch N     accesses per `access_batch` call in the batched layer
+//!                 (default 4096)
 //!   --repeats N   repetitions per measurement; best rate wins (default 3)
 //!   --out PATH    output JSON path (default results/BENCH_throughput.json)
 //!   --no-write    measure and print, but do not write the JSON
 //!   --skip-grid   skip the serial-vs-parallel grid timing
 //!   --overhead    also measure SILC-FM full-system with the ring tracers
-//!                 and epoch sampler live (tracer-on vs tracer-off acc/s)
+//!                 and epoch sampler live (tracer-on vs tracer-off acc/s),
+//!                 plus the sampling tracer tier at several 1-in-N rates
 //!   --baseline P  JSON from a pre-change build of this binary; its rates
 //!                 are embedded as "pre_change" and a full-system SILC-FM
 //!                 speedup ratio is computed against it
@@ -35,20 +45,40 @@
 //! else the host is running, which on shared machines dwarfs the
 //! simulator's own run-to-run variation.
 
+use std::hash::Hasher as _;
 use std::time::Instant;
 
 use silcfm_sim::experiment::space_for;
 use silcfm_sim::{
-    run, run_grid, run_grid_serial, run_traced, ExperimentGrid, RunParams, SchemeKind, TraceParams,
+    run, run_grid, run_grid_serial, run_sampled_lean, run_traced, ExperimentGrid, RunParams,
+    SchemeKind, TraceParams,
 };
 use silcfm_trace::{profiles, PageMapper, PlacementPolicy, WorkloadGen};
-use silcfm_types::{Access, CoreId, SystemConfig};
+use silcfm_types::{Access, BatchOutcome, CoreId, FxHasher, MemKind, MemOp, SystemConfig};
 
 /// Default accesses per scheme per layer, spread over the profiles.
 const DEFAULT_BUDGET: u64 = 560_000;
 
+/// Default accesses per `access_batch` call in the batched layer.
+const DEFAULT_BATCH: u64 = 4096;
+
+/// Ring capacity for the `--overhead` regimes. The timed region includes
+/// system construction (as it does for the untraced rate, so both sides
+/// pay the same fixed costs) — but a capture-sized 1 Mi-event ring per
+/// tracer means ~75 MB of allocation, which at this benchmark's run
+/// lengths would dwarf the record-path cost being measured. 16 Ki events
+/// is plenty for a steady-state record-cost measurement (the ring wraps;
+/// wrapping *is* the steady state) and allocates in microseconds.
+const OVERHEAD_EVENTS_CAPACITY: usize = 1 << 14;
+
+/// 1-in-N sampling periods the `--overhead` mode measures. The smallest
+/// period is the most expensive (it retains the most full events), so the
+/// pair brackets the tier's realistic operating range.
+const SAMPLING_PERIODS: [u64; 2] = [16, 256];
+
 struct Options {
     budget: u64,
+    batch: u64,
     repeats: u32,
     out: String,
     write: bool,
@@ -60,6 +90,7 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         budget: DEFAULT_BUDGET,
+        batch: DEFAULT_BATCH,
         repeats: 3,
         out: "results/BENCH_throughput.json".to_string(),
         write: true,
@@ -74,6 +105,11 @@ fn parse_args() -> Options {
                 let v = args.next().expect("--budget needs a value");
                 opts.budget = v.parse().expect("--budget must be an integer");
             }
+            "--batch" => {
+                let v = args.next().expect("--batch needs a value");
+                opts.batch = v.parse().expect("--batch must be an integer");
+                assert!(opts.batch > 0, "--batch must be positive");
+            }
             "--repeats" => {
                 let v = args.next().expect("--repeats needs a value");
                 opts.repeats = v.parse().expect("--repeats must be an integer");
@@ -87,7 +123,7 @@ fn parse_args() -> Options {
             other => {
                 eprintln!("unknown argument '{other}'");
                 eprintln!(
-                    "usage: throughput [--budget N] [--repeats N] [--out PATH] \
+                    "usage: throughput [--budget N] [--batch N] [--repeats N] [--out PATH] \
                      [--no-write] [--skip-grid] [--overhead] [--baseline PATH]"
                 );
                 std::process::exit(2);
@@ -166,6 +202,115 @@ fn scheme_only_rate(
     best
 }
 
+/// Accesses/sec for one scheme with the stream driven through
+/// `MemoryScheme::access_batch` in chunks of `batch` accesses — the hot
+/// path the sharded consumer and figure harnesses can amortize virtual
+/// dispatch and outcome bookkeeping over.
+fn scheme_only_batched_rate(
+    kind: SchemeKind,
+    streams: &[(silcfm_types::AddressSpace, Vec<Access>)],
+    batch: u64,
+    repeats: u32,
+) -> f64 {
+    let batch = usize::try_from(batch.max(1)).unwrap_or(usize::MAX);
+    let mut best = 0.0f64;
+    for _ in 0..repeats {
+        let mut total = 0u64;
+        let mut elapsed = 0.0f64;
+        let mut sink = 0u64;
+        let mut out = BatchOutcome::new();
+        for (space, stream) in streams {
+            let mut scheme = kind.build(*space, stream.len() as u64);
+            let t0 = Instant::now();
+            for chunk in stream.chunks(batch) {
+                scheme.access_batch(chunk, &mut out);
+                sink ^= out.critical_bytes().wrapping_add(out.background_bytes());
+            }
+            elapsed += t0.elapsed().as_secs_f64();
+            total += stream.len() as u64;
+        }
+        std::hint::black_box(sink);
+        best = best.max(total as f64 / elapsed);
+    }
+    best
+}
+
+/// Folds one access's outcome — op streams, service decision, stall — into
+/// a digest. Used identically on the scalar and batched replays below.
+fn hash_outcome<'a>(
+    h: &mut FxHasher,
+    critical: impl Iterator<Item = &'a MemOp>,
+    background: impl Iterator<Item = &'a MemOp>,
+    serviced_from: MemKind,
+    stall: u64,
+) {
+    for op in critical {
+        h.write(format!("{op:?}").as_bytes());
+    }
+    h.write_u8(0xC1);
+    for op in background {
+        h.write(format!("{op:?}").as_bytes());
+    }
+    h.write_u8(0xB6);
+    h.write(format!("{serviced_from:?}").as_bytes());
+    h.write_u64(stall);
+}
+
+/// The digest gate in front of the batched layer: replays every stream
+/// access-at-a-time and in `batch`-sized chunks against fresh schemes and
+/// panics unless both produce byte-identical per-access outcomes and
+/// end-of-run stats. A batched rate measured on a path that changed the
+/// answer would be worthless, so this runs before any batched timing.
+fn batch_digest_gate(
+    kind: SchemeKind,
+    streams: &[(silcfm_types::AddressSpace, Vec<Access>)],
+    batch: u64,
+) {
+    let chunk_len = usize::try_from(batch.max(1)).unwrap_or(usize::MAX);
+    let mut scalar = FxHasher::default();
+    let mut out = silcfm_types::SchemeOutcome::empty();
+    for (space, stream) in streams {
+        let mut scheme = kind.build(*space, stream.len() as u64);
+        for access in stream {
+            scheme.access(access, &mut out);
+            hash_outcome(
+                &mut scalar,
+                out.critical.iter(),
+                out.background.iter(),
+                out.serviced_from,
+                out.global_stall_cycles,
+            );
+        }
+        scalar.write(format!("{:?}", scheme.stats()).as_bytes());
+    }
+
+    let mut batched = FxHasher::default();
+    let mut bout = BatchOutcome::new();
+    for (space, stream) in streams {
+        let mut scheme = kind.build(*space, stream.len() as u64);
+        for chunk in stream.chunks(chunk_len) {
+            scheme.access_batch(chunk, &mut bout);
+            for view in bout.iter() {
+                hash_outcome(
+                    &mut batched,
+                    view.critical.iter(),
+                    view.background.iter(),
+                    view.serviced_from,
+                    view.global_stall_cycles,
+                );
+            }
+        }
+        batched.write(format!("{:?}", scheme.stats()).as_bytes());
+    }
+
+    assert_eq!(
+        scalar.finish(),
+        batched.finish(),
+        "{}: access_batch(batch={batch}) diverged from the scalar access path",
+        kind.label()
+    );
+}
+
 /// Accesses/sec for one scheme through the full `System::run` pipeline.
 fn full_system_rate(
     kind: SchemeKind,
@@ -212,7 +357,10 @@ fn full_system_traced_rate(
         accesses_per_core: (per_profile / cores).max(1),
         ..*params
     };
-    let trace = TraceParams::default_capture();
+    let trace = TraceParams {
+        events_capacity: OVERHEAD_EVENTS_CAPACITY,
+        ..TraceParams::default_capture()
+    };
     let mut best = 0.0f64;
     for _ in 0..repeats {
         let mut total = 0u64;
@@ -227,6 +375,55 @@ fn full_system_traced_rate(
         best = best.max(total as f64 / elapsed);
     }
     best
+}
+
+/// Accesses/sec for one scheme through `System::run` with the sampling
+/// tracer tier live in its always-on configuration: exact per-kind
+/// counters on every controller and DRAM event, full events retained
+/// one-in-`period`, and *no* epoch sampler or latency histograms (those
+/// are capture-session apparatus — `run_sampled` pays them too, the
+/// `--sampling` capture path in `trace_capture`). The gap against
+/// [`full_system_rate`] is the always-on observability cost the tier is
+/// built to keep under a few percent.
+fn full_system_sampled_rate(
+    kind: SchemeKind,
+    cfg: &SystemConfig,
+    params: &RunParams,
+    per_profile: u64,
+    repeats: u32,
+    period: u64,
+) -> f64 {
+    let cores = u64::from(cfg.core.cores);
+    let p = RunParams {
+        accesses_per_core: (per_profile / cores).max(1),
+        ..*params
+    };
+    let trace = TraceParams {
+        events_capacity: OVERHEAD_EVENTS_CAPACITY,
+        ..TraceParams::default_capture()
+    };
+    let mut best = 0.0f64;
+    for _ in 0..repeats {
+        let mut total = 0u64;
+        let mut elapsed = 0.0f64;
+        for profile in profiles::all() {
+            let t0 = Instant::now();
+            let (r, counters) = run_sampled_lean(profile, kind, cfg, &p, &trace, period);
+            elapsed += t0.elapsed().as_secs_f64();
+            std::hint::black_box((r.cycles, counters));
+            total += p.accesses_per_core * cores;
+        }
+        best = best.max(total as f64 / elapsed);
+    }
+    best
+}
+
+/// What `--overhead` measured: the ring tier on/off pair plus the sampling
+/// tier's rate at each period of [`SAMPLING_PERIODS`].
+struct Overhead {
+    off: f64,
+    on: f64,
+    sampled: Vec<(u64, f64)>,
 }
 
 /// Times the `scheme_shootout` grid serially and through the sharded pool.
@@ -262,6 +459,7 @@ fn grid_times() -> (usize, usize, f64, f64) {
 struct Baseline {
     scheme_only: String,
     full_system: String,
+    silcfm_scheme_only: Option<f64>,
     silcfm_full_system: Option<f64>,
 }
 
@@ -290,9 +488,11 @@ fn load_baseline(path: &str) -> Baseline {
         .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
     let full_system =
         extract_object(&json, "full_system").expect("baseline JSON has no full_system section");
+    let scheme_only = extract_object(&json, "scheme_only").unwrap_or_default();
     Baseline {
         silcfm_full_system: extract_rate(&full_system, "silcfm"),
-        scheme_only: extract_object(&json, "scheme_only").unwrap_or_default(),
+        silcfm_scheme_only: extract_rate(&scheme_only, "silcfm"),
+        scheme_only,
         full_system,
     }
 }
@@ -314,26 +514,51 @@ fn main() {
     let streams = generate_streams(&cfg, &params, per_profile);
 
     let mut scheme_only: Vec<(&'static str, f64)> = Vec::new();
+    let mut scheme_only_batched: Vec<(&'static str, f64)> = Vec::new();
     let mut full_system: Vec<(&'static str, f64)> = Vec::new();
     println!(
-        "\n{:8} {:>18} {:>18}",
-        "scheme", "scheme-only acc/s", "full-system acc/s"
+        "\n{:8} {:>18} {:>18} {:>18}",
+        "scheme", "scheme-only acc/s", "batched acc/s", "full-system acc/s"
     );
     for kind in lineup() {
+        // The gate first: no batched number is printed for a scheme whose
+        // batched path does not reproduce the scalar one exactly.
+        batch_digest_gate(kind, &streams, opts.batch);
         let so = scheme_only_rate(kind, &streams, opts.repeats);
+        let sb = scheme_only_batched_rate(kind, &streams, opts.batch, opts.repeats);
         let fs = full_system_rate(kind, &cfg, &params, per_profile, opts.repeats);
-        println!("{:8} {:>18.0} {:>18.0}", kind.label(), so, fs);
+        println!("{:8} {:>18.0} {:>18.0} {:>18.0}", kind.label(), so, sb, fs);
         scheme_only.push((kind.label(), so));
+        scheme_only_batched.push((kind.label(), sb));
         full_system.push((kind.label(), fs));
     }
+    println!(
+        "batch digest gate: ok for all schemes (batch={}, byte-identical to scalar)",
+        opts.batch
+    );
 
     let overhead = if opts.overhead {
         let kind = SchemeKind::silcfm();
-        let off = full_system
+        // Round-robin the regimes (off, ring-on, each sampling period) inside
+        // every repeat instead of measuring each regime `repeats` times in a
+        // row: on a noisy shared host the noise window drifts over seconds,
+        // and back-to-back regimes see the same window while block-sequential
+        // ones can see entirely different machines. Best-of per regime across
+        // rounds keeps the ratios honest.
+        let mut off = 0.0f64;
+        let mut on = 0.0f64;
+        let mut sampled: Vec<(u64, f64)> = SAMPLING_PERIODS
             .iter()
-            .find(|(name, _)| *name == "silcfm")
-            .map_or(0.0, |(_, r)| *r);
-        let on = full_system_traced_rate(kind, &cfg, &params, per_profile, opts.repeats);
+            .map(|&period| (period, 0.0))
+            .collect();
+        for _ in 0..opts.repeats.max(1) {
+            off = off.max(full_system_rate(kind, &cfg, &params, per_profile, 1));
+            on = on.max(full_system_traced_rate(kind, &cfg, &params, per_profile, 1));
+            for entry in &mut sampled {
+                let rate = full_system_sampled_rate(kind, &cfg, &params, per_profile, 1, entry.0);
+                entry.1 = entry.1.max(rate);
+            }
+        }
         println!(
             "\nsilcfm full-system tracing overhead: {:.0} acc/s off, {:.0} acc/s on \
              ({:.1}% slower)",
@@ -341,7 +566,15 @@ fn main() {
             on,
             (1.0 - on / off) * 100.0
         );
-        Some((off, on))
+        for &(period, rate) in &sampled {
+            println!(
+                "silcfm full-system sampling tracer 1-in-{period}: {:.0} acc/s \
+                 ({:.1}% slower than untraced)",
+                rate,
+                (1.0 - rate / off) * 100.0
+            );
+        }
+        Some(Overhead { off, on, sampled })
     } else {
         None
     };
@@ -365,13 +598,23 @@ fn main() {
 
     let baseline = opts.baseline.as_deref().map(load_baseline);
     if let Some(b) = &baseline {
-        let post = full_system
-            .iter()
-            .find(|(name, _)| *name == "silcfm")
-            .map(|(_, r)| *r);
-        if let (Some(pre), Some(post)) = (b.silcfm_full_system, post) {
+        let find = |pairs: &[(&'static str, f64)]| {
+            pairs
+                .iter()
+                .find(|(name, _)| *name == "silcfm")
+                .map(|&(_, r)| r)
+        };
+        if let (Some(pre), Some(post)) = (b.silcfm_scheme_only, find(&scheme_only)) {
             println!(
-                "\nfull-system silcfm vs baseline: {:.0} -> {:.0} acc/s ({:.3}x)",
+                "\nscheme-only silcfm vs baseline: {:.0} -> {:.0} acc/s ({:.3}x)",
+                pre,
+                post,
+                post / pre
+            );
+        }
+        if let (Some(pre), Some(post)) = (b.silcfm_full_system, find(&full_system)) {
+            println!(
+                "full-system silcfm vs baseline: {:.0} -> {:.0} acc/s ({:.3}x)",
                 pre,
                 post,
                 post / pre
@@ -384,9 +627,11 @@ fn main() {
             opts.budget,
             per_profile * n_profiles,
             &scheme_only,
+            &scheme_only_batched,
+            opts.batch,
             &full_system,
             grid,
-            overhead,
+            overhead.as_ref(),
             baseline.as_ref(),
         );
         if let Some(dir) = std::path::Path::new(&opts.out).parent() {
@@ -398,13 +643,16 @@ fn main() {
 }
 
 /// Hand-rolled JSON (the workspace is dependency-free by policy).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     budget: u64,
     accesses: u64,
     scheme_only: &[(&'static str, f64)],
+    scheme_only_batched: &[(&'static str, f64)],
+    batch: u64,
     full_system: &[(&'static str, f64)],
     grid: Option<(usize, usize, f64, f64)>,
-    overhead: Option<(f64, f64)>,
+    overhead: Option<&Overhead>,
     baseline: Option<&Baseline>,
 ) -> String {
     fn rates(pairs: &[(&'static str, f64)]) -> String {
@@ -433,6 +681,10 @@ fn render_json(
     out.push_str("  \"scheme_only\": {\n");
     out.push_str(&rates(scheme_only));
     out.push_str("\n  },\n");
+    out.push_str("  \"scheme_only_batched\": {\n");
+    out.push_str(&format!("    \"batch\": {batch},\n"));
+    out.push_str(&rates(scheme_only_batched));
+    out.push_str("\n  },\n");
     out.push_str("  \"full_system\": {\n");
     out.push_str(&rates(full_system));
     out.push_str("\n  }");
@@ -455,16 +707,40 @@ fn render_json(
         }
         out.push_str("  }");
     }
-    if let Some((off, on)) = overhead {
+    if let Some(ov) = overhead {
+        let (off, on) = (ov.off, ov.on);
         out.push_str(",\n  \"tracing_overhead\": {\n");
         out.push_str("    \"scheme\": \"silcfm\",\n");
         out.push_str("    \"layer\": \"full_system\",\n");
         out.push_str(&format!("    \"tracer_off_acc_s\": {off:.0},\n"));
         out.push_str(&format!("    \"tracer_on_acc_s\": {on:.0},\n"));
         out.push_str(&format!(
-            "    \"on_over_off\": {:.3}\n",
+            "    \"on_over_off_ratio\": {:.3},\n",
             if off > 0.0 { on / off } else { 0.0 }
         ));
+        out.push_str(&format!(
+            "    \"overhead_pct\": {:.1},\n",
+            if off > 0.0 {
+                (1.0 - on / off) * 100.0
+            } else {
+                0.0
+            }
+        ));
+        out.push_str("    \"sampling_tracer\": {\n");
+        let mut lines: Vec<String> = Vec::new();
+        for &(period, rate) in &ov.sampled {
+            lines.push(format!("      \"period_{period}_acc_s\": {rate:.0}"));
+            lines.push(format!(
+                "      \"period_{period}_overhead_pct\": {:.1}",
+                if off > 0.0 {
+                    (1.0 - rate / off) * 100.0
+                } else {
+                    0.0
+                }
+            ));
+        }
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n    }\n");
         out.push_str("  }");
     }
     if let Some(b) = baseline {
@@ -475,11 +751,19 @@ fn render_json(
         out.push_str("    \"full_system\": {\n");
         out.push_str(&reindent(&b.full_system, "      "));
         out.push_str("\n    }\n  }");
-        let post = full_system
-            .iter()
-            .find(|(name, _)| *name == "silcfm")
-            .map(|(_, r)| *r);
-        if let (Some(pre), Some(post)) = (b.silcfm_full_system, post) {
+        let find = |pairs: &[(&'static str, f64)]| {
+            pairs
+                .iter()
+                .find(|(name, _)| *name == "silcfm")
+                .map(|&(_, r)| r)
+        };
+        if let (Some(pre), Some(post)) = (b.silcfm_scheme_only, find(scheme_only)) {
+            out.push_str(&format!(
+                ",\n  \"speedup_scheme_only_silcfm\": {:.3}",
+                post / pre
+            ));
+        }
+        if let (Some(pre), Some(post)) = (b.silcfm_full_system, find(full_system)) {
             out.push_str(&format!(
                 ",\n  \"speedup_full_system_silcfm\": {:.3}",
                 post / pre

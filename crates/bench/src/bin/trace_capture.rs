@@ -22,10 +22,16 @@
 //!   --smoke           small config + smoke-size run (CI-friendly)
 //!   --epoch N         CPU cycles per sample (default 100000)
 //!   --capacity N      ring capacity per tracer (default 1 Mi events)
+//!   --sampling N      use the sampling tracer tier instead of the full
+//!                     ring: exact per-kind counters on every event, ring
+//!                     entries kept 1-in-N (N a power of two). Prints the
+//!                     counter table; the exporters consume the sampled
+//!                     ring unchanged.
 
 use silcfm_obs::export;
-use silcfm_sim::{run_traced, RunParams, SchemeKind, TraceParams};
+use silcfm_sim::{run_sampled, run_traced, RunParams, SchemeKind, TraceParams};
 use silcfm_trace::profiles;
+use silcfm_types::obs::EVENT_KIND_LABELS;
 use silcfm_types::SystemConfig;
 
 struct Options {
@@ -37,12 +43,14 @@ struct Options {
     smoke: bool,
     epoch: u64,
     capacity: usize,
+    sampling: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: trace_capture [--workload NAME] [--scheme LABEL] [--trace PATH] \
-         [--metrics-out PATH] [--summary] [--smoke] [--epoch N] [--capacity N]"
+         [--metrics-out PATH] [--summary] [--smoke] [--epoch N] [--capacity N] \
+         [--sampling N]"
     );
     std::process::exit(2);
 }
@@ -58,6 +66,7 @@ fn parse_args() -> Options {
         smoke: false,
         epoch: defaults.epoch_cycles,
         capacity: defaults.events_capacity,
+        sampling: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -77,6 +86,15 @@ fn parse_args() -> Options {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.capacity = v.parse().expect("--capacity must be an integer");
                 assert!(opts.capacity > 0, "--capacity must be positive");
+            }
+            "--sampling" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let period: u64 = v.parse().expect("--sampling must be an integer");
+                assert!(
+                    period.is_power_of_two(),
+                    "--sampling must be a power of two"
+                );
+                opts.sampling = Some(period);
             }
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -128,14 +146,32 @@ fn main() {
     };
 
     println!(
-        "trace_capture: workload={} scheme={} accesses/core={} epoch={} capacity={}",
+        "trace_capture: workload={} scheme={} accesses/core={} epoch={} capacity={}{}",
         profile.name,
         opts.scheme,
         params.accesses_per_core,
         trace.epoch_cycles,
-        trace.events_capacity
+        trace.events_capacity,
+        match opts.sampling {
+            Some(period) => format!(" sampling=1-in-{period}"),
+            None => String::new(),
+        }
     );
-    let (result, report) = run_traced(profile, scheme, &cfg, &params, &trace);
+    let (result, report) = match opts.sampling {
+        Some(period) => {
+            let (result, report, counters) =
+                run_sampled(profile, scheme, &cfg, &params, &trace, period);
+            let total: u64 = counters.iter().sum();
+            println!("controller event counters ({total} events, exact):");
+            for (label, count) in EVENT_KIND_LABELS.iter().zip(counters.iter()) {
+                if *count > 0 {
+                    println!("  {label:<18} {count}");
+                }
+            }
+            (result, report)
+        }
+        None => run_traced(profile, scheme, &cfg, &params, &trace),
+    };
     println!(
         "run: {} cycles, access rate {:.3}, {} events captured, {} dropped",
         result.cycles,

@@ -7,10 +7,11 @@ use silcfm_types::fault::{
 use silcfm_types::obs::{Event, FaultClass, NullTracer, TraceEvent, Tracer};
 use silcfm_types::stats::WindowedRate;
 use silcfm_types::{
-    Access, AddressSpace, BlockIndex, Geometry, MemKind, MemOp, MemoryScheme, OpList, PhysAddr,
-    SchemeOutcome, SchemeStats, SilcFmError, SubblockIndex,
+    Access, AddressSpace, BatchOutcome, BlockIndex, Geometry, MemKind, MemOp, MemoryScheme, OpSink,
+    PhysAddr, SchemeOutcome, SchemeStats, SilcFmError, SubblockIndex,
 };
 
+use crate::frametable::FrameTable;
 use crate::history::BitVectorTable;
 use crate::metadata::{FrameMeta, LockState};
 use crate::params::SilcFmParams;
@@ -31,13 +32,11 @@ pub struct SilcFm<T: Tracer = NullTracer> {
     space: AddressSpace,
     geom: Geometry,
     params: SilcFmParams,
-    frames: Vec<FrameMeta>,
-    /// Mirror of `frames[..].remap`, laid out `[set][way]` contiguously and
-    /// encoded as `block + 1` (0 = no tenant). The set-probe in
-    /// [`Self::access_far`] runs on every FM request; scanning
-    /// `associativity` adjacent words here replaces `associativity` loads
-    /// strided `sets` frames apart through the metadata array.
-    remap_tags: Vec<u64>,
+    /// All frame metadata in structure-of-arrays form, `[set][way]` slot
+    /// order — the set probe and victim scan of [`Self::access_far`] walk
+    /// contiguous words of single-field arrays instead of striding through
+    /// an array of structs (see [`FrameTable`]).
+    table: FrameTable,
     sets: u64,
     history: BitVectorTable,
     predictor: WayPredictor,
@@ -160,8 +159,10 @@ impl<T: Tracer> SilcFm<T> {
             space,
             geom,
             params,
-            frames: vec![FrameMeta::empty(); nm_blocks as usize],
-            remap_tags: vec![0; nm_blocks as usize],
+            table: FrameTable::new(
+                nm_blocks / u64::from(params.associativity),
+                params.associativity,
+            ),
             sets: nm_blocks / u64::from(params.associativity),
             history: BitVectorTable::new(params.history_entries),
             predictor: WayPredictor::new(params.predictor_entries),
@@ -201,42 +202,12 @@ impl<T: Tracer> SilcFm<T> {
         self.sets
     }
 
-    /// Metadata of frame `f` (NM block index), for tests and diagnostics.
-    pub fn frame(&self, f: u64) -> &FrameMeta {
-        // silcfm-lint: allow(P1) -- diagnostics accessor used by tests; panicking on a bad frame id is the desired behaviour there
-        &self.frames[f as usize]
-    }
-
-    /// Metadata of frame `f`, by value ([`FrameMeta`] is `Copy`). All frame
-    /// ids funnel through here and [`Self::meta_mut`]; they are produced by
-    /// [`Self::set_of`] / [`Self::frame_id`], both `< nm_blocks` by
-    /// construction (masked or divided by the set count).
-    fn meta(&self, f: u64) -> FrameMeta {
-        debug_assert!(
-            (f as usize) < self.frames.len(),
-            "frame id exceeds nm_blocks"
-        );
-        // silcfm-lint: allow(P1) -- single indexing funnel with the invariant documented and debug-asserted above
-        self.frames[f as usize]
-    }
-
-    /// Mutable metadata of frame `f`; see [`Self::meta`] for the invariant.
-    fn meta_mut(&mut self, f: u64) -> &mut FrameMeta {
-        debug_assert!(
-            (f as usize) < self.frames.len(),
-            "frame id exceeds nm_blocks"
-        );
-        // silcfm-lint: allow(P1) -- single indexing funnel with the invariant documented and debug-asserted above
-        &mut self.frames[f as usize]
-    }
-
-    /// Mutable remap-tag slot; slots come from [`Self::tag_slot`] or the
-    /// set-probe base (`set * associativity + way`), both in range for the
-    /// `[set][way]` mirror.
-    fn tag_mut(&mut self, slot: usize) -> &mut u64 {
-        debug_assert!(slot < self.remap_tags.len(), "tag slot exceeds the mirror");
-        // silcfm-lint: allow(P1) -- single indexing funnel with the invariant documented and debug-asserted above
-        &mut self.remap_tags[slot]
+    /// Metadata of frame `f` (NM block index), assembled by value from the
+    /// structure-of-arrays table, for tests and diagnostics. Hot paths use
+    /// the table's per-field accessors instead — gathering all eight
+    /// arrays here touches eight cache lines.
+    pub fn frame(&self, f: u64) -> FrameMeta {
+        self.table.get(self.table.slot_of(f))
     }
 
     /// Current estimate of the NM access rate (Eq. 1) over the bypass window.
@@ -287,11 +258,6 @@ impl<T: Tracer> SilcFm<T> {
         }
     }
 
-    /// Slot of frame `f` in the `[set][way]` remap-tag mirror.
-    fn tag_slot(&self, f: u64) -> usize {
-        (self.set_of(f) * u64::from(self.params.associativity) + u64::from(self.way_of(f))) as usize
-    }
-
     fn nm_subblock_addr(&self, frame: u64, off: u32) -> PhysAddr {
         PhysAddr::new(frame * self.geom.block_bytes() + u64::from(off) * self.geom.subblock_bytes())
     }
@@ -320,10 +286,13 @@ impl<T: Tracer> SilcFm<T> {
     /// Emits the migration traffic for exchanging subblock `off` between
     /// frame `frame` and FM block `fm_block`. When `demand_covers_fetch` the
     /// demand access already reads the incoming subblock from `fetch_side`,
-    /// so that read is not charged again.
-    fn exchange(
+    /// so that read is not charged again. Generic over the sink so the
+    /// scalar path ([`OpList`](silcfm_types::OpList)s in a
+    /// [`SchemeOutcome`]) and the batched path (flat vectors in a
+    /// [`BatchOutcome`]) share one body.
+    fn exchange<S: OpSink>(
         &mut self,
-        ops: &mut OpList,
+        ops: &mut S,
         frame: u64,
         fm_block: BlockIndex,
         off: u32,
@@ -343,13 +312,13 @@ impl<T: Tracer> SilcFm<T> {
             );
         }
         if !(demand_covers_fetch && fetch_side == MemKind::Far) {
-            ops.push(MemOp::migration_read(MemKind::Far, fm, sb));
+            ops.push_op(MemOp::migration_read(MemKind::Far, fm, sb));
         }
         if !(demand_covers_fetch && fetch_side == MemKind::Near) {
-            ops.push(MemOp::migration_read(MemKind::Near, nm, sb));
+            ops.push_op(MemOp::migration_read(MemKind::Near, nm, sb));
         }
-        ops.push(MemOp::migration_write(MemKind::Near, nm, sb));
-        ops.push(MemOp::migration_write(MemKind::Far, fm, sb));
+        ops.push_op(MemOp::migration_write(MemKind::Near, nm, sb));
+        ops.push_op(MemOp::migration_write(MemKind::Far, fm, sb));
         self.subblock_exchanges += 1;
         if T::ENABLED {
             self.tracer.record(
@@ -364,51 +333,46 @@ impl<T: Tracer> SilcFm<T> {
 
     /// Restores frame `f` to its native contents (undoes the interleaving)
     /// and saves the tenancy bit vector to the history table.
-    fn restore_frame(&mut self, f: u64, ops: &mut OpList) {
-        let meta = self.meta(f);
-        if let Some(block) = meta.remap {
-            let mut bits = meta.bitvec;
+    fn restore_frame<S: OpSink>(&mut self, f: u64, ops: &mut S) {
+        let slot = self.table.slot_of(f);
+        if let Some(block) = self.table.remap(slot) {
+            let mut bits = self.table.bitvec(slot);
             while bits != 0 {
                 let off = bits.trailing_zeros();
                 bits &= bits - 1;
                 self.exchange(ops, f, block, off, false, MemKind::Far);
             }
-            if self.params.history_fetch && meta.history_key != 0 {
-                self.history.store(meta.history_key, meta.bitvec_history);
+            let key = self.table.history_key(slot);
+            if self.params.history_fetch && key != 0 {
+                self.history.store(key, self.table.bitvec_history(slot));
             }
             self.restores += 1;
         }
-        let m = self.meta_mut(f);
-        *m = FrameMeta {
-            lru: m.lru,
-            nm_counter: m.nm_counter,
-            ..FrameMeta::empty()
-        };
-        let slot = self.tag_slot(f);
-        *self.tag_mut(slot) = 0;
+        // Invalidation keeps the LRU stamp and the native activity counter
+        // and zeroes the tenant tag (there is no separate mirror to sync:
+        // the table's remap array *is* the probe's tag store).
+        self.table.invalidate(slot);
     }
 
     /// Locks the remapped FM block of frame `f` into NM by completing the
     /// exchange (§III-C).
-    fn lock_remap(&mut self, f: u64, ops: &mut OpList) {
-        let meta = self.meta(f);
-        let Some(block) = meta.remap else {
+    fn lock_remap<S: OpSink>(&mut self, f: u64, ops: &mut S) {
+        let slot = self.table.slot_of(f);
+        let Some(block) = self.table.remap(slot) else {
             // Both callers guard on an existing tenancy, so this cannot
             // fire; declining to lock is the safe response if it ever did.
             debug_assert!(false, "lock_remap requires a tenant");
             return;
         };
         let full = self.geom.full_mask();
-        let mut missing = !meta.bitvec & full;
+        let mut missing = !self.table.bitvec(slot) & full;
         while missing != 0 {
             let off = missing.trailing_zeros();
             missing &= missing - 1;
             self.exchange(ops, f, block, off, false, MemKind::Far);
         }
-        let m = self.meta_mut(f);
-        m.bitvec = full;
-        m.bitvec_history = full;
-        m.lock = LockState::LockedRemap;
+        self.table.fill_residency(slot, full);
+        self.table.set_lock(slot, LockState::LockedRemap);
         self.locks += 1;
         if T::ENABLED {
             self.tracer.record(
@@ -422,9 +386,10 @@ impl<T: Tracer> SilcFm<T> {
     }
 
     /// Locks frame `f`'s native block in place by undoing any interleaving.
-    fn lock_native(&mut self, f: u64, ops: &mut OpList) {
+    fn lock_native<S: OpSink>(&mut self, f: u64, ops: &mut S) {
         self.restore_frame(f, ops);
-        self.meta_mut(f).lock = LockState::LockedNative;
+        let slot = self.table.slot_of(f);
+        self.table.set_lock(slot, LockState::LockedNative);
         self.locks += 1;
         if T::ENABLED {
             self.tracer.record(
@@ -445,28 +410,27 @@ impl<T: Tracer> SilcFm<T> {
         }
         self.next_aging += self.params.aging_period;
         let threshold = self.params.lock_threshold;
-        for (i, f) in self.frames.iter_mut().enumerate() {
-            f.age();
-            match f.lock {
-                LockState::LockedRemap if f.fm_counter < threshold => {
-                    // Unlocking has no immediate data movement: the frame
-                    // behaves as an unlocked block with all bits set.
-                    f.lock = LockState::Unlocked;
-                    self.unlocks += 1;
-                    if T::ENABLED {
-                        self.tracer
-                            .record(self.trace_now, Event::LockDemote { frame: i as u32 });
-                    }
+        // Halve the counters in bulk over the two contiguous byte arrays
+        // (each slot only touches itself, so slot order vs frame order is
+        // immaterial), then demote cooled locks in frame-id order — the
+        // order the old per-frame loop emitted `LockDemote` events in.
+        self.table.age_all();
+        for f in 0..self.table.len() as u64 {
+            let slot = self.table.slot_of(f);
+            let demote = match self.table.lock(slot) {
+                // Unlocking has no immediate data movement: the frame
+                // behaves as an unlocked block with all bits set.
+                LockState::LockedRemap => self.table.fm_counter(slot) < threshold,
+                LockState::LockedNative => self.table.nm_counter(slot) < threshold,
+                LockState::Unlocked => false,
+            };
+            if demote {
+                self.table.set_lock(slot, LockState::Unlocked);
+                self.unlocks += 1;
+                if T::ENABLED {
+                    self.tracer
+                        .record(self.trace_now, Event::LockDemote { frame: f as u32 });
                 }
-                LockState::LockedNative if f.nm_counter < threshold => {
-                    f.lock = LockState::Unlocked;
-                    self.unlocks += 1;
-                    if T::ENABLED {
-                        self.tracer
-                            .record(self.trace_now, Event::LockDemote { frame: i as u32 });
-                    }
-                }
-                _ => {}
             }
         }
     }
@@ -508,7 +472,7 @@ impl<T: Tracer> SilcFm<T> {
     /// loss), demotes its locked pages, and masks it out of victim
     /// selection. Returns `Recovered` if any data moved, `Corrected` for an
     /// empty or already-degraded way, `Masked` for an out-of-range way.
-    fn degrade_way(&mut self, way: u8, bg: &mut OpList) -> FaultEffect {
+    fn degrade_way<S: OpSink>(&mut self, way: u8, bg: &mut S) -> FaultEffect {
         let w = u32::from(way);
         if w >= self.params.associativity {
             return FaultEffect::Masked;
@@ -521,8 +485,8 @@ impl<T: Tracer> SilcFm<T> {
         let mut evacuated = false;
         for set in 0..self.sets {
             let f = self.frame_id(set, w);
-            let meta = self.meta(f);
-            if meta.remap.is_some() {
+            let slot = self.table.slot_at(set, w);
+            if self.table.remap(slot).is_some() {
                 // Tenant (possibly locked): swap every resident subblock
                 // home and clear the entry — restore_frame demotes the
                 // lock as a side effect of resetting the metadata.
@@ -532,10 +496,10 @@ impl<T: Tracer> SilcFm<T> {
                     self.tracer
                         .record(self.trace_now, Event::Recovered { frame: f as u32 });
                 }
-            } else if meta.lock.is_locked() {
+            } else if self.table.lock(slot).is_locked() {
                 // A natively locked frame holds no foreign data; demoting
                 // the lock is enough to stop pinning the degraded way.
-                self.meta_mut(f).lock = LockState::Unlocked;
+                self.table.set_lock(slot, LockState::Unlocked);
                 self.unlocks += 1;
                 if T::ENABLED {
                     self.tracer
@@ -592,29 +556,22 @@ impl<T: Tracer> SilcFm<T> {
     /// frame its own native block), with resident subblocks the pairwise
     /// exchange mapping — the only record of where both blocks' data
     /// lives — is gone.
-    fn metadata_parity(&mut self, frame: u32, bg: &mut OpList) -> FaultEffect {
+    fn metadata_parity<S: OpSink>(&mut self, frame: u32, bg: &mut S) -> FaultEffect {
         let f = u64::from(frame);
         if f >= self.space.nm_blocks(self.geom) {
             return FaultEffect::Masked;
         }
-        let meta = self.meta(f);
-        let Some(_) = meta.remap else {
+        let slot = self.table.slot_of(f);
+        if self.table.remap(slot).is_none() {
             // Empty entry: parity scrub rewrites it, nothing referenced it.
             return FaultEffect::Corrected;
-        };
-        let lost = meta.bitvec != 0;
+        }
+        let lost = self.table.bitvec(slot) != 0;
         // Invalidate the entry either way (keeping LRU and the native
         // activity counter, as a restore does) and schedule the metadata
         // rewrite.
-        let m = self.meta_mut(f);
-        *m = FrameMeta {
-            lru: m.lru,
-            nm_counter: m.nm_counter,
-            ..FrameMeta::empty()
-        };
-        let slot = self.tag_slot(f);
-        *self.tag_mut(slot) = 0;
-        bg.push(MemOp::metadata_write(
+        self.table.invalidate(slot);
+        bg.push_op(MemOp::metadata_write(
             MemKind::Near,
             self.metadata_addr(f),
             METADATA_BYTES,
@@ -639,31 +596,31 @@ impl<T: Tracer> SilcFm<T> {
     /// Handles a request whose address lies in the NM space (Table I rows
     /// with "NM address = yes", plus locked-frame handling). Migration
     /// traffic is appended to `bg` (the caller's background list).
-    fn access_near(
+    fn access_near<S: OpSink>(
         &mut self,
         block: BlockIndex,
         off: u32,
         bypassing: bool,
-        bg: &mut OpList,
+        bg: &mut S,
     ) -> Resolution {
         let f = block.value();
+        let slot = self.table.slot_of(f);
         let now = self.access_count;
-        self.meta_mut(f).lru = now;
-        let meta = self.meta(f);
+        self.table.set_lru(slot, now);
+        let lock = self.table.lock(slot);
+        let remap = self.table.remap(slot);
+        let bit = self.table.bit(slot, off);
         let threshold = self.params.lock_threshold;
-        let bg_start = bg.len();
+        let bg_start = bg.ops_len();
 
         // Pairing the lock state with the tenancy makes the impossible
         // states (a locked remap or a set bit without a tenant) explicit:
         // both fold into the native-service row under a debug assertion
         // instead of aborting the run.
-        match (meta.lock, meta.remap) {
+        match (lock, remap) {
             (LockState::LockedNative, _) | (LockState::LockedRemap, None) => {
-                debug_assert!(
-                    meta.lock == LockState::LockedNative,
-                    "locked remap has a tenant"
-                );
-                self.meta_mut(f).bump_nm();
+                debug_assert!(lock == LockState::LockedNative, "locked remap has a tenant");
+                self.table.bump_nm(slot);
                 Resolution {
                     serviced_from: MemKind::Near,
                     data_addr: self.nm_subblock_addr(f, off),
@@ -675,7 +632,7 @@ impl<T: Tracer> SilcFm<T> {
             (LockState::LockedRemap, Some(tenant)) => {
                 // The native block's data lives wholesale at the locked
                 // tenant's FM location; the lock forbids disturbing it.
-                self.meta_mut(f).bump_nm();
+                self.table.bump_nm(slot);
                 Resolution {
                     serviced_from: MemKind::Far,
                     data_addr: self.fm_subblock_addr(tenant, off),
@@ -685,12 +642,9 @@ impl<T: Tracer> SilcFm<T> {
                 }
             }
             (LockState::Unlocked, remap) => {
-                let count = self.meta_mut(f).bump_nm();
-                debug_assert!(
-                    !meta.bit(off) || remap.is_some(),
-                    "a set bit implies a tenant"
-                );
-                if let Some(tenant) = remap.filter(|_| meta.bit(off)) {
+                let count = self.table.bump_nm(slot);
+                debug_assert!(!bit || remap.is_some(), "a set bit implies a tenant");
+                if let Some(tenant) = remap.filter(|_| bit) {
                     // Row 3: remap mismatch, bit set, NM address → the
                     // native subblock was swapped out; it lives at the
                     // tenant's FM location. Swap it back (unless bypassing).
@@ -698,7 +652,7 @@ impl<T: Tracer> SilcFm<T> {
                     let mut metadata_dirty = false;
                     if !bypassing {
                         self.exchange(bg, f, tenant, off, true, MemKind::Far);
-                        self.meta_mut(f).clear_bit(off);
+                        self.table.clear_bit(slot, off);
                         metadata_dirty = true;
                         if self.params.locking && count >= threshold {
                             self.lock_native(f, bg);
@@ -722,7 +676,7 @@ impl<T: Tracer> SilcFm<T> {
                         data_addr: self.nm_subblock_addr(f, off),
                         metadata_reads: 1,
                         way: self.way_of(f),
-                        metadata_dirty: bg.len() > bg_start,
+                        metadata_dirty: bg.ops_len() > bg_start,
                     }
                 }
             }
@@ -732,46 +686,38 @@ impl<T: Tracer> SilcFm<T> {
     /// Handles a request whose address lies in the FM space (Table I rows 1,
     /// 2, 5 and 6). Migration traffic is appended to `bg` (the caller's
     /// background list).
-    fn access_far(
+    fn access_far<S: OpSink>(
         &mut self,
         block: BlockIndex,
         off: u32,
         pc: u64,
         bypassing: bool,
-        bg: &mut OpList,
+        bg: &mut S,
     ) -> Resolution {
         let set = self.set_of(block.value());
         let assoc = self.params.associativity;
         let threshold = self.params.lock_threshold;
 
-        // Search the set for a matching remap entry (via the contiguous
-        // `[set][way]` tag mirror — see `remap_tags`).
-        let tag_base = (set * u64::from(assoc)) as usize;
+        // Search the set for a matching remap entry: a branch-free scan of
+        // `associativity` adjacent tag words (see [`FrameTable::probe`]).
         let want = block.value() + 1;
-        let hit_way = self
-            .remap_tags
-            .iter()
-            .skip(tag_base)
-            .take(assoc as usize)
-            .position(|&t| t == want)
-            .map(|w| w as u32);
+        let hit_way = self.table.probe(set, want);
 
         if let Some(way) = hit_way {
             let f = self.frame_id(set, way);
+            let slot = self.table.slot_at(set, way);
             let now = self.access_count;
-            let m = self.meta_mut(f);
-            m.lru = now;
-            let count = m.bump_fm();
-            let meta = *m;
-            let bg_start = bg.len();
+            self.table.set_lru(slot, now);
+            let count = self.table.bump_fm(slot);
+            let bg_start = bg.ops_len();
 
-            if meta.bit(off) {
+            if self.table.bit(slot, off) {
                 // Row 1: remap match, bit set → service from NM.
                 if self.params.locking
                     && !bypassing
-                    && meta.lock == LockState::Unlocked
+                    && self.table.lock(slot) == LockState::Unlocked
                     && count >= threshold
-                    && meta.bitvec_history.count_ones() >= self.params.lock_min_resident
+                    && self.table.bitvec_history(slot).count_ones() >= self.params.lock_min_resident
                 {
                     self.lock_remap(f, bg);
                 }
@@ -780,7 +726,7 @@ impl<T: Tracer> SilcFm<T> {
                     data_addr: self.nm_subblock_addr(f, off),
                     metadata_reads: assoc,
                     way: way as u8,
-                    metadata_dirty: bg.len() > bg_start,
+                    metadata_dirty: bg.ops_len() > bg_start,
                 };
             }
             // Row 2: remap match, bit clear → the block's subblock is still
@@ -789,11 +735,11 @@ impl<T: Tracer> SilcFm<T> {
             let mut metadata_dirty = false;
             if !bypassing {
                 self.exchange(bg, f, block, off, true, MemKind::Far);
-                self.meta_mut(f).set_bit(off);
+                self.table.set_bit(slot, off);
                 metadata_dirty = true;
                 if self.params.locking
                     && count >= threshold
-                    && self.meta(f).bitvec_history.count_ones() >= self.params.lock_min_resident
+                    && self.table.bitvec_history(slot).count_ones() >= self.params.lock_min_resident
                 {
                     self.lock_remap(f, bg);
                 }
@@ -832,15 +778,9 @@ impl<T: Tracer> SilcFm<T> {
         // direct-mapped structure must.
         // Degraded ways (DESIGN.md §10) never accept tenancies; the mask is
         // zero in a healthy run, so this adds one always-false bit test.
-        let victim = (0..assoc)
-            .filter(|&w| {
-                let m = self.meta(self.frame_id(set, w));
-                self.degraded_ways & (1 << w) == 0
-                    && !m.lock.is_locked()
-                    && (assoc == 1 || m.remap.is_none() || m.fm_counter <= 1)
-            })
-            .min_by_key(|&w| self.meta(self.frame_id(set, w)).lru);
-        let Some(way) = victim else {
+        // The scan is mask-select over contiguous per-field arrays (see
+        // [`FrameTable::victim`]).
+        let Some(way) = self.table.victim(set, self.degraded_ways) else {
             // Every way is locked or actively used: service from FM in
             // place; aging reopens the set as tenants cool.
             self.all_locked_serves += 1;
@@ -868,14 +808,10 @@ impl<T: Tracer> SilcFm<T> {
             0
         } | (1 << off);
         let now = self.access_count;
-        {
-            let m = self.meta_mut(f);
-            m.remap = Some(block);
-            m.history_key = key;
-            m.fm_counter = 1;
-            m.lru = now;
-        }
-        *self.tag_mut(tag_base + way as usize) = want;
+        // One call sets the tenant tag (which *is* the probe's tag store),
+        // the history key, the fresh activity counter and the LRU touch.
+        self.table
+            .start_tenancy(self.table.slot_at(set, way), block, key, now);
         let extra_bits = (bits & !(1u64 << off)).count_ones();
         if extra_bits > 0 {
             self.history_bulk_fetches += 1;
@@ -894,7 +830,8 @@ impl<T: Tracer> SilcFm<T> {
             let o = remaining.trailing_zeros();
             remaining &= remaining - 1;
             self.exchange(bg, f, block, o, o == off, MemKind::Far);
-            self.meta_mut(f).set_bit(o);
+            let slot = self.table.slot_at(set, way);
+            self.table.set_bit(slot, o);
         }
 
         Resolution {
@@ -905,11 +842,20 @@ impl<T: Tracer> SilcFm<T> {
             metadata_dirty: true,
         }
     }
-}
 
-impl<T: Tracer> MemoryScheme for SilcFm<T> {
-    fn access(&mut self, access: &Access, out: &mut SchemeOutcome) {
-        out.clear();
+    /// The whole access path, generic over the op sinks: the scalar
+    /// [`MemoryScheme::access`] drives it with the two `OpList`s of a
+    /// (cleared) [`SchemeOutcome`], the batched
+    /// [`MemoryScheme::access_batch`] with the flat vectors of a
+    /// [`BatchOutcome`] — one body, bit-identical traffic (pinned by the
+    /// batch property tests). Returns where the demand was serviced from;
+    /// SILC-FM never charges global stall cycles.
+    fn access_core<S: OpSink>(
+        &mut self,
+        access: &Access,
+        critical: &mut S,
+        background: &mut S,
+    ) -> MemKind {
         self.access_count += 1;
         self.maybe_age();
         // Failover (NM unhealthy, DESIGN.md §10) forces bypass-all-FM mode:
@@ -935,12 +881,12 @@ impl<T: Tracer> MemoryScheme for SilcFm<T> {
         };
 
         // Resolution appends its migration traffic straight into the
-        // (cleared) background list; nothing on this path allocates.
+        // (cleared) background sink; nothing on this path allocates.
         let is_near_request = self.space.block_is_near(block, self.geom);
         let resolution = if is_near_request {
-            self.access_near(block, off, bypassing, &mut out.background)
+            self.access_near(block, off, bypassing, background)
         } else {
-            self.access_far(block, off, access.pc, bypassing, &mut out.background)
+            self.access_far(block, off, access.pc, bypassing, background)
         };
 
         // Assemble the critical path. The demand op reads/writes the
@@ -976,26 +922,26 @@ impl<T: Tracer> MemoryScheme for SilcFm<T> {
             self.params.predictor && prediction.in_fm && resolution.serviced_from == MemKind::Far;
         // Overlapped metadata checks ride behind the demand (background);
         // a mispredicted way pays them serialized on the critical path.
-        let meta_list = if fm_speculated || way_predicted {
-            &mut out.background
+        let meta_list: &mut S = if fm_speculated || way_predicted {
+            &mut *background
         } else {
-            &mut out.critical
+            &mut *critical
         };
         for i in 0..metadata_reads {
             let f = self.frame_id(
                 self.set_of(block.value()),
                 i.min(self.params.associativity - 1),
             );
-            meta_list.push(MemOp::metadata_read(
+            meta_list.push_op(MemOp::metadata_read(
                 MemKind::Near,
                 self.metadata_addr(f),
                 METADATA_BYTES,
             ));
         }
-        out.critical.push(demand);
+        critical.push_op(demand);
         if resolution.metadata_dirty {
             let f = self.frame_id(self.set_of(block.value()), u32::from(resolution.way));
-            out.background.push(MemOp::metadata_write(
+            background.push_op(MemOp::metadata_write(
                 MemKind::Near,
                 self.metadata_addr(f),
                 METADATA_BYTES,
@@ -1027,7 +973,37 @@ impl<T: Tracer> MemoryScheme for SilcFm<T> {
             self.serviced_from_nm += 1;
         }
 
-        out.serviced_from = resolution.serviced_from;
+        resolution.serviced_from
+    }
+}
+
+impl<T: Tracer> MemoryScheme for SilcFm<T> {
+    fn access(&mut self, access: &Access, out: &mut SchemeOutcome) {
+        out.clear();
+        // Destructure for disjoint borrows of the two op lists.
+        let SchemeOutcome {
+            critical,
+            background,
+            serviced_from,
+            ..
+        } = out;
+        *serviced_from = self.access_core(access, critical, background);
+    }
+
+    /// The batch-native hot path: one virtual dispatch, one outcome-storage
+    /// round and one scratch hand-off for the whole batch, with every
+    /// access's operations appended to two flat, contiguous vectors. Entry
+    /// `i` is byte-identical to what the scalar loop would have produced
+    /// (pinned by `tests/properties.rs`); SILC-FM charges no global stalls,
+    /// so every entry commits zero stall cycles — exactly like the scalar
+    /// path's cleared outcome.
+    fn access_batch(&mut self, accesses: &[Access], out: &mut BatchOutcome) {
+        out.clear();
+        for access in accesses {
+            let (critical, background) = out.sinks();
+            let from = self.access_core(access, critical, background);
+            out.commit(from, 0);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -1082,6 +1058,10 @@ impl<T: Tracer> MemoryScheme for SilcFm<T> {
         self.tracer.dropped()
     }
 
+    fn trace_counters(&self) -> [u64; silcfm_types::obs::EVENT_KINDS] {
+        self.tracer.counters()
+    }
+
     fn stats(&self) -> SchemeStats {
         let mut stats = SchemeStats {
             accesses: self.access_count,
@@ -1117,9 +1097,7 @@ impl<T: Tracer> MemoryScheme for SilcFm<T> {
     }
 
     fn reset(&mut self) {
-        let nm_blocks = self.space.nm_blocks(self.geom);
-        self.frames = vec![FrameMeta::empty(); nm_blocks as usize];
-        self.remap_tags.fill(0);
+        self.table.reset();
         self.history.reset();
         self.predictor.reset();
         self.rate.reset();
@@ -1725,10 +1703,13 @@ mod tests {
     }
 
     #[test]
-    fn remap_tags_mirror_frame_metadata() {
-        // The `[set][way]` tag array is a pure cache of `frames[..].remap`;
-        // drive a workload that exercises tenancy creation, eviction,
-        // restores, locking and aging, then check the mirror exactly.
+    fn set_probe_agrees_with_frame_metadata() {
+        // The probe runs on the SoA tag array; the assembled per-frame view
+        // must agree with it exactly. Drive a workload that exercises
+        // tenancy creation, eviction, restores, locking and aging, then
+        // check every tenancy is found by the probe at its own way, every
+        // tenant sits in its home congruence set, and no set holds the same
+        // tenant twice.
         for params in [
             SilcFmParams::swap_only(),
             SilcFmParams::with_associativity(),
@@ -1743,16 +1724,28 @@ mod tests {
                 };
                 let _ = read_pc(&mut s, addr, 0x40 + i % 5);
             }
+            let sets = s.sets();
+            let mut tenants = silcfm_types::FxHashSet::default();
+            let mut any = false;
             for f in 0..NM_BLOCKS {
-                let expect = s.frames[f as usize].remap.map_or(0, |b| b.value() + 1);
-                assert_eq!(
-                    s.remap_tags[s.tag_slot(f)],
-                    expect,
-                    "frame {f} tag diverged"
-                );
+                let set = f % sets;
+                let way = (f / sets) as u32;
+                if let Some(b) = s.frame(f).remap {
+                    any = true;
+                    assert_eq!(b.value() % sets, set, "tenant outside its set");
+                    assert!(tenants.insert(b.value()), "tenant {b:?} held twice");
+                    assert_eq!(
+                        s.table.probe(set, b.value() + 1),
+                        Some(way),
+                        "frame {f}: probe diverged from metadata"
+                    );
+                }
             }
+            assert!(any, "workload should have created tenancies");
             s.reset();
-            assert!(s.remap_tags.iter().all(|&t| t == 0), "reset clears tags");
+            for f in 0..NM_BLOCKS {
+                assert_eq!(s.frame(f).remap, None, "reset clears tenancies");
+            }
         }
     }
 
@@ -1979,8 +1972,26 @@ mod tests {
             }
         }
         for f in 0..NM_BLOCKS {
-            let expect = s.frames[f as usize].remap.map_or(0, |b| b.value() + 1);
-            assert_eq!(s.remap_tags[s.tag_slot(f)], expect, "frame {f} diverged");
+            let set = f % s.sets();
+            let way = (f / s.sets()) as u32;
+            let meta = s.frame(f);
+            match meta.remap {
+                Some(b) => {
+                    assert_eq!(
+                        s.table.probe(set, b.value() + 1),
+                        Some(way),
+                        "frame {f}: probe diverged from metadata"
+                    );
+                    assert!(
+                        s.degraded_ways & (1 << way) == 0,
+                        "frame {f}: tenant in a degraded way"
+                    );
+                }
+                None => {
+                    assert_eq!(meta.history_key, 0, "frame {f}: stale tenancy state");
+                    assert_eq!(meta.bitvec, 0, "frame {f}: resident bits with no tenant");
+                }
+            }
         }
     }
 }

@@ -27,8 +27,16 @@ impl BitVectorTable {
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "history table must have at least one entry");
         let n = entries.next_power_of_two();
+        // Pre-fault the table: `vec![0; n]` maps lazily-zeroed pages, which
+        // would otherwise take their page faults on the access path — the
+        // first store to each page of a multi-megabyte table lands mid-run.
+        // One real write per page moves that cost to construction.
+        let mut table = vec![0u64; n];
+        for slot in table.iter_mut().step_by(4096 / core::mem::size_of::<u64>()) {
+            *std::hint::black_box(slot) = 0;
+        }
         Self {
-            entries: vec![0; n],
+            entries: table,
             mask: n - 1,
             stores: 0,
             hits: 0,

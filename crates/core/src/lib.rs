@@ -47,12 +47,14 @@
 //! ```
 
 pub mod controller;
+pub mod frametable;
 pub mod history;
 pub mod metadata;
 pub mod params;
 pub mod predictor;
 
 pub use controller::SilcFm;
+pub use frametable::FrameTable;
 pub use history::BitVectorTable;
 pub use metadata::{FrameMeta, LockState};
 pub use params::SilcFmParams;

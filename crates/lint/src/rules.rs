@@ -30,6 +30,8 @@ pub const HOT_MODULES: &[&str] = &[
     "oplist.rs",
     "system.rs",
     "shard.rs",
+    "batch.rs",
+    "frametable.rs",
 ];
 
 /// Per-module entry points of the access hot path, used as the reachability
@@ -43,7 +45,18 @@ pub const HOT_SEEDS: &[(&str, &[&str])] = &[
     ("system.rs", &["run", "charge"]),
     // The sharded feed's record pull and the epoch-barrier merge it drives
     // run once per serviced access (DESIGN.md §11).
-    ("shard.rs", &["next"]),
+    ("shard.rs", &["next", "next_chunk"]),
+    // The batched access path: the controller writes per-access op runs
+    // through these on every batch entry (DESIGN.md §12).
+    ("batch.rs", &["sinks", "commit", "push_outcome"]),
+    // SoA frame metadata: every probe/victim scan and residency update in
+    // the controller lands here (DESIGN.md §12).
+    (
+        "frametable.rs",
+        &[
+            "probe", "victim", "slot_of", "set_bit", "bump_nm", "bump_fm",
+        ],
+    ),
 ];
 
 /// Setup/configuration modules where E1 applies: validation and

@@ -126,6 +126,39 @@ fn a1_is_silenced_by_an_annotated_allow() {
 }
 
 #[test]
+fn a1_covers_the_batched_access_path() {
+    let (findings, suppressed) = lint_rust_source(
+        "crates/types/src/batch.rs",
+        include_str!("fixtures/a1_batch_bad.rs"),
+    );
+    // `grow` is called from the `commit` seed, so its `vec![` fires; the
+    // `with_capacity` constructor is only reachable from setup and stays
+    // clean even though it calls `Vec::new`.
+    assert_eq!(spots(&findings, "A1"), vec![9], "{findings:#?}");
+    assert_eq!(findings.len(), 1, "only A1 fires: {findings:#?}");
+    assert_eq!(suppressed, 0);
+    // The same file under a non-hot path is entirely out of scope.
+    let (findings, _) = lint_rust_source(COLD, include_str!("fixtures/a1_batch_bad.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn p1_and_a1_cover_the_soa_frame_table() {
+    let (findings, suppressed) = lint_rust_source(
+        "crates/core/src/frametable.rs",
+        include_str!("fixtures/p1_frametable_bad.rs"),
+    );
+    // `probe` panics twice (unwrap, bare index); `scratch` allocates and is
+    // reachable from the `victim` seed.
+    assert_eq!(spots(&findings, "P1"), vec![5, 6], "{findings:#?}");
+    assert_eq!(spots(&findings, "A1"), vec![14], "{findings:#?}");
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    assert_eq!(suppressed, 0);
+    let (findings, _) = lint_rust_source(COLD, include_str!("fixtures/p1_frametable_bad.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
 fn h1_fires_on_registry_dependencies_in_every_section() {
     let (raw, allows) = manifest::lint_manifest(
         "crates/fixture/Cargo.toml",

@@ -1,0 +1,17 @@
+//! A1 fixture for the batched access path: `commit` and `sinks` are hot
+//! seeds in `batch.rs`, so allocations they reach fire; a constructor
+//! that only setup code calls stays clean.
+fn commit(n: usize) -> usize {
+    grow(n)
+}
+
+fn grow(n: usize) -> usize {
+    let v = vec![0u8; n];
+    v.len()
+}
+
+fn with_capacity(n: usize) -> Vec<u8> {
+    let mut v = Vec::new();
+    v.reserve(n);
+    v
+}

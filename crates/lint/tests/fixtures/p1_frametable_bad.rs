@@ -1,0 +1,16 @@
+//! P1/A1 fixture for the SoA frame-metadata module: `probe` and `victim`
+//! are hot seeds in `frametable.rs`, so a bare index or an unwrap in the
+//! scan fires P1, and an allocation reachable from `victim` fires A1.
+fn probe(lru: &[u64], want: u64) -> u64 {
+    let first = lru.first().unwrap();
+    first + lru[want as usize]
+}
+
+fn victim(lru: &[u64]) -> usize {
+    scratch(lru.len())
+}
+
+fn scratch(n: usize) -> usize {
+    let v = vec![0u64; n];
+    v.len()
+}

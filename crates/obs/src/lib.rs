@@ -10,6 +10,9 @@
 //! * [`RingTracer`] — a fixed-capacity ring buffer implementing
 //!   [`Tracer`]; when full it overwrites the oldest events (and counts the
 //!   drops) so long runs keep the most recent window;
+//! * [`SamplingTracer`] — the cheap always-on tier: exact per-kind event
+//!   counters on every record, full events retained only 1-in-N
+//!   (power-of-two N), built for sub-5% overhead;
 //! * [`LatencyHistogram`] — log-bucketed (power-of-two) latency histograms
 //!   with fixed storage, HdrHistogram style;
 //! * [`EpochSampler`] — a per-epoch time-series sampler over a declared
@@ -32,12 +35,14 @@ pub mod json;
 pub mod report;
 pub mod ring;
 pub mod sampler;
+pub mod sampling;
 pub mod table;
 
 pub use hist::LatencyHistogram;
 pub use report::{ObsReport, TaggedEvent, Unit};
 pub use ring::RingTracer;
 pub use sampler::{run_series, EpochSampler, SeriesSpec};
+pub use sampling::SamplingTracer;
 pub use table::{Align, TextTable};
 
 // Re-export the vocabulary so downstream crates can depend on `silcfm-obs`

@@ -5,9 +5,9 @@ use silcfm_baselines::{Cameo, CameoParams, Hma, HmaParams, Pom, PomParams, Rando
 use silcfm_core::{SilcFm, SilcFmParams};
 use silcfm_dram::DramConfig;
 use silcfm_fault::{FaultDriver, FaultRates, FaultSchedule, FaultStats, FaultTopology};
-use silcfm_obs::{ObsReport, RingTracer};
+use silcfm_obs::{ObsReport, RingTracer, SamplingTracer};
 use silcfm_trace::{profiles, PlacementPolicy, WorkloadProfile};
-use silcfm_types::obs::Tracer;
+use silcfm_types::obs::{Tracer, EVENT_KINDS};
 use silcfm_types::{AddressSpace, Geometry, MemoryScheme, SilcFmError, SystemConfig};
 
 use crate::metrics::RunResult;
@@ -129,6 +129,28 @@ impl SchemeKind {
                 Geometry::paper(),
                 Self::scale_silcfm(params, total_accesses),
                 RingTracer::with_capacity(events_capacity),
+            )),
+            _ => self.build(space, total_accesses),
+        }
+    }
+
+    /// Like [`SchemeKind::build_traced`], but with the sampling tracer
+    /// tier: every controller event is counted, full events are retained
+    /// one-in-`sampling_period` (a power of two). Baseline schemes build
+    /// unchanged, as in `build_traced`.
+    pub fn build_sampled(
+        &self,
+        space: AddressSpace,
+        total_accesses: u64,
+        events_capacity: usize,
+        sampling_period: u64,
+    ) -> Box<dyn MemoryScheme> {
+        match self {
+            Self::SilcFm(params) => Box::new(SilcFm::with_tracer(
+                space,
+                Geometry::paper(),
+                Self::scale_silcfm(params, total_accesses),
+                SamplingTracer::with_capacity(events_capacity, sampling_period),
             )),
             _ => self.build(space, total_accesses),
         }
@@ -410,6 +432,96 @@ pub fn run_traced(
         // silcfm-lint: allow(E1) -- with_observability ten lines up always installs RunObs; the invariant is local
         .expect("the system above is always built with observability");
     (result, report)
+}
+
+/// Like [`run_traced`], but on the sampling tracer tier: the controller and
+/// both DRAM devices count every event and retain full events only
+/// one-in-`sampling_period` (a power of two), so the observability cost is
+/// a few percent instead of the ring tier's double-digit share. Returns the metrics, the
+/// [`ObsReport`] assembled from the sampled stream, and the controller's
+/// exact per-kind event totals (indexed by
+/// [`Event::kind_index`](silcfm_types::obs::Event::kind_index)).
+///
+/// # Panics
+///
+/// Panics if `sampling_period` is not a power of two.
+pub fn run_sampled(
+    profile: &WorkloadProfile,
+    scheme: SchemeKind,
+    cfg: &SystemConfig,
+    params: &RunParams,
+    trace: &TraceParams,
+    sampling_period: u64,
+) -> (RunResult, ObsReport, [u64; EVENT_KINDS]) {
+    let scaled = profiles::scaled(profile, params.footprint_scale);
+    let space = space_for(&scaled, cfg, params);
+    let total_accesses = params.accesses_per_core * u64::from(cfg.core.cores);
+    let expected_cycles = params.accesses_per_core.saturating_mul(64);
+    let mut system = System::with_observability(
+        *cfg,
+        space,
+        scheme.placement(params.seed),
+        scheme.build_sampled(
+            space,
+            total_accesses,
+            trace.events_capacity,
+            sampling_period,
+        ),
+        SamplingTracer::with_capacity(trace.events_capacity, sampling_period),
+        SamplingTracer::with_capacity(trace.events_capacity, sampling_period),
+        Some(RunObs::new(trace.epoch_cycles, expected_cycles)),
+    );
+    let outcome = system.run(&scaled, params.accesses_per_core, params.seed);
+    let result = collect(profile, scheme, &system, outcome);
+    let counters = system.scheme().trace_counters();
+    let report = system
+        .finish_observation(outcome.cycles)
+        // silcfm-lint: allow(E1) -- with_observability above always installs RunObs; the invariant is local
+        .expect("the system above is always built with observability");
+    (result, report, counters)
+}
+
+/// The always-on configuration of the sampling tier: sampling tracers on
+/// the controller and both DRAM devices, but *no* epoch sampler and no
+/// demand-latency histograms (those belong to a capture session, not to a
+/// tier meant to stay live in production runs). This is the configuration
+/// whose overhead the tier's "few percent" budget is measured against —
+/// [`run_sampled`] additionally pays the `RunObs` metrics apparatus, which
+/// is the larger share of its cost. Returns the (bit-identical) metrics
+/// plus the controller's exact per-kind event totals.
+///
+/// # Panics
+///
+/// Panics if `sampling_period` is not a power of two.
+pub fn run_sampled_lean(
+    profile: &WorkloadProfile,
+    scheme: SchemeKind,
+    cfg: &SystemConfig,
+    params: &RunParams,
+    trace: &TraceParams,
+    sampling_period: u64,
+) -> (RunResult, [u64; EVENT_KINDS]) {
+    let scaled = profiles::scaled(profile, params.footprint_scale);
+    let space = space_for(&scaled, cfg, params);
+    let total_accesses = params.accesses_per_core * u64::from(cfg.core.cores);
+    let mut system = System::with_observability(
+        *cfg,
+        space,
+        scheme.placement(params.seed),
+        scheme.build_sampled(
+            space,
+            total_accesses,
+            trace.events_capacity,
+            sampling_period,
+        ),
+        SamplingTracer::with_capacity(trace.events_capacity, sampling_period),
+        SamplingTracer::with_capacity(trace.events_capacity, sampling_period),
+        None,
+    );
+    let outcome = system.run(&scaled, params.accesses_per_core, params.seed);
+    let result = collect(profile, scheme, &system, outcome);
+    let counters = system.scheme().trace_counters();
+    (result, counters)
 }
 
 /// Like [`run`], but with a deterministic fault schedule armed: faults are
@@ -707,6 +819,37 @@ mod tests {
         // The default `apply_fault` masks every scheme-side fault; nothing
         // may be lost by a scheme that holds no interleaved state.
         assert_eq!(stats.poisoned, 0);
+    }
+
+    #[test]
+    fn sampled_runs_match_plain_runs_and_count_every_event() {
+        use silcfm_obs::Unit;
+
+        let cfg = SystemConfig::small();
+        let params = RunParams::smoke();
+        // Capacity large enough that neither run drops, so the fully-traced
+        // stream is the exact reference for the counter totals.
+        let trace = TraceParams {
+            events_capacity: 1 << 20,
+            epoch_cycles: 100_000,
+        };
+        let plain = run(profile(), SchemeKind::silcfm(), &cfg, &params);
+        let (_, full_report) = run_traced(profile(), SchemeKind::silcfm(), &cfg, &params, &trace);
+        let (sampled, report, counters) =
+            run_sampled(profile(), SchemeKind::silcfm(), &cfg, &params, &trace, 64);
+        // Observability must never perturb the simulation.
+        assert_eq!(plain.cycles, sampled.cycles);
+        assert_eq!(plain.traffic, sampled.traffic);
+        assert_eq!(plain.scheme_stats, sampled.scheme_stats);
+        // The counter tier is exact: per-kind totals sum to the fully-traced
+        // run's controller event count even though the ring keeps 1-in-64.
+        assert_eq!(full_report.dropped, 0);
+        let full_controller = full_report.events_from(Unit::Controller) as u64;
+        assert!(full_controller > 0);
+        assert_eq!(counters.iter().sum::<u64>(), full_controller);
+        // The sampled stream really is ~64x sparser.
+        let sampled_controller = report.events_from(Unit::Controller) as u64;
+        assert_eq!(sampled_controller, full_controller.div_ceil(64));
     }
 
     #[test]

@@ -33,8 +33,9 @@ pub mod shard;
 pub mod system;
 
 pub use experiment::{
-    run, run_faulted, run_faulted_traced, run_sharded, run_sharded_faulted, run_sharded_traced,
-    run_traced, FaultParams, RunParams, SchemeKind, TraceParams,
+    run, run_faulted, run_faulted_traced, run_sampled, run_sampled_lean, run_sharded,
+    run_sharded_faulted, run_sharded_traced, run_traced, FaultParams, RunParams, SchemeKind,
+    TraceParams,
 };
 pub use metrics::{RunResult, TrafficTally};
 pub use observe::RunObs;

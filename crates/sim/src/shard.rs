@@ -548,6 +548,47 @@ impl RecordFeed for ShardFeed<'_> {
         }
         rec
     }
+
+    /// Hands the run loop the rest of the lane's current producer chunk (up
+    /// to `max` records) in one call: one queue handoff per epoch instead of
+    /// one lock round-trip per record. Record order, the consumer re-tally,
+    /// and epoch close points are exactly those of the scalar path.
+    fn next_chunk(&mut self, lane: usize, buf: &mut Vec<TraceRecord>, max: u64) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let exhausted = match self.cursors.get(lane) {
+            Some(cur) => cur.pos >= cur.records.len(),
+            None => {
+                debug_assert!(false, "feed polled for a lane it does not own");
+                return 0;
+            }
+        };
+        if exhausted {
+            self.refill(lane);
+        }
+        let (count, drained) = match self.cursors.get_mut(lane) {
+            Some(cur) => {
+                let left = cur.records.len() - cur.pos;
+                let count = left.min(usize::try_from(max).unwrap_or(usize::MAX));
+                let Some(run) = cur.records.get(cur.pos..cur.pos + count) else {
+                    debug_assert!(false, "lane {lane} over-consumed its stream");
+                    return 0;
+                };
+                buf.extend_from_slice(run);
+                for rec in run {
+                    cur.consumed.note(rec);
+                }
+                cur.pos += count;
+                (count, cur.pos >= cur.records.len())
+            }
+            None => (0, false),
+        };
+        if drained {
+            self.close_chunk(lane);
+        }
+        count
+    }
 }
 
 /// One producer worker: owns a dealt subset of lanes, builds their

@@ -45,6 +45,42 @@ struct Lane {
     next: Option<u64>,
     /// Cycle at which this lane retired its last instruction.
     finish_time: u64,
+    /// Records pulled from the feed in bulk but not yet issued. Chunked
+    /// pulls amortize the per-record feed call (and, on the sharded path,
+    /// the queue handoff) without touching the issue order: the scheduler
+    /// below still interleaves lanes access by access.
+    buf: Vec<TraceRecord>,
+    /// Next unread index into `buf`.
+    pos: usize,
+    /// Records this lane may still pull from the feed. The bound matters on
+    /// the sharded path: producers generate exactly `accesses_per_core`
+    /// records per lane, so pulling past it would block on a chunk that
+    /// will never arrive.
+    unfetched: u64,
+}
+
+impl Lane {
+    /// Takes the lane's next record, refilling `buf` from the feed when it
+    /// runs dry. `i` is this lane's index in the feed.
+    fn take<F: RecordFeed>(&mut self, feed: &mut F, i: usize) -> TraceRecord {
+        if self.pos >= self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            let got = feed.next_chunk(i, &mut self.buf, self.unfetched);
+            debug_assert!(got > 0, "feed returned an empty chunk for lane {i}");
+            debug_assert_eq!(got, self.buf.len());
+        }
+        let rec = match self.buf.get(self.pos) {
+            Some(rec) => *rec,
+            None => {
+                debug_assert!(false, "lane {i} over-consumed its record buffer");
+                TraceRecord::load(0, VirtAddr::new(0), 0)
+            }
+        };
+        self.pos += 1;
+        self.unfetched = self.unfetched.saturating_sub(1);
+        rec
+    }
 }
 
 /// A per-lane source of trace records: the contract between the run loop
@@ -62,6 +98,30 @@ pub trait RecordFeed {
     /// Returns lane `lane`'s next record. The run loop calls this once per
     /// lane to prime the pipeline and then once per serviced access.
     fn next(&mut self, lane: usize) -> TraceRecord;
+
+    /// Appends up to `max` of lane `lane`'s next records to `buf` and
+    /// returns how many were appended (at least one when `max > 0`).
+    ///
+    /// The run loop buffers records per lane and pulls through this method,
+    /// so feeds that hold records in bulk — the sharded path's epoch chunks,
+    /// the serial generators — can hand over a whole run of them per call
+    /// instead of paying a virtual dispatch (and, sharded, a queue lock) per
+    /// record. The default pulls exactly one record via [`next`], so a feed
+    /// that only implements the scalar method keeps its exact behavior.
+    ///
+    /// Chunking is a transport detail: each lane's records arrive in the
+    /// same order `next` would produce, and the run loop still issues
+    /// accesses one at a time in cross-lane timing order, so results are
+    /// bit-identical to record-at-a-time feeding.
+    ///
+    /// [`next`]: RecordFeed::next
+    fn next_chunk(&mut self, lane: usize, buf: &mut Vec<TraceRecord>, max: u64) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        buf.push(self.next(lane));
+        1
+    }
 }
 
 /// The serial feed: one generator per lane, called inline from the run loop.
@@ -79,6 +139,11 @@ impl GenFeed {
     }
 }
 
+/// Records per [`RecordFeed::next_chunk`] pull on the serial path: large
+/// enough to amortize the virtual call, small enough that per-lane buffers
+/// stay a few cache pages.
+const GEN_CHUNK: u64 = 1024;
+
 impl RecordFeed for GenFeed {
     fn next(&mut self, lane: usize) -> TraceRecord {
         match self.gens.get_mut(lane) {
@@ -88,6 +153,19 @@ impl RecordFeed for GenFeed {
                 TraceRecord::load(0, VirtAddr::new(0), 0)
             }
         }
+    }
+
+    fn next_chunk(&mut self, lane: usize, buf: &mut Vec<TraceRecord>, max: u64) -> usize {
+        let Some(g) = self.gens.get_mut(lane) else {
+            debug_assert!(false, "feed polled for a lane it does not own");
+            return 0;
+        };
+        let count = max.min(GEN_CHUNK);
+        buf.reserve(count as usize);
+        for _ in 0..count {
+            buf.push(g.next_record());
+        }
+        count as usize
     }
 }
 
@@ -262,23 +340,30 @@ impl<T: Tracer> System<T> {
         // the run's only allocation; the access loop below reuses it.
         let mut lanes: Vec<Lane> = (0..n)
             .map(|i| {
-                let mut core = Core::new(
+                let core = Core::new(
                     CoreId::new(i as u16),
                     u64::from(self.cfg.core.rob_entries),
                     u64::from(self.cfg.core.width),
                 );
-                let pending = feed.next(i);
-                core.execute_compute(u64::from(pending.compute));
-                let next = Some(core.issue_time(pending.dependent));
                 Lane {
                     core,
-                    pending,
+                    pending: TraceRecord::load(0, VirtAddr::new(0), 0),
                     remaining: accesses_per_core,
-                    next,
+                    next: None,
                     finish_time: 0,
+                    // silcfm-lint: allow(A1) -- lane setup, before the access loop: the buffer is allocated once here and refilled in place by `Lane::take`
+                    buf: Vec::new(),
+                    pos: 0,
+                    unfetched: accesses_per_core,
                 }
             })
             .collect();
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let pending = lane.take(feed, i);
+            lane.core.execute_compute(u64::from(pending.compute));
+            lane.next = Some(lane.core.issue_time(pending.dependent));
+            lane.pending = pending;
+        }
 
         // One outcome reused for every scheme access (the reuse protocol):
         // the hot loop never allocates for ordinary misses.
@@ -396,7 +481,7 @@ impl<T: Tracer> System<T> {
             lane.core.execute_memory(completion, rec.dependent);
             lane.remaining -= 1;
             if lane.remaining > 0 {
-                let rec = feed.next(i);
+                let rec = lane.take(feed, i);
                 lane.core.execute_compute(u64::from(rec.compute));
                 lane.next = Some(lane.core.issue_time(rec.dependent));
                 lane.pending = rec;

@@ -1,0 +1,282 @@
+//! Batched outcome storage for [`MemoryScheme::access_batch`].
+//!
+//! A [`BatchOutcome`] holds the results of N consecutive accesses in
+//! structure-of-arrays form: two flat [`MemOp`] vectors (critical-path and
+//! background operations for the whole batch) plus one compact
+//! [`BatchEntry`] per access recording where that access's operations end
+//! and what it resolved to. Compared with a `Vec<SchemeOutcome>` this
+//! keeps all operations contiguous — one allocation per vector, amortized
+//! across every access of every batch via [`clear`](BatchOutcome::clear),
+//! which retains capacity exactly like the scalar outcome-reuse protocol.
+//!
+//! Schemes with a native batched path fill the outcome through
+//! [`sinks`](BatchOutcome::sinks) + [`commit`](BatchOutcome::commit); the
+//! default [`MemoryScheme::access_batch`] loop instead drives the scalar
+//! path into an internal scratch [`SchemeOutcome`] and copies each result
+//! in with [`push_outcome`](BatchOutcome::push_outcome). Both produce
+//! byte-identical entries (pinned by the batch property tests).
+//!
+//! [`MemoryScheme::access_batch`]: crate::MemoryScheme::access_batch
+
+use crate::mem::{MemKind, MemOp};
+use crate::scheme::SchemeOutcome;
+
+/// Per-access record inside a [`BatchOutcome`]: end offsets into the flat
+/// op vectors (the start is the previous entry's end) plus the scalar
+/// outcome fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BatchEntry {
+    /// One past the last critical op of this access.
+    critical_end: usize,
+    /// One past the last background op of this access.
+    background_end: usize,
+    /// Which memory serviced the demand.
+    serviced_from: MemKind,
+    /// Whole-system stall cycles charged by this access.
+    global_stall_cycles: u64,
+}
+
+/// A borrowed view of one access's slice of a [`BatchOutcome`], shaped
+/// like a [`SchemeOutcome`] but backed by the batch's flat storage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchView<'a> {
+    /// Critical-path operations of this access, in issue order.
+    pub critical: &'a [MemOp],
+    /// Background operations of this access, in issue order.
+    pub background: &'a [MemOp],
+    /// Which memory serviced the demand.
+    pub serviced_from: MemKind,
+    /// Whole-system stall cycles charged by this access.
+    pub global_stall_cycles: u64,
+}
+
+impl BatchView<'_> {
+    /// Total bytes moved on the critical path.
+    pub fn critical_bytes(&self) -> u64 {
+        self.critical.iter().map(|op| u64::from(op.bytes)).sum()
+    }
+
+    /// Total bytes moved in the background.
+    pub fn background_bytes(&self) -> u64 {
+        self.background.iter().map(|op| u64::from(op.bytes)).sum()
+    }
+
+    /// Whether this view carries exactly the contents of `out` — the
+    /// equivalence the batch property tests pin per access.
+    pub fn matches(&self, out: &SchemeOutcome) -> bool {
+        out.serviced_from == self.serviced_from
+            && out.global_stall_cycles == self.global_stall_cycles
+            && out.critical == *self.critical
+            && out.background == *self.background
+    }
+}
+
+/// Reusable storage for the outcomes of one batch of accesses.
+///
+/// See the [module docs](self) for the layout and the two fill protocols.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchOutcome {
+    critical: Vec<MemOp>,
+    background: Vec<MemOp>,
+    entries: Vec<BatchEntry>,
+    /// Scratch outcome for the default scalar-loop implementation, kept
+    /// here so its spill capacity survives across batches.
+    scratch: SchemeOutcome,
+}
+
+impl BatchOutcome {
+    /// An empty batch outcome. Allocation-free.
+    pub const fn new() -> Self {
+        Self {
+            critical: Vec::new(),
+            background: Vec::new(),
+            entries: Vec::new(),
+            scratch: SchemeOutcome::empty(),
+        }
+    }
+
+    /// Empties the batch for refilling, retaining all heap capacity.
+    pub fn clear(&mut self) {
+        self.critical.clear();
+        self.background.clear();
+        self.entries.clear();
+    }
+
+    /// Number of access outcomes recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no outcomes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Mutable references to the two flat op vectors, for a scheme's
+    /// native batched path: push this access's critical and background
+    /// operations, then seal them with [`commit`](Self::commit).
+    pub fn sinks(&mut self) -> (&mut Vec<MemOp>, &mut Vec<MemOp>) {
+        (&mut self.critical, &mut self.background)
+    }
+
+    /// Seals one access: everything pushed through [`sinks`](Self::sinks)
+    /// since the previous commit belongs to it.
+    pub fn commit(&mut self, serviced_from: MemKind, global_stall_cycles: u64) {
+        self.entries.push(BatchEntry {
+            critical_end: self.critical.len(),
+            background_end: self.background.len(),
+            serviced_from,
+            global_stall_cycles,
+        });
+    }
+
+    /// Appends a copy of one scalar outcome (the default-implementation
+    /// path of [`access_batch`](crate::MemoryScheme::access_batch)).
+    pub fn push_outcome(&mut self, out: &SchemeOutcome) {
+        self.critical.extend(out.critical.iter().copied());
+        self.background.extend(out.background.iter().copied());
+        self.commit(out.serviced_from, out.global_stall_cycles);
+    }
+
+    /// Detaches the internal scratch outcome for a scalar loop; pair with
+    /// [`restore_scratch`](Self::restore_scratch) so its capacity is kept.
+    pub fn take_scratch(&mut self) -> SchemeOutcome {
+        core::mem::take(&mut self.scratch)
+    }
+
+    /// Returns the scratch outcome taken by [`take_scratch`](Self::take_scratch).
+    pub fn restore_scratch(&mut self, scratch: SchemeOutcome) {
+        self.scratch = scratch;
+    }
+
+    /// The view of access `index`, or `None` past the end.
+    pub fn entry(&self, index: usize) -> Option<BatchView<'_>> {
+        let entry = self.entries.get(index)?;
+        let (critical_start, background_start) = match index.checked_sub(1) {
+            Some(prev) => {
+                let p = self.entries.get(prev)?;
+                (p.critical_end, p.background_end)
+            }
+            None => (0, 0),
+        };
+        Some(BatchView {
+            critical: self
+                .critical
+                .get(critical_start..entry.critical_end)
+                .unwrap_or(&[]),
+            background: self
+                .background
+                .get(background_start..entry.background_end)
+                .unwrap_or(&[]),
+            serviced_from: entry.serviced_from,
+            global_stall_cycles: entry.global_stall_cycles,
+        })
+    }
+
+    /// Iterates the per-access views in batch order.
+    pub fn iter(&self) -> impl Iterator<Item = BatchView<'_>> + '_ {
+        (0..self.len()).filter_map(|i| self.entry(i))
+    }
+
+    /// Total critical-path bytes across the whole batch.
+    pub fn critical_bytes(&self) -> u64 {
+        self.critical.iter().map(|op| u64::from(op.bytes)).sum()
+    }
+
+    /// Total background bytes across the whole batch.
+    pub fn background_bytes(&self) -> u64 {
+        self.background.iter().map(|op| u64::from(op.bytes)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PhysAddr;
+    use crate::oplist::OpSink;
+
+    fn op(i: u64) -> MemOp {
+        MemOp::demand_read(
+            if i.is_multiple_of(2) {
+                MemKind::Near
+            } else {
+                MemKind::Far
+            },
+            PhysAddr::new(i * 64),
+            64,
+        )
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = BatchOutcome::new();
+        assert_eq!(b.len(), 0);
+        assert!(b.is_empty());
+        assert!(b.entry(0).is_none());
+        assert_eq!(b.iter().count(), 0);
+        assert_eq!(b.critical_bytes(), 0);
+    }
+
+    #[test]
+    fn sinks_and_commit_slice_per_access() {
+        let mut b = BatchOutcome::new();
+        let (critical, background) = b.sinks();
+        critical.push_op(op(0));
+        critical.push_op(op(1));
+        background.push_op(op(2));
+        b.commit(MemKind::Near, 0);
+        let (critical, _) = b.sinks();
+        critical.push_op(op(3));
+        b.commit(MemKind::Far, 17);
+
+        assert_eq!(b.len(), 2);
+        let first = b.entry(0).unwrap();
+        assert_eq!(first.critical, &[op(0), op(1)]);
+        assert_eq!(first.background, &[op(2)]);
+        assert_eq!(first.serviced_from, MemKind::Near);
+        assert_eq!(first.critical_bytes(), 128);
+        let second = b.entry(1).unwrap();
+        assert_eq!(second.critical, &[op(3)]);
+        assert!(second.background.is_empty());
+        assert_eq!(second.global_stall_cycles, 17);
+    }
+
+    #[test]
+    fn push_outcome_matches_the_source() {
+        let mut b = BatchOutcome::new();
+        let mut out = SchemeOutcome::serviced(MemKind::Near, vec![op(0), op(1)]);
+        out.background.push(op(2));
+        out.global_stall_cycles = 5;
+        b.push_outcome(&out);
+        // An empty outcome must still occupy an entry.
+        b.push_outcome(&SchemeOutcome::empty());
+
+        assert_eq!(b.len(), 2);
+        assert!(b.entry(0).unwrap().matches(&out));
+        assert!(b.entry(1).unwrap().matches(&SchemeOutcome::empty()));
+        assert_eq!(b.background_bytes(), 64);
+    }
+
+    #[test]
+    fn clear_retains_nothing_observable() {
+        let mut b = BatchOutcome::new();
+        b.push_outcome(&SchemeOutcome::serviced(MemKind::Far, vec![op(9)]));
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.critical_bytes(), 0);
+        // Refill after clear behaves like a fresh batch.
+        b.push_outcome(&SchemeOutcome::empty());
+        assert_eq!(b.entry(0).unwrap().critical, &[] as &[MemOp]);
+    }
+
+    #[test]
+    fn scratch_round_trips() {
+        let mut b = BatchOutcome::new();
+        let mut scratch = b.take_scratch();
+        scratch.critical.push(op(1));
+        b.restore_scratch(scratch);
+        let again = b.take_scratch();
+        assert_eq!(again.critical.len(), 1);
+        b.restore_scratch(again);
+    }
+}

@@ -178,7 +178,52 @@ pub enum Event {
     },
 }
 
+/// Number of [`Event`] variants, i.e. the arity of a per-kind counter
+/// array indexed by [`Event::kind_index`].
+pub const EVENT_KINDS: usize = 14;
+
+/// Labels of every event kind, indexed by [`Event::kind_index`] — the
+/// vocabulary a counting tracer reports its per-kind totals under.
+pub const EVENT_KIND_LABELS: [&str; EVENT_KINDS] = [
+    "swap_start",
+    "swap_done",
+    "lock_promote",
+    "lock_demote",
+    "bypass_decision",
+    "history_fetch",
+    "predictor_hit",
+    "predictor_miss",
+    "dram_cmd",
+    "queue_depth",
+    "fault_injected",
+    "recovered",
+    "poisoned",
+    "failover",
+];
+
 impl Event {
+    /// Dense index of this event's kind in `0..EVENT_KINDS`, in declaration
+    /// order. Counting tracers (the sampling tier in `silcfm-obs`) use it to
+    /// keep one monotonic counter per kind without hashing.
+    pub const fn kind_index(&self) -> usize {
+        match self {
+            Event::SwapStart { .. } => 0,
+            Event::SwapDone { .. } => 1,
+            Event::LockPromote { .. } => 2,
+            Event::LockDemote { .. } => 3,
+            Event::BypassDecision { .. } => 4,
+            Event::HistoryFetch { .. } => 5,
+            Event::PredictorHit => 6,
+            Event::PredictorMiss => 7,
+            Event::DramCmdIssue { .. } => 8,
+            Event::QueueDepthSample { .. } => 9,
+            Event::FaultInjected { .. } => 10,
+            Event::Recovered { .. } => 11,
+            Event::Poisoned { .. } => 12,
+            Event::Failover { .. } => 13,
+        }
+    }
+
     /// Short machine-readable label, used for Chrome-trace event names and
     /// summary tables.
     pub fn label(&self) -> &'static str {
@@ -231,6 +276,14 @@ pub trait Tracer {
 
     /// Number of events lost to capacity limits since construction.
     fn dropped(&self) -> u64;
+
+    /// Monotonic per-kind event totals, indexed by [`Event::kind_index`].
+    /// Sinks without always-on counters (the ring, the null tracer) report
+    /// all zeros; the sampling tier in `silcfm-obs` counts every record
+    /// even when the event itself is not retained.
+    fn counters(&self) -> [u64; EVENT_KINDS] {
+        [0; EVENT_KINDS]
+    }
 }
 
 /// The no-op tracer: every instrumented component's default.
@@ -293,6 +346,52 @@ mod tests {
         assert_eq!(Event::Recovered { frame: 2 }.label(), "recovered");
         assert_eq!(Event::Failover { engaged: true }.label(), "failover");
         assert_eq!(FaultClass::ChannelFail.label(), "channel_fail");
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_label_aligned() {
+        let all = [
+            Event::SwapStart {
+                frame: 0,
+                subblock: 0,
+            },
+            Event::SwapDone {
+                frame: 0,
+                subblock: 0,
+            },
+            Event::LockPromote {
+                frame: 0,
+                native: false,
+            },
+            Event::LockDemote { frame: 0 },
+            Event::BypassDecision { engaged: true },
+            Event::HistoryFetch { bits: 1 },
+            Event::PredictorHit,
+            Event::PredictorMiss,
+            Event::DramCmdIssue {
+                channel: 0,
+                write: false,
+                outcome: RowKind::Hit,
+            },
+            Event::QueueDepthSample {
+                channel: 0,
+                reads: 0,
+                writes: 0,
+                busy: 0,
+            },
+            Event::FaultInjected {
+                kind: FaultClass::BitFlip,
+                target: 0,
+            },
+            Event::Recovered { frame: 0 },
+            Event::Poisoned { frame: 0 },
+            Event::Failover { engaged: true },
+        ];
+        assert_eq!(all.len(), EVENT_KINDS);
+        for (i, e) in all.iter().enumerate() {
+            assert_eq!(e.kind_index(), i, "{} out of order", e.label());
+            assert_eq!(EVENT_KIND_LABELS[i], e.label());
+        }
     }
 
     #[test]

@@ -108,6 +108,46 @@ impl Default for OpList {
     }
 }
 
+/// An append-only sink of [`MemOp`]s.
+///
+/// The controller's op-emitting helpers are generic over this trait so one
+/// body serves both outcome shapes: the scalar path pushes into the two
+/// [`OpList`]s of a `SchemeOutcome`, the batched path into the flat
+/// `Vec<MemOp>`s of a `BatchOutcome` — same ops, same order, verified
+/// equivalent by the batch property tests.
+pub trait OpSink {
+    /// Appends one operation.
+    fn push_op(&mut self, op: MemOp);
+
+    /// Number of operations currently held. Emitters use before/after
+    /// lengths to learn whether a helper produced any traffic.
+    fn ops_len(&self) -> usize;
+}
+
+impl OpSink for OpList {
+    #[inline]
+    fn push_op(&mut self, op: MemOp) {
+        self.push(op);
+    }
+
+    #[inline]
+    fn ops_len(&self) -> usize {
+        self.len()
+    }
+}
+
+impl OpSink for Vec<MemOp> {
+    #[inline]
+    fn push_op(&mut self, op: MemOp) {
+        self.push(op);
+    }
+
+    #[inline]
+    fn ops_len(&self) -> usize {
+        self.len()
+    }
+}
+
 impl Index<usize> for OpList {
     type Output = MemOp;
 

@@ -28,14 +28,17 @@ echo "==> cargo test -q (offline)"
 cargo test -q --workspace --offline
 
 # Smoke-run the throughput benchmark: a tiny budget exercises the whole
-# measurement path (stream generation, both layers, every scheme) in a few
-# seconds without writing an artifact or timing the grid. `--overhead`
-# additionally runs SILC-FM with the ring tracers and epoch sampler live
-# and reports tracer-on vs tracer-off acc/s (the full-budget numbers live
-# in results/BENCH_throughput.json).
-echo "==> throughput benchmark (smoke budget, with tracing overhead)"
+# measurement path (stream generation, all three layers, every scheme) in
+# a few seconds without writing an artifact or timing the grid. The
+# batched layer runs behind its digest gate (`--batch 64`): every
+# scheme's access_batch replay must be byte-identical to the scalar one
+# or the binary exits non-zero. `--overhead` additionally runs SILC-FM
+# with the ring tracers and epoch sampler live and reports tracer-on vs
+# tracer-off acc/s plus the sampling tier at 1-in-16/1-in-256 (the
+# full-budget numbers live in results/BENCH_throughput.json).
+echo "==> throughput benchmark (smoke budget, batch gate, tracing overhead)"
 cargo run --release --offline -p silcfm-bench --bin throughput -- \
-  --budget 2000 --repeats 1 --no-write --skip-grid --overhead
+  --budget 2000 --repeats 1 --batch 64 --no-write --skip-grid --overhead
 
 # Scaling smoke: run one small simulation serially and sharded at 1, 2
 # and 4 threads and demand bit-identical results — the epoch-barrier
@@ -56,6 +59,16 @@ cargo run --release --offline -p silcfm-bench --bin trace_capture -- \
   --summary
 cargo run --release --offline -p silcfm-obs --bin trace_check -- \
   "$trace_dir/trace.json"
+
+# Sampling-tier smoke: the same capture with the ring subsampled 1-in-16.
+# The trace must still validate (tracks present, timestamps monotone) and
+# the summary's per-kind counts stay exact — they come from the always-on
+# counter tier, not the thinned ring (DESIGN.md §12).
+echo "==> sampling tracer capture + validation (smoke, 1-in-16)"
+cargo run --release --offline -p silcfm-bench --bin trace_capture -- \
+  --smoke --sampling 16 --trace "$trace_dir/sampled.json" --summary
+cargo run --release --offline -p silcfm-obs --bin trace_check -- \
+  "$trace_dir/sampled.json"
 
 # Chaos smoke: soak the fault plane (conservation, replay bit-identity,
 # ledger-vs-trace agreement, the failover oracle) at CI size. Any
