@@ -135,9 +135,11 @@ impl Cameo {
 
     fn find_slot(&self, set: u64, member: u8) -> u8 {
         let base = set as usize * self.group;
+        // silcfm-lint: allow(P1) -- set < nm_lines by construction, so the row slice is in bounds
         self.perm[base..base + self.group]
             .iter()
             .position(|&m| m == member)
+            // silcfm-lint: allow(P1) -- every row is a permutation of 0..group, so member is found
             .expect("permutation is total") as u8
     }
 
@@ -199,7 +201,9 @@ impl MemoryScheme for Cameo {
         let (set, member) = self.set_and_member(line);
         let slot = self.find_slot(set, member);
         let pidx = self.pred_index(access.pc, line);
+        // silcfm-lint: allow(P1) -- pred_index masks into the power-of-two predictor table
         let predicted = self.predictor[pidx].slot;
+        // silcfm-lint: allow(P1) -- pred_index masks into the power-of-two predictor table
         self.predictor[pidx].slot = slot;
 
         out.serviced_from = if slot == 0 {

@@ -109,7 +109,9 @@ impl Pom {
     /// installs it.
     fn remap_cache_probe(&mut self, set: u64) -> bool {
         let idx = (set as usize) & (self.remap_cache.len() - 1);
+        // silcfm-lint: allow(P1) -- idx is masked to the power-of-two cache size
         let hit = self.remap_cache[idx] == set;
+        // silcfm-lint: allow(P1) -- idx is masked to the power-of-two cache size
         self.remap_cache[idx] = set;
         if !hit {
             self.remap_cache_misses += 1;
@@ -132,9 +134,11 @@ impl Pom {
 
     fn find_slot(&self, set: u64, member: u8) -> u8 {
         let base = set as usize * self.group;
+        // silcfm-lint: allow(P1) -- set < nm_blocks by construction, so the row slice is in bounds
         self.perm[base..base + self.group]
             .iter()
             .position(|&m| m == member)
+            // silcfm-lint: allow(P1) -- every row is a permutation of 0..group, so member is found
             .expect("permutation is total") as u8
     }
 
@@ -188,6 +192,7 @@ impl MemoryScheme for Pom {
             // Resident access: every challenger's competing counter decays.
             for m in 0..self.group {
                 if m != member as usize {
+                    // silcfm-lint: allow(P1) -- m < group keeps the index in the set's counter row
                     self.counters[base + m] = self.counters[base + m].saturating_sub(1);
                 }
             }
@@ -196,11 +201,14 @@ impl MemoryScheme for Pom {
             // Challenger access: its competing counter rises; at the
             // threshold the whole 2 KB block swaps with the NM resident.
             let cidx = base + member as usize;
+            // silcfm-lint: allow(P1) -- cidx = base + member with member < group
             self.counters[cidx] = self.counters[cidx].saturating_add(1);
+            // silcfm-lint: allow(P1) -- cidx = base + member with member < group
             if self.counters[cidx] >= self.params.threshold {
                 self.migrate(&mut out.background, set, slot);
                 // The swap resets the contest for the whole group.
                 for m in 0..self.group {
+                    // silcfm-lint: allow(P1) -- m < group keeps the index in the set's counter row
                     self.counters[base + m] = 0;
                 }
             }

@@ -139,8 +139,10 @@ impl CacheHierarchy {
             None => addr.value() / self.line_bytes,
         };
         let l1 = if is_fetch {
+            // silcfm-lint: allow(P1) -- per-core vectors are sized to the core count at construction
             &mut self.l1i[core.index()]
         } else {
+            // silcfm-lint: allow(P1) -- per-core vectors are sized to the core count at construction
             &mut self.l1d[core.index()]
         };
 
@@ -175,6 +177,7 @@ impl CacheHierarchy {
             };
         }
         self.stats.l2_misses += 1;
+        // silcfm-lint: allow(P1) -- per-core vectors are sized to the core count at construction
         self.stats.llc_misses_per_core[core.index()] += 1;
         traffic.demand_fetch = true;
         if let Some(l2_victim) = l2_res.writeback {

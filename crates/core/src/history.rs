@@ -58,6 +58,7 @@ impl BitVectorTable {
     pub fn store(&mut self, key: u64, bitvec: u64) {
         self.stores += 1;
         let idx = self.index(key);
+        // silcfm-lint: allow(P1) -- index() masks the hash into the power-of-two table
         self.entries[idx] = bitvec;
     }
 
@@ -65,6 +66,7 @@ impl BitVectorTable {
     /// slot is empty (no useful history).
     pub fn lookup(&mut self, key: u64) -> Option<u64> {
         self.lookups += 1;
+        // silcfm-lint: allow(P1) -- index() masks the hash into the power-of-two table
         let v = self.entries[self.index(key)];
         if v == 0 {
             None

@@ -56,6 +56,7 @@ impl WayPredictor {
 
     /// Predicts for the access identified by `key` (PC ⊕ block address).
     pub fn predict(&self, key: u64) -> Prediction {
+        // silcfm-lint: allow(P1) -- index() masks the hash into the power-of-two table
         let e = self.entries[self.index(key)];
         Prediction {
             way: e.way,
@@ -75,6 +76,7 @@ impl WayPredictor {
             self.loc_correct += 1;
         }
         let idx = self.index(key);
+        // silcfm-lint: allow(P1) -- index() masks the hash into the power-of-two table
         self.entries[idx] = Entry {
             way: actual_way,
             in_fm: actual_in_fm,

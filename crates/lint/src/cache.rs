@@ -1,0 +1,276 @@
+//! The incremental lint cache: skip the whole analysis when nothing that
+//! could change its outcome has changed.
+//!
+//! Because the analyzer is *cross-file* (a one-line edit in `util.rs` can
+//! add or remove findings in `controller.rs` via the call graph), per-file
+//! result caching is unsound. The cache therefore keys on a single
+//! whole-workspace fingerprint — every scanned source, manifest and the
+//! stat-key registry, content-hashed, plus a digest of the rule
+//! configuration — and replays the full stored report on a hit. A miss
+//! re-analyzes everything and rewrites the cache.
+//!
+//! The stored per-file hashes also power `--changed-only`: after a full
+//! (or replayed) analysis, findings are filtered to files whose content
+//! hash differs from the *previous* run's, which is exactly the "what did
+//! my edit break" view. Filtering happens after analysis, so cross-file
+//! findings caused by an edit elsewhere still surface on the changed file.
+//!
+//! Format: a line-oriented text file (`target/silcfm-lint-cache.txt`) with
+//! tab-separated fields and `\t`/`\n`/`\\` escaping — dependency-free and
+//! diffable. An unreadable or version-mismatched cache is simply a miss.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::{Finding, LintReport};
+
+/// Bump when the cache format or anything feeding the fingerprint changes
+/// shape.
+const VERSION: &str = "silcfm-lint-cache v2";
+
+/// FNV-1a 64-bit: tiny, dependency-free, stable across platforms.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of everything configuration-side that affects findings: rule
+/// set, seeds, boundaries, sinks, scopes. Editing any of these invalidates
+/// the cache even if no source changed.
+pub fn config_digest() -> u64 {
+    let blob = format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        crate::rules::RULE_IDS,
+        crate::HOT_PATH_SEEDS,
+        crate::AMORTIZED_BOUNDARIES,
+        crate::ORDER_SINK_FNS,
+        crate::ORDER_SINK_FILES,
+        crate::PARALLEL_SEED_PREFIXES,
+        crate::MERGE_FN_MARKERS,
+        crate::SANCTIONED_CONCURRENCY,
+    );
+    fnv1a(blob.as_bytes())
+}
+
+/// A cached run: the input fingerprint, the per-file content hashes that
+/// produced it, and the full report to replay.
+#[derive(Debug, Default)]
+pub struct Cache {
+    pub fingerprint: u64,
+    pub file_hashes: BTreeMap<String, u64>,
+    pub report: LintReport,
+}
+
+/// Combines per-file hashes (path-ordered, so deterministic) with the
+/// config digest into the workspace fingerprint.
+pub fn fingerprint(file_hashes: &BTreeMap<String, u64>) -> u64 {
+    let mut blob = String::new();
+    for (path, hash) in file_hashes {
+        blob.push_str(path);
+        blob.push('\u{1}');
+        blob.push_str(&format!("{hash:016x}"));
+        blob.push('\n');
+    }
+    blob.push_str(&format!("config:{:016x}", config_digest()));
+    fnv1a(blob.as_bytes())
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Serializes a cache to its text form.
+pub fn encode(cache: &Cache) -> String {
+    let mut out = String::new();
+    out.push_str(VERSION);
+    out.push('\n');
+    out.push_str(&format!("fingerprint {:016x}\n", cache.fingerprint));
+    out.push_str(&format!("files {}\n", cache.file_hashes.len()));
+    for (path, hash) in &cache.file_hashes {
+        out.push_str(&format!("{hash:016x}\t{}\n", escape(path)));
+    }
+    let r = &cache.report;
+    out.push_str(&format!(
+        "report {} {} {}\n",
+        r.findings.len(),
+        r.suppressed,
+        r.files_scanned
+    ));
+    for f in &r.findings {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\n",
+            f.rule,
+            escape(&f.path),
+            f.line,
+            escape(&f.message),
+            escape(&f.hint),
+            escape(&f.chain.join("\u{1f}")),
+        ));
+    }
+    out
+}
+
+/// Parses the text form back; `None` on any malformation (treated as a
+/// cache miss by callers).
+pub fn decode(text: &str) -> Option<Cache> {
+    let mut lines = text.lines();
+    if lines.next()? != VERSION {
+        return None;
+    }
+    let fingerprint = u64::from_str_radix(lines.next()?.strip_prefix("fingerprint ")?, 16).ok()?;
+    let nfiles: usize = lines.next()?.strip_prefix("files ")?.parse().ok()?;
+    let mut file_hashes = BTreeMap::new();
+    for _ in 0..nfiles {
+        let line = lines.next()?;
+        let (hash, path) = line.split_once('\t')?;
+        file_hashes.insert(unescape(path), u64::from_str_radix(hash, 16).ok()?);
+    }
+    let mut header = lines.next()?.strip_prefix("report ")?.split(' ');
+    let nfindings: usize = header.next()?.parse().ok()?;
+    let suppressed: usize = header.next()?.parse().ok()?;
+    let files_scanned: usize = header.next()?.parse().ok()?;
+    let mut findings = Vec::with_capacity(nfindings);
+    for _ in 0..nfindings {
+        let fields: Vec<&str> = lines.next()?.splitn(6, '\t').collect();
+        if fields.len() != 6 {
+            return None;
+        }
+        let chain_raw = unescape(fields[5]);
+        findings.push(Finding {
+            // Rule IDs are interned: map back to the static registry so
+            // `Finding.rule` stays `&'static str`.
+            rule: crate::rules::RULE_IDS.iter().find(|r| **r == fields[0])?,
+            path: unescape(fields[1]),
+            line: fields[2].parse().ok()?,
+            message: unescape(fields[3]),
+            hint: unescape(fields[4]),
+            chain: if chain_raw.is_empty() {
+                Vec::new()
+            } else {
+                chain_raw.split('\u{1f}').map(str::to_string).collect()
+            },
+        });
+    }
+    Some(Cache {
+        fingerprint,
+        file_hashes,
+        report: LintReport {
+            findings,
+            suppressed,
+            files_scanned,
+        },
+    })
+}
+
+/// Loads a cache file; any IO or parse failure is a miss.
+pub fn load(path: &Path) -> Option<Cache> {
+    decode(&fs::read_to_string(path).ok()?)
+}
+
+/// Writes the cache, creating the parent directory if needed.
+pub fn store(path: &Path, cache: &Cache) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, encode(cache))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Cache {
+        let mut file_hashes = BTreeMap::new();
+        file_hashes.insert("crates/core/src/lib.rs".to_string(), 7);
+        file_hashes.insert("weird\tname.rs".to_string(), 9);
+        Cache {
+            fingerprint: fingerprint(&file_hashes),
+            file_hashes,
+            report: LintReport {
+                findings: vec![Finding {
+                    rule: "A1",
+                    path: "crates/core/src/util.rs".to_string(),
+                    line: 12,
+                    message: "`vec!` with a\ttab and\nnewline".to_string(),
+                    hint: "hoist it".to_string(),
+                    chain: vec![
+                        "C::access (crates/core/src/controller.rs:4)".to_string(),
+                        "expand (crates/core/src/util.rs:1)".to_string(),
+                    ],
+                }],
+                suppressed: 3,
+                files_scanned: 41,
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let cache = sample();
+        let decoded = decode(&encode(&cache)).expect("decode");
+        assert_eq!(decoded.fingerprint, cache.fingerprint);
+        assert_eq!(decoded.file_hashes, cache.file_hashes);
+        assert_eq!(decoded.report.findings, cache.report.findings);
+        assert_eq!(decoded.report.suppressed, 3);
+        assert_eq!(decoded.report.files_scanned, 41);
+    }
+
+    #[test]
+    fn version_or_garbage_is_a_miss() {
+        assert!(decode("").is_none());
+        assert!(decode("silcfm-lint-cache v0\n").is_none());
+        let mut text = encode(&sample());
+        text.truncate(text.len() / 2);
+        assert!(decode(&text).is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_and_config() {
+        let mut hashes = BTreeMap::new();
+        hashes.insert("a.rs".to_string(), 1u64);
+        let base = fingerprint(&hashes);
+        hashes.insert("a.rs".to_string(), 2u64);
+        assert_ne!(base, fingerprint(&hashes), "content hash feeds in");
+        hashes.insert("b.rs".to_string(), 1u64);
+        let with_b = fingerprint(&hashes);
+        assert_ne!(fingerprint(&hashes), base);
+        hashes.remove("b.rs");
+        hashes.insert("a.rs".to_string(), 1u64);
+        assert_eq!(fingerprint(&hashes), base, "deterministic");
+        let _ = with_b;
+    }
+}

@@ -63,6 +63,7 @@ pub fn parse(path: &str, comments: &[Comment], findings: &mut Vec<Finding>) -> V
                 hint: format!(
                     "write `{MARKER} allow(<RULE>) -- <reason>`; the reason is mandatory"
                 ),
+                chain: Vec::new(),
             }),
         }
     }
@@ -148,6 +149,7 @@ mod tests {
             line,
             message: String::new(),
             hint: String::new(),
+            chain: Vec::new(),
         }
     }
 

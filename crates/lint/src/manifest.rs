@@ -105,6 +105,7 @@ fn non_path_dep(path: &str, line: usize, name: &str) -> Finding {
         hint: "vendor the functionality in-tree (see silcfm-types::rng/check for the \
                pattern) or declare `name = { path = \"crates/...\" }`"
             .to_string(),
+        chain: Vec::new(),
     }
 }
 

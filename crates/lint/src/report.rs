@@ -11,6 +11,9 @@ pub fn text(report: &LintReport, fix_hints: bool) -> String {
     let mut out = String::new();
     for f in &report.findings {
         let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        if !f.chain.is_empty() {
+            let _ = writeln!(out, "    call chain: {}", f.chain.join(" -> "));
+        }
         if fix_hints {
             let _ = writeln!(out, "    fix: {}", f.hint);
             let _ = writeln!(
@@ -35,10 +38,16 @@ pub fn text(report: &LintReport, fix_hints: bool) -> String {
 pub fn json(report: &LintReport) -> String {
     let mut out = String::from("{\n  \"findings\": [");
     for (i, f) in report.findings.iter().enumerate() {
+        let chain = f
+            .chain
+            .iter()
+            .map(|hop| format!("\"{}\"", escape(hop)))
+            .collect::<Vec<_>>()
+            .join(", ");
         let _ = write!(
             out,
             "{}\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \
-             \"message\": \"{}\", \"hint\": \"{}\"}}",
+             \"message\": \"{}\", \"hint\": \"{}\", \"chain\": [{chain}]}}",
             if i == 0 { "" } else { "," },
             f.rule,
             escape(&f.path),
@@ -85,6 +94,7 @@ mod tests {
                 line: 287,
                 message: "default-hasher \"HashSet\"".into(),
                 hint: "use FxHashSet".into(),
+                chain: Vec::new(),
             }],
             suppressed: 2,
             files_scanned: 40,
@@ -113,6 +123,27 @@ mod tests {
         assert!(j.contains("\"line\": 287"));
         assert!(j.contains("default-hasher \\\"HashSet\\\""));
         assert!(j.contains("\"suppressed\": 2"));
+    }
+
+    #[test]
+    fn chains_render_in_both_formats() {
+        let mut r = one_finding();
+        r.findings[0].chain = vec![
+            "Ctl::access (crates/core/src/controller.rs:4)".to_string(),
+            "helper (crates/core/src/util.rs:2)".to_string(),
+        ];
+        let t = text(&r, false);
+        assert!(t.contains(
+            "    call chain: Ctl::access (crates/core/src/controller.rs:4) \
+             -> helper (crates/core/src/util.rs:2)"
+        ));
+        let j = json(&r);
+        assert!(j.contains(
+            "\"chain\": [\"Ctl::access (crates/core/src/controller.rs:4)\", \
+             \"helper (crates/core/src/util.rs:2)\"]"
+        ));
+        // File-local findings carry an empty array, not a missing key.
+        assert!(json(&one_finding()).contains("\"chain\": []"));
     }
 
     #[test]

@@ -6,58 +6,104 @@
 //! | D2 | determinism | `std::time::{Instant,SystemTime}`, `std::env::{var,var_os,vars}` |
 //! | E1 | fallibility | `.unwrap()` / `.expect(` / `panic!` outside tests in setup/config modules |
 //! | H1 | hermeticity | non-workspace-path dependency in a `Cargo.toml` (see `manifest`) |
-//! | P1 | panic-safety | `.unwrap()` / `.expect(` / `panic!` / bare `[...]` indexing in hot-path modules |
-//! | A1 | allocation | `Vec::new` / `vec![` / `Box::new` / `.to_vec()` / `format!` reachable from the access hot path |
+//! | P1 | panic-safety | panic-capable sites reachable from the hot-path seeds (see `interproc`) |
+//! | A1 | allocation | allocation sites reachable from the hot-path seeds (see `interproc`) |
+//! | N1 | determinism | unsorted hash iteration feeding an order-sensitive sink (see `interproc`) |
+//! | F1 | determinism | unordered float reductions on merge paths of parallel runs (see `interproc`) |
+//! | T1 | determinism | threads/channels/atomics outside the sanctioned concurrency modules |
 //! | S1 | stats | duplicate or unregistered `&'static str` stat keys (see `lib.rs`) |
 //! | X1 | tooling | malformed suppression directive (see `directives`) |
+//!
+//! P1/A1/N1/F1 are *interprocedural*: their passes live in
+//! [`crate::interproc`] and run over the workspace call graph; this module
+//! hosts the purely file-local rules.
 
-use std::collections::BTreeMap;
 use std::ops::Range;
 
 use crate::lexer::{Lexed, Token, TokenKind};
 use crate::Finding;
 
 /// Every rule ID the linter knows, in reporting order.
-pub const RULE_IDS: &[&str] = &["D1", "D2", "E1", "H1", "P1", "A1", "S1", "X1"];
-
-/// File names (not paths) of the designated hot-path modules: the files
-/// where P1 and A1 apply. These are the modules on the per-access critical
-/// path of the simulator (see DESIGN.md § Static analysis).
-pub const HOT_MODULES: &[&str] = &[
-    "controller.rs",
-    "set_assoc.rs",
-    "model.rs",
-    "oplist.rs",
-    "system.rs",
-    "shard.rs",
-    "batch.rs",
-    "frametable.rs",
+pub const RULE_IDS: &[&str] = &[
+    "D1", "D2", "E1", "H1", "P1", "A1", "N1", "F1", "T1", "S1", "X1",
 ];
 
-/// Per-module entry points of the access hot path, used as the reachability
-/// seeds for A1. Reachability is computed over the file-local call graph:
-/// a function is hot if a chain of same-file calls connects it to a seed.
-pub const HOT_SEEDS: &[(&str, &[&str])] = &[
-    ("controller.rs", &["access"]),
-    ("set_assoc.rs", &["access"]),
-    ("model.rs", &["read", "write", "stream"]),
-    ("oplist.rs", &["push", "clear", "extend"]),
-    ("system.rs", &["run", "charge"]),
-    // The sharded feed's record pull and the epoch-barrier merge it drives
-    // run once per serviced access (DESIGN.md §11).
-    ("shard.rs", &["next", "next_chunk"]),
-    // The batched access path: the controller writes per-access op runs
-    // through these on every batch entry (DESIGN.md §12).
-    ("batch.rs", &["sinks", "commit", "push_outcome"]),
-    // SoA frame metadata: every probe/victim scan and residency update in
-    // the controller lands here (DESIGN.md §12).
-    (
-        "frametable.rs",
-        &[
-            "probe", "victim", "slot_of", "set_bit", "bump_nm", "bump_fm",
-        ],
-    ),
-];
+/// Long-form rationale per rule, shown by `silcfm-lint --explain <RULE>`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "D1" => {
+            "D1 (determinism): std's HashMap/HashSet seed SipHash per process, so \
+             iteration order differs between runs and machines. Any order leak — a \
+             stats dump, a tie-break, a work list — breaks bit-identical replays. \
+             Use the workspace FxHashMap/FxHashSet (fixed seed) or a BTreeMap."
+        }
+        "D2" => {
+            "D2 (determinism): wall-clock time (Instant/SystemTime) and environment \
+             reads make a run depend on when/where it executes. Simulated time comes \
+             from the DRAM model's cycle counters; configuration comes from typed \
+             experiment params, never from env vars."
+        }
+        "E1" => {
+            "E1 (fallibility): setup and configuration code (param validation, DRAM \
+             config, experiment drivers, the fault plane) must return typed errors, \
+             not panic — the journaled grid runner reports a bad point and carries \
+             on with the rest of the grid. unwrap/expect/panic! are fine in tests."
+        }
+        "H1" => {
+            "H1 (hermeticity): every dependency must be a workspace path dep. A \
+             registry dependency would break offline builds and tie results to \
+             whatever version resolution picked that day."
+        }
+        "P1" => {
+            "P1 (panic-safety, interprocedural): no unwrap/expect/panic!/bare \
+             indexing anywhere reachable from a hot-path seed (every \
+             MemoryScheme::access* impl, RecordFeed::next*, DramModel \
+             read/write/stream, System::run*). A panic mid-access poisons the \
+             epoch journal. The finding's call chain shows seed-to-site \
+             reachability; use get()/checked ops and return SilcFmError."
+        }
+        "A1" => {
+            "A1 (allocation, interprocedural): no Vec::new/Box::new/vec!/format!/ \
+             to_vec anywhere reachable from a hot-path seed — per-access allocation \
+             is the top simulator slowdown at trace scale. Preallocate in setup and \
+             reuse scratch buffers; declared amortization boundaries (lib.rs \
+             AMORTIZED_BOUNDARIES) stop the traversal where cost is per-epoch."
+        }
+        "N1" => {
+            "N1 (determinism, interprocedural): iterating a hash map in a function \
+             from which an order-sensitive sink is reachable (merge/digest fns, the \
+             crash journal, the exporters) leaks nondeterministic order into \
+             results. Sort the keys first, or fold into an order-insensitive \
+             accumulator the rule recognizes (commutative += per key)."
+        }
+        "F1" => {
+            "F1 (determinism, interprocedural): float addition is not associative, \
+             so an unordered f32/f64 sum/product/fold in a merge/aggregate fn \
+             reachable from the sharded or grid runners makes parallel results \
+             differ from serial. Fix the reduction order (sort, or fold shard \
+             results in shard-index order) or accumulate in integers."
+        }
+        "T1" => {
+            "T1 (determinism): threads, channels, atomics and locks are allowed \
+             only in the sanctioned modules (the epoch-barrier shard runner and \
+             the grid runner), which own the deterministic-merge protocol. \
+             Concurrency anywhere else bypasses that protocol."
+        }
+        "S1" => {
+            "S1 (stats): every stat key a sink emits must be registered in \
+             crates/lint/stat_keys.txt, at most once per file, with no dead \
+             registry entries; series keys live under the reserved \"obs.\" \
+             namespace. Figure tooling treats the registry as the schema."
+        }
+        "X1" => {
+            "X1 (tooling): the linter's own inputs are malformed — an unparseable \
+             suppression directive, an unknown rule ID in allow(...), or a stale \
+             analyzer-scope constant (e.g. an AMORTIZED_BOUNDARIES entry matching \
+             no fn). X1 is not suppressible; fix the directive or the constant."
+        }
+        _ => return None,
+    })
+}
 
 /// Setup/configuration modules where E1 applies: validation and
 /// construction code that callers invoke before a run starts. A bad knob
@@ -88,14 +134,14 @@ const KEYWORDS: &[&str] = &[
     "type", "unsafe", "use", "where", "while", "yield",
 ];
 
-fn is_keyword(text: &str) -> bool {
+pub(crate) fn is_keyword(text: &str) -> bool {
     KEYWORDS.contains(&text)
 }
 
-/// Whether D1/D2 source rules apply to this logical path (forward slashes).
-/// Tooling crates are exempt: the benchmark harness legitimately reads the
-/// wall clock and the linter itself reads the filesystem.
-fn determinism_scope(path: &str) -> bool {
+/// Whether D1/D2/T1 source rules apply to this logical path (forward
+/// slashes). Tooling crates are exempt: the benchmark harness legitimately
+/// reads the wall clock and the linter itself reads the filesystem.
+pub(crate) fn determinism_scope(path: &str) -> bool {
     !path.starts_with("crates/bench/") && !path.starts_with("crates/lint/")
 }
 
@@ -104,12 +150,6 @@ fn determinism_scope(path: &str) -> bool {
 /// may grow environment hooks.
 fn d2_scope(path: &str) -> bool {
     determinism_scope(path) && path != "crates/types/src/check.rs"
-}
-
-/// Whether this file is a designated hot-path module.
-fn hot_module(path: &str) -> Option<&'static str> {
-    let name = path.rsplit('/').next().unwrap_or(path);
-    HOT_MODULES.iter().copied().find(|m| *m == name)
 }
 
 /// Runs every source-level rule over one lexed file, returning raw
@@ -135,6 +175,7 @@ pub fn lint_tokens(path: &str, lexed: &Lexed) -> Vec<Finding> {
                     ),
                     hint: "use `silcfm_types::FxHashMap` / `FxHashSet` (deterministic, faster)"
                         .to_string(),
+                    chain: Vec::new(),
                 });
             }
             if d2_scope(path)
@@ -153,14 +194,19 @@ pub fn lint_tokens(path: &str, lexed: &Lexed) -> Vec<Finding> {
                     hint: "derive behaviour from explicit config/seeds; timing belongs in \
                            crates/bench"
                         .to_string(),
+                    chain: Vec::new(),
                 });
             }
         });
     }
 
-    if let Some(module) = hot_module(path) {
-        lint_panic_safety(path, toks, &mut findings, &in_test);
-        lint_allocations(path, module, toks, &mut findings, &in_test);
+    // T1 binds shipped simulator code; integration-test and example roots
+    // may drive the runner however they like.
+    let test_root = ["/tests/", "/examples/", "/benches/"]
+        .iter()
+        .any(|seg| path.contains(seg));
+    if determinism_scope(path) && !test_root && !crate::SANCTIONED_CONCURRENCY.contains(&path) {
+        lint_concurrency(path, toks, &mut findings, &in_test);
     }
 
     if setup_scope(path) {
@@ -202,72 +248,52 @@ pub fn collect_series_keys(lexed: &Lexed) -> Vec<(String, usize)> {
     collect_sink_keys(lexed, "series")
 }
 
-// ---- P1: panic safety ------------------------------------------------------
+// ---- T1: concurrency containment -------------------------------------------
 
-fn lint_panic_safety(
+/// Synchronization primitives whose mere presence marks ad-hoc concurrency.
+const SYNC_PRIMITIVES: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier", "OnceLock"];
+
+/// T1: thread spawns, channels, atomics and locks outside the sanctioned
+/// concurrency modules (see [`crate::SANCTIONED_CONCURRENCY`]). The shard
+/// and grid runners own *all* parallelism so the epoch-barrier merge can
+/// guarantee bit-identical serial/parallel results; a rogue thread or a
+/// shared atomic anywhere else reintroduces scheduling-order dependence.
+fn lint_concurrency(
     path: &str,
     toks: &[Token],
     findings: &mut Vec<Finding>,
     in_test: &dyn Fn(usize) -> bool,
 ) {
-    let hint = "restructure infallibly (`get`, `if let`, accessor with a documented \
-                invariant) or annotate why the panic cannot fire";
+    let hint = "route parallelism through the shard/grid runners (crates/sim/src/shard.rs, \
+                runner.rs) so the deterministic merge protocol sees it";
     for i in 0..toks.len() {
         let t = &toks[i];
-        if in_test(t.line) {
+        if t.kind != TokenKind::Ident || in_test(t.line) {
             continue;
         }
-        // `.unwrap()` / `.expect(`
-        if punct(Some(t), '.') {
-            if let Some(name) = toks.get(i + 1) {
-                if name.kind == TokenKind::Ident
-                    && (name.text == "unwrap" || name.text == "expect")
-                    && punct(toks.get(i + 2), '(')
-                {
-                    findings.push(Finding {
-                        rule: "P1",
-                        path: path.to_string(),
-                        line: name.line,
-                        message: format!(
-                            "`.{}(` on the access hot path can abort a whole run",
-                            name.text
-                        ),
-                        hint: hint.to_string(),
-                    });
-                }
-            }
-        }
-        // `panic!`
-        if t.kind == TokenKind::Ident && t.text == "panic" && punct(toks.get(i + 1), '!') {
+        let what = if t.text == "spawn" && punct(toks.get(i + 1), '(') {
+            Some("thread spawn")
+        } else if t.text == "mpsc" {
+            Some("channel plumbing")
+        } else if t.text.starts_with("Atomic") && t.text.len() > "Atomic".len() {
+            Some("shared atomic")
+        } else if SYNC_PRIMITIVES.contains(&t.text.as_str()) {
+            Some("synchronization primitive")
+        } else {
+            None
+        };
+        if let Some(what) = what {
             findings.push(Finding {
-                rule: "P1",
+                rule: "T1",
                 path: path.to_string(),
                 line: t.line,
-                message: "`panic!` on the access hot path".to_string(),
+                message: format!(
+                    "{what} `{}` outside the sanctioned concurrency modules",
+                    t.text
+                ),
                 hint: hint.to_string(),
+                chain: Vec::new(),
             });
-        }
-        // Bare `[...]` indexing: a `[` whose previous token is a value
-        // (identifier, `)` or `]`). Type positions, attributes, slice
-        // patterns and macro brackets all have non-value predecessors.
-        if punct(Some(t), '[') && i > 0 {
-            let prev = &toks[i - 1];
-            let value_before = match prev.kind {
-                TokenKind::Ident => !is_keyword(&prev.text),
-                TokenKind::Punct => prev.text == ")" || prev.text == "]",
-                _ => false,
-            };
-            if value_before {
-                findings.push(Finding {
-                    rule: "P1",
-                    path: path.to_string(),
-                    line: t.line,
-                    message: "bare `[...]` indexing on the access hot path panics when out \
-                              of bounds"
-                        .to_string(),
-                    hint: hint.to_string(),
-                });
-            }
         }
     }
 }
@@ -302,6 +328,7 @@ fn lint_setup_fallibility(
                             name.text
                         ),
                         hint: hint.to_string(),
+                        chain: Vec::new(),
                     });
                 }
             }
@@ -314,112 +341,8 @@ fn lint_setup_fallibility(
                 message: "`panic!` in setup code turns a bad configuration into a crash"
                     .to_string(),
                 hint: hint.to_string(),
+                chain: Vec::new(),
             });
-        }
-    }
-}
-
-// ---- A1: allocation discipline --------------------------------------------
-
-fn lint_allocations(
-    path: &str,
-    module: &str,
-    toks: &[Token],
-    findings: &mut Vec<Finding>,
-    in_test: &dyn Fn(usize) -> bool,
-) {
-    let seeds: &[&str] = HOT_SEEDS
-        .iter()
-        .find(|(m, _)| *m == module)
-        .map(|(_, s)| *s)
-        .unwrap_or(&["access"]);
-    let fns = extract_fns(toks);
-
-    // File-local call graph: fn name -> names it mentions as calls.
-    // `Other::name(` is a *foreign* associated call, not a mention of the
-    // local `name` — only `Self::`/`self.`-qualified and bare calls count.
-    let mut calls: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
-    for f in &fns {
-        let entry = calls.entry(f.name.as_str()).or_default();
-        for j in f.body.clone() {
-            let t = &toks[j];
-            if t.kind == TokenKind::Ident && !is_keyword(&t.text) && punct(toks.get(j + 1), '(') {
-                let qualified =
-                    j >= 2 && punct(toks.get(j - 1), ':') && punct(toks.get(j - 2), ':');
-                if qualified && !(j >= 3 && ident(toks.get(j - 3), "Self")) {
-                    continue;
-                }
-                entry.push(t.text.as_str());
-            }
-        }
-    }
-
-    // Closure from the seeds.
-    let mut hot: Vec<&str> = Vec::new();
-    let mut queue: Vec<&str> = seeds.to_vec();
-    while let Some(name) = queue.pop() {
-        if hot.contains(&name) {
-            continue;
-        }
-        hot.push(name);
-        if let Some(mentions) = calls.get(name) {
-            for m in mentions {
-                if calls.contains_key(m) && !hot.contains(m) {
-                    queue.push(m);
-                }
-            }
-        }
-    }
-
-    let hint = "keep per-access work allocation-free: reuse caller-owned buffers \
-                (see the outcome-reuse protocol) or hoist the allocation to setup";
-    for f in &fns {
-        if !hot.contains(&f.name.as_str()) || in_test(f.line) {
-            continue;
-        }
-        for j in f.body.clone() {
-            let t = &toks[j];
-            if in_test(t.line) {
-                continue;
-            }
-            let mut hit: Option<String> = None;
-            // `Vec::new` / `Box::new`
-            if t.kind == TokenKind::Ident
-                && (t.text == "Vec" || t.text == "Box")
-                && punct(toks.get(j + 1), ':')
-                && punct(toks.get(j + 2), ':')
-                && ident(toks.get(j + 3), "new")
-            {
-                hit = Some(format!("{}::new", t.text));
-            }
-            // `vec!` / `format!`
-            if t.kind == TokenKind::Ident
-                && (t.text == "vec" || t.text == "format")
-                && punct(toks.get(j + 1), '!')
-            {
-                hit = Some(format!("{}!", t.text));
-            }
-            // `.to_vec(`
-            if punct(Some(t), '.')
-                && ident(toks.get(j + 1), "to_vec")
-                && punct(toks.get(j + 2), '(')
-            {
-                hit = Some(".to_vec()".to_string());
-            }
-            if let Some(what) = hit {
-                findings.push(Finding {
-                    rule: "A1",
-                    path: path.to_string(),
-                    line: t.line,
-                    message: format!(
-                        "`{what}` inside `{}`, which is reachable from the access hot path \
-                         (seeds: {})",
-                        f.name,
-                        seeds.join(", ")
-                    ),
-                    hint: hint.to_string(),
-                });
-            }
         }
     }
 }
@@ -517,63 +440,6 @@ fn walk_path(
     i
 }
 
-/// A function item found in the token stream.
-struct FnItem {
-    name: String,
-    /// Token-index range of the body (between the braces, exclusive).
-    body: Range<usize>,
-    /// Line of the `fn` keyword.
-    line: usize,
-}
-
-/// Extracts every `fn name(...) { ... }` item (free functions, methods and
-/// nested functions alike).
-fn extract_fns(toks: &[Token]) -> Vec<FnItem> {
-    let mut fns = Vec::new();
-    let mut i = 0usize;
-    while i < toks.len() {
-        if ident(toks.get(i), "fn") {
-            if let Some(name_tok) = toks.get(i + 1) {
-                if name_tok.kind == TokenKind::Ident {
-                    let line = toks[i].line;
-                    // Find the body's `{` at paren depth 0; a `;` first
-                    // means a bodiless declaration.
-                    let mut j = i + 2;
-                    let mut paren = 0i32;
-                    let mut body = None;
-                    while let Some(t) = toks.get(j) {
-                        if t.kind == TokenKind::Punct {
-                            match t.text.as_str() {
-                                "(" => paren += 1,
-                                ")" => paren -= 1,
-                                ";" if paren == 0 => break,
-                                "{" if paren == 0 => {
-                                    body = Some(j);
-                                    break;
-                                }
-                                _ => {}
-                            }
-                        }
-                        j += 1;
-                    }
-                    if let Some(open) = body {
-                        let close = matching_brace(toks, open);
-                        fns.push(FnItem {
-                            name: name_tok.text.clone(),
-                            body: open + 1..close,
-                            line,
-                        });
-                        // Continue scanning *inside* the body too (nested
-                        // fns); the outer loop advances one token at a time.
-                    }
-                }
-            }
-        }
-        i += 1;
-    }
-    fns
-}
-
 /// Index of the `}` matching the `{` at `open` (or the last token).
 fn matching_brace(toks: &[Token], open: usize) -> usize {
     let mut depth = 0i32;
@@ -595,9 +461,9 @@ fn matching_brace(toks: &[Token], open: usize) -> usize {
 }
 
 /// Line ranges covered by `#[cfg(test)]` items (conventionally
-/// `mod tests { ... }`): P1/A1 are hot-path contracts for shipped code and
-/// do not apply to tests.
-fn test_spans(toks: &[Token]) -> Vec<Range<usize>> {
+/// `mod tests { ... }`): the hot-path and concurrency contracts bind
+/// shipped code, not tests.
+pub(crate) fn test_spans(toks: &[Token]) -> Vec<Range<usize>> {
     let mut spans = Vec::new();
     let mut i = 0usize;
     while i + 6 < toks.len() {
@@ -711,85 +577,42 @@ mod tests {
     }
 
     #[test]
-    fn p1_fires_only_in_hot_modules() {
-        let src = "fn f(v: &[u32]) -> u32 { v.first().unwrap() + v[0] }";
-        assert_eq!(
-            rules_of("crates/core/src/controller.rs", src),
-            vec![("P1", 1), ("P1", 1)]
-        );
-        assert!(rules_of("crates/core/src/predictor.rs", src).is_empty());
-    }
-
-    #[test]
-    fn p1_spares_types_attrs_and_patterns() {
-        let src = "struct S { a: [u8; 4] }\n\
-                   #[derive(Clone)]\n\
-                   struct T;\n\
-                   fn f() { let [a, b] = [1, 2]; let _ = (a, b); }\n\
-                   fn g(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
-        assert!(rules_of("crates/core/src/controller.rs", src).is_empty());
-    }
-
-    #[test]
-    fn p1_skips_test_modules() {
-        let src = "fn hot(v: &[u32]) -> u32 { v.len() as u32 }\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                       #[test]\n\
-                       fn t() { let v = vec![1]; assert_eq!(v[0], v.first().copied().unwrap()); }\n\
+    fn t1_fires_on_spawns_channels_atomics_and_locks() {
+        let src = "fn f() {\n\
+                       let h = thread::spawn(|| 1);\n\
+                       let (tx, rx) = mpsc::channel();\n\
+                       let n = AtomicU64::new(0);\n\
+                       let m = Mutex::new(1);\n\
+                       let _ = (h, tx, rx, n, m);\n\
                    }\n";
-        assert!(rules_of("crates/core/src/controller.rs", src).is_empty());
-    }
-
-    #[test]
-    fn a1_uses_reachability() {
-        let src = "fn access(&mut self) { self.helper(); }\n\
-                   fn helper(&mut self) { let v = vec![1, 2]; let _ = v; }\n\
-                   fn cold_setup(&mut self) { let v = Vec::new(); let _ = v; }\n";
-        let hits = rules_of("crates/core/src/controller.rs", src);
-        // helper is reachable from access; cold_setup is not.
+        let hits = rules_of("crates/sim/src/metrics.rs", src);
         assert_eq!(
-            hits.iter().filter(|(r, _)| *r == "A1").collect::<Vec<_>>(),
-            vec![&("A1", 2)]
+            hits,
+            vec![("T1", 2), ("T1", 3), ("T1", 4), ("T1", 5)],
+            "one per site"
         );
     }
 
     #[test]
-    fn a1_ignores_foreign_associated_calls() {
-        // `PhysAddr::new(` inside a hot fn must not mark the *local*
-        // constructor `new` as hot; `Self::grow(` must.
-        let src = "fn access(&mut self) { let a = PhysAddr::new(0); Self::grow(a); }\n\
-                   fn new() -> Vec<u32> { Vec::new() }\n\
-                   fn grow(_a: u64) { let v = vec![1]; let _ = v; }\n";
-        let hits = rules_of("crates/core/src/controller.rs", src);
-        let a1: Vec<usize> = hits
-            .iter()
-            .filter(|(r, _)| *r == "A1")
-            .map(|(_, l)| *l)
-            .collect();
-        assert_eq!(a1, vec![3]);
+    fn t1_spares_the_sanctioned_modules_and_tests() {
+        let src = "fn f() { let h = thread::spawn(|| 1); let _ = h; }\n";
+        assert!(rules_of("crates/sim/src/shard.rs", src).is_empty());
+        assert!(rules_of("crates/sim/src/runner.rs", src).is_empty());
+        assert!(rules_of("crates/bench/src/main.rs", src).is_empty());
+        assert!(rules_of("crates/sim/tests/stress.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\n\
+                       mod tests {\n\
+                           fn t() { let n = AtomicU64::new(0); let _ = n; }\n\
+                       }\n";
+        assert!(rules_of("crates/sim/src/metrics.rs", in_test).is_empty());
     }
 
     #[test]
-    fn a1_catches_every_banned_form() {
-        let src = "fn access(&mut self) {\n\
-                       let a = Vec::new();\n\
-                       let b = vec![0u8; 4];\n\
-                       let c = Box::new(1);\n\
-                       let d = b.to_vec();\n\
-                       let e = format!(\"{}\", 1);\n\
-                       let _ = (a, b, c, d, e);\n\
-                   }\n";
-        let hits = rules_of("crates/dram/src/model.rs", src);
-        // model.rs seeds are read/write/stream; `access` is not hot there.
-        assert!(hits.iter().all(|(r, _)| *r != "A1"));
-        let hits = rules_of("crates/core/src/controller.rs", src);
-        let a1: Vec<usize> = hits
-            .iter()
-            .filter(|(r, _)| *r == "A1")
-            .map(|(_, l)| *l)
-            .collect();
-        assert_eq!(a1, vec![2, 3, 4, 5, 6]);
+    fn t1_does_not_match_plain_idents() {
+        // `Atomic` alone, `spawner` without a call, a fn *named* spawn-ish.
+        let src = "fn respawn_lane(x: u64) -> u64 { x }\n\
+                   fn g(spawner: u64) -> u64 { respawn_lane(spawner) }\n";
+        assert!(rules_of("crates/sim/src/metrics.rs", src).is_empty());
     }
 
     #[test]

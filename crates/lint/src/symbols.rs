@@ -1,0 +1,715 @@
+//! The workspace symbol table: every type, trait and function in every
+//! scanned file, keyed by module path, with enough cross-referencing for
+//! the call-graph builder ([`crate::callgraph`]) to resolve method calls.
+//!
+//! Module paths are derived from file paths (`crates/<dir>/src/foo.rs` →
+//! `<crate_mod>::foo`, with the crate's package name mapped `-`→`_`), and
+//! extended through inline `mod` items. Resolution of a name in a file
+//! tries, in order: the defining module itself, the file's `use` imports
+//! (aliases honored, re-exports resolved by unique name within the target
+//! crate), then a unique match across the workspace. Ambiguity resolves to
+//! nothing — the analyzer drops what it cannot prove (DESIGN.md §13).
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::lexer::{lex, Lexed};
+use crate::parse::{parse, Field, FnSig, Item, ItemKind, ItemTree, UseImport};
+
+/// Index of a [`TypeSym`] in [`Workspace::types`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TypeId(pub usize);
+
+/// Index of a [`TraitSym`] in [`Workspace::traits`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TraitId(pub usize);
+
+/// Index of a [`FnSym`] in [`Workspace::fns`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnId(pub usize);
+
+/// Who owns a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Owner {
+    /// A free function (module-level or nested in another fn).
+    Free,
+    /// An inherent or trait-impl method of a type.
+    Type(TypeId),
+    /// A default method in a trait body.
+    TraitDefault(TraitId),
+}
+
+/// A struct/enum/union/alias (or a stub for a foreign type that the
+/// workspace writes an impl for).
+#[derive(Debug)]
+pub struct TypeSym {
+    pub name: String,
+    pub module: Vec<String>,
+    pub file: usize,
+    /// Named fields with base type idents (structs only).
+    pub fields: Vec<Field>,
+    /// `(generic param, first bound)` from the type declaration.
+    pub generics: Vec<(String, String)>,
+    /// Method name → every fn with that name (inherent + trait impls).
+    pub methods: BTreeMap<String, Vec<FnId>>,
+    /// Traits this type has (resolvable) impls for.
+    pub traits: Vec<TraitId>,
+}
+
+/// A trait declaration.
+#[derive(Debug)]
+pub struct TraitSym {
+    pub name: String,
+    pub module: Vec<String>,
+    pub file: usize,
+    /// Method name → the trait-body default fn, or `None` if required-only.
+    pub methods: BTreeMap<String, Option<FnId>>,
+    /// Types with (resolvable) impls of this trait.
+    pub impls: Vec<TypeId>,
+}
+
+/// One function: free fn, method, or trait default.
+#[derive(Debug)]
+pub struct FnSym {
+    pub name: String,
+    pub file: usize,
+    pub line: usize,
+    /// Token range of the body (absent for required trait methods).
+    pub body: Option<Range<usize>>,
+    /// Signature with impl-level generics merged in.
+    pub sig: FnSig,
+    pub owner: Owner,
+    /// Gated by `#[cfg(test)]` (directly or via an enclosing item).
+    pub cfg_test: bool,
+    pub module: Vec<String>,
+    /// For methods from a trait impl: the impl's *textual* trait name
+    /// (`impl MemoryScheme for X` → `Some("MemoryScheme")`). Seed matching
+    /// uses the text so foreign or fixture-local traits still seed.
+    pub impl_trait: Option<String>,
+}
+
+/// One scanned file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    pub lexed: Lexed,
+    pub tree: ItemTree,
+    /// Module path of the file root.
+    pub module: Vec<String>,
+    /// Flattened `use` imports (file-wide; inline-mod imports included).
+    pub imports: Vec<UseImport>,
+    /// Lives under `tests/`, `examples/` or `benches/` — an integration
+    /// test root, exempt from hot-path sinks like `#[cfg(test)]` code.
+    pub is_test_file: bool,
+}
+
+/// The whole workspace, symbolized.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub fns: Vec<FnSym>,
+    pub types: Vec<TypeSym>,
+    pub traits: Vec<TraitSym>,
+    type_by_name: BTreeMap<String, Vec<TypeId>>,
+    trait_by_name: BTreeMap<String, Vec<TraitId>>,
+    free_fn_by_name: BTreeMap<String, Vec<FnId>>,
+    /// Every *method* (non-free fn) by bare name, for last-resort receiver
+    /// resolution.
+    method_by_name: BTreeMap<String, Vec<FnId>>,
+}
+
+/// A deferred impl block: methods attach to their type after every type in
+/// the workspace is known.
+struct PendingImpl {
+    file: usize,
+    module: Vec<String>,
+    self_ty: String,
+    trait_name: Option<String>,
+    generics: Vec<(String, String)>,
+    cfg_test: bool,
+    methods: Vec<Item>,
+}
+
+impl Workspace {
+    /// Builds the table from `(logical path, source)` pairs. `crate_names`
+    /// maps a `crates/<dir>` directory name to its package name (hyphens
+    /// allowed; they are mapped to underscores here); unmapped directories
+    /// fall back to `silcfm_<dir>`, the workspace's naming convention.
+    pub fn build(sources: &[(String, String)], crate_names: &BTreeMap<String, String>) -> Self {
+        let mut ws = Workspace::default();
+        let mut pending: Vec<PendingImpl> = Vec::new();
+
+        for (path, source) in sources {
+            let lexed = lex(source);
+            let tree = parse(&lexed);
+            let module = module_path(path, crate_names);
+            let file_idx = ws.files.len();
+            let is_test_file = {
+                let segs: Vec<&str> = path.split('/').collect();
+                segs.contains(&"tests") || segs.contains(&"examples") || segs.contains(&"benches")
+            };
+            let mut imports = Vec::new();
+            collect_imports(&tree.items, &mut imports);
+            ws.register_items(&tree.items, file_idx, module.clone(), false, &mut pending);
+            ws.files.push(SourceFile {
+                path: path.clone(),
+                lexed,
+                tree,
+                module,
+                imports,
+                is_test_file,
+            });
+        }
+
+        ws.attach_impls(pending);
+        ws.index();
+        ws
+    }
+
+    /// Registers declared items (types, traits, free fns); impls are
+    /// collected for the second pass.
+    fn register_items(
+        &mut self,
+        items: &[Item],
+        file: usize,
+        module: Vec<String>,
+        in_test: bool,
+        pending: &mut Vec<PendingImpl>,
+    ) {
+        for item in items {
+            let cfg_test = in_test || item.cfg_test;
+            match &item.kind {
+                ItemKind::Struct { fields, generics } => {
+                    self.types.push(TypeSym {
+                        name: item.name.clone(),
+                        module: module.clone(),
+                        file,
+                        fields: fields.clone(),
+                        generics: generics.clone(),
+                        methods: BTreeMap::new(),
+                        traits: Vec::new(),
+                    });
+                }
+                ItemKind::Enum | ItemKind::Union | ItemKind::TypeAlias => {
+                    self.types.push(TypeSym {
+                        name: item.name.clone(),
+                        module: module.clone(),
+                        file,
+                        fields: Vec::new(),
+                        generics: Vec::new(),
+                        methods: BTreeMap::new(),
+                        traits: Vec::new(),
+                    });
+                }
+                ItemKind::Trait => {
+                    let tid = TraitId(self.traits.len());
+                    let mut methods = BTreeMap::new();
+                    for child in &item.children {
+                        if let ItemKind::Fn { sig, body } = &child.kind {
+                            let default = body.clone().map(|b| {
+                                self.push_fn(
+                                    child,
+                                    sig.clone(),
+                                    Some(b),
+                                    file,
+                                    module.clone(),
+                                    Owner::TraitDefault(tid),
+                                    cfg_test || child.cfg_test,
+                                )
+                            });
+                            methods.insert(child.name.clone(), default);
+                        }
+                    }
+                    self.traits.push(TraitSym {
+                        name: item.name.clone(),
+                        module: module.clone(),
+                        file,
+                        methods,
+                        impls: Vec::new(),
+                    });
+                }
+                ItemKind::Fn { sig, body } => {
+                    self.push_fn(
+                        item,
+                        sig.clone(),
+                        body.clone(),
+                        file,
+                        module.clone(),
+                        Owner::Free,
+                        cfg_test,
+                    );
+                    // Items nested inside the body (nested fns) register as
+                    // free fns of the same module.
+                    self.register_items(&item.children, file, module.clone(), cfg_test, pending);
+                }
+                ItemKind::Mod { inline: true } => {
+                    let mut sub = module.clone();
+                    sub.push(item.name.clone());
+                    self.register_items(&item.children, file, sub, cfg_test, pending);
+                }
+                ItemKind::Impl {
+                    self_ty,
+                    trait_name,
+                    generics,
+                } => {
+                    pending.push(PendingImpl {
+                        file,
+                        module: module.clone(),
+                        self_ty: self_ty.clone(),
+                        trait_name: trait_name.clone(),
+                        generics: generics.clone(),
+                        cfg_test,
+                        methods: item.children.clone(),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // one call site; mirrors the FnSym fields
+    fn push_fn(
+        &mut self,
+        item: &Item,
+        sig: FnSig,
+        body: Option<Range<usize>>,
+        file: usize,
+        module: Vec<String>,
+        owner: Owner,
+        cfg_test: bool,
+    ) -> FnId {
+        let id = FnId(self.fns.len());
+        self.fns.push(FnSym {
+            name: item.name.clone(),
+            file,
+            line: item.line,
+            body,
+            sig,
+            owner,
+            cfg_test,
+            module,
+            impl_trait: None,
+        });
+        id
+    }
+
+    /// Second pass: resolve each impl's self type (stubbing foreign types)
+    /// and attach its methods, linking trait impls both ways.
+    fn attach_impls(&mut self, pending: Vec<PendingImpl>) {
+        // Name → candidate ids, for pre-index resolution. Owned keys: the
+        // loop below pushes stubs into `self.types` while the map is live.
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, t) in self.types.iter().enumerate() {
+            by_name.entry(t.name.clone()).or_default().push(i);
+        }
+        let mut trait_ids: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, t) in self.traits.iter().enumerate() {
+            trait_ids.entry(t.name.clone()).or_default().push(i);
+        }
+        // Resolve self types first (may push stubs, so two passes).
+        let mut resolved: Vec<(TypeId, Option<TraitId>)> = Vec::new();
+        for imp in &pending {
+            let tid = match by_name.get(imp.self_ty.as_str()) {
+                Some(ids) if ids.len() == 1 => TypeId(ids[0]),
+                Some(ids) => {
+                    // Prefer a same-module or same-crate candidate.
+                    let same = ids.iter().find(|&&i| self.types[i].module == imp.module);
+                    let crate_mod = imp.module.first();
+                    let same_crate = ids
+                        .iter()
+                        .find(|&&i| self.types[i].module.first() == crate_mod);
+                    TypeId(*same.or(same_crate).unwrap_or(&ids[0]))
+                }
+                None => {
+                    let id = TypeId(self.types.len());
+                    self.types.push(TypeSym {
+                        name: imp.self_ty.clone(),
+                        module: imp.module.clone(),
+                        file: imp.file,
+                        fields: Vec::new(),
+                        generics: Vec::new(),
+                        methods: BTreeMap::new(),
+                        traits: Vec::new(),
+                    });
+                    // Later impls on the same foreign type share the stub.
+                    by_name.entry(imp.self_ty.clone()).or_default().push(id.0);
+                    id
+                }
+            };
+            let trait_id = imp.trait_name.as_deref().and_then(|n| {
+                trait_ids.get(n).and_then(|ids| {
+                    if ids.len() == 1 {
+                        Some(TraitId(ids[0]))
+                    } else {
+                        None
+                    }
+                })
+            });
+            resolved.push((tid, trait_id));
+        }
+        for (imp, (tid, trait_id)) in pending.into_iter().zip(resolved) {
+            if let Some(trid) = trait_id {
+                if !self.traits[trid.0].impls.contains(&tid) {
+                    self.traits[trid.0].impls.push(tid);
+                }
+                if !self.types[tid.0].traits.contains(&trid) {
+                    self.types[tid.0].traits.push(trid);
+                }
+            }
+            for child in &imp.methods {
+                if let ItemKind::Fn { sig, body } = &child.kind {
+                    let mut sig = sig.clone();
+                    // Impl-level generics participate in bound lookup.
+                    for g in &imp.generics {
+                        if !sig.generics.iter().any(|(p, _)| p == &g.0) {
+                            sig.generics.push(g.clone());
+                        }
+                    }
+                    let id = self.push_fn(
+                        child,
+                        sig,
+                        body.clone(),
+                        imp.file,
+                        imp.module.clone(),
+                        Owner::Type(tid),
+                        imp.cfg_test || child.cfg_test,
+                    );
+                    self.fns[id.0].impl_trait = imp.trait_name.clone();
+                    self.types[tid.0]
+                        .methods
+                        .entry(child.name.clone())
+                        .or_default()
+                        .push(id);
+                }
+            }
+        }
+    }
+
+    /// Builds the by-name lookup indices.
+    fn index(&mut self) {
+        for (i, t) in self.types.iter().enumerate() {
+            self.type_by_name
+                .entry(t.name.clone())
+                .or_default()
+                .push(TypeId(i));
+        }
+        for (i, t) in self.traits.iter().enumerate() {
+            self.trait_by_name
+                .entry(t.name.clone())
+                .or_default()
+                .push(TraitId(i));
+        }
+        for (i, f) in self.fns.iter().enumerate() {
+            match f.owner {
+                Owner::Free => self
+                    .free_fn_by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(FnId(i)),
+                _ => self
+                    .method_by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(FnId(i)),
+            }
+        }
+    }
+
+    /// Display label for a fn: `Type::name` / `Trait::name` / `name`.
+    pub fn qualified_name(&self, id: FnId) -> String {
+        let f = &self.fns[id.0];
+        match f.owner {
+            Owner::Free => f.name.clone(),
+            Owner::Type(t) => format!("{}::{}", self.types[t.0].name, f.name),
+            Owner::TraitDefault(t) => format!("{}::{}", self.traits[t.0].name, f.name),
+        }
+    }
+
+    /// `path:line` anchor of a fn.
+    pub fn location(&self, id: FnId) -> String {
+        let f = &self.fns[id.0];
+        format!("{}:{}", self.files[f.file].path, f.line)
+    }
+
+    /// Resolves a bare type name seen in `file`: defining module → imports
+    /// → unique workspace match.
+    pub fn resolve_type_name(&self, file: usize, name: &str) -> Option<TypeId> {
+        self.resolve_name(file, name, &self.type_by_name, |id| {
+            (
+                self.types[id.0].module.clone(),
+                self.types[id.0].name.clone(),
+            )
+        })
+    }
+
+    /// Resolves a bare trait name seen in `file`.
+    pub fn resolve_trait_name(&self, file: usize, name: &str) -> Option<TraitId> {
+        self.resolve_name(file, name, &self.trait_by_name, |id| {
+            (
+                self.traits[id.0].module.clone(),
+                self.traits[id.0].name.clone(),
+            )
+        })
+    }
+
+    /// Resolves a bare free-fn name seen in `file`.
+    pub fn resolve_free_fn(&self, file: usize, name: &str) -> Option<FnId> {
+        self.resolve_name(file, name, &self.free_fn_by_name, |id| {
+            (self.fns[id.0].module.clone(), self.fns[id.0].name.clone())
+        })
+    }
+
+    /// Every method (non-free fn) with this bare name, workspace-wide.
+    pub fn methods_named(&self, name: &str) -> &[FnId] {
+        self.method_by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Generic resolver over one of the by-name maps; `info` yields a
+    /// candidate's `(module, name)` for module-match scoring.
+    fn resolve_name<Id: Copy>(
+        &self,
+        file: usize,
+        name: &str,
+        map: &BTreeMap<String, Vec<Id>>,
+        info: impl Fn(Id) -> (Vec<String>, String),
+    ) -> Option<Id> {
+        let sf = self.files.get(file)?;
+        // 1. Defined in this file's module (or the file's crate root).
+        if let Some(ids) = map.get(name) {
+            if let Some(&id) = ids.iter().find(|&&id| info(id).0 == sf.module) {
+                return Some(id);
+            }
+        }
+        // 2. Imported under this name (alias) — resolve the import's target.
+        for imp in &sf.imports {
+            if imp.alias == name {
+                let target = imp.path.last().cloned().unwrap_or_default();
+                let module = self.normalize_path(&sf.module, &imp.path);
+                if let Some(ids) = map.get(&target) {
+                    // Exact module match first.
+                    if let Some(&id) = ids.iter().find(|&&id| {
+                        let (m, _) = info(id);
+                        Some(m.as_slice()) == module.as_deref()
+                    }) {
+                        return Some(id);
+                    }
+                    // Re-export: unique within the path's crate.
+                    if let Some(root) = module.as_ref().and_then(|m| m.first().cloned()) {
+                        let in_crate: Vec<Id> = ids
+                            .iter()
+                            .copied()
+                            .filter(|&id| info(id).0.first() == Some(&root))
+                            .collect();
+                        if in_crate.len() == 1 {
+                            return Some(in_crate[0]);
+                        }
+                    }
+                }
+            }
+        }
+        // 3. Unique across the workspace.
+        match map.get(name) {
+            Some(ids) if ids.len() == 1 => Some(ids[0]),
+            _ => None,
+        }
+    }
+
+    /// Normalizes a use-path to the module path containing its leaf:
+    /// `crate::x::Y` → `[crate_root, x]`; returns `None` when the head is
+    /// not a module anchor we understand.
+    fn normalize_path(&self, ctx_module: &[String], path: &[String]) -> Option<Vec<String>> {
+        if path.len() < 2 {
+            return None;
+        }
+        let mut out: Vec<String> = Vec::new();
+        let mut segs = path[..path.len() - 1].iter();
+        match path[0].as_str() {
+            "crate" => {
+                out.push(ctx_module.first().cloned()?);
+                segs.next();
+            }
+            "super" => {
+                out.extend_from_slice(ctx_module);
+                while segs.clone().next().map(String::as_str) == Some("super") {
+                    out.pop();
+                    segs.next();
+                }
+            }
+            "self" => {
+                out.extend_from_slice(ctx_module);
+                segs.next();
+            }
+            "std" | "core" | "alloc" => return None,
+            _ => {}
+        }
+        out.extend(segs.cloned());
+        Some(out)
+    }
+}
+
+/// Collects every `use` leaf in the item forest (inline mods included).
+fn collect_imports(items: &[Item], out: &mut Vec<UseImport>) {
+    for item in items {
+        if let ItemKind::Use { imports } = &item.kind {
+            out.extend(imports.iter().cloned());
+        }
+        collect_imports(&item.children, out);
+    }
+}
+
+/// Derives a file's root module path from its workspace-relative path.
+///
+/// `crates/<dir>/src/lib.rs` → `[pkg]`; `…/src/a/b.rs` → `[pkg, a, b]`;
+/// `mod.rs` folds into its directory. Binary, test, example and bench
+/// roots become synthetic top-level modules (`[pkg__bin_x]` style) — they
+/// are crate roots of their own, and the synthetic name keeps them from
+/// colliding with library modules.
+pub fn module_path(path: &str, crate_names: &BTreeMap<String, String>) -> Vec<String> {
+    let segs: Vec<&str> = path.split('/').collect();
+    let (pkg, rest): (String, &[&str]) = if segs.len() >= 3 && segs[0] == "crates" {
+        let dir = segs[1];
+        let name = crate_names
+            .get(dir)
+            .cloned()
+            .unwrap_or_else(|| format!("silcfm_{dir}"));
+        (name.replace('-', "_"), &segs[2..])
+    } else {
+        ("workspace_root".to_string(), &segs[..])
+    };
+    let stem = |s: &str| s.trim_end_matches(".rs").to_string();
+    match rest {
+        ["src", "lib.rs"] => vec![pkg],
+        ["src", "main.rs"] => vec![format!("{pkg}__bin")],
+        ["src", "bin", name] => vec![format!("{pkg}__bin_{}", stem(name))],
+        ["src", tail @ ..] => {
+            let mut out = vec![pkg];
+            for (i, seg) in tail.iter().enumerate() {
+                if i + 1 == tail.len() {
+                    if *seg != "mod.rs" {
+                        out.push(stem(seg));
+                    }
+                } else {
+                    out.push((*seg).to_string());
+                }
+            }
+            out
+        }
+        [kind @ ("tests" | "examples" | "benches"), tail @ ..] => {
+            let leaf = tail.last().map_or(String::new(), |s| stem(s));
+            vec![format!("{pkg}__{kind}_{leaf}")]
+        }
+        _ => vec![pkg],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(sources: &[(&str, &str)]) -> Workspace {
+        let owned: Vec<(String, String)> = sources
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        Workspace::build(&owned, &BTreeMap::new())
+    }
+
+    #[test]
+    fn module_paths_follow_file_layout() {
+        let names = BTreeMap::from([("types".to_string(), "silcfm-types".to_string())]);
+        assert_eq!(
+            module_path("crates/types/src/lib.rs", &names),
+            ["silcfm_types"]
+        );
+        assert_eq!(
+            module_path("crates/types/src/scheme.rs", &names),
+            ["silcfm_types", "scheme"]
+        );
+        assert_eq!(
+            module_path("crates/core/src/sub/mod.rs", &names),
+            ["silcfm_core", "sub"]
+        );
+        assert_eq!(
+            module_path("crates/core/src/sub/deep.rs", &names),
+            ["silcfm_core", "sub", "deep"]
+        );
+        assert_eq!(
+            module_path("crates/sim/tests/golden.rs", &names),
+            ["silcfm_sim__tests_golden"]
+        );
+    }
+
+    #[test]
+    fn types_traits_and_methods_register() {
+        let ws = ws(&[(
+            "crates/core/src/controller.rs",
+            "pub struct SilcFm { frames: FrameTable }\n\
+             pub struct FrameTable;\n\
+             impl FrameTable { pub fn probe(&self) -> u64 { 0 } }\n\
+             pub trait Scheme { fn access(&mut self); fn warm(&mut self) { self.access(); } }\n\
+             impl Scheme for SilcFm { fn access(&mut self) { self.frames.probe(); } }\n",
+        )]);
+        assert_eq!(ws.types.len(), 2);
+        assert_eq!(ws.traits.len(), 1);
+        let silcfm = &ws.types[0];
+        assert_eq!(silcfm.name, "SilcFm");
+        assert!(silcfm.methods.contains_key("access"));
+        assert_eq!(silcfm.traits.len(), 1);
+        let tr = &ws.traits[0];
+        assert_eq!(tr.impls.len(), 1);
+        assert!(tr.methods["warm"].is_some(), "default method registered");
+        assert!(
+            tr.methods["access"].is_none(),
+            "required method has no body"
+        );
+    }
+
+    #[test]
+    fn resolution_prefers_module_then_imports_then_unique() {
+        let ws = ws(&[
+            (
+                "crates/types/src/scheme.rs",
+                "pub struct Outcome; pub struct Access;",
+            ),
+            (
+                "crates/core/src/controller.rs",
+                "use silcfm_types::scheme::Outcome;\nstruct Access;\nstruct Local;\n",
+            ),
+        ]);
+        // Same-module beats the import-visible foreign type.
+        let access = ws.resolve_type_name(1, "Access").expect("Access");
+        assert_eq!(ws.types[access.0].module, ["silcfm_core", "controller"]);
+        // Imported name resolves across files.
+        let outcome = ws.resolve_type_name(1, "Outcome").expect("Outcome");
+        assert_eq!(ws.types[outcome.0].module, ["silcfm_types", "scheme"]);
+        // Unique workspace-wide name resolves without an import.
+        assert!(ws.resolve_type_name(0, "Local").is_some());
+    }
+
+    #[test]
+    fn reexports_resolve_by_unique_name_in_crate() {
+        let ws = ws(&[
+            ("crates/types/src/lib.rs", "pub use scheme::MemoryScheme;"),
+            ("crates/types/src/scheme.rs", "pub trait MemoryScheme {}"),
+            (
+                "crates/core/src/lib.rs",
+                "use silcfm_types::MemoryScheme;\nstruct S;\nimpl MemoryScheme for S {}\n",
+            ),
+        ]);
+        let tr = ws.resolve_trait_name(2, "MemoryScheme").expect("trait");
+        assert_eq!(ws.traits[tr.0].module, ["silcfm_types", "scheme"]);
+        assert_eq!(ws.traits[tr.0].impls.len(), 1);
+    }
+
+    #[test]
+    fn foreign_impl_targets_get_stubs() {
+        let ws = ws(&[(
+            "crates/types/src/error.rs",
+            "pub struct SilcFmError;\nimpl fmt::Display for SilcFmError { fn fmt(&self) -> u8 { 0 } }\n",
+        )]);
+        // `Display` is foreign: no trait sym, but the method still attaches
+        // to the (workspace) type.
+        assert!(ws.types[0].methods.contains_key("fmt"));
+    }
+}

@@ -4,15 +4,17 @@
 //!
 //! Fixtures live in `tests/fixtures/` (not auto-compiled by cargo) and are
 //! linted under *logical* workspace paths so the path-scoped rules (D2's
-//! exemptions, P1/A1's hot-module list) behave exactly as in a real run.
+//! exemptions, T1's sanctioned modules) behave exactly as in a real run.
+//! P1/A1/N1/F1 scope is *derived*: fixtures seed themselves by impling
+//! `MemoryScheme` or naming a parallel entry point, not by their path.
 
 use std::collections::BTreeMap;
 
-use silcfm_lint::{lint_rust_source, manifest, rules, Finding};
+use silcfm_lint::{lint_rust_source, lint_sources, manifest, rules, Finding};
 
-/// A hot-path module path: P1 and A1 apply, `access` is the A1 seed.
+/// A representative hot-path module path.
 const HOT: &str = "crates/core/src/controller.rs";
-/// An ordinary simulator path: D1/D2 apply, P1/A1 do not.
+/// An ordinary simulator path.
 const COLD: &str = "crates/sim/src/scheduler.rs";
 
 fn spots(findings: &[Finding], rule: &str) -> Vec<usize> {
@@ -64,13 +66,22 @@ fn d2_is_silenced_file_wide() {
 #[test]
 fn p1_fires_on_unwrap_expect_panic_and_bare_indexing() {
     let (findings, suppressed) = lint_rust_source(HOT, include_str!("fixtures/p1_bad.rs"));
-    assert_eq!(spots(&findings, "P1"), vec![3, 4, 6, 8], "{findings:#?}");
+    assert_eq!(spots(&findings, "P1"), vec![5, 6, 8, 10], "{findings:#?}");
     assert_eq!(suppressed, 0);
+    // The violating fn IS the seed, so the reported chain is one hop.
+    assert_eq!(findings[0].chain.len(), 1, "{:?}", findings[0].chain);
+    assert!(
+        findings[0].chain[0].contains("Ctl::access"),
+        "{:?}",
+        findings[0].chain
+    );
 }
 
 #[test]
-fn p1_does_not_apply_outside_hot_modules() {
-    let (findings, _) = lint_rust_source(COLD, include_str!("fixtures/p1_bad.rs"));
+fn p1_applies_only_to_fns_reachable_from_a_declared_seed() {
+    // Same body, but the impl'd trait is not `MemoryScheme` — the derived
+    // hot set is empty regardless of which module the file lives in.
+    let (findings, _) = lint_rust_source(HOT, include_str!("fixtures/p1_unseeded.rs"));
     assert!(findings.is_empty(), "{findings:#?}");
 }
 
@@ -113,9 +124,13 @@ fn a1_fires_only_on_allocations_reachable_from_the_seed() {
     let (findings, suppressed) = lint_rust_source(HOT, include_str!("fixtures/a1_bad.rs"));
     // `helper` is called from the `access` seed, so its `vec![` and
     // `format!` fire; `cold_setup`'s `Vec::new` is unreachable and clean.
-    assert_eq!(spots(&findings, "A1"), vec![7, 8], "{findings:#?}");
+    assert_eq!(spots(&findings, "A1"), vec![10, 11], "{findings:#?}");
     assert_eq!(findings.len(), 2, "only A1 fires: {findings:#?}");
     assert_eq!(suppressed, 0);
+    let chain = &findings[0].chain;
+    assert_eq!(chain.len(), 2, "{chain:?}");
+    assert!(chain[0].contains("Ctl::access"), "{chain:?}");
+    assert!(chain[1].contains("helper"), "{chain:?}");
 }
 
 #[test]
@@ -131,15 +146,12 @@ fn a1_covers_the_batched_access_path() {
         "crates/types/src/batch.rs",
         include_str!("fixtures/a1_batch_bad.rs"),
     );
-    // `grow` is called from the `commit` seed, so its `vec![` fires; the
-    // `with_capacity` constructor is only reachable from setup and stays
-    // clean even though it calls `Vec::new`.
-    assert_eq!(spots(&findings, "A1"), vec![9], "{findings:#?}");
+    // `grow` is called from the `access_batch` seed, so its `vec![` fires;
+    // the `with_capacity` constructor is only reachable from setup and
+    // stays clean even though it calls `Vec::new`.
+    assert_eq!(spots(&findings, "A1"), vec![12], "{findings:#?}");
     assert_eq!(findings.len(), 1, "only A1 fires: {findings:#?}");
     assert_eq!(suppressed, 0);
-    // The same file under a non-hot path is entirely out of scope.
-    let (findings, _) = lint_rust_source(COLD, include_str!("fixtures/a1_batch_bad.rs"));
-    assert!(findings.is_empty(), "{findings:#?}");
 }
 
 #[test]
@@ -148,14 +160,102 @@ fn p1_and_a1_cover_the_soa_frame_table() {
         "crates/core/src/frametable.rs",
         include_str!("fixtures/p1_frametable_bad.rs"),
     );
-    // `probe` panics twice (unwrap, bare index); `scratch` allocates and is
-    // reachable from the `victim` seed.
-    assert_eq!(spots(&findings, "P1"), vec![5, 6], "{findings:#?}");
-    assert_eq!(spots(&findings, "A1"), vec![14], "{findings:#?}");
+    // `access` probes the table through `self.table`, so `probe` panics
+    // twice (unwrap, bare index) and `scratch` allocates behind `victim` —
+    // a three-hop chain the old file-local pass could not express.
+    assert_eq!(spots(&findings, "P1"), vec![9, 10], "{findings:#?}");
+    assert_eq!(spots(&findings, "A1"), vec![27], "{findings:#?}");
     assert_eq!(findings.len(), 3, "{findings:#?}");
     assert_eq!(suppressed, 0);
-    let (findings, _) = lint_rust_source(COLD, include_str!("fixtures/p1_frametable_bad.rs"));
+    let a1 = findings.iter().find(|f| f.rule == "A1").unwrap();
+    assert_eq!(a1.chain.len(), 3, "{:?}", a1.chain);
+    assert!(a1.chain[0].contains("Scheme::access"), "{:?}", a1.chain);
+    assert!(a1.chain[1].contains("FrameTable::victim"), "{:?}", a1.chain);
+    assert!(a1.chain[2].contains("scratch"), "{:?}", a1.chain);
+}
+
+#[test]
+fn a1_crosses_module_files_and_reports_the_chain() {
+    // Regression for the cross-file false negative: a hot fn calling an
+    // allocating helper in a sibling module, linted as a two-file set.
+    let sources = vec![
+        (
+            "crates/core/src/controller.rs".to_string(),
+            include_str!("fixtures/xmod_hot.rs").to_string(),
+        ),
+        (
+            "crates/core/src/util.rs".to_string(),
+            include_str!("fixtures/xmod_util.rs").to_string(),
+        ),
+    ];
+    let (findings, suppressed) = lint_sources(&sources, &BTreeMap::new());
+    let a1: Vec<_> = findings.iter().filter(|f| f.rule == "A1").collect();
+    assert_eq!(a1.len(), 1, "{findings:#?}");
+    assert_eq!(a1[0].path, "crates/core/src/util.rs");
+    assert_eq!(a1[0].line, 3);
+    assert_eq!(a1[0].chain.len(), 2, "{:?}", a1[0].chain);
+    assert!(
+        a1[0].chain[0].contains("Ctl::access (crates/core/src/controller.rs:"),
+        "{:?}",
+        a1[0].chain
+    );
+    assert!(
+        a1[0].chain[1].contains("expand (crates/core/src/util.rs:"),
+        "{:?}",
+        a1[0].chain
+    );
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn n1_fires_suppresses_and_stays_quiet_when_sorted() {
+    let (findings, suppressed) = lint_rust_source(COLD, include_str!("fixtures/n1_bad.rs"));
+    assert_eq!(spots(&findings, "N1"), vec![8], "{findings:#?}");
+    assert_eq!(suppressed, 0);
+    let chain = &findings[0].chain;
+    assert!(chain[0].contains("Stats::collect"), "{chain:?}");
+    assert!(chain.last().unwrap().contains("Stats::merge"), "{chain:?}");
+
+    let (findings, suppressed) = lint_rust_source(COLD, include_str!("fixtures/n1_suppressed.rs"));
     assert!(findings.is_empty(), "{findings:#?}");
+    assert_eq!(suppressed, 1);
+
+    let (findings, _) = lint_rust_source(COLD, include_str!("fixtures/n1_clean.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn f1_fires_suppresses_and_ignores_integer_reductions() {
+    let (findings, suppressed) = lint_rust_source(COLD, include_str!("fixtures/f1_bad.rs"));
+    assert_eq!(spots(&findings, "F1"), vec![7], "{findings:#?}");
+    assert_eq!(suppressed, 0);
+    let chain = &findings[0].chain;
+    assert!(chain[0].contains("run_system_sharded"), "{chain:?}");
+    assert!(chain[1].contains("merge_deltas"), "{chain:?}");
+
+    let (findings, suppressed) = lint_rust_source(COLD, include_str!("fixtures/f1_suppressed.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+    assert_eq!(suppressed, 1);
+
+    let (findings, _) = lint_rust_source(COLD, include_str!("fixtures/f1_clean.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn t1_fires_suppresses_and_spares_the_sanctioned_modules() {
+    let (findings, suppressed) = lint_rust_source(COLD, include_str!("fixtures/t1_bad.rs"));
+    assert_eq!(spots(&findings, "T1"), vec![2, 3, 4, 7], "{findings:#?}");
+    assert_eq!(suppressed, 0);
+
+    let (findings, suppressed) = lint_rust_source(COLD, include_str!("fixtures/t1_suppressed.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+    assert_eq!(suppressed, 4, "both imports and both construction sites");
+
+    // The sharding runtime is allowed to use real concurrency.
+    for sanctioned in ["crates/sim/src/shard.rs", "crates/sim/src/runner.rs"] {
+        let (findings, _) = lint_rust_source(sanctioned, include_str!("fixtures/t1_bad.rs"));
+        assert!(findings.is_empty(), "{sanctioned}: {findings:#?}");
+    }
 }
 
 #[test]

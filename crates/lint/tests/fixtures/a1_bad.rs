@@ -1,6 +1,9 @@
-//! A1 fixture: allocation reachable from the access seed.
-fn access(n: usize) -> usize {
-    helper(n)
+//! A1 fixture: allocations in a helper reachable from the access seed.
+struct Ctl;
+impl MemoryScheme for Ctl {
+    fn access(&mut self, n: usize) -> usize {
+        helper(n)
+    }
 }
 
 fn helper(n: usize) -> usize {

@@ -1,8 +1,11 @@
-//! A1 fixture for the batched access path: `commit` and `sinks` are hot
-//! seeds in `batch.rs`, so allocations they reach fire; a constructor
-//! that only setup code calls stays clean.
-fn commit(n: usize) -> usize {
-    grow(n)
+//! A1 fixture for the batched access path: allocations reachable from
+//! the `access_batch` seed fire; a constructor that only setup code
+//! calls stays clean even though it calls `Vec::new`.
+struct Ctl;
+impl MemoryScheme for Ctl {
+    fn access_batch(&mut self, n: usize) -> usize {
+        grow(n)
+    }
 }
 
 fn grow(n: usize) -> usize {

@@ -1,6 +1,9 @@
 //! A1 fixture: a setup allocation inside a seed, annotated.
-fn access(n: usize) -> usize {
-    // silcfm-lint: allow(A1) -- one-time setup buffer, hoisted out of the per-access loop below
-    let v = vec![0u8; n];
-    v.len()
+struct Ctl;
+impl MemoryScheme for Ctl {
+    fn access(&mut self, n: usize) -> usize {
+        // silcfm-lint: allow(A1) -- one-time setup buffer, hoisted out of the per-access loop below
+        let v = vec![0u8; n];
+        v.len()
+    }
 }

@@ -1,0 +1,9 @@
+//! F1 fixture: unordered float reduction on the sharded merge path.
+pub fn run_system_sharded(xs: &[f64]) -> f64 {
+    merge_deltas(xs)
+}
+
+fn merge_deltas(xs: &[f64]) -> f64 {
+    let total: f64 = xs.iter().sum();
+    total
+}

@@ -1,0 +1,11 @@
+//! F1 fixture: the same reduction, annotated with why the operand order
+//! is actually pinned.
+pub fn run_system_sharded(xs: &[f64]) -> f64 {
+    merge_deltas(xs)
+}
+
+fn merge_deltas(xs: &[f64]) -> f64 {
+    // silcfm-lint: allow(F1) -- shards arrive pre-sorted by lane id, so the order is pinned
+    let total: f64 = xs.iter().sum();
+    total
+}

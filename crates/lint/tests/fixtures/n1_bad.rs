@@ -1,0 +1,15 @@
+//! N1 fixture: hash-map iteration feeding a stats merge without a sort.
+struct Stats {
+    counts: FxHashMap,
+}
+impl Stats {
+    fn collect(&self) -> u64 {
+        let mut total = 0u64;
+        for (_k, v) in &self.counts {
+            total += v;
+        }
+        self.merge();
+        total
+    }
+    fn merge(&self) {}
+}

@@ -1,0 +1,14 @@
+//! N1 fixture, clean variant: the keys are collected and sorted before
+//! anything order-sensitive happens.
+struct Stats {
+    counts: FxHashMap,
+}
+impl Stats {
+    fn collect(&self) -> u64 {
+        let mut keys: Vec<u64> = self.counts.keys().copied().collect();
+        keys.sort_unstable();
+        self.merge();
+        keys.len() as u64
+    }
+    fn merge(&self) {}
+}

@@ -1,0 +1,17 @@
+//! N1 fixture: the same hash iteration, annotated with why order cannot
+//! leak into the merged output.
+struct Stats {
+    counts: FxHashMap,
+}
+impl Stats {
+    fn collect(&self) -> u64 {
+        let mut total = 0u64;
+        // silcfm-lint: allow(N1) -- saturating integer sum; order cannot change the merged value
+        for (_k, v) in &self.counts {
+            total += v;
+        }
+        self.merge();
+        total
+    }
+    fn merge(&self) {}
+}

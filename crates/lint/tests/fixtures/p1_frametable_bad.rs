@@ -1,13 +1,26 @@
-//! P1/A1 fixture for the SoA frame-metadata module: `probe` and `victim`
-//! are hot seeds in `frametable.rs`, so a bare index or an unwrap in the
-//! scan fires P1, and an allocation reachable from `victim` fires A1.
-fn probe(lru: &[u64], want: u64) -> u64 {
-    let first = lru.first().unwrap();
-    first + lru[want as usize]
+//! P1/A1 fixture for the SoA frame-metadata table: the scheme's `access`
+//! probes the table, so a bare index or unwrap inside the scan fires P1,
+//! and an allocation reachable through `victim` fires A1.
+struct FrameTable {
+    lru: Vec<u64>,
+}
+impl FrameTable {
+    fn probe(&self, want: u64) -> u64 {
+        let first = self.lru.first().unwrap();
+        first + self.lru[want as usize]
+    }
+    fn victim(&self) -> usize {
+        scratch(self.lru.len())
+    }
 }
 
-fn victim(lru: &[u64]) -> usize {
-    scratch(lru.len())
+struct Scheme {
+    table: FrameTable,
+}
+impl MemoryScheme for Scheme {
+    fn access(&mut self, want: u64) -> u64 {
+        self.table.probe(want) + self.table.victim() as u64
+    }
 }
 
 fn scratch(n: usize) -> usize {

@@ -1,6 +1,9 @@
 //! P1 fixture: an annotated indexing site with a documented invariant.
-fn hot(v: &[u32], i: usize) -> u32 {
-    debug_assert!(i < v.len(), "caller masks i below len");
-    // silcfm-lint: allow(P1) -- index is masked below len by the caller (debug-asserted above)
-    v[i]
+struct Ctl;
+impl MemoryScheme for Ctl {
+    fn access(&mut self, v: &[u32], i: usize) -> u32 {
+        debug_assert!(i < v.len(), "caller masks i below len");
+        // silcfm-lint: allow(P1) -- index is masked below len by the caller (debug-asserted above)
+        v[i]
+    }
 }

@@ -1,6 +1,7 @@
-//! P1 fixture: panics reachable from the `MemoryScheme::access` seed.
+//! P1 fixture: the same panicking body, but behind an impl of a trait
+//! that is not a hot-path seed — nothing reaches it, nothing fires.
 struct Ctl;
-impl MemoryScheme for Ctl {
+impl Widget for Ctl {
     fn access(&mut self, v: &[u32], o: Option<u32>) -> u32 {
         let a = o.unwrap();
         let b = o.expect("present");

@@ -1,0 +1,8 @@
+//! T1 fixture: a justified one-off concurrency use, annotated.
+// silcfm-lint: allow-file(T1) -- interning table is write-once and read-only after setup
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+fn helper() {
+    let _ = (Mutex::new(0u64), OnceLock::<u64>::new());
+}

@@ -1,0 +1,11 @@
+//! Cross-module A1 regression fixture, hot side: the seed calls an
+//! allocating helper that lives in a sibling module. The old file-local
+//! A1 could not see this; the call-graph analyzer must.
+use crate::util::expand;
+
+struct Ctl;
+impl MemoryScheme for Ctl {
+    fn access(&mut self, n: u64) -> usize {
+        expand(n)
+    }
+}

@@ -1,0 +1,5 @@
+//! Cross-module A1 regression fixture, helper side.
+pub fn expand(n: u64) -> usize {
+    let v = vec![n];
+    v.len()
+}

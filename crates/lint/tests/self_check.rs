@@ -32,7 +32,8 @@ fn an_injected_bad_file_turns_the_report_red() {
     .expect("crate manifest");
     fs::write(
         hot.join("controller.rs"),
-        "use std::collections::HashMap;\nfn access(v: &[u32]) -> u32 { v[0] }\n",
+        "use std::collections::HashMap;\nstruct Ctl;\nimpl MemoryScheme for Ctl {\n    \
+         fn access(&mut self, v: &[u32]) -> u32 { v[0] }\n}\n",
     )
     .expect("bad source");
 
@@ -41,6 +42,9 @@ fn an_injected_bad_file_turns_the_report_red() {
     assert!(rules.contains(&"D1"), "{:#?}", report.findings);
     assert!(rules.contains(&"P1"), "{:#?}", report.findings);
     assert!(rules.contains(&"H1"), "{:#?}", report.findings);
+    // The injected tree has none of the fns the declared amortization
+    // boundaries name, which a full-workspace run reports as stale config.
+    assert!(rules.contains(&"X1"), "{:#?}", report.findings);
     assert!(
         report
             .findings

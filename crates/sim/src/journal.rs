@@ -14,6 +14,10 @@
 //! most the in-flight line. The reader tolerates exactly that: a torn final
 //! line is discarded, anything else malformed is an error.
 
+// silcfm-lint: allow-file(T1) -- the only concurrency here is the process-wide
+// intern pool below: an idempotent, leaked String -> &'static str map whose
+// lock order cannot affect simulation results.
+
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::hash::{Hash, Hasher};

@@ -129,6 +129,7 @@ impl WorkloadGen {
         self.page = if hot {
             match self.profile.pattern {
                 AccessPattern::Streaming => {
+                    // silcfm-lint: allow(P1) -- modulo len; hot_pages is non-empty by construction
                     let p = self.hot_pages[self.stream_hot % self.hot_pages.len()];
                     self.stream_hot += 1;
                     p
@@ -139,6 +140,7 @@ impl WorkloadGen {
                     let u: f64 = self.rng.next_f64();
                     let rank =
                         (u.powf(self.profile.hot_skew) * self.hot_pages.len() as f64) as usize;
+                    // silcfm-lint: allow(P1) -- rank is clamped to len - 1; hot_pages is non-empty
                     self.hot_pages[rank.min(self.hot_pages.len() - 1)]
                 }
             }
@@ -243,6 +245,7 @@ impl WorkloadGen {
             .min(self.hot_pages.len());
         for _ in 0..replace {
             let idx = self.rng.gen_range(0..self.hot_pages.len());
+            // silcfm-lint: allow(P1) -- gen_range(0..len) keeps idx in bounds
             self.hot_pages[idx] = self.rng.gen_range(0..self.profile.footprint_pages);
         }
     }

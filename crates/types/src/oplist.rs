@@ -42,6 +42,7 @@ impl OpList {
         Self {
             len: 0,
             inline: [UNUSED; INLINE_OPS],
+            // silcfm-lint: allow(A1) -- const Vec::new is capacity 0 and does not allocate
             spill: Vec::new(),
         }
     }
