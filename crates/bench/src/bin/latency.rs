@@ -1,0 +1,289 @@
+//! Per-class demand-latency percentiles: the tail story behind every
+//! figure.
+//!
+//! The paper's argument is a latency-distribution argument — subblocked
+//! interleaving keeps hot subblocks in NM so the *tail* collapses, not just
+//! the mean. This binary measures issue-to-completion cycles for every
+//! demand access through the full `System::run` pipeline, attributes each
+//! sample to its service class (NM hit, FM hit, swap-path, bypass, locked,
+//! fault-degraded), and reports p50/p95/p99/p999 per scheme × workload ×
+//! class from the mergeable quantile sketches in `silcfm-obs`. Results
+//! land in `results/BENCH_latency.json`.
+//!
+//! Before anything is written, a determinism gate re-runs one workload per
+//! scheme on the sharded engine (2 threads, plus 4 without `--smoke`) and
+//! asserts the encoded sketch bytes are identical to the serial run's —
+//! percentile artifacts that depended on the thread count would be
+//! worthless.
+//!
+//! Run with: `cargo run --release -p silcfm-bench --bin latency`
+//! Options:
+//!   --smoke       tiny runs over a 3-workload subset (CI-sized, seconds)
+//!   --full        full-size runs (minutes); default is the quick preset
+//!   --out PATH    output JSON path (default results/BENCH_latency.json)
+//!   --no-write    measure and print, but do not write the JSON
+//!   --skip-check  skip the serial-vs-sharded byte-identity gate
+
+use silcfm_obs::{LatencyBreakdown, QuantileSketch};
+use silcfm_sim::runner::{default_threads, run_grid_traced, ExperimentGrid};
+use silcfm_sim::{run_sharded_traced, RunParams, SchemeKind, ShardParams, TraceParams};
+use silcfm_trace::profiles;
+use silcfm_types::{AccessClass, SystemConfig};
+
+/// Ring capacity for the tracers. The sketches are fed by the epoch
+/// sampler's `on_demand` hook, not the rings, so a small ring keeps memory
+/// flat across the parallel grid without touching the percentiles.
+const EVENTS_CAPACITY: usize = 1 << 14;
+
+/// Workloads the `--smoke` tier covers: one streaming-heavy, one
+/// pointer-chasing, one bandwidth-bound profile — enough class diversity
+/// to exercise every sketch without paying for the full Table III.
+const SMOKE_WORKLOADS: [&str; 3] = ["milc", "lib", "mcf"];
+
+struct Options {
+    smoke: bool,
+    full: bool,
+    out: String,
+    write: bool,
+    check: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        smoke: false,
+        full: false,
+        out: "results/BENCH_latency.json".to_string(),
+        write: true,
+        check: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--full" => opts.full = true,
+            "--out" => opts.out = args.next().expect("--out needs a path"),
+            "--no-write" => opts.write = false,
+            "--skip-check" => opts.check = false,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!(
+                    "usage: latency [--smoke | --full] [--out PATH] [--no-write] [--skip-check]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(
+        !(opts.smoke && opts.full),
+        "--smoke and --full are mutually exclusive"
+    );
+    opts
+}
+
+/// The full lineup: the no-NM baseline plus the Fig. 7 schemes.
+fn lineup() -> Vec<SchemeKind> {
+    let mut kinds = vec![SchemeKind::NoNm];
+    kinds.extend(SchemeKind::fig7_lineup());
+    kinds
+}
+
+/// Sketch bytes, for determinism comparison: the codec is bit-exact, so
+/// string equality *is* distribution equality.
+fn breakdown_bytes(lat: &LatencyBreakdown) -> String {
+    let mut s = String::new();
+    lat.encode(&mut s);
+    s
+}
+
+/// The serial-vs-sharded determinism gate: one workload per scheme,
+/// re-run on the sharded engine at each thread count, sketch bytes
+/// compared against the serial grid's.
+fn sharded_gate(
+    kinds: &[SchemeKind],
+    workload: &str,
+    serial: &[(SchemeKind, LatencyBreakdown)],
+    cfg: &SystemConfig,
+    params: &RunParams,
+    trace: &TraceParams,
+    threads: &[usize],
+) {
+    let profile = profiles::by_name(workload).expect("known workload");
+    for &kind in kinds {
+        let want = serial
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, lat)| breakdown_bytes(lat))
+            .expect("serial pass covered every scheme");
+        for &n in threads {
+            let shard = ShardParams::with_threads(n);
+            let (_, report, _) = run_sharded_traced(profile, kind, cfg, params, trace, &shard);
+            let got = breakdown_bytes(&report.latency);
+            assert_eq!(
+                got,
+                want,
+                "{} on {workload}: sharded ({n} threads) sketch bytes diverged from serial",
+                kind.label()
+            );
+        }
+    }
+    println!(
+        "sharded gate: ok for all schemes on {workload} (threads {threads:?}, byte-identical)"
+    );
+}
+
+/// One JSON object body for a sketch: count, mean, and the four tail
+/// quantiles the plane is built around.
+fn sketch_json(s: &QuantileSketch) -> String {
+    let [p50, p95, p99, p999] = s.percentiles();
+    format!(
+        "{{ \"count\": {}, \"mean\": {:.1}, \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"p999\": {p999}, \"max\": {} }}",
+        s.count(),
+        s.mean(),
+        s.max()
+    )
+}
+
+fn main() {
+    let opts = parse_args();
+    let (cfg, params, mode) = if opts.smoke {
+        (SystemConfig::small(), RunParams::smoke(), "smoke")
+    } else if opts.full {
+        (SystemConfig::experiment(), RunParams::full(), "full")
+    } else {
+        (SystemConfig::experiment(), RunParams::quick(), "quick")
+    };
+    let trace = TraceParams {
+        events_capacity: EVENTS_CAPACITY,
+        ..TraceParams::default_capture()
+    };
+    let workloads: Vec<&str> = if opts.smoke {
+        SMOKE_WORKLOADS.to_vec()
+    } else {
+        profiles::all().iter().map(|p| p.name).collect()
+    };
+    let kinds = lineup();
+
+    println!(
+        "latency: {} schemes x {} workloads, mode={mode}, {} accesses/core",
+        kinds.len(),
+        workloads.len(),
+        params.accesses_per_core
+    );
+
+    let mut grid = ExperimentGrid::new(cfg, params);
+    for name in &workloads {
+        grid = grid.workload(profiles::by_name(name).expect("known workload"));
+    }
+    let jobs = grid.schemes(kinds.iter().copied()).jobs();
+    let results = run_grid_traced(&jobs, &trace, default_threads());
+
+    // Results are workload-major in `kinds` order (the grid contract).
+    let per_scheme: Vec<Vec<&LatencyBreakdown>> = (0..kinds.len())
+        .map(|s| {
+            (0..workloads.len())
+                .map(|w| &results[w * kinds.len() + s].1.latency)
+                .collect()
+        })
+        .collect();
+
+    // Console summary: overall tail per scheme, sketches merged across
+    // workloads — legal because merge is order-invariant and exact.
+    println!(
+        "\n{:10} {:>12} {:>8} {:>8} {:>8} {:>8}",
+        "scheme", "samples", "p50", "p95", "p99", "p999"
+    );
+    for (kind, rows) in kinds.iter().zip(&per_scheme) {
+        let mut merged = LatencyBreakdown::new();
+        for lat in rows {
+            merged.merge(lat);
+        }
+        let all = merged.overall();
+        let [p50, p95, p99, p999] = all.percentiles();
+        println!(
+            "{:10} {:>12} {:>8} {:>8} {:>8} {:>8}",
+            kind.label(),
+            all.count(),
+            p50,
+            p95,
+            p99,
+            p999
+        );
+    }
+
+    if opts.check {
+        // 2 threads exercises the epoch-barrier merge; 4 additionally
+        // exercises lane-count-dependent partitioning. Smoke keeps only
+        // the cheap one.
+        let threads: &[usize] = if opts.smoke { &[2] } else { &[2, 4] };
+        let gate_workload = workloads[0];
+        let serial: Vec<(SchemeKind, LatencyBreakdown)> = kinds
+            .iter()
+            .enumerate()
+            .map(|(s, &kind)| (kind, results[s].1.latency.clone()))
+            .collect();
+        sharded_gate(
+            &kinds,
+            gate_workload,
+            &serial,
+            &cfg,
+            &params,
+            &trace,
+            threads,
+        );
+    }
+
+    if opts.write {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"meta\": {\n");
+        out.push_str(&format!("    \"mode\": \"{mode}\",\n"));
+        out.push_str(&format!(
+            "    \"accesses_per_core\": {},\n",
+            params.accesses_per_core
+        ));
+        out.push_str(&format!("    \"seed\": {},\n", params.seed));
+        out.push_str("    \"unit\": \"demand issue-to-completion cycles\",\n");
+        out.push_str(&format!(
+            "    \"relative_error_bound\": {}\n",
+            silcfm_obs::sketch::REL_ERROR_BOUND
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"schemes\": {\n");
+        let scheme_bodies: Vec<String> = kinds
+            .iter()
+            .zip(&per_scheme)
+            .map(|(kind, rows)| {
+                let workload_bodies: Vec<String> = workloads
+                    .iter()
+                    .zip(rows)
+                    .map(|(name, lat)| {
+                        let mut classes: Vec<String> = vec![format!(
+                            "        \"overall\": {}",
+                            sketch_json(&lat.overall())
+                        )];
+                        for class in AccessClass::ALL {
+                            classes.push(format!(
+                                "        \"{}\": {}",
+                                class.label(),
+                                sketch_json(lat.sketch(class))
+                            ));
+                        }
+                        format!("      \"{name}\": {{\n{}\n      }}", classes.join(",\n"))
+                    })
+                    .collect();
+                format!(
+                    "    \"{}\": {{\n{}\n    }}",
+                    kind.label(),
+                    workload_bodies.join(",\n")
+                )
+            })
+            .collect();
+        out.push_str(&scheme_bodies.join(",\n"));
+        out.push_str("\n  }\n}\n");
+        if let Some(dir) = std::path::Path::new(&opts.out).parent() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+        std::fs::write(&opts.out, out).expect("write results JSON");
+        println!("\nwrote {}", opts.out);
+    }
+}

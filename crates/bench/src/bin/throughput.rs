@@ -35,7 +35,8 @@
 //!   --skip-grid   skip the serial-vs-parallel grid timing
 //!   --overhead    also measure SILC-FM full-system with the ring tracers
 //!                 and epoch sampler live (tracer-on vs tracer-off acc/s),
-//!                 plus the sampling tracer tier at several 1-in-N rates
+//!                 the metrics-only tier (latency sketches ON, no event
+//!                 buffering), plus the sampling tracer at 1-in-N rates
 //!   --baseline P  JSON from a pre-change build of this binary; its rates
 //!                 are embedded as "pre_change" and a full-system SILC-FM
 //!                 speedup ratio is computed against it
@@ -50,8 +51,8 @@ use std::time::Instant;
 
 use silcfm_sim::experiment::space_for;
 use silcfm_sim::{
-    run, run_grid, run_grid_serial, run_sampled_lean, run_traced, ExperimentGrid, RunParams,
-    SchemeKind, TraceParams,
+    run, run_grid, run_grid_serial, run_metrics_only, run_sampled_lean, run_traced, ExperimentGrid,
+    RunParams, SchemeKind, TraceParams,
 };
 use silcfm_trace::{profiles, PageMapper, PlacementPolicy, WorkloadGen};
 use silcfm_types::{Access, BatchOutcome, CoreId, FxHasher, MemKind, MemOp, SystemConfig};
@@ -377,6 +378,46 @@ fn full_system_traced_rate(
     best
 }
 
+/// Accesses/sec for one scheme through `System::run` with only the
+/// metrics plane live: the per-class latency quantile sketches, the
+/// demand-latency histograms and the epoch sampler populate, but no event
+/// is buffered anywhere (`MetricsOnlyTracer` no-ops `record`, and the
+/// controller runs its untraced build). The gap against
+/// [`full_system_rate`] is the price of the latency-percentile plane
+/// itself — the "sketches ON vs OFF" number — which the plane is designed
+/// to keep under a few percent.
+fn full_system_metrics_rate(
+    kind: SchemeKind,
+    cfg: &SystemConfig,
+    params: &RunParams,
+    per_profile: u64,
+    repeats: u32,
+) -> f64 {
+    let cores = u64::from(cfg.core.cores);
+    let p = RunParams {
+        accesses_per_core: (per_profile / cores).max(1),
+        ..*params
+    };
+    let trace = TraceParams {
+        events_capacity: OVERHEAD_EVENTS_CAPACITY,
+        ..TraceParams::default_capture()
+    };
+    let mut best = 0.0f64;
+    for _ in 0..repeats {
+        let mut total = 0u64;
+        let mut elapsed = 0.0f64;
+        for profile in profiles::all() {
+            let t0 = Instant::now();
+            let (r, report) = run_metrics_only(profile, kind, cfg, &p, &trace);
+            elapsed += t0.elapsed().as_secs_f64();
+            std::hint::black_box((r.cycles, report.latency.count()));
+            total += p.accesses_per_core * cores;
+        }
+        best = best.max(total as f64 / elapsed);
+    }
+    best
+}
+
 /// Accesses/sec for one scheme through `System::run` with the sampling
 /// tracer tier live in its always-on configuration: exact per-kind
 /// counters on every controller and DRAM event, full events retained
@@ -418,11 +459,13 @@ fn full_system_sampled_rate(
     best
 }
 
-/// What `--overhead` measured: the ring tier on/off pair plus the sampling
-/// tier's rate at each period of [`SAMPLING_PERIODS`].
+/// What `--overhead` measured: the ring tier on/off pair, the metrics-only
+/// (latency-sketch) tier, plus the sampling tier's rate at each period of
+/// [`SAMPLING_PERIODS`].
 struct Overhead {
     off: f64,
     on: f64,
+    metrics: f64,
     sampled: Vec<(u64, f64)>,
 }
 
@@ -547,6 +590,7 @@ fn main() {
         // rounds keeps the ratios honest.
         let mut off = 0.0f64;
         let mut on = 0.0f64;
+        let mut metrics = 0.0f64;
         let mut sampled: Vec<(u64, f64)> = SAMPLING_PERIODS
             .iter()
             .map(|&period| (period, 0.0))
@@ -554,6 +598,13 @@ fn main() {
         for _ in 0..opts.repeats.max(1) {
             off = off.max(full_system_rate(kind, &cfg, &params, per_profile, 1));
             on = on.max(full_system_traced_rate(kind, &cfg, &params, per_profile, 1));
+            metrics = metrics.max(full_system_metrics_rate(
+                kind,
+                &cfg,
+                &params,
+                per_profile,
+                1,
+            ));
             for entry in &mut sampled {
                 let rate = full_system_sampled_rate(kind, &cfg, &params, per_profile, 1, entry.0);
                 entry.1 = entry.1.max(rate);
@@ -566,6 +617,12 @@ fn main() {
             on,
             (1.0 - on / off) * 100.0
         );
+        println!(
+            "silcfm full-system latency sketches only: {:.0} acc/s \
+             ({:.1}% slower than untraced)",
+            metrics,
+            (1.0 - metrics / off) * 100.0
+        );
         for &(period, rate) in &sampled {
             println!(
                 "silcfm full-system sampling tracer 1-in-{period}: {:.0} acc/s \
@@ -574,7 +631,12 @@ fn main() {
                 (1.0 - rate / off) * 100.0
             );
         }
-        Some(Overhead { off, on, sampled })
+        Some(Overhead {
+            off,
+            on,
+            metrics,
+            sampled,
+        })
     } else {
         None
     };
@@ -722,6 +784,15 @@ fn render_json(
             "    \"overhead_pct\": {:.1},\n",
             if off > 0.0 {
                 (1.0 - on / off) * 100.0
+            } else {
+                0.0
+            }
+        ));
+        out.push_str(&format!("    \"metrics_only_acc_s\": {:.0},\n", ov.metrics));
+        out.push_str(&format!(
+            "    \"metrics_only_overhead_pct\": {:.1},\n",
+            if off > 0.0 {
+                (1.0 - ov.metrics / off) * 100.0
             } else {
                 0.0
             }

@@ -7,8 +7,8 @@ use silcfm_types::fault::{
 use silcfm_types::obs::{Event, FaultClass, NullTracer, TraceEvent, Tracer};
 use silcfm_types::stats::WindowedRate;
 use silcfm_types::{
-    Access, AddressSpace, BatchOutcome, BlockIndex, Geometry, MemKind, MemOp, MemoryScheme, OpSink,
-    PhysAddr, SchemeOutcome, SchemeStats, SilcFmError, SubblockIndex,
+    Access, AccessFlags, AddressSpace, BatchOutcome, BlockIndex, Geometry, MemKind, MemOp,
+    MemoryScheme, OpSink, PhysAddr, SchemeOutcome, SchemeStats, SilcFmError, SubblockIndex,
 };
 
 use crate::frametable::FrameTable;
@@ -74,6 +74,9 @@ pub struct SilcFm<T: Tracer = NullTracer> {
     trace_now: u64,
     /// Last bypass state emitted, so `BypassDecision` fires on edges only.
     last_bypassing: bool,
+    /// Service-path markers of the most recent access, copied into the
+    /// outcome by both dispatch paths for latency attribution.
+    last_flags: AccessFlags,
 }
 
 /// Everything decided while resolving one access, before the critical path
@@ -189,6 +192,7 @@ impl<T: Tracer> SilcFm<T> {
             tracer,
             trace_now: 0,
             last_bypassing: false,
+            last_flags: AccessFlags::NONE,
         })
     }
 
@@ -745,6 +749,7 @@ impl<T: Tracer> SilcFm<T> {
                 }
             } else {
                 self.bypassed += 1;
+                self.last_flags.insert(AccessFlags::BYPASS);
             }
             return Resolution {
                 serviced_from: MemKind::Far,
@@ -759,6 +764,7 @@ impl<T: Tracer> SilcFm<T> {
         let data_addr = self.fm_subblock_addr(block, off);
         if bypassing {
             self.bypassed += 1;
+            self.last_flags.insert(AccessFlags::BYPASS);
             return Resolution {
                 serviced_from: MemKind::Far,
                 data_addr,
@@ -784,6 +790,7 @@ impl<T: Tracer> SilcFm<T> {
             // Every way is locked or actively used: service from FM in
             // place; aging reopens the set as tenants cool.
             self.all_locked_serves += 1;
+            self.last_flags.insert(AccessFlags::LOCKED);
             return Resolution {
                 serviced_from: MemKind::Far,
                 data_addr,
@@ -862,6 +869,14 @@ impl<T: Tracer> SilcFm<T> {
         // resident data still hits, but no new migration starts. `false ||`
         // in a healthy run.
         let bypassing = self.failover || self.bypassing();
+        // Per-access service-path markers for latency attribution: the
+        // request paths below add BYPASS/LOCKED where the corresponding
+        // counters increment; DEGRADED marks every access issued while the
+        // fault plane has the controller off its healthy configuration.
+        self.last_flags = AccessFlags::NONE;
+        if self.failover || self.degraded_ways != 0 {
+            self.last_flags.insert(AccessFlags::DEGRADED);
+        }
         if T::ENABLED && bypassing != self.last_bypassing {
             self.last_bypassing = bypassing;
             self.tracer
@@ -988,6 +1003,7 @@ impl<T: Tracer> MemoryScheme for SilcFm<T> {
             ..
         } = out;
         *serviced_from = self.access_core(access, critical, background);
+        out.flags = self.last_flags;
     }
 
     /// The batch-native hot path: one virtual dispatch, one outcome-storage
@@ -1002,7 +1018,7 @@ impl<T: Tracer> MemoryScheme for SilcFm<T> {
         for access in accesses {
             let (critical, background) = out.sinks();
             let from = self.access_core(access, critical, background);
-            out.commit(from, 0);
+            out.commit(from, self.last_flags, 0);
         }
     }
 

@@ -113,9 +113,15 @@ pub const AMORTIZED_BOUNDARIES: &[(&str, &str)] = &[(
 /// argument order.
 pub const ORDER_SINK_FNS: &[&str] = &["merge", "digest", "grid_digest"];
 
-/// Order-sensitive sink *files* (N1): every fn in them serializes —
-/// crash-journal encoding and the export formatters.
-pub const ORDER_SINK_FILES: &[&str] = &["crates/sim/src/journal.rs", "crates/obs/src/export.rs"];
+/// Order-sensitive sink *files* (N1): every fn in them serializes or
+/// folds — crash-journal encoding, the export formatters, and the
+/// quantile sketches (whose merges must be order-invariant to the byte
+/// for the sharded/journaled percentile plane, DESIGN.md §14).
+pub const ORDER_SINK_FILES: &[&str] = &[
+    "crates/sim/src/journal.rs",
+    "crates/obs/src/export.rs",
+    "crates/obs/src/sketch.rs",
+];
 
 /// Entry points of sharded/parallel execution (F1 seeds), by fn-name
 /// prefix.

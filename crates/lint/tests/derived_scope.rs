@@ -180,19 +180,9 @@ const LEGACY_COLLISION_WAIVERS: &[(&str, &str, &str)] = &[
     ),
     (
         "crates/types/src/batch.rs",
-        "iter",
-        "`.iter()` on the Vec fields of `commit`/`push_outcome` collided with \
-         the local diagnostic `fn iter`; no hot path calls `Batch::iter`",
-    ),
-    (
-        "crates/types/src/batch.rs",
         "len",
-        "reached only through the waived diagnostic `Batch::iter`",
-    ),
-    (
-        "crates/types/src/batch.rs",
-        "entry",
-        "reached only through the waived diagnostic `Batch::iter`",
+        "`self.critical.len()` (Vec::len) inside `commit` collided with the \
+         local `fn len`, a size accessor with no hot-path caller",
     ),
     (
         "crates/types/src/oplist.rs",

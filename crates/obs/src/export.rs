@@ -9,9 +9,11 @@ use core::fmt::Write as _;
 use std::collections::BTreeMap;
 
 use silcfm_types::obs::Event;
+use silcfm_types::AccessClass;
 
 use crate::hist::LatencyHistogram;
 use crate::report::{ObsReport, TaggedEvent, Unit};
+use crate::sketch::QuantileSketch;
 use crate::table::{Align, TextTable};
 
 /// The Chrome trace `tid` hosting one event, giving one track per
@@ -129,11 +131,18 @@ pub fn chrome_trace(report: &ObsReport) -> String {
             }
         }
     }
+    let overall = report.latency.overall();
+    let [p50, p95, p99, p999] = overall.percentiles();
     let _ = write!(
         out,
         "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{{\
-         \"total_cycles\":{},\"dropped_events\":{}}}}}\n",
-        report.total_cycles, report.dropped
+         \"total_cycles\":{},\"dropped_events\":{},\
+         \"demand_lat_count\":{},\"demand_lat_p50\":{p50},\
+         \"demand_lat_p95\":{p95},\"demand_lat_p99\":{p99},\
+         \"demand_lat_p999\":{p999}}}}}\n",
+        report.total_cycles,
+        report.dropped,
+        overall.count()
     );
     out
 }
@@ -215,7 +224,39 @@ pub fn summary(report: &ObsReport) -> String {
     t.row(histogram_row("fm", &report.fm_latency));
     out.push('\n');
     out.push_str(&t.render());
+
+    // The percentile plane: per-class sketches plus the merged overall row.
+    let mut t = TextTable::new(&[
+        ("latency class", Align::Left),
+        ("count", Align::Right),
+        ("mean", Align::Right),
+        ("p50", Align::Right),
+        ("p95", Align::Right),
+        ("p99", Align::Right),
+        ("p999", Align::Right),
+        ("max", Align::Right),
+    ]);
+    for class in AccessClass::ALL {
+        t.row(sketch_row(class.label(), report.latency.sketch(class)));
+    }
+    t.row(sketch_row("overall", &report.latency.overall()));
+    out.push('\n');
+    out.push_str(&t.render());
     out
+}
+
+fn sketch_row(label: &str, s: &QuantileSketch) -> Vec<String> {
+    let [p50, p95, p99, p999] = s.percentiles();
+    vec![
+        label.to_string(),
+        s.count().to_string(),
+        format!("{:.1}", s.mean()),
+        p50.to_string(),
+        p95.to_string(),
+        p99.to_string(),
+        p999.to_string(),
+        s.max().to_string(),
+    ]
 }
 
 #[cfg(test)]
@@ -226,9 +267,17 @@ mod tests {
 
     fn sample_report() -> ObsReport {
         let mut series = EpochSampler::new(run_series(), 100, 300);
-        series.seal(250, &[0.5, 0.25, 3.0, 1.0, 0.1, 0.2, 4.0, 2.0]);
+        series.seal(
+            250,
+            &[
+                0.5, 0.25, 3.0, 1.0, 0.1, 0.2, 4.0, 2.0, 80.0, 80.0, 80.0, 80.0,
+            ],
+        );
         let mut nm_latency = LatencyHistogram::new();
         nm_latency.record(80);
+        let mut latency = crate::sketch::LatencyBreakdown::new();
+        latency.record(AccessClass::NmHit, 80);
+        latency.record(AccessClass::SwapPath, 900);
         ObsReport::assemble(
             [
                 vec![
@@ -275,6 +324,7 @@ mod tests {
             0,
             nm_latency,
             LatencyHistogram::new(),
+            latency,
             series,
             250,
         )
@@ -303,7 +353,8 @@ mod tests {
         assert_eq!(
             lines.next().unwrap(),
             "epoch,cycle_start,obs.hit_rate,obs.nm_demand_frac,obs.swaps,obs.locks,\
-             obs.nm_bus_util,obs.fm_bus_util,obs.read_queue,obs.write_queue"
+             obs.nm_bus_util,obs.fm_bus_util,obs.read_queue,obs.write_queue,\
+             obs.lat.p50,obs.lat.p95,obs.lat.p99,obs.lat.p999"
         );
         assert_eq!(lines.count(), 3); // ceil(250/100)
         assert!(csv.contains("0.500000"));
@@ -316,5 +367,27 @@ mod tests {
         assert!(text.contains("swap_start"));
         assert!(text.contains("dram_cmd"));
         assert!(text.contains("demand latency"));
+        // The percentile plane lists every class plus the merged overall.
+        assert!(text.contains("latency class"));
+        for class in AccessClass::ALL {
+            assert!(text.contains(class.label()), "missing {class}");
+        }
+        assert!(text.contains("overall"));
+    }
+
+    #[test]
+    fn chrome_trace_carries_overall_percentiles() {
+        let json = chrome_trace(&sample_report());
+        let v = crate::json::parse(&json).expect("chrome trace parses");
+        let other = v.get("otherData").unwrap();
+        assert_eq!(
+            other.get("demand_lat_count").and_then(|n| n.as_f64()),
+            Some(2.0)
+        );
+        // p999 of {80, 900} clamps to the recorded max.
+        assert_eq!(
+            other.get("demand_lat_p999").and_then(|n| n.as_f64()),
+            Some(900.0)
+        );
     }
 }

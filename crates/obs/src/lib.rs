@@ -17,6 +17,9 @@
 //!   with fixed storage, HdrHistogram style;
 //! * [`EpochSampler`] — a per-epoch time-series sampler over a declared
 //!   [`SeriesSpec`] column set, with preallocated storage;
+//! * [`QuantileSketch`] / [`LatencyBreakdown`] — deterministic, mergeable
+//!   quantile sketches for per-class latency percentiles (p50/p95/p99/p999),
+//!   with a seeded [`LatencyReservoir`] for exact small-N validation;
 //! * [`export`] — Chrome trace-event JSON (`chrome://tracing`-loadable),
 //!   CSV time series, and a human summary table;
 //! * [`TextTable`] — the shared fixed-width table renderer used by every
@@ -36,6 +39,7 @@ pub mod report;
 pub mod ring;
 pub mod sampler;
 pub mod sampling;
+pub mod sketch;
 pub mod table;
 
 pub use hist::LatencyHistogram;
@@ -43,8 +47,9 @@ pub use report::{ObsReport, TaggedEvent, Unit};
 pub use ring::RingTracer;
 pub use sampler::{run_series, EpochSampler, SeriesSpec};
 pub use sampling::SamplingTracer;
+pub use sketch::{LatencyBreakdown, LatencyReservoir, QuantileSketch};
 pub use table::{Align, TextTable};
 
 // Re-export the vocabulary so downstream crates can depend on `silcfm-obs`
 // alone for all tracing needs.
-pub use silcfm_types::obs::{Event, NullTracer, RowKind, TraceEvent, Tracer};
+pub use silcfm_types::obs::{Event, MetricsOnlyTracer, NullTracer, RowKind, TraceEvent, Tracer};

@@ -4,6 +4,7 @@ use silcfm_types::obs::{Event, TraceEvent};
 
 use crate::hist::LatencyHistogram;
 use crate::sampler::EpochSampler;
+use crate::sketch::LatencyBreakdown;
 
 /// Which simulated component emitted an event; selects its track in the
 /// Chrome-trace export.
@@ -57,6 +58,8 @@ pub struct ObsReport {
     pub nm_latency: LatencyHistogram,
     /// Demand-access service latency when serviced from far memory.
     pub fm_latency: LatencyHistogram,
+    /// Per-class demand-latency quantile sketches (the percentile plane).
+    pub latency: LatencyBreakdown,
     /// The sealed per-epoch time series.
     pub series: EpochSampler,
     /// Total simulated cycles of the run.
@@ -73,6 +76,7 @@ impl ObsReport {
         dropped: u64,
         nm_latency: LatencyHistogram,
         fm_latency: LatencyHistogram,
+        latency: LatencyBreakdown,
         series: EpochSampler,
         total_cycles: u64,
     ) -> Self {
@@ -93,6 +97,7 @@ impl ObsReport {
             dropped,
             nm_latency,
             fm_latency,
+            latency,
             series,
             total_cycles,
         }
@@ -129,6 +134,7 @@ mod tests {
             3,
             LatencyHistogram::new(),
             LatencyHistogram::new(),
+            LatencyBreakdown::new(),
             EpochSampler::new(SeriesSpec::new(), 100, 0),
             1000,
         );

@@ -61,10 +61,19 @@ pub const COL_FM_BUS_UTIL: usize = 5;
 pub const COL_READ_QUEUE: usize = 6;
 /// Column index of the sampled write-queue depth in [`run_series`].
 pub const COL_WRITE_QUEUE: usize = 7;
+/// Column index of the epoch demand-latency p50 in [`run_series`].
+pub const COL_LAT_P50: usize = 8;
+/// Column index of the epoch demand-latency p95 in [`run_series`].
+pub const COL_LAT_P95: usize = 9;
+/// Column index of the epoch demand-latency p99 in [`run_series`].
+pub const COL_LAT_P99: usize = 10;
+/// Column index of the epoch demand-latency p99.9 in [`run_series`].
+pub const COL_LAT_P999: usize = 11;
 
 /// The standard per-run column set sampled by the simulator: NM service
 /// rate and demand fraction, swap/lock activity, per-device bus
-/// utilization, and aggregate queue depths. This is the workspace's single
+/// utilization, aggregate queue depths, and within-epoch demand-latency
+/// percentiles from the quantile sketch. This is the workspace's single
 /// registration site for `obs.*` series keys.
 pub fn run_series() -> SeriesSpec {
     SeriesSpec::new()
@@ -76,6 +85,10 @@ pub fn run_series() -> SeriesSpec {
         .series("obs.fm_bus_util")
         .series("obs.read_queue")
         .series("obs.write_queue")
+        .series("obs.lat.p50")
+        .series("obs.lat.p95")
+        .series("obs.lat.p99")
+        .series("obs.lat.p999")
 }
 
 /// Collects one row of `f64` metric values per epoch of simulation cycles.
@@ -174,7 +187,11 @@ mod tests {
         assert_eq!(spec.names()[COL_FM_BUS_UTIL], "obs.fm_bus_util");
         assert_eq!(spec.names()[COL_READ_QUEUE], "obs.read_queue");
         assert_eq!(spec.names()[COL_WRITE_QUEUE], "obs.write_queue");
-        assert_eq!(spec.len(), 8);
+        assert_eq!(spec.names()[COL_LAT_P50], "obs.lat.p50");
+        assert_eq!(spec.names()[COL_LAT_P95], "obs.lat.p95");
+        assert_eq!(spec.names()[COL_LAT_P99], "obs.lat.p99");
+        assert_eq!(spec.names()[COL_LAT_P999], "obs.lat.p999");
+        assert_eq!(spec.len(), 12);
         assert!(spec.names().iter().all(|n| n.starts_with("obs.")));
     }
 

@@ -5,7 +5,7 @@ use silcfm_baselines::{Cameo, CameoParams, Hma, HmaParams, Pom, PomParams, Rando
 use silcfm_core::{SilcFm, SilcFmParams};
 use silcfm_dram::DramConfig;
 use silcfm_fault::{FaultDriver, FaultRates, FaultSchedule, FaultStats, FaultTopology};
-use silcfm_obs::{ObsReport, RingTracer, SamplingTracer};
+use silcfm_obs::{MetricsOnlyTracer, ObsReport, RingTracer, SamplingTracer};
 use silcfm_trace::{profiles, PlacementPolicy, WorkloadProfile};
 use silcfm_types::obs::{Tracer, EVENT_KINDS};
 use silcfm_types::{AddressSpace, Geometry, MemoryScheme, SilcFmError, SystemConfig};
@@ -434,6 +434,49 @@ pub fn run_traced(
     (result, report)
 }
 
+/// Like [`run_traced`], but on the metrics-only tier: the `T::ENABLED`
+/// observability hooks are live — the per-class latency quantile sketches,
+/// the demand-latency histograms, and the epoch sampler all populate — yet
+/// no event is ever buffered: the DRAM devices carry
+/// [`MetricsOnlyTracer`]s whose `record` inlines to nothing, and the
+/// controller runs its untraced build. The returned [`ObsReport`] has the
+/// full latency-percentile plane and time series but an empty event
+/// stream. This is the cheapest "sketches ON" configuration; the
+/// `throughput --overhead` bench prices it against the untraced run.
+///
+/// The latency plane it produces is byte-identical to [`run_traced`]'s:
+/// both fold the same demand completions in the same order — the tracer
+/// tier only decides whether events are *retained*, never what the
+/// simulation does.
+pub fn run_metrics_only(
+    profile: &WorkloadProfile,
+    scheme: SchemeKind,
+    cfg: &SystemConfig,
+    params: &RunParams,
+    trace: &TraceParams,
+) -> (RunResult, ObsReport) {
+    let scaled = profiles::scaled(profile, params.footprint_scale);
+    let space = space_for(&scaled, cfg, params);
+    let total_accesses = params.accesses_per_core * u64::from(cfg.core.cores);
+    let expected_cycles = params.accesses_per_core.saturating_mul(64);
+    let mut system = System::with_observability(
+        *cfg,
+        space,
+        scheme.placement(params.seed),
+        scheme.build(space, total_accesses),
+        MetricsOnlyTracer,
+        MetricsOnlyTracer,
+        Some(RunObs::new(trace.epoch_cycles, expected_cycles)),
+    );
+    let outcome = system.run(&scaled, params.accesses_per_core, params.seed);
+    let result = collect(profile, scheme, &system, outcome);
+    let report = system
+        .finish_observation(outcome.cycles)
+        // silcfm-lint: allow(E1) -- with_observability ten lines up always installs RunObs; the invariant is local
+        .expect("the system above is always built with observability");
+    (result, report)
+}
+
 /// Like [`run_traced`], but on the sampling tracer tier: the controller and
 /// both DRAM devices count every event and retain full events only
 /// one-in-`sampling_period` (a power of two), so the observability cost is
@@ -850,6 +893,37 @@ mod tests {
         // The sampled stream really is ~64x sparser.
         let sampled_controller = report.events_from(Unit::Controller) as u64;
         assert_eq!(sampled_controller, full_controller.div_ceil(64));
+    }
+
+    #[test]
+    fn metrics_only_tier_matches_plain_and_traced_runs() {
+        let cfg = SystemConfig::small();
+        let params = RunParams::smoke();
+        let trace = TraceParams {
+            events_capacity: 1 << 14,
+            epoch_cycles: 100_000,
+        };
+        let plain = run(profile(), SchemeKind::silcfm(), &cfg, &params);
+        let (traced, traced_report) =
+            run_traced(profile(), SchemeKind::silcfm(), &cfg, &params, &trace);
+        let (metrics, metrics_report) =
+            run_metrics_only(profile(), SchemeKind::silcfm(), &cfg, &params, &trace);
+        // The tier is behavior-neutral against both neighbors.
+        assert_eq!(plain.cycles, metrics.cycles);
+        assert_eq!(plain.traffic, metrics.traffic);
+        assert_eq!(plain.scheme_stats, metrics.scheme_stats);
+        assert_eq!(traced.cycles, metrics.cycles);
+        // The latency-percentile plane is byte-identical to the ring
+        // tier's: retention policy never changes what the sketches fold.
+        let mut traced_bytes = String::new();
+        traced_report.latency.encode(&mut traced_bytes);
+        let mut metrics_bytes = String::new();
+        metrics_report.latency.encode(&mut metrics_bytes);
+        assert_eq!(traced_bytes, metrics_bytes);
+        assert!(metrics_report.latency.count() > 0);
+        // But no events were buffered anywhere.
+        assert_eq!(metrics_report.event_count(), 0);
+        assert_eq!(metrics_report.dropped, 0);
     }
 
     #[test]

@@ -8,12 +8,13 @@
 
 use silcfm_dram::DramModel;
 use silcfm_obs::sampler::{
-    run_series, EpochSampler, COL_FM_BUS_UTIL, COL_HIT_RATE, COL_LOCKS, COL_NM_BUS_UTIL,
-    COL_NM_DEMAND_FRAC, COL_READ_QUEUE, COL_SWAPS, COL_WRITE_QUEUE,
+    run_series, EpochSampler, COL_FM_BUS_UTIL, COL_HIT_RATE, COL_LAT_P50, COL_LAT_P95, COL_LAT_P99,
+    COL_LAT_P999, COL_LOCKS, COL_NM_BUS_UTIL, COL_NM_DEMAND_FRAC, COL_READ_QUEUE, COL_SWAPS,
+    COL_WRITE_QUEUE,
 };
-use silcfm_obs::{LatencyHistogram, ObsReport};
+use silcfm_obs::{LatencyBreakdown, LatencyHistogram, ObsReport, QuantileSketch};
 use silcfm_types::obs::Tracer;
-use silcfm_types::{MemKind, MemoryScheme};
+use silcfm_types::{AccessClass, MemKind, MemoryScheme};
 
 use crate::metrics::TrafficTally;
 
@@ -35,6 +36,11 @@ pub struct RunObs {
     sampler: EpochSampler,
     nm_latency: LatencyHistogram,
     fm_latency: LatencyHistogram,
+    /// Whole-run per-class latency sketches (the percentile plane).
+    latency: LatencyBreakdown,
+    /// Within-epoch latency sketch behind the `obs.lat.*` series columns,
+    /// cleared at every tick.
+    epoch_latency: QuantileSketch,
     // Within-epoch demand counters, reset at every tick.
     epoch_accesses: u64,
     epoch_nm_hits: u64,
@@ -56,6 +62,8 @@ impl RunObs {
             sampler: EpochSampler::new(run_series(), epoch_cycles, expected_cycles),
             nm_latency: LatencyHistogram::new(),
             fm_latency: LatencyHistogram::new(),
+            latency: LatencyBreakdown::new(),
+            epoch_latency: QuantileSketch::new(),
             epoch_accesses: 0,
             epoch_nm_hits: 0,
             last_swaps: 0,
@@ -68,9 +76,10 @@ impl RunObs {
         }
     }
 
-    /// Records one serviced demand miss: where it was serviced from and its
-    /// critical-path latency in CPU cycles.
-    pub fn on_demand(&mut self, from: MemKind, latency: u64) {
+    /// Records one serviced demand miss: where it was serviced from, its
+    /// service-path [`AccessClass`], and its critical-path latency in CPU
+    /// cycles.
+    pub fn on_demand(&mut self, from: MemKind, class: AccessClass, latency: u64) {
         self.epoch_accesses += 1;
         match from {
             MemKind::Near => {
@@ -79,6 +88,8 @@ impl RunObs {
             }
             MemKind::Far => self.fm_latency.record(latency),
         }
+        self.latency.record(class, latency);
+        self.epoch_latency.record(latency);
     }
 
     /// Whether the next epoch boundary has been crossed at `cycle`.
@@ -95,7 +106,7 @@ impl RunObs {
         tally: &TrafficTally,
         nm: &DramModel<T>,
         fm: &DramModel<T>,
-    ) -> [f64; 8] {
+    ) -> [f64; 12] {
         let stats = scheme.stats();
         let elapsed = cycle.saturating_sub(self.last_cycle);
         let nm_demand = tally.nm_demand.saturating_sub(self.last_nm_demand);
@@ -114,7 +125,7 @@ impl RunObs {
             (nr + fr, nw + fw)
         };
 
-        let mut row = [0.0f64; 8];
+        let mut row = [0.0f64; 12];
         row[COL_HIT_RATE] = frac(self.epoch_nm_hits as f64, self.epoch_accesses as f64);
         row[COL_NM_DEMAND_FRAC] = frac(nm_demand as f64, (nm_demand + fm_demand) as f64);
         row[COL_SWAPS] = stats.subblocks_moved.saturating_sub(self.last_swaps) as f64;
@@ -123,7 +134,15 @@ impl RunObs {
         row[COL_FM_BUS_UTIL] = frac(fm_busy as f64, fm_span);
         row[COL_READ_QUEUE] = read_q as f64;
         row[COL_WRITE_QUEUE] = write_q as f64;
+        // Within-epoch demand-latency percentiles; u64 cycle counts convert
+        // exactly for any realistic latency (< 2^53 cycles).
+        let [p50, p95, p99, p999] = self.epoch_latency.percentiles();
+        row[COL_LAT_P50] = p50 as f64;
+        row[COL_LAT_P95] = p95 as f64;
+        row[COL_LAT_P99] = p99 as f64;
+        row[COL_LAT_P999] = p999 as f64;
 
+        self.epoch_latency.clear();
         self.epoch_accesses = 0;
         self.epoch_nm_hits = 0;
         self.last_swaps = stats.subblocks_moved;
@@ -171,6 +190,7 @@ impl RunObs {
             dropped,
             self.nm_latency,
             self.fm_latency,
+            self.latency,
             self.sampler,
             total_cycles,
         )
@@ -194,14 +214,14 @@ mod tests {
         let mut fm = DramModel::<NullTracer>::with_tracer(DramConfig::ddr3(), NullTracer);
         let mut tally = TrafficTally::default();
 
-        obs.on_demand(MemKind::Near, 100);
-        obs.on_demand(MemKind::Far, 400);
+        obs.on_demand(MemKind::Near, AccessClass::NmHit, 100);
+        obs.on_demand(MemKind::Far, AccessClass::SwapPath, 400);
         tally.nm_demand = 64;
         tally.fm_demand = 192;
         assert!(obs.due(1_000));
         obs.epoch_tick(1_000, &scheme, &tally, &mut nm, &mut fm);
         // Second epoch: no new demand traffic — the fraction resets.
-        obs.on_demand(MemKind::Near, 90);
+        obs.on_demand(MemKind::Near, AccessClass::NmHit, 90);
         obs.epoch_tick(2_000, &scheme, &tally, &mut nm, &mut fm);
 
         let report = obs.finish(2_500, &mut scheme, &tally, &mut nm, &mut fm);
@@ -213,5 +233,21 @@ mod tests {
         assert_eq!(report.nm_latency.count(), 2);
         assert_eq!(report.fm_latency.count(), 1);
         assert_eq!(report.total_cycles, 2_500);
+
+        // The percentile plane: per-class attribution plus within-epoch
+        // percentile columns. The epoch sketch resets at each tick, so the
+        // first row sees {100, 400} and the second only {90}.
+        assert_eq!(report.latency.count(), 3);
+        assert_eq!(report.latency.sketch(AccessClass::NmHit).count(), 2);
+        assert_eq!(report.latency.sketch(AccessClass::SwapPath).count(), 1);
+        assert_eq!(report.latency.sketch(AccessClass::Bypass).count(), 0);
+        let p50 = report.series.row(0)[COL_LAT_P50];
+        assert!((100.0..=104.0).contains(&p50), "p50 {p50} outside bound");
+        assert_eq!(report.series.row(0)[COL_LAT_P999], 400.0); // clamped to max
+        assert_eq!(report.series.row(1)[COL_LAT_P50], 90.0); // clamped to max
+        assert_eq!(
+            report.latency.overall().p999(),
+            report.latency.overall().max()
+        );
     }
 }

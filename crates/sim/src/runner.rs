@@ -44,7 +44,7 @@ use silcfm_trace::profiles::WorkloadProfile;
 use silcfm_types::rng::SplitMix64;
 use silcfm_types::{SilcFmError, SystemConfig};
 
-use silcfm_obs::ObsReport;
+use silcfm_obs::{LatencyBreakdown, ObsReport};
 
 use crate::experiment::{run, run_sharded, run_traced, RunParams, SchemeKind, TraceParams};
 use crate::journal;
@@ -303,6 +303,59 @@ pub fn run_grid_journaled(
     run_grid_journaled_with(jobs, threads, path, resume, on_done, Job::execute)
 }
 
+/// Runs a *traced* grid with a crash-safe journal: each finished job
+/// appends its latency breakdown (`lat` line) and its result (`job` line)
+/// in one flush, and a resume returns journaled jobs' `(result, breakdown)`
+/// pairs without re-running them. The sketch codec is bit-exact and sketch
+/// merges are order-invariant, so percentile reports built from the
+/// returned breakdowns — per job or merged across the grid — are
+/// byte-identical whether the grid ran uninterrupted or was killed and
+/// resumed (the property the journal tests pin).
+///
+/// Only the percentile plane survives the journal round-trip; event buffers
+/// and epoch series belong to live [`ObsReport`]s and are not journaled.
+///
+/// # Errors
+///
+/// Returns [`SilcFmError::Journal`] when the journal cannot be written, is
+/// corrupt, or belongs to a different grid.
+pub fn run_grid_traced_journaled(
+    jobs: &[Job],
+    trace: &TraceParams,
+    threads: usize,
+    path: &Path,
+    resume: bool,
+    on_done: impl FnMut(usize, &(RunResult, LatencyBreakdown)),
+) -> Result<Vec<(RunResult, LatencyBreakdown)>, SilcFmError> {
+    let digest = journal::grid_digest(jobs);
+    let (writer, done) = if resume && path.exists() {
+        let (writer, results, mut lats) = journal::resume_traced(path, digest)?;
+        let done: std::collections::BTreeMap<usize, (RunResult, LatencyBreakdown)> = results
+            .into_iter()
+            .filter_map(|(i, r)| lats.remove(&i).map(|l| (i, (r, l))))
+            .collect();
+        (writer, done)
+    } else {
+        (
+            journal::JournalWriter::create(path, digest)?,
+            std::collections::BTreeMap::new(),
+        )
+    };
+    run_grid_journaled_core(
+        jobs,
+        threads,
+        writer,
+        done,
+        on_done,
+        |job| {
+            let (result, report) =
+                run_traced(&job.profile, job.scheme, &job.cfg, &job.params, trace);
+            (result, report.latency)
+        },
+        |w, i, (result, lat)| w.append_traced(i, result, lat),
+    )
+}
+
 /// [`run_grid_journaled`] with every job executed on the sharded runner
 /// (`shard.threads` threads inside each simulation). Because sharded
 /// results are bit-identical to serial ones, the journal format and grid
@@ -328,14 +381,14 @@ fn run_grid_journaled_with<F>(
     threads: usize,
     path: &Path,
     resume: bool,
-    mut on_done: impl FnMut(usize, &RunResult),
+    on_done: impl FnMut(usize, &RunResult),
     execute: F,
 ) -> Result<Vec<RunResult>, SilcFmError>
 where
     F: Fn(&Job) -> RunResult + Sync,
 {
     let digest = journal::grid_digest(jobs);
-    let (mut writer, done) = if resume && path.exists() {
+    let (writer, done) = if resume && path.exists() {
         journal::resume(path, digest)?
     } else {
         (
@@ -343,8 +396,29 @@ where
             std::collections::BTreeMap::new(),
         )
     };
+    run_grid_journaled_core(jobs, threads, writer, done, on_done, execute, |w, i, r| {
+        w.append(i, r)
+    })
+}
 
-    let mut slots: Vec<Option<RunResult>> = Vec::new();
+/// The scheduling/journaling engine shared by the plain and traced
+/// journaled grids, generic over the per-job record `R`: executes missing
+/// jobs with deal/steal workers, appends each record through `append` the
+/// moment its worker reports it, and reassembles everything in job order.
+fn run_grid_journaled_core<R, F>(
+    jobs: &[Job],
+    threads: usize,
+    mut writer: journal::JournalWriter,
+    done: std::collections::BTreeMap<usize, R>,
+    mut on_done: impl FnMut(usize, &R),
+    execute: F,
+    append: impl Fn(&mut journal::JournalWriter, usize, &R) -> Result<(), SilcFmError>,
+) -> Result<Vec<R>, SilcFmError>
+where
+    R: Send,
+    F: Fn(&Job) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = Vec::new();
     slots.resize_with(jobs.len(), || None);
     for (index, result) in done {
         if let Some(slot) = slots.get_mut(index) {
@@ -359,7 +433,7 @@ where
     if threads <= 1 || todo.len() <= 1 {
         for &i in &todo {
             let result = execute(&jobs[i]);
-            writer.append(i, &result)?;
+            append(&mut writer, i, &result)?;
             on_done(i, &result);
             slots[i] = Some(result);
         }
@@ -381,7 +455,7 @@ where
         let queues = &queues;
         let execute = &execute;
 
-        let (tx, rx) = mpsc::channel::<(usize, RunResult)>();
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
         let mut append_error = None;
         std::thread::scope(|scope| {
             for me in 0..threads {
@@ -403,7 +477,7 @@ where
             drop(tx);
             for (idx, result) in rx {
                 if append_error.is_none() {
-                    if let Err(e) = writer.append(idx, &result) {
+                    if let Err(e) = append(&mut writer, idx, &result) {
                         append_error = Some(e);
                     }
                 }
@@ -617,5 +691,59 @@ mod tests {
         let _ = run_grid_journaled(&jobs[..2], 1, &path, false, |_, _| {}).unwrap();
         let err = run_grid_journaled(&jobs, 2, &path, true, |_, _| {}).unwrap_err();
         assert!(err.to_string().contains("different grid"), "{err}");
+    }
+
+    /// Breakdowns as comparable bytes: the sketch codec is bit-exact, so
+    /// string equality *is* distribution equality.
+    fn encode_all(pairs: &[(RunResult, silcfm_obs::LatencyBreakdown)]) -> Vec<String> {
+        pairs
+            .iter()
+            .map(|(_, lat)| {
+                let mut s = String::new();
+                lat.encode(&mut s);
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn traced_journal_resumes_byte_identically() {
+        let jobs = small_grid();
+        let trace = crate::experiment::TraceParams::default();
+        let path = tmp("traced.journal");
+        // One thread keeps journal lines in job order, which the crash
+        // surgery below relies on; the resumes exercise the pool.
+        let full = run_grid_traced_journaled(&jobs, &trace, 1, &path, false, |_, _| {}).unwrap();
+        let results: Vec<&RunResult> = full.iter().map(|(r, _)| r).collect();
+        let serial = run_grid_serial(&jobs);
+        assert_eq!(serial.iter().collect::<Vec<_>>(), results);
+
+        // Resume with everything sealed: nothing re-runs, and every
+        // breakdown comes back byte-identical from the journal.
+        let mut reran = 0;
+        let resumed =
+            run_grid_traced_journaled(&jobs, &trace, 2, &path, true, |_, _| reran += 1).unwrap();
+        assert_eq!(reran, 0);
+        assert_eq!(encode_all(&full), encode_all(&resumed));
+
+        // Kill mid-grid: keep the header, job 0's sealed two-line record,
+        // and job 1's `lat` line *without* its sealing `job` line — exactly
+        // the crash window inside `append_traced`. The orphan's job re-runs
+        // and the final percentile plane is still byte-identical.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep: String = text.lines().take(4).map(|l| format!("{l}\n")).collect();
+        assert!(
+            keep.lines().nth(3).is_some_and(|l| l.starts_with("lat 1 ")),
+            "test premise: line 3 is job 1's lat record"
+        );
+        let partial = tmp("traced-partial.journal");
+        std::fs::write(&partial, keep).unwrap();
+        let mut executed = Vec::new();
+        let resumed =
+            run_grid_traced_journaled(&jobs, &trace, 1, &partial, true, |i, _| executed.push(i))
+                .unwrap();
+        executed.sort_unstable();
+        assert_eq!(executed, vec![1, 2, 3, 4, 5], "orphaned job 1 re-runs");
+        assert_eq!(encode_all(&full), encode_all(&resumed));
     }
 }

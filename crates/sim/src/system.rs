@@ -9,8 +9,8 @@ use silcfm_trace::{PageMapper, PlacementPolicy, WorkloadGen, WorkloadProfile};
 use silcfm_types::fault::{FaultKind, ScheduledFault};
 use silcfm_types::obs::{NullTracer, Tracer};
 use silcfm_types::{
-    Access, AddressSpace, CoreId, MemKind, MemOp, MemoryScheme, SchemeOutcome, SystemConfig,
-    TraceRecord, VirtAddr,
+    Access, AccessClass, AddressSpace, CoreId, MemKind, MemOp, MemoryScheme, SchemeOutcome,
+    SystemConfig, TraceRecord, VirtAddr,
 };
 
 use crate::metrics::TrafficTally;
@@ -437,7 +437,11 @@ impl<T: Tracer> System<T> {
                 }
                 if T::ENABLED {
                     if let Some(o) = self.obs.as_mut() {
-                        o.on_demand(out.serviced_from, cursor.saturating_sub(issue));
+                        o.on_demand(
+                            out.serviced_from,
+                            AccessClass::of_outcome(&out),
+                            cursor.saturating_sub(issue),
+                        );
                     }
                 }
                 cursor

@@ -19,7 +19,7 @@
 //! [`MemoryScheme::access_batch`]: crate::MemoryScheme::access_batch
 
 use crate::mem::{MemKind, MemOp};
-use crate::scheme::SchemeOutcome;
+use crate::scheme::{AccessFlags, SchemeOutcome};
 
 /// Per-access record inside a [`BatchOutcome`]: end offsets into the flat
 /// op vectors (the start is the previous entry's end) plus the scalar
@@ -34,6 +34,8 @@ struct BatchEntry {
     serviced_from: MemKind,
     /// Whole-system stall cycles charged by this access.
     global_stall_cycles: u64,
+    /// Service-path markers for latency attribution.
+    flags: AccessFlags,
 }
 
 /// A borrowed view of one access's slice of a [`BatchOutcome`], shaped
@@ -48,6 +50,8 @@ pub struct BatchView<'a> {
     pub serviced_from: MemKind,
     /// Whole-system stall cycles charged by this access.
     pub global_stall_cycles: u64,
+    /// Service-path markers for latency attribution.
+    pub flags: AccessFlags,
 }
 
 impl BatchView<'_> {
@@ -66,6 +70,7 @@ impl BatchView<'_> {
     pub fn matches(&self, out: &SchemeOutcome) -> bool {
         out.serviced_from == self.serviced_from
             && out.global_stall_cycles == self.global_stall_cycles
+            && out.flags == self.flags
             && out.critical == *self.critical
             && out.background == *self.background
     }
@@ -119,23 +124,37 @@ impl BatchOutcome {
         (&mut self.critical, &mut self.background)
     }
 
+    /// Reserves room for `n` entries up front so a whole batch's commits
+    /// never reallocate the entry vector.
+    pub fn reserve_entries(&mut self, n: usize) {
+        self.entries.reserve(n);
+    }
+
     /// Seals one access: everything pushed through [`sinks`](Self::sinks)
     /// since the previous commit belongs to it.
-    pub fn commit(&mut self, serviced_from: MemKind, global_stall_cycles: u64) {
+    pub fn commit(&mut self, serviced_from: MemKind, flags: AccessFlags, global_stall_cycles: u64) {
         self.entries.push(BatchEntry {
             critical_end: self.critical.len(),
             background_end: self.background.len(),
             serviced_from,
             global_stall_cycles,
+            flags,
         });
     }
 
     /// Appends a copy of one scalar outcome (the default-implementation
     /// path of [`access_batch`](crate::MemoryScheme::access_batch)).
+    /// Copies run as bulk slice appends — two `memcpy`s per op list, not a
+    /// per-op push loop — so the default batched dispatch stays within a
+    /// few percent of the scalar path even for one-op schemes.
     pub fn push_outcome(&mut self, out: &SchemeOutcome) {
-        self.critical.extend(out.critical.iter().copied());
-        self.background.extend(out.background.iter().copied());
-        self.commit(out.serviced_from, out.global_stall_cycles);
+        let (inline, spill) = out.critical.as_slices();
+        self.critical.extend_from_slice(inline);
+        self.critical.extend_from_slice(spill);
+        let (inline, spill) = out.background.as_slices();
+        self.background.extend_from_slice(inline);
+        self.background.extend_from_slice(spill);
+        self.commit(out.serviced_from, out.flags, out.global_stall_cycles);
     }
 
     /// Detaches the internal scratch outcome for a scalar loop; pair with
@@ -170,6 +189,7 @@ impl BatchOutcome {
                 .unwrap_or(&[]),
             serviced_from: entry.serviced_from,
             global_stall_cycles: entry.global_stall_cycles,
+            flags: entry.flags,
         })
     }
 
@@ -224,10 +244,10 @@ mod tests {
         critical.push_op(op(0));
         critical.push_op(op(1));
         background.push_op(op(2));
-        b.commit(MemKind::Near, 0);
+        b.commit(MemKind::Near, AccessFlags::NONE, 0);
         let (critical, _) = b.sinks();
         critical.push_op(op(3));
-        b.commit(MemKind::Far, 17);
+        b.commit(MemKind::Far, AccessFlags::LOCKED, 17);
 
         assert_eq!(b.len(), 2);
         let first = b.entry(0).unwrap();
@@ -239,6 +259,7 @@ mod tests {
         assert_eq!(second.critical, &[op(3)]);
         assert!(second.background.is_empty());
         assert_eq!(second.global_stall_cycles, 17);
+        assert_eq!(second.flags, AccessFlags::LOCKED);
     }
 
     #[test]
@@ -247,6 +268,7 @@ mod tests {
         let mut out = SchemeOutcome::serviced(MemKind::Near, vec![op(0), op(1)]);
         out.background.push(op(2));
         out.global_stall_cycles = 5;
+        out.flags.insert(AccessFlags::BYPASS);
         b.push_outcome(&out);
         // An empty outcome must still occupy an entry.
         b.push_outcome(&SchemeOutcome::empty());
@@ -255,6 +277,20 @@ mod tests {
         assert!(b.entry(0).unwrap().matches(&out));
         assert!(b.entry(1).unwrap().matches(&SchemeOutcome::empty()));
         assert_eq!(b.background_bytes(), 64);
+    }
+
+    #[test]
+    fn push_outcome_copies_spilled_lists_exactly() {
+        use crate::oplist::INLINE_OPS;
+        let n = INLINE_OPS as u64 + 5;
+        let mut out = SchemeOutcome::serviced(MemKind::Far, (0..n).map(op).collect());
+        out.background.extend((0..3).map(op));
+        let mut b = BatchOutcome::new();
+        b.reserve_entries(1);
+        b.push_outcome(&out);
+        let view = b.entry(0).unwrap();
+        assert!(view.matches(&out), "spilled op lists must copy in verbatim");
+        assert_eq!(view.critical.len(), n as usize);
     }
 
     #[test]

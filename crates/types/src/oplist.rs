@@ -97,6 +97,16 @@ impl OpList {
         self.inline.iter().take(self.len).chain(self.spill.iter())
     }
 
+    /// The operations as two contiguous slices, `(inline, spilled)`, in
+    /// push order. Lets bulk consumers (`BatchOutcome::push_outcome`) copy
+    /// with `extend_from_slice` instead of a per-op loop.
+    pub fn as_slices(&self) -> (&[MemOp], &[MemOp]) {
+        // The `min` keeps the range in bounds, so the probe cannot miss;
+        // `get` keeps the hot path panic-free anyway.
+        let inline = self.inline.get(..self.len.min(INLINE_OPS)).unwrap_or(&[]);
+        (inline, &self.spill)
+    }
+
     /// Whether any operation spilled to the heap.
     pub const fn spilled(&self) -> bool {
         self.len > INLINE_OPS
@@ -280,6 +290,11 @@ mod tests {
             assert_eq!(list, model, "OpList must mirror the Vec model");
             assert_eq!(list.len(), model.len());
             assert!(list.iter().eq(model.iter()));
+            let (a, b) = list.as_slices();
+            assert!(
+                a.iter().chain(b).eq(model.iter()),
+                "as_slices must cover the list in push order"
+            );
             assert_eq!(list.last(), model.last());
             assert_eq!(format!("{list:?}"), format!("{model:?}"));
         });

@@ -27,6 +27,142 @@ use crate::mem::{MemKind, MemOp};
 use crate::obs::{TraceEvent, EVENT_KINDS};
 use crate::oplist::OpList;
 
+/// Compact per-access service-path markers a scheme sets alongside its
+/// operations. The bits record conditions that are *not* reconstructible
+/// from the emitted [`MemOp`]s — a bypassed access and an ordinary FM miss
+/// emit the same demand read — so latency attribution
+/// ([`AccessClass::classify`]) needs the scheme to say which path it took.
+/// Schemes without those paths (all the baselines) never set a bit and pay
+/// nothing: the field is cleared with the rest of the outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AccessFlags(u8);
+
+impl AccessFlags {
+    /// No special service path.
+    pub const NONE: Self = Self(0);
+    /// The access bypassed NM caching (bypass predictor or failover).
+    pub const BYPASS: Self = Self(1 << 0);
+    /// The access was serviced by the all-ways-locked fallback path.
+    pub const LOCKED: Self = Self(1 << 1);
+    /// The controller was running fault-degraded (failover engaged or at
+    /// least one way disabled) when the access was serviced.
+    pub const DEGRADED: Self = Self(1 << 2);
+
+    /// Sets the bits of `flag`.
+    pub fn insert(&mut self, flag: Self) {
+        self.0 |= flag.0;
+    }
+
+    /// Whether all bits of `flag` are set.
+    pub const fn contains(self, flag: Self) -> bool {
+        self.0 & flag.0 == flag.0
+    }
+
+    /// Whether no bit is set.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// The latency-attribution class of one demand access: which service path
+/// determined its issue-to-completion time. Every access belongs to exactly
+/// one class (the classification is total and mutually exclusive), so the
+/// per-class quantile sketches in `silcfm-obs` sum to the per-scheme
+/// distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessClass {
+    /// Serviced from near memory with no migration traffic.
+    NmHit,
+    /// Serviced from far memory with no migration traffic.
+    FmHit,
+    /// The access triggered swap/migration traffic (subblock or block).
+    SwapPath,
+    /// The access bypassed NM caching.
+    Bypass,
+    /// Serviced by the all-ways-locked fallback path.
+    Locked,
+    /// Serviced while the controller ran fault-degraded.
+    FaultDegraded,
+}
+
+impl AccessClass {
+    /// Number of classes; sized for per-class metric arrays.
+    pub const COUNT: usize = 6;
+
+    /// All classes in report order.
+    pub const ALL: [Self; Self::COUNT] = [
+        Self::NmHit,
+        Self::FmHit,
+        Self::SwapPath,
+        Self::Bypass,
+        Self::Locked,
+        Self::FaultDegraded,
+    ];
+
+    /// Dense index in `0..COUNT`, matching [`ALL`](Self::ALL) order.
+    pub const fn index(self) -> usize {
+        match self {
+            Self::NmHit => 0,
+            Self::FmHit => 1,
+            Self::SwapPath => 2,
+            Self::Bypass => 3,
+            Self::Locked => 4,
+            Self::FaultDegraded => 5,
+        }
+    }
+
+    /// Short machine-readable label used in reports and artifacts.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Self::NmHit => "nm_hit",
+            Self::FmHit => "fm_hit",
+            Self::SwapPath => "swap",
+            Self::Bypass => "bypass",
+            Self::Locked => "locked",
+            Self::FaultDegraded => "fault_degraded",
+        }
+    }
+
+    /// Classifies one finished access from its outcome metadata. Precedence
+    /// runs most-exceptional first — fault-degraded over locked over bypass
+    /// over swap — so an access is attributed to the strongest condition
+    /// that shaped its latency; only unexceptional accesses split into
+    /// NM/FM hits by where the demand was serviced.
+    pub const fn classify(serviced_from: MemKind, has_migration: bool, flags: AccessFlags) -> Self {
+        if flags.contains(AccessFlags::DEGRADED) {
+            Self::FaultDegraded
+        } else if flags.contains(AccessFlags::LOCKED) {
+            Self::Locked
+        } else if flags.contains(AccessFlags::BYPASS) {
+            Self::Bypass
+        } else if has_migration {
+            Self::SwapPath
+        } else {
+            match serviced_from {
+                MemKind::Near => Self::NmHit,
+                MemKind::Far => Self::FmHit,
+            }
+        }
+    }
+
+    /// [`classify`](Self::classify) reading everything from one scalar
+    /// outcome (the migration scan walks both op lists).
+    pub fn of_outcome(out: &SchemeOutcome) -> Self {
+        let has_migration = out
+            .critical
+            .iter()
+            .chain(out.background.iter())
+            .any(|op| matches!(op.class, crate::mem::TrafficClass::Migration));
+        Self::classify(out.serviced_from, has_migration, out.flags)
+    }
+}
+
+impl fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// What a scheme decided for one demand access.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SchemeOutcome {
@@ -43,6 +179,8 @@ pub struct SchemeOutcome {
     /// Extra cycles during which *all* cores stall, used by the epoch-based
     /// HMA scheme to model OS overheads (context switches, TLB shootdowns).
     pub global_stall_cycles: u64,
+    /// Service-path markers for latency attribution; see [`AccessFlags`].
+    pub flags: AccessFlags,
 }
 
 impl SchemeOutcome {
@@ -53,6 +191,7 @@ impl SchemeOutcome {
             background: OpList::new(),
             serviced_from: MemKind::Far,
             global_stall_cycles: 0,
+            flags: AccessFlags::NONE,
         }
     }
 
@@ -63,6 +202,7 @@ impl SchemeOutcome {
         self.background.clear();
         self.serviced_from = MemKind::Far;
         self.global_stall_cycles = 0;
+        self.flags = AccessFlags::NONE;
     }
 
     /// An outcome that services the demand from `mem` with the given
@@ -73,6 +213,7 @@ impl SchemeOutcome {
             background: OpList::new(),
             serviced_from: mem,
             global_stall_cycles: 0,
+            flags: AccessFlags::NONE,
         }
     }
 
@@ -193,6 +334,10 @@ pub trait MemoryScheme {
     /// amortize dispatch and metadata-touch costs across the batch.
     fn access_batch(&mut self, accesses: &[Access], out: &mut BatchOutcome) {
         out.clear();
+        // One reservation up front: the per-access copy-in then never
+        // grows the entry vector, so trivial schemes (one op per access)
+        // run the loop at near-scalar cost.
+        out.reserve_entries(accesses.len());
         let mut scratch = out.take_scratch();
         for access in accesses {
             self.access(access, &mut scratch);
@@ -267,6 +412,7 @@ mod tests {
             background: vec![MemOp::migration_write(MemKind::Far, PhysAddr::new(128), 64)].into(),
             serviced_from: MemKind::Near,
             global_stall_cycles: 0,
+            flags: AccessFlags::NONE,
         };
         assert_eq!(out.critical_bytes(), 72);
         assert_eq!(out.background_bytes(), 64);
@@ -290,9 +436,70 @@ mod tests {
             vec![MemOp::demand_read(MemKind::Near, PhysAddr::new(0), 64)],
         );
         out.global_stall_cycles = 17;
+        out.flags.insert(AccessFlags::BYPASS);
         out.clear();
         assert_eq!(out, SchemeOutcome::empty());
         assert_eq!(out.critical_bytes(), 0);
+        assert!(out.flags.is_empty());
+    }
+
+    #[test]
+    fn classification_is_total_and_precedence_ordered() {
+        use crate::mem::TrafficClass;
+
+        // Unexceptional accesses split by where the demand was serviced.
+        let nm = SchemeOutcome::serviced(
+            MemKind::Near,
+            vec![MemOp::demand_read(MemKind::Near, PhysAddr::new(0), 64)],
+        );
+        assert_eq!(AccessClass::of_outcome(&nm), AccessClass::NmHit);
+        let fm = SchemeOutcome::serviced(
+            MemKind::Far,
+            vec![MemOp::demand_read(MemKind::Far, PhysAddr::new(0), 64)],
+        );
+        assert_eq!(AccessClass::of_outcome(&fm), AccessClass::FmHit);
+
+        // Migration traffic anywhere in the outcome marks the swap path.
+        let mut swap = nm.clone();
+        swap.background
+            .push(MemOp::migration_write(MemKind::Near, PhysAddr::new(64), 64));
+        assert_eq!(AccessClass::of_outcome(&swap), AccessClass::SwapPath);
+        assert!(swap
+            .background
+            .iter()
+            .any(|op| op.class == TrafficClass::Migration));
+
+        // Flags take precedence over the op scan, strongest condition first.
+        let mut flagged = swap.clone();
+        flagged.flags.insert(AccessFlags::BYPASS);
+        assert_eq!(AccessClass::of_outcome(&flagged), AccessClass::Bypass);
+        flagged.flags.insert(AccessFlags::LOCKED);
+        assert_eq!(AccessClass::of_outcome(&flagged), AccessClass::Locked);
+        flagged.flags.insert(AccessFlags::DEGRADED);
+        assert_eq!(
+            AccessClass::of_outcome(&flagged),
+            AccessClass::FaultDegraded
+        );
+
+        // The dense index and label tables agree with ALL's order.
+        for (i, class) in AccessClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert_eq!(class.to_string(), class.label());
+        }
+    }
+
+    #[test]
+    fn flags_bit_algebra() {
+        let mut f = AccessFlags::NONE;
+        assert!(f.is_empty());
+        assert!(f.contains(AccessFlags::NONE));
+        assert!(!f.contains(AccessFlags::LOCKED));
+        f.insert(AccessFlags::LOCKED);
+        f.insert(AccessFlags::DEGRADED);
+        assert!(f.contains(AccessFlags::LOCKED));
+        assert!(f.contains(AccessFlags::DEGRADED));
+        assert!(!f.contains(AccessFlags::BYPASS));
+        assert!(!f.is_empty());
     }
 
     #[test]

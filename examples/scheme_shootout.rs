@@ -13,7 +13,9 @@
 use std::time::Instant;
 
 use silc_fm::obs::{Align, TextTable};
-use silc_fm::sim::{run_grid, run_grid_serial, ExperimentGrid, RunParams, SchemeKind};
+use silc_fm::sim::{
+    run_grid_serial, run_grid_traced, ExperimentGrid, RunParams, SchemeKind, TraceParams,
+};
 use silc_fm::trace::profiles;
 use silc_fm::types::SystemConfig;
 
@@ -38,14 +40,21 @@ fn main() {
     let serial = run_grid_serial(&jobs);
     let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
 
+    // The traced grid also collects the latency-percentile plane; its
+    // RunResults are bit-identical to the untraced serial pass (checked
+    // below), so timing and the tail columns come from one run.
     let t1 = Instant::now();
-    let parallel = run_grid(&jobs, threads);
+    let trace = TraceParams {
+        events_capacity: 1 << 14,
+        ..TraceParams::default_capture()
+    };
+    let parallel = run_grid_traced(&jobs, &trace, threads);
     let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     let identical = serial
         .iter()
         .zip(&parallel)
-        .all(|(s, p)| s.cycles == p.cycles && s.traffic == p.traffic);
+        .all(|(s, (p, _))| s.cycles == p.cycles && s.traffic == p.traffic);
 
     println!("{workload}\n");
     let mut table = TextTable::new(&[
@@ -53,16 +62,24 @@ fn main() {
         ("speedup (vs base)", Align::Right),
         ("access rate", Align::Right),
         ("NM demand frac", Align::Right),
+        ("lat p50", Align::Right),
+        ("lat p95", Align::Right),
+        ("lat p99", Align::Right),
         ("migration MiB", Align::Right),
         ("blocks migrated", Align::Right),
     ]);
-    let base = &parallel[0];
-    for r in &parallel[1..] {
+    let (base, _) = &parallel[0];
+    for (r, report) in &parallel[1..] {
+        let overall = report.latency.overall();
+        let [p50, p95, p99, _] = overall.percentiles();
         table.row(vec![
             r.scheme.clone(),
             format!("{:.2}x", r.speedup_over(base)),
             format!("{:.2}", r.access_rate),
             format!("{:.2}", r.traffic.nm_demand_fraction()),
+            p50.to_string(),
+            p95.to_string(),
+            p99.to_string(),
             format!(
                 "{:.1}",
                 r.traffic.overhead_bytes() as f64 / (1 << 20) as f64
@@ -71,6 +88,7 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    println!("\nlat pNN: demand issue-to-completion cycles from the mergeable quantile sketch.");
     println!("\nThe paper's Fig. 7 ordering: SILC-FM first, CAMEO the best prior scheme.");
     println!(
         "grid of {} runs: serial {serial_ms:.0} ms, parallel ({threads} threads) \

@@ -58,6 +58,21 @@ echo "==> throughput benchmark (smoke budget, batch gate, tracing overhead)"
 cargo run --release --offline -p silcfm-bench --bin throughput -- \
   --budget 2000 --repeats 1 --batch 64 --no-write --skip-grid --overhead
 
+# Latency-percentile smoke: measure per-class demand-latency sketches
+# for every scheme on a 3-workload subset, and gate serial-vs-sharded
+# byte-identity of the sketch encodings (DESIGN.md §14) — the percentile
+# plane must not depend on the thread count.
+echo "==> latency percentiles (smoke, sharded byte-identity gate)"
+cargo run --release --offline -p silcfm-bench --bin latency -- --smoke --no-write
+
+# Perf-regression gate: interleaved best-of regime measurement, gated on
+# host-independent ratio metrics (scheme-vs-baseline speed, traced-vs-
+# untraced overhead) against the last committed trajectory run. A gated
+# ratio leaving its 1.6x band fails CI; intentional changes append a new
+# run to results/BENCH_trajectory.json and commit it.
+echo "==> perf-regression gate (smoke, ratio bands vs committed trajectory)"
+cargo run --release --offline -p silcfm-bench --bin regress -- --smoke --check
+
 # Scaling smoke: run one small simulation serially and sharded at 1, 2
 # and 4 threads and demand bit-identical results — the epoch-barrier
 # merge determinism guarantee (DESIGN.md §11), checked end to end
