@@ -17,6 +17,14 @@
 //!   `N` jobs have been journaled the process appends a torn half-line and
 //!   exits with code 3, so CI can rerun with `--resume` and check the
 //!   digest matches an uninterrupted run's.
+//! * **Serving-plane soak** (`--slo`) — open-loop serving trials under
+//!   harsh faults. Audits the request conservation ledger, pins every
+//!   NACK-audited request's service window to a real channel-failure
+//!   interval of the device it names, cross-checks the controller's
+//!   failover transitions against the schedule-only oracle over the
+//!   delivered prefix, re-runs the trial sharded for byte-identity, and
+//!   drives a short AIMD search demanding ledger evidence behind every
+//!   SLO violation the regulator backs off from.
 //!
 //! Exits 0 and prints `chaos: 0 invariant violations` when clean; exits 1
 //! listing every violation otherwise.
@@ -26,20 +34,22 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 use silcfm_fault::{expected_failover_transitions, FaultRates, FaultSchedule, FaultStats};
+use silcfm_serve::{run_serve, Aimd, AimdParams, FailureTimeline, ServeParams};
 use silcfm_sim::experiment::space_for;
 use silcfm_sim::runner::ExperimentGrid;
 use silcfm_sim::{
     run_faulted, run_faulted_traced, run_grid_journaled, run_grid_journaled_sharded, FaultParams,
     RunParams, RunResult, SchemeKind, ShardParams, TraceParams,
 };
-use silcfm_trace::profiles;
+use silcfm_trace::{arrivals, profiles};
 use silcfm_types::obs::Event;
-use silcfm_types::{FxHasher, SchemeStats, SystemConfig};
+use silcfm_types::{FxHasher, MemKind, SchemeStats, SystemConfig};
 
 struct Opts {
     smoke: bool,
     seed: u64,
     skip_soak: bool,
+    slo: bool,
     journal: Option<PathBuf>,
     resume: bool,
     die_after_jobs: Option<u64>,
@@ -55,6 +65,7 @@ impl Opts {
             smoke: false,
             seed: 99,
             skip_soak: false,
+            slo: false,
             journal: None,
             resume: false,
             die_after_jobs: None,
@@ -74,6 +85,7 @@ impl Opts {
                         .unwrap_or_else(|_| die("bad --seed"));
                 }
                 "--skip-soak" => opts.skip_soak = true,
+                "--slo" => opts.slo = true,
                 "--journal" => opts.journal = Some(PathBuf::from(value("--journal"))),
                 "--resume" => opts.resume = true,
                 "--die-after-jobs" => {
@@ -100,7 +112,7 @@ impl Opts {
 fn die(msg: &str) -> ! {
     eprintln!("chaos: {msg}");
     eprintln!(
-        "usage: chaos [--smoke] [--seed N] [--skip-soak] \
+        "usage: chaos [--smoke] [--seed N] [--skip-soak] [--slo] \
          [--journal PATH [--resume] [--die-after-jobs N] [--sharded THREADS]]"
     );
     std::process::exit(2);
@@ -332,6 +344,190 @@ fn grid_soak(opts: &Opts, violations: &mut Vec<String>) {
     );
 }
 
+/// Slack around a NACK-audited request's service window when pinning it to
+/// a channel-failure interval: the engine observes the failure through the
+/// memory pipeline, so the NACK can trail the fault's CPU-cycle timestamp
+/// by a bounded service latency.
+const NACK_WINDOW_MARGIN: u64 = 4_096;
+
+/// Serving-plane soak (`--slo`): open-loop serving trials under harsh
+/// faults, auditing the request ledger against the fault plane.
+fn slo_soak(opts: &Opts, violations: &mut Vec<String>) {
+    let cfg = SystemConfig::small();
+    let params = RunParams::smoke();
+    let serve = ServeParams::default_plane();
+    let profile = profiles::by_name("milc").expect("known workload");
+    let arrival = arrivals::by_name("poisson").expect("known arrival profile");
+    let scheme = SchemeKind::silcfm();
+    let assoc = match scheme {
+        SchemeKind::SilcFm(p) => p.associativity,
+        _ => unreachable!(),
+    };
+    let seeds = if opts.smoke { 1 } else { 3 };
+    // The request phase spans `accesses_per_core * est_service_cycles`;
+    // faults stop well inside it so every scheduled repair can matter.
+    let horizon = params.accesses_per_core * serve.est_service_cycles * 3 / 5;
+
+    for round in 0..seeds {
+        let faults = FaultParams {
+            fault_seed: opts.seed.wrapping_add(500 + round),
+            horizon_cycles: horizon,
+            rates: FaultRates::harsh(),
+        };
+        let tag = format!("slo seed={}", faults.fault_seed);
+        let mut check = |ok: bool, msg: String| {
+            if !ok {
+                violations.push(format!("{tag}: {msg}"));
+            }
+        };
+        let run_at = |threads: usize, rate: u64| {
+            run_serve(
+                profile,
+                scheme,
+                &cfg,
+                &params,
+                &serve,
+                arrival,
+                rate,
+                Some(&faults),
+                &ShardParams::with_threads(threads),
+            )
+        };
+        let rate = 300;
+        let report = match run_at(1, rate) {
+            Ok(r) => r,
+            Err(e) => {
+                check(false, format!("run failed: {e}"));
+                continue;
+            }
+        };
+        check(
+            report.stats.ledger.conserved(),
+            format!("request ledger leaks: {:?}", report.stats.ledger),
+        );
+        check(report.fault_stats.conserved(), "effect ledger leaks".into());
+        check(
+            report.faults_delivered > 0,
+            "harsh soak delivered no faults".into(),
+        );
+
+        // The audit trail's failure timeline, regenerated from the same
+        // seed the run used — byte-identical by the schedule contract.
+        let scaled = profiles::scaled(profile, params.footprint_scale);
+        let space = space_for(&scaled, &cfg, &params);
+        let topo = FaultParams::topology_for(&scheme, space);
+        let schedule = FaultSchedule::generate(
+            faults.fault_seed,
+            faults.horizon_cycles,
+            &faults.rates,
+            &topo,
+        )
+        .expect("rates validated by the run above");
+        let timeline = FailureTimeline::from_faults(schedule.faults());
+
+        // Every NACK-audited request must pin to a real failure interval of
+        // the device it names — a NACK with no channel down in (or near)
+        // its service window would mean the retry ladder invents failures.
+        for n in &report.stats.nacked {
+            let from = n.first_issue.saturating_sub(NACK_WINDOW_MARGIN);
+            let to = n.completion.saturating_add(NACK_WINDOW_MARGIN);
+            for (hit, device) in [(n.nm, MemKind::Near), (n.fm, MemKind::Far)] {
+                if hit {
+                    check(
+                        timeline.overlaps_failure(device, from, to),
+                        format!(
+                            "lane {} request@{}: {device:?} NACK window [{from}, {to}] \
+                             overlaps no failure interval",
+                            n.lane, n.arrival
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Failover oracle over the delivered prefix, as in the traced soak.
+        let delivered = report.faults_delivered;
+        check(
+            delivered <= schedule.len(),
+            format!("{delivered} delivered > {} scheduled", schedule.len()),
+        );
+        let oracle = expected_failover_transitions(&schedule.faults()[..delivered], assoc);
+        check(
+            stat(&report.scheme_stats, "failover_transitions") as usize == oracle.len(),
+            format!(
+                "controller saw {} failover transitions, oracle expects {}",
+                stat(&report.scheme_stats, "failover_transitions"),
+                oracle.len()
+            ),
+        );
+
+        // The serving plane stays byte-identical under faults when sharded.
+        match run_at(2, rate) {
+            Ok(sharded) => check(
+                sharded.digest() == report.digest(),
+                "sharded serving digest differs from serial under faults".into(),
+            ),
+            Err(e) => check(false, format!("sharded run failed: {e}")),
+        }
+
+        // A short AIMD search under the same faults: every violation the
+        // regulator backs off from must leave ledger evidence — shed,
+        // timed-out, or failed requests, or a p99 actually over the SLO.
+        let mut aimd = Aimd::new(AimdParams {
+            min_rate: 50,
+            start_rate: 600,
+            add_step: 300,
+            decrease_num: 3,
+            decrease_den: 4,
+            trials: 4,
+        });
+        while !aimd.done() {
+            let r = match run_at(1, aimd.rate()) {
+                Ok(r) => r,
+                Err(e) => {
+                    check(false, format!("search trial failed: {e}"));
+                    break;
+                }
+            };
+            check(
+                r.stats.ledger.conserved(),
+                format!(
+                    "search rate={}: request ledger leaks: {:?}",
+                    aimd.rate(),
+                    r.stats.ledger
+                ),
+            );
+            let met = r.slo_met(&serve, 0.95);
+            if !met {
+                let l = &r.stats.ledger;
+                let evidence = l.shed > 0
+                    || l.timed_out > 0
+                    || l.failed > 0
+                    || r.stats.p99() > serve.slo_p99_cycles;
+                check(
+                    evidence,
+                    format!(
+                        "search rate={}: regulator backs off with no ledger evidence \
+                         ({l:?}, p99 {})",
+                        aimd.rate(),
+                        r.stats.p99()
+                    ),
+                );
+            }
+            aimd.observe(met);
+        }
+
+        println!(
+            "slo soak seed={}: faults={} nacked={} ledger={:?} best_ok={}",
+            faults.fault_seed,
+            report.faults_delivered,
+            report.stats.nacked.len(),
+            report.stats.ledger,
+            aimd.best_ok()
+        );
+    }
+}
+
 /// Phase 3: the crash-safe journaled grid. With `--die-after-jobs N` the
 /// process tears its own journal mid-write and exits 3, simulating a kill;
 /// a rerun with `--resume` must finish only the missing jobs and print the
@@ -386,6 +582,9 @@ fn main() {
     if !opts.skip_soak {
         traced_scheme_soak(&opts, &mut violations);
         grid_soak(&opts, &mut violations);
+    }
+    if opts.slo {
+        slo_soak(&opts, &mut violations);
     }
     if let Some(path) = &opts.journal {
         journaled_grid(&opts, path, &mut violations);

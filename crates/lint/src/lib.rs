@@ -98,16 +98,37 @@ pub const HOT_PATH_SEEDS: &[interproc::Seed] = &[
         ty: "LaneQueue",
         methods: &["push", "pop"],
     },
+    // The serving plane's per-service completion tap (dispatch side) and
+    // per-record admitted-stream pull (admission side): both run once per
+    // serviced record inside the run loop, so they are hot-path seeds in
+    // their own right — the tap is called through a generic parameter the
+    // resolver can't always see through.
+    interproc::Seed::TraitMethods {
+        trait_name: "ServiceTap",
+        methods: &["on_serviced"],
+    },
+    interproc::Seed::TraitMethods {
+        trait_name: "RecordStream",
+        methods: &["next_record"],
+    },
 ];
 
 /// Declared amortization boundaries: fns the hot-path closure does *not*
 /// enter, each with the justification for why its cost is not per-access.
 /// A stale entry (matching no fn) is an X1 error.
-pub const AMORTIZED_BOUNDARIES: &[(&str, &str)] = &[(
-    "RunObs::epoch_tick",
-    "runs once per epoch boundary, not per access; its flushes and \
-     snapshots are amortized over the whole epoch (DESIGN.md §10)",
-)];
+pub const AMORTIZED_BOUNDARIES: &[(&str, &str)] = &[
+    (
+        "RunObs::epoch_tick",
+        "runs once per epoch boundary, not per access; its flushes and \
+         snapshots are amortized over the whole epoch (DESIGN.md §10)",
+    ),
+    (
+        "RequestTracker::finish_request",
+        "runs once per completed request (every records_per_request \
+         services), not per access; epoch-bucket growth is amortized over \
+         the requests that fill the epoch (DESIGN.md §15)",
+    ),
+];
 
 /// Order-sensitive sink fns by *name* (N1): folding stats or bytes in
 /// argument order.
@@ -119,6 +140,7 @@ pub const ORDER_SINK_FNS: &[&str] = &["merge", "digest", "grid_digest"];
 /// for the sharded/journaled percentile plane, DESIGN.md §14).
 pub const ORDER_SINK_FILES: &[&str] = &[
     "crates/sim/src/journal.rs",
+    "crates/serve/src/journal.rs",
     "crates/obs/src/export.rs",
     "crates/obs/src/sketch.rs",
 ];

@@ -45,7 +45,7 @@ pub mod table;
 pub use hist::LatencyHistogram;
 pub use report::{ObsReport, TaggedEvent, Unit};
 pub use ring::RingTracer;
-pub use sampler::{run_series, EpochSampler, SeriesSpec};
+pub use sampler::{run_series, slo_series, EpochSampler, SeriesSpec};
 pub use sampling::SamplingTracer;
 pub use sketch::{LatencyBreakdown, LatencyReservoir, QuantileSketch};
 pub use table::{Align, TextTable};

@@ -91,6 +91,40 @@ pub fn run_series() -> SeriesSpec {
         .series("obs.lat.p999")
 }
 
+/// Column index of the per-epoch offered-request count in [`slo_series`].
+pub const SLO_COL_OFFERED: usize = 0;
+/// Column index of the per-epoch completed-request count in [`slo_series`].
+pub const SLO_COL_COMPLETED: usize = 1;
+/// Column index of the per-epoch shed-request count in [`slo_series`].
+pub const SLO_COL_SHED: usize = 2;
+/// Column index of the per-epoch timed-out-request count in [`slo_series`].
+pub const SLO_COL_TIMED_OUT: usize = 3;
+/// Column index of the per-epoch failed-request count in [`slo_series`].
+pub const SLO_COL_FAILED: usize = 4;
+/// Column index of the per-epoch issued-retry count in [`slo_series`].
+pub const SLO_COL_RETRIES: usize = 5;
+/// Column index of the per-epoch request-latency p99 in [`slo_series`].
+pub const SLO_COL_P99: usize = 6;
+/// Column index of the epoch SLO-compliance flag (1.0 / 0.0) in
+/// [`slo_series`].
+pub const SLO_COL_COMPLIANT: usize = 7;
+
+/// The request-serving plane's per-epoch column set: the conservation
+/// ledger's four request dispositions plus offered load, issued retries,
+/// the epoch's request-latency p99 and whether the epoch met the SLO.
+/// Registration site for the `obs.slo.*` series keys.
+pub fn slo_series() -> SeriesSpec {
+    SeriesSpec::new()
+        .series("obs.slo.offered")
+        .series("obs.slo.completed")
+        .series("obs.slo.shed")
+        .series("obs.slo.timed_out")
+        .series("obs.slo.failed")
+        .series("obs.slo.retries")
+        .series("obs.slo.p99")
+        .series("obs.slo.compliant")
+}
+
 /// Collects one row of `f64` metric values per epoch of simulation cycles.
 ///
 /// The contract, pinned by property tests: after [`seal`](Self::seal) with
@@ -193,6 +227,21 @@ mod tests {
         assert_eq!(spec.names()[COL_LAT_P999], "obs.lat.p999");
         assert_eq!(spec.len(), 12);
         assert!(spec.names().iter().all(|n| n.starts_with("obs.")));
+    }
+
+    #[test]
+    fn slo_series_columns_line_up() {
+        let spec = slo_series();
+        assert_eq!(spec.names()[SLO_COL_OFFERED], "obs.slo.offered");
+        assert_eq!(spec.names()[SLO_COL_COMPLETED], "obs.slo.completed");
+        assert_eq!(spec.names()[SLO_COL_SHED], "obs.slo.shed");
+        assert_eq!(spec.names()[SLO_COL_TIMED_OUT], "obs.slo.timed_out");
+        assert_eq!(spec.names()[SLO_COL_FAILED], "obs.slo.failed");
+        assert_eq!(spec.names()[SLO_COL_RETRIES], "obs.slo.retries");
+        assert_eq!(spec.names()[SLO_COL_P99], "obs.slo.p99");
+        assert_eq!(spec.names()[SLO_COL_COMPLIANT], "obs.slo.compliant");
+        assert_eq!(spec.len(), 8);
+        assert!(spec.names().iter().all(|n| n.starts_with("obs.slo.")));
     }
 
     /// A single-column spec without going through the lint-audited literal

@@ -1,0 +1,316 @@
+//! Crash-safe journal for the SLO max-RPS search.
+//!
+//! An AIMD search is a chain: trial `n+1`'s offered rate depends on every
+//! prior trial's verdict. A killed search therefore cannot resume from
+//! anywhere but an exact replay — so the journal records, per finished
+//! trial, the offered rate, the full conservation ledger, the p99 and the
+//! SLO verdict. On resume the recorded verdicts are fed back through fresh
+//! regulators in order, which reconstructs the exact regulator state (the
+//! regulator is a pure state machine over its observations) and the search
+//! continues byte-identically to an uninterrupted run.
+//!
+//! Format, one line per record:
+//!
+//! * header `silcfm-slo-journal v1 grid=<hex>`, binding the journal to one
+//!   search grid (schemes × arrival profiles × parameters);
+//! * `trial <search> <trial> <rate> <offered> <admitted> <completed>
+//!   <shed> <timed_out> <failed> <retries> <p99> <met>` per finished
+//!   trial, appended and flushed before the next trial starts.
+//!
+//! The reader follows the workspace journal contract (`sim::journal`): a
+//! torn final line is a crash artifact and is healed away with `set_len`;
+//! a malformed interior line is corruption and an error.
+
+use std::fs::{File, OpenOptions};
+use std::hash::{Hash, Hasher};
+use std::io::{BufWriter, Read as _, Write as _};
+use std::path::Path;
+
+use silcfm_types::{FxHasher, SilcFmError};
+
+use crate::ledger::RequestLedger;
+
+/// Digest binding a journal to one search grid. Hash the search's full
+/// configuration rendering (schemes, arrival profiles, rates, serve and
+/// AIMD parameters) — any change invalidates old journals.
+pub fn search_digest(spec: &str) -> u64 {
+    let mut h = FxHasher::default();
+    spec.hash(&mut h);
+    h.finish()
+}
+
+/// One finished trial: enough to replay the regulator and to re-emit the
+/// trial's row in the final artifact without re-running it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialRecord {
+    /// Index of the (scheme × arrival) search this trial belongs to.
+    pub search: usize,
+    /// Trial index within its search.
+    pub trial: u32,
+    /// Offered rate, requests per million cycles per lane.
+    pub rate: u64,
+    /// The trial's conservation ledger.
+    pub ledger: RequestLedger,
+    /// Whole-run p99 of completed-request latency.
+    pub p99: u64,
+    /// Whether the trial met the SLO.
+    pub met: bool,
+}
+
+fn encode(r: &TrialRecord) -> String {
+    let l = &r.ledger;
+    format!(
+        "trial {} {} {} {} {} {} {} {} {} {} {} {}",
+        r.search,
+        r.trial,
+        r.rate,
+        l.offered,
+        l.admitted,
+        l.completed,
+        l.shed,
+        l.timed_out,
+        l.failed,
+        l.retries,
+        r.p99,
+        u8::from(r.met),
+    )
+}
+
+/// Parses one `trial` line (sans the leading token). `None` on any
+/// shortfall — torn tail or corruption, the caller's call.
+fn decode(tokens: &[&str]) -> Option<TrialRecord> {
+    let mut it = tokens.iter();
+    let mut int = || it.next()?.parse::<u64>().ok();
+    let search = int()? as usize;
+    let trial = int()? as u32;
+    let rate = int()?;
+    let ledger = RequestLedger {
+        offered: int()?,
+        admitted: int()?,
+        completed: int()?,
+        shed: int()?,
+        timed_out: int()?,
+        failed: int()?,
+        retries: int()?,
+    };
+    let p99 = int()?;
+    let met = match int()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    if it.next().is_some() {
+        return None; // trailing junk: treat as malformed
+    }
+    Some(TrialRecord {
+        search,
+        trial,
+        rate,
+        ledger,
+        p99,
+        met,
+    })
+}
+
+fn header_line(digest: u64) -> String {
+    format!("silcfm-slo-journal v1 grid={digest:016x}")
+}
+
+/// The write side: created fresh or reopened by [`resume`], appends one
+/// flushed line per finished trial.
+#[derive(Debug)]
+pub struct SloJournalWriter {
+    out: BufWriter<File>,
+}
+
+impl SloJournalWriter {
+    /// Creates (truncating) a journal for a search grid and writes the
+    /// header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SilcFmError::Journal`] on any I/O failure.
+    pub fn create(path: &Path, digest: u64) -> Result<Self, SilcFmError> {
+        let file = File::create(path)?;
+        let mut out = BufWriter::new(file);
+        writeln!(out, "{}", header_line(digest))?;
+        out.flush()?;
+        Ok(Self { out })
+    }
+
+    /// Appends one finished trial and flushes, so a crash after this call
+    /// never loses the record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SilcFmError::Journal`] on any I/O failure.
+    pub fn append(&mut self, record: &TrialRecord) -> Result<(), SilcFmError> {
+        writeln!(self.out, "{}", encode(record))?;
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// Reads a journal back: validates the header against `digest`, returns
+/// the finished trials in append order, heals a torn tail with `set_len`,
+/// and reopens the file for appending.
+///
+/// # Errors
+///
+/// Returns [`SilcFmError::Journal`] when the file is unreadable, the
+/// header names a different search grid, or an interior line is malformed.
+pub fn resume(
+    path: &Path,
+    digest: u64,
+) -> Result<(SloJournalWriter, Vec<TrialRecord>), SilcFmError> {
+    let mut text = String::new();
+    File::open(path)?.read_to_string(&mut text)?;
+    // Bytes past the last newline are the in-flight record of a crash.
+    let complete_up_to = text.rfind('\n').map_or(0, |i| i + 1);
+    let body = &text[..complete_up_to];
+    let header_end = body
+        .find('\n')
+        .map(|i| i + 1)
+        .ok_or_else(|| SilcFmError::journal("SLO journal is empty (no header line)"))?;
+    let header = body[..header_end].trim_end();
+    if header != header_line(digest) {
+        return Err(SilcFmError::journal(format!(
+            "SLO journal belongs to a different search grid: found {header:?}, expected {:?}",
+            header_line(digest)
+        )));
+    }
+    let mut done = Vec::new();
+    let mut valid_up_to = header_end;
+    let mut offset = header_end;
+    let mut rest = body[header_end..].split_inclusive('\n').peekable();
+    while let Some(raw) = rest.next() {
+        let line = raw.trim_end_matches('\n');
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let parsed = match tokens.split_first() {
+            Some((&"trial", fields)) => decode(fields),
+            _ => None,
+        };
+        offset += raw.len();
+        match parsed {
+            Some(record) => {
+                done.push(record);
+                valid_up_to = offset;
+            }
+            // A malformed *last* line can be a crash artifact and is
+            // dropped; a malformed interior line means corruption.
+            None if rest.peek().is_none() => break,
+            None => {
+                return Err(SilcFmError::journal(format!(
+                    "malformed SLO journal line: {line:?}"
+                )))
+            }
+        }
+    }
+    if valid_up_to < text.len() {
+        // Heal the crash damage so appended records start on a fresh line.
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_up_to as u64)?;
+    }
+    let file = OpenOptions::new().append(true).open(path)?;
+    Ok((
+        SloJournalWriter {
+            out: BufWriter::new(file),
+        },
+        done,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(search: usize, trial: u32, rate: u64, met: bool) -> TrialRecord {
+        TrialRecord {
+            search,
+            trial,
+            rate,
+            ledger: RequestLedger {
+                offered: 100,
+                admitted: 90,
+                completed: 80,
+                shed: 10,
+                timed_out: 8,
+                failed: 2,
+                retries: 5,
+            },
+            p99: 17_000,
+            met,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = option_env!("CARGO_TARGET_TMPDIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir)
+            .join("silcfm-slo-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_trials_in_order() {
+        let path = tmp("roundtrip.journal");
+        let mut w = SloJournalWriter::create(&path, 42).unwrap();
+        w.append(&record(0, 0, 20, true)).unwrap();
+        w.append(&record(0, 1, 26, false)).unwrap();
+        w.append(&record(1, 0, 20, true)).unwrap();
+        drop(w);
+        let (_w, done) = resume(&path, 42).unwrap();
+        assert_eq!(
+            done,
+            vec![
+                record(0, 0, 20, true),
+                record(0, 1, 26, false),
+                record(1, 0, 20, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_healed() {
+        let path = tmp("torn.journal");
+        let mut w = SloJournalWriter::create(&path, 9).unwrap();
+        w.append(&record(0, 0, 20, true)).unwrap();
+        drop(w);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "trial 0 1 26 100 9").unwrap();
+        drop(f);
+        let (mut w, done) = resume(&path, 9).unwrap();
+        assert_eq!(done.len(), 1, "torn record must be dropped");
+        w.append(&record(0, 1, 26, false)).unwrap();
+        drop(w);
+        let (_w, done) = resume(&path, 9).unwrap();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[1], record(0, 1, 26, false));
+    }
+
+    #[test]
+    fn grid_mismatch_and_interior_corruption_are_errors() {
+        let path = tmp("mismatch.journal");
+        drop(SloJournalWriter::create(&path, 1).unwrap());
+        let err = resume(&path, 2).unwrap_err();
+        assert!(err.to_string().contains("different search grid"), "{err}");
+
+        let path = tmp("corrupt.journal");
+        let mut w = SloJournalWriter::create(&path, 5).unwrap();
+        w.append(&record(0, 0, 20, true)).unwrap();
+        drop(w);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(f, "trial zzz corrupt").unwrap();
+        writeln!(f, "{}", encode(&record(0, 1, 26, false))).unwrap();
+        drop(f);
+        let err = resume(&path, 5).unwrap_err();
+        assert!(err.to_string().contains("malformed"), "{err}");
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_the_spec() {
+        assert_ne!(search_digest("a"), search_digest("b"));
+        assert_eq!(search_digest("a"), search_digest("a"));
+    }
+}

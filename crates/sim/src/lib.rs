@@ -44,5 +44,8 @@ pub use runner::{
     run_grid, run_grid_journaled, run_grid_journaled_sharded, run_grid_serial, run_grid_sharded,
     run_grid_traced, run_grid_traced_journaled, ExperimentGrid, Job,
 };
-pub use shard::{run_system_sharded, ShardParams, ShardReport};
-pub use system::{RecordFeed, System};
+pub use shard::{
+    run_system_sharded, run_system_sharded_tapped, LaneSource, RecordStream, ShardParams,
+    ShardReport,
+};
+pub use system::{NullTap, RecordFeed, ServiceTap, System};

@@ -45,7 +45,55 @@ use silcfm_trace::{WorkloadGen, WorkloadProfile};
 use silcfm_types::obs::Tracer;
 use silcfm_types::{CoreId, FxHasher, TraceRecord, VirtAddr};
 
-use crate::system::{RecordFeed, System, SystemOutcome};
+use crate::system::{NullTap, RecordFeed, ServiceTap, System, SystemOutcome};
+
+/// One lane's record generator, as the sharded runner sees it: an infinite
+/// deterministic stream. [`WorkloadGen`] is the closed-loop implementation;
+/// the request-serving plane layers arrival stamps and admission over it
+/// with its own implementation. Streams must be pure functions of their
+/// construction inputs — that purity is what makes sharded runs
+/// bit-identical to serial ones.
+pub trait RecordStream {
+    /// Produces the stream's next record.
+    fn next_record(&mut self) -> TraceRecord;
+}
+
+impl RecordStream for WorkloadGen {
+    fn next_record(&mut self) -> TraceRecord {
+        WorkloadGen::next_record(self)
+    }
+}
+
+/// A factory of per-lane [`RecordStream`]s: producers (or the inline mode)
+/// call [`stream`] once per owned lane, on whatever thread owns it, so the
+/// factory must be shareable while the streams themselves move to their
+/// thread.
+///
+/// [`stream`]: LaneSource::stream
+pub trait LaneSource: Sync {
+    /// The per-lane stream type.
+    type Stream: RecordStream + Send;
+
+    /// Builds lane `lane`'s stream. Must be a pure function of
+    /// `(self, lane)`: two calls with the same lane yield streams that
+    /// emit identical records.
+    fn stream(&self, lane: usize) -> Self::Stream;
+}
+
+/// The closed-loop source behind [`run_system_sharded`]: one
+/// [`WorkloadGen`] per lane, the exact generators the serial path builds.
+struct WorkloadSource<'p> {
+    profile: &'p WorkloadProfile,
+    seed: u64,
+}
+
+impl LaneSource for WorkloadSource<'_> {
+    type Stream = WorkloadGen;
+
+    fn stream(&self, lane: usize) -> WorkloadGen {
+        WorkloadGen::new(self.profile, CoreId::new(lane as u16), self.seed)
+    }
+}
 
 /// Sharding knobs for one run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,7 +194,7 @@ struct Chunk {
 }
 
 /// Generates the next `count` records of `gen` into a recycled buffer.
-fn fill_chunk(gen: &mut WorkloadGen, mut buf: Vec<TraceRecord>, count: u64) -> Chunk {
+fn fill_chunk<G: RecordStream>(gen: &mut G, mut buf: Vec<TraceRecord>, count: u64) -> Chunk {
     buf.clear();
     let mut delta = LaneDelta::default();
     for _ in 0..count {
@@ -369,15 +417,15 @@ impl EpochMerge {
 
 /// Inline chunk generation for the single-threaded mode: the same chunked
 /// feed and merge path, with chunks produced on demand by the consumer.
-struct InlineLane {
-    gen: WorkloadGen,
+struct InlineLane<G: RecordStream> {
+    gen: G,
     remaining: u64,
     spare: Vec<Vec<TraceRecord>>,
 }
 
 /// Where a lane's next chunk comes from.
-enum ChunkSource<'q> {
-    Inline(Vec<InlineLane>),
+enum ChunkSource<'q, G: RecordStream> {
+    Inline(Vec<InlineLane<G>>),
     Queues {
         queues: &'q [LaneQueue],
         space: &'q SpaceSignal,
@@ -410,15 +458,15 @@ impl Cursor {
 
 /// The sharded [`RecordFeed`]: hands each lane's pre-generated records to
 /// the run loop and drives the epoch-barrier merge as chunks drain.
-struct ShardFeed<'q> {
-    source: ChunkSource<'q>,
+struct ShardFeed<'q, G: RecordStream> {
+    source: ChunkSource<'q, G>,
     cursors: Vec<Cursor>,
     epoch_records: u64,
     merge: EpochMerge,
 }
 
-impl<'q> ShardFeed<'q> {
-    fn new(source: ChunkSource<'q>, lanes: usize, epoch_records: u64) -> Self {
+impl<'q, G: RecordStream> ShardFeed<'q, G> {
+    fn new(source: ChunkSource<'q, G>, lanes: usize, epoch_records: u64) -> Self {
         Self {
             source,
             cursors: (0..lanes).map(|_| Cursor::new()).collect(),
@@ -514,7 +562,7 @@ impl<'q> ShardFeed<'q> {
     }
 }
 
-impl RecordFeed for ShardFeed<'_> {
+impl<G: RecordStream> RecordFeed for ShardFeed<'_, G> {
     fn next(&mut self, lane: usize) -> TraceRecord {
         let exhausted = match self.cursors.get(lane) {
             Some(cur) => cur.pos >= cur.records.len(),
@@ -597,24 +645,17 @@ impl RecordFeed for ShardFeed<'_> {
 /// generated. A sweep skips lanes at their lookahead bound — blocking on
 /// one full lane could deadlock against a consumer starved on another —
 /// and only a sweep with no progress at all sleeps, on [`SpaceSignal`].
-fn producer(
+fn producer<L: LaneSource>(
     lane_ids: Vec<usize>,
-    profile: &WorkloadProfile,
-    seed: u64,
+    source: &L,
     accesses_per_lane: u64,
     queues: &[LaneQueue],
     space: &SpaceSignal,
     shard: ShardParams,
 ) {
-    let mut lanes: Vec<(usize, WorkloadGen, u64)> = lane_ids
+    let mut lanes: Vec<(usize, L::Stream, u64)> = lane_ids
         .into_iter()
-        .map(|i| {
-            (
-                i,
-                WorkloadGen::new(profile, CoreId::new(i as u16), seed),
-                accesses_per_lane,
-            )
-        })
+        .map(|i| (i, source.stream(i), accesses_per_lane))
         .collect();
     let epoch = shard.epoch_records.max(1);
     while !lanes.is_empty() {
@@ -656,6 +697,23 @@ pub fn run_system_sharded<T: Tracer>(
     seed: u64,
     shard: &ShardParams,
 ) -> (SystemOutcome, ShardReport) {
+    let source = WorkloadSource { profile, seed };
+    run_system_sharded_tapped(system, &source, accesses_per_core, shard, &mut NullTap)
+}
+
+/// [`run_system_sharded`] generalized over the lane streams and a
+/// [`ServiceTap`]: the request-serving plane feeds admission-planned
+/// streams in through `source` and observes completions through `tap`,
+/// over the same producer/consumer machinery and epoch-barrier merge.
+/// With [`WorkloadSource`]-equivalent streams and [`NullTap`] this *is*
+/// `run_system_sharded` — the closed-loop spelling delegates here.
+pub fn run_system_sharded_tapped<T: Tracer, L: LaneSource, S: ServiceTap>(
+    system: &mut System<T>,
+    source: &L,
+    accesses_per_core: u64,
+    shard: &ShardParams,
+    tap: &mut S,
+) -> (SystemOutcome, ShardReport) {
     let lanes = system.core_count();
     let epoch = shard.epoch_records.max(1);
     let producers = if shard.threads <= 1 {
@@ -665,15 +723,15 @@ pub fn run_system_sharded<T: Tracer>(
     };
 
     if producers == 0 {
-        let inline: Vec<InlineLane> = (0..lanes)
+        let inline: Vec<InlineLane<L::Stream>> = (0..lanes)
             .map(|i| InlineLane {
-                gen: WorkloadGen::new(profile, CoreId::new(i as u16), seed),
+                gen: source.stream(i),
                 remaining: accesses_per_core,
                 spare: Vec::new(),
             })
             .collect();
         let mut feed = ShardFeed::new(ChunkSource::Inline(inline), lanes, epoch);
-        let outcome = system.run_with_feed(&mut feed, accesses_per_core);
+        let outcome = system.run_with_feed_tapped(&mut feed, accesses_per_core, tap);
         return (outcome, feed.finish(0));
     }
 
@@ -686,12 +744,11 @@ pub fn run_system_sharded<T: Tracer>(
         for p in 0..producers {
             let ids: Vec<usize> = (p..lanes).step_by(producers).collect();
             let shard = *shard;
-            scope.spawn(move || {
-                producer(ids, profile, seed, accesses_per_core, queues, space, shard)
-            });
+            scope.spawn(move || producer(ids, source, accesses_per_core, queues, space, shard));
         }
-        let mut feed = ShardFeed::new(ChunkSource::Queues { queues, space }, lanes, epoch);
-        let outcome = system.run_with_feed(&mut feed, accesses_per_core);
+        let mut feed =
+            ShardFeed::<L::Stream>::new(ChunkSource::Queues { queues, space }, lanes, epoch);
+        let outcome = system.run_with_feed_tapped(&mut feed, accesses_per_core, tap);
         (outcome, feed.finish(producers))
     })
 }

@@ -124,6 +124,47 @@ pub trait RecordFeed {
     }
 }
 
+/// A per-serviced-record completion hook: the contract between the run
+/// loop and the request-serving plane (`silcfm-serve`).
+///
+/// [`System::run_with_feed_tapped`] calls [`on_serviced`] exactly once per
+/// serviced record — cache hits and demand misses alike — in service order,
+/// with the record's issue and completion cycles and the NM/FM NACK counts
+/// the record's charges incurred (non-zero only while a channel is failed,
+/// DESIGN.md §10). The tap observes; it can never steer the run: records
+/// reach the machine unchanged, so tapped results stay bit-identical to
+/// untapped ones.
+///
+/// [`on_serviced`]: ServiceTap::on_serviced
+pub trait ServiceTap {
+    /// Whether the tap is live. `false` compiles every tap hook out of the
+    /// run loop, exactly like [`Tracer::ENABLED`].
+    const ENABLED: bool = true;
+
+    /// Observes one serviced record on `lane`: its issue cycle (post
+    /// cache-hierarchy lookup), its completion cycle, and how many NM/FM
+    /// operations were NACKed by failed channels while servicing it.
+    fn on_serviced(
+        &mut self,
+        lane: usize,
+        issue: u64,
+        completion: u64,
+        nm_nacks: u64,
+        fm_nacks: u64,
+    );
+}
+
+/// The no-op tap: [`ServiceTap::ENABLED`] is `false`, so every hook in the
+/// run loop compiles to nothing and untapped paths pay zero cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTap;
+
+impl ServiceTap for NullTap {
+    const ENABLED: bool = false;
+
+    fn on_serviced(&mut self, _: usize, _: u64, _: u64, _: u64, _: u64) {}
+}
+
 /// The serial feed: one generator per lane, called inline from the run loop.
 struct GenFeed {
     gens: Vec<WorkloadGen>,
@@ -335,6 +376,20 @@ impl<T: Tracer> System<T> {
         feed: &mut F,
         accesses_per_core: u64,
     ) -> SystemOutcome {
+        self.run_with_feed_tapped(feed, accesses_per_core, &mut NullTap)
+    }
+
+    /// [`System::run_with_feed`] with a [`ServiceTap`] observing every
+    /// serviced record. This *is* the run loop — the untapped spelling
+    /// delegates here with [`NullTap`], whose disabled hooks compile out,
+    /// so tapped and untapped runs execute the same machine code over the
+    /// same state and remain bit-identical.
+    pub fn run_with_feed_tapped<F: RecordFeed, S: ServiceTap>(
+        &mut self,
+        feed: &mut F,
+        accesses_per_core: u64,
+        tap: &mut S,
+    ) -> SystemOutcome {
         let n = self.core_count();
         // Setup: one lane per core, primed with its first record. This is
         // the run's only allocation; the access loop below reuses it.
@@ -361,7 +416,13 @@ impl<T: Tracer> System<T> {
         for (i, lane) in lanes.iter_mut().enumerate() {
             let pending = lane.take(feed, i);
             lane.core.execute_compute(u64::from(pending.compute));
-            lane.next = Some(lane.core.issue_time(pending.dependent));
+            // Open-loop arrival stamps floor the issue time; `not_before`
+            // is 0 for ordinary records, so `.max` is the identity there.
+            lane.next = Some(
+                lane.core
+                    .issue_time(pending.dependent)
+                    .max(pending.not_before),
+            );
             lane.pending = pending;
         }
 
@@ -413,6 +474,15 @@ impl<T: Tracer> System<T> {
                 }
             }
 
+            // NACK baselines for the tap: the deltas across this record's
+            // charges attribute failed-channel rejections to the record
+            // being serviced (both branches compile out when untapped).
+            let (nm_nacks0, fm_nacks0) = if S::ENABLED {
+                (self.nm.stats().nacks, self.fm.stats().nacks)
+            } else {
+                (0, 0)
+            };
+
             // A scheme-imposed global stall, applied to every lane after the
             // charges are computed (reading it now: the writeback loop below
             // reuses `out`).
@@ -458,6 +528,16 @@ impl<T: Tracer> System<T> {
                 }
             }
 
+            if S::ENABLED {
+                tap.on_serviced(
+                    i,
+                    issue,
+                    completion,
+                    self.nm.stats().nacks - nm_nacks0,
+                    self.fm.stats().nacks - fm_nacks0,
+                );
+            }
+
             if let Some(until) = stall_all_until {
                 for l in lanes.iter_mut() {
                     l.core.stall_until(until);
@@ -487,7 +567,7 @@ impl<T: Tracer> System<T> {
             if lane.remaining > 0 {
                 let rec = lane.take(feed, i);
                 lane.core.execute_compute(u64::from(rec.compute));
-                lane.next = Some(lane.core.issue_time(rec.dependent));
+                lane.next = Some(lane.core.issue_time(rec.dependent).max(rec.not_before));
                 lane.pending = rec;
             } else {
                 lane.next = None;

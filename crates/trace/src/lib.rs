@@ -34,10 +34,12 @@
 //! assert!(rec.vaddr.value() < profile.footprint_pages * 2048);
 //! ```
 
+pub mod arrivals;
 pub mod generator;
 pub mod profiles;
 pub mod vm;
 
+pub use arrivals::{ArrivalGen, ArrivalKind, ArrivalProfile};
 pub use generator::WorkloadGen;
 pub use profiles::{AccessPattern, MpkiClass, WorkloadProfile};
 pub use vm::{PageMapper, PlacementPolicy};

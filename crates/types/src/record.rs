@@ -23,6 +23,14 @@ pub struct TraceRecord {
     /// Whether this access depends on the previous memory access's data
     /// (pointer chasing); dependent accesses cannot overlap.
     pub dependent: bool,
+    /// Earliest CPU cycle at which this record may issue. `0` (the
+    /// default) means "as soon as the core is ready" — the closed-loop
+    /// behaviour every batch workload uses. The request-serving plane
+    /// stamps the first record of each admitted request with its arrival
+    /// cycle, so open-loop load reaches the unmodified run loop as plain
+    /// records: an underloaded lane idles until the arrival, an overloaded
+    /// one queues behind its own backlog.
+    pub not_before: u64,
 }
 
 impl TraceRecord {
@@ -34,6 +42,7 @@ impl TraceRecord {
             vaddr,
             pc,
             dependent: false,
+            not_before: 0,
         }
     }
 
@@ -45,12 +54,21 @@ impl TraceRecord {
             vaddr,
             pc,
             dependent: false,
+            not_before: 0,
         }
     }
 
     /// Marks this record as dependent on the previous memory access.
     pub const fn depends(mut self) -> Self {
         self.dependent = true;
+        self
+    }
+
+    /// Forbids this record from issuing before `cycle` (an open-loop
+    /// arrival stamp). Scheduling takes the max with the core's own ready
+    /// time, so `at(0)` is the identity.
+    pub const fn at(mut self, cycle: u64) -> Self {
+        self.not_before = cycle;
         self
     }
 
@@ -78,5 +96,17 @@ mod tests {
 
         let d = TraceRecord::load(5, VirtAddr::new(0), 0).depends();
         assert!(d.dependent);
+    }
+
+    #[test]
+    fn arrival_stamp_defaults_to_zero() {
+        let l = TraceRecord::load(10, VirtAddr::new(64), 0x400);
+        assert_eq!(l.not_before, 0);
+        let stamped = l.at(12_345);
+        assert_eq!(stamped.not_before, 12_345);
+        // Everything else is untouched by the stamp.
+        assert_eq!(stamped.vaddr, l.vaddr);
+        assert_eq!(stamped.kind, l.kind);
+        assert_eq!(stamped.compute, l.compute);
     }
 }

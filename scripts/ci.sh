@@ -133,4 +133,37 @@ fresh="$("$chaos_bin" --skip-soak --journal "$journal_dir/fresh.journal" \
   echo "resume aggregate mismatch: resumed='$resumed' fresh='$fresh'"; exit 1; }
 echo "    resumed (sharded) $resumed == fresh (serial) $fresh"
 
+# Serving-plane smoke: the SLO max-RPS search at CI size (DESIGN.md §15).
+# Writes results/BENCH_slo.json (uploaded as a workflow artifact), runs
+# the AIMD searches with the conservation ledger asserted on every trial,
+# and gates serial-vs-sharded byte-identity of the full serving digest.
+echo "==> SLO max-RPS search (smoke, sharded byte-identity gate)"
+slo_bin="target/release/slo"
+cargo run --release --offline -p silcfm-bench --bin slo -- --smoke
+
+# SLO search kill-and-resume: journal the search, crash it mid-write
+# after 4 trials (exit 3, torn tail), resume — verdict replay through
+# fresh regulators must finish with the byte-identical aggregate an
+# uninterrupted search prints.
+echo "==> SLO search kill-and-resume (smoke)"
+rc=0
+"$slo_bin" --smoke --no-write --skip-check \
+  --journal "$journal_dir/slo.journal" --die-after-trials 4 || rc=$?
+[ "$rc" -eq 3 ] || { echo "expected simulated crash (exit 3), got $rc"; exit 1; }
+slo_resumed="$("$slo_bin" --smoke --no-write --skip-check \
+  --journal "$journal_dir/slo.journal" --resume | grep -o 'aggregate=[0-9a-f]*')"
+slo_fresh="$("$slo_bin" --smoke --no-write --skip-check \
+  | grep -o 'aggregate=[0-9a-f]*')"
+[ -n "$slo_resumed" ] && [ "$slo_resumed" = "$slo_fresh" ] || {
+  echo "SLO resume aggregate mismatch: resumed='$slo_resumed' fresh='$slo_fresh'"
+  exit 1; }
+echo "    resumed $slo_resumed == fresh $slo_fresh"
+
+# Serving-plane fault soak: open-loop trials under harsh faults — request
+# ledger conservation, NACK windows pinned to real failure intervals, the
+# failover oracle, sharded identity under faults, and ledger evidence
+# behind every regulator back-off (DESIGN.md §15).
+echo "==> chaos serving-plane soak (smoke)"
+"$chaos_bin" --smoke --skip-soak --slo
+
 echo "ok: tier-1 green"
